@@ -1,0 +1,137 @@
+//! B4–B5: campaign-level benchmarks — experiment throughput per technique
+//! and parallel-runner scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use goofi_core::algorithms;
+use goofi_core::campaign::{Campaign, Technique};
+use goofi_core::fault::{FaultLocation, FaultSpec, FaultSpace};
+use goofi_core::monitor::ProgressMonitor;
+use goofi_core::preinject;
+use goofi_core::runner;
+use goofi_core::trigger::Trigger;
+use goofi_thor::ThorTarget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scifi_campaign(n: usize) -> Campaign {
+    let wl = workloads::by_name("bubblesort").unwrap();
+    let data = bench::thor_description();
+    let space = bench::internal_fault_space(&data, 0..3_000);
+    bench::campaign_for("bench-scifi", &wl)
+        .faults(space.sample_campaign(n, &mut StdRng::seed_from_u64(42)))
+        .build()
+        .unwrap()
+}
+
+fn swifi_campaign(n: usize) -> Campaign {
+    let wl = workloads::by_name("bubblesort").unwrap();
+    let space = FaultSpace {
+        scan_cells: vec![],
+        memory: Some(0..wl.image.words.len() as u32),
+        time_window: 0..1,
+    };
+    let faults: Vec<FaultSpec> = space
+        .sample_campaign(n, &mut StdRng::seed_from_u64(43))
+        .into_iter()
+        .map(|mut f| {
+            f.trigger = Trigger::PreRuntime;
+            f
+        })
+        .collect();
+    bench::campaign_for("bench-swifi", &wl)
+        .technique(Technique::SwifiPreRuntime)
+        .faults(faults)
+        .build()
+        .unwrap()
+}
+
+fn bench_techniques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign-throughput");
+    let n = 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    let scifi = scifi_campaign(n);
+    group.bench_function("scifi_20_experiments", |b| {
+        b.iter(|| {
+            let mut target = ThorTarget::default();
+            algorithms::run_campaign(
+                &mut target,
+                &scifi,
+                &ProgressMonitor::new(n),
+                &mut envsim::NullEnvironment,
+            )
+            .unwrap()
+        });
+    });
+
+    let swifi = swifi_campaign(n);
+    group.bench_function("swifi_20_experiments", |b| {
+        b.iter(|| {
+            let mut target = ThorTarget::default();
+            algorithms::run_campaign(
+                &mut target,
+                &swifi,
+                &ProgressMonitor::new(n),
+                &mut envsim::NullEnvironment,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel-scaling");
+    let n = 64;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    let campaign = scifi_campaign(n);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                runner::run_campaign_parallel(
+                    ThorTarget::default,
+                    None::<fn() -> Box<dyn envsim::Environment>>,
+                    &campaign,
+                    &ProgressMonitor::new(n),
+                    workers,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault-primitives");
+    group.bench_function("inject_scan_fault", |b| {
+        let mut target = ThorTarget::default();
+        goofi_core::TargetAccess::init_test_card(&mut target).unwrap();
+        let spec = FaultSpec::single(
+            FaultLocation::ScanCell {
+                chain: "internal".into(),
+                cell: "R5".into(),
+                bit: 9,
+            },
+            Trigger::AfterInstructions(0),
+        );
+        b.iter(|| algorithms::apply_fault(&mut target, &spec).unwrap());
+    });
+    group.bench_function("collect_liveness_trace", |b| {
+        let campaign = scifi_campaign(1);
+        b.iter(|| {
+            let mut target = ThorTarget::default();
+            preinject::collect_trace(&mut target, &campaign, 5_000, &mut envsim::NullEnvironment).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_techniques, bench_parallel_scaling, bench_fault_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E3 — normal vs detail logging mode overhead (paper §3.3).
+//!
+//! "In normal mode, the system state is logged only when the termination
+//! condition is fulfilled. In detail mode the system state is logged …
+//! typically after the execution of each machine instruction, which
+//! increases the time-overhead."
+//!
+//! This experiment runs the same campaign in both modes and reports wall
+//! time, scan traffic (bits shifted through the test card — the dominant
+//! cost on real SCIFI hardware) and log volume.
+//!
+//! Expected shape: detail mode costs orders of magnitude more in both scan
+//! traffic and log volume; normal mode's cost is dominated by the two
+//! end-of-run chain reads.
+
+use goofi_core::algorithms;
+use goofi_core::logging::LoggingMode;
+use goofi_core::monitor::ProgressMonitor;
+use goofi_thor::ThorTarget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 10;
+    println!("E3: logging-mode overhead, {n} experiments per mode\n");
+    let data = bench::thor_description();
+    let wl = workloads::by_name("crc32").expect("workload exists");
+    let space = bench::internal_fault_space(&data, 100..2_000);
+    let faults = space.sample_campaign(n, &mut StdRng::seed_from_u64(0xE3));
+
+    let mut report_rows = Vec::new();
+    for mode in [LoggingMode::Normal, LoggingMode::Detail] {
+        let campaign = bench::campaign_for(&format!("e3-{}", mode.encode()), &wl)
+            .logging(mode)
+            .faults(faults.clone())
+            .build()
+            .unwrap();
+        let mut target = ThorTarget::default();
+        let monitor = ProgressMonitor::new(n);
+        let started = Instant::now();
+        let result = algorithms::run_campaign(
+            &mut target,
+            &campaign,
+            &monitor,
+            &mut envsim::NullEnvironment,
+        )
+        .expect("campaign failed");
+        let elapsed = started.elapsed();
+        let stats = target.testcard_stats();
+        let log_entries: usize = result
+            .records
+            .iter()
+            .map(|r| 1 + r.trace.len())
+            .sum::<usize>()
+            + 1
+            + result.reference.trace.len();
+        let log_bytes: usize = result
+            .records
+            .iter()
+            .flat_map(|r| r.trace.iter().chain(std::iter::once(&r.state)))
+            .map(|s| s.encode().len())
+            .sum();
+        report_rows.push((mode, elapsed, stats, log_entries, log_bytes));
+    }
+
+    println!(
+        "{:<8} {:>12} {:>16} {:>14} {:>14}",
+        "mode", "wall time", "scan bits", "log entries", "log bytes"
+    );
+    for (mode, elapsed, stats, entries, bytes) in &report_rows {
+        println!(
+            "{:<8} {:>12?} {:>16} {:>14} {:>14}",
+            mode.encode(),
+            elapsed,
+            stats.bits_shifted,
+            entries,
+            bytes,
+        );
+    }
+    let (_, t_n, s_n, e_n, _) = &report_rows[0];
+    let (_, t_d, s_d, e_d, _) = &report_rows[1];
+    println!(
+        "\noverhead factors (detail / normal): wall time x{:.1}, scan bits x{:.1}, log entries x{:.1}",
+        t_d.as_secs_f64() / t_n.as_secs_f64().max(1e-9),
+        s_d.bits_shifted as f64 / s_n.bits_shifted.max(1) as f64,
+        *e_d as f64 / (*e_n).max(1) as f64,
+    );
+    println!(
+        "\nestimated wall time on 1 MHz TCK hardware: normal {:.2}s, detail {:.2}s per campaign",
+        report_rows[0].2.estimated_seconds(1e6),
+        report_rows[1].2.estimated_seconds(1e6),
+    );
+}

@@ -1,0 +1,66 @@
+//! E8 — fault triggers (paper §3.2 breakpoints + §4 additional triggers).
+//!
+//! Injects the same register fault under every trigger kind — breakpoint
+//! at a PC, instruction count, data access, data write, branch execution,
+//! subprogram call, and cycle count (real-time clock) — and reports when
+//! each one fired and what came of the fault.
+//!
+//! Expected shape: all triggers fire; event triggers (branch/call/data)
+//! land at the first matching event, so their injection times are early
+//! and reproducible.
+
+use goofi_analysis::classify;
+use goofi_core::fault::{FaultLocation, FaultSpec};
+use goofi_core::trigger::Trigger;
+
+fn main() {
+    println!("E8: fault triggers\n");
+    let wl = workloads::by_name("fibonacci").expect("workload exists");
+    // fibonacci: address of the `result` word for the data triggers.
+    let result_addr = match wl.output {
+        workloads::OutputSpec::Memory { addr, .. } => addr,
+        workloads::OutputSpec::Ports => unreachable!(),
+    };
+
+    let location = FaultLocation::ScanCell {
+        chain: "internal".into(),
+        cell: "R2".into(), // fib return-value register
+        bit: 4,
+    };
+    let triggers: Vec<(&str, Trigger)> = vec![
+        ("breakpoint pc=5", Trigger::Breakpoint(5)),
+        ("after 500 instr", Trigger::AfterInstructions(500)),
+        ("data access", Trigger::DataAccess(result_addr)),
+        ("data write", Trigger::DataWrite(result_addr)),
+        ("branch executed", Trigger::BranchExecuted),
+        ("subprogram call", Trigger::CallExecuted),
+        ("after 2000 cycles", Trigger::AfterCycles(2_000)),
+    ];
+
+    let faults: Vec<FaultSpec> = triggers
+        .iter()
+        .map(|(_, t)| FaultSpec::single(location.clone(), *t))
+        .collect();
+    let campaign = bench::campaign_for("e8", &wl).faults(faults).build().unwrap();
+    let result = bench::run(&campaign);
+
+    println!(
+        "{:<20} {:>12} {:>12} {:<22} outcome",
+        "trigger", "instr", "cycles", "termination"
+    );
+    for (i, (label, _)) in triggers.iter().enumerate() {
+        let record = &result.records[i];
+        println!(
+            "{:<20} {:>12} {:>12} {:<22} {}",
+            label,
+            record.state.instructions,
+            record.state.cycles,
+            record.termination.to_string(),
+            classify(&result.reference, record),
+        );
+    }
+    println!(
+        "\nreference run: {} instructions, {} cycles",
+        result.reference.state.instructions, result.reference.state.cycles,
+    );
+}

@@ -1,0 +1,120 @@
+//! E9 — executable assertions + best-effort recovery (shape from \[12\]).
+//!
+//! GOOFI's first use was the DSN 2001 study "Reducing Critical Failures
+//! for Control Algorithms Using Executable Assertions and Best Effort
+//! Recovery" (the paper's reference \[12\]): the same faults are injected
+//! into a control application with fail-stop assertions and into one whose
+//! assertions *recover* instead of stopping. This experiment reproduces
+//! that comparison on the PI-controller workloads, closed over the DC
+//! motor plant.
+//!
+//! Expected shape: most faults are benign either way (a converged control
+//! loop re-converges — itself a finding of \[12\]). Among the harmful
+//! ones, the fail-stop controller stops on every assertion hit, leaving
+//! the plant uncontrolled; the recovery controller clamps, resets the
+//! integral and keeps serving. Critical failures (plant uncontrolled:
+//! early stop, or finishing far from the set point) drop with recovery.
+
+use goofi_analysis::classify;
+use goofi_core::algorithms;
+use goofi_core::campaign::{Campaign, OutputRegion, Termination};
+use goofi_core::monitor::ProgressMonitor;
+use goofi_thor::ThorTarget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs off the rails if the final control output is this far (fixed-point)
+/// from the reference's.
+const CRITICAL_DEVIATION: i64 = 512; // 2.0 in Q8
+
+fn main() {
+    let n = 400;
+    println!("E9: fail-stop assertions vs best-effort recovery, {n} experiments each\n");
+    let data = bench::thor_description();
+
+    // Identical faults for both workloads: controller registers, during
+    // the active phase of the loop.
+    let space = goofi_core::fault::FaultSpace {
+        scan_cells: data
+            .locations
+            .iter()
+            .filter(|(chain, cell, _, rw)| {
+                *rw && chain == "internal" && (cell.starts_with('R') || cell == "FLAGS")
+            })
+            .map(|(chain, cell, width, _)| (chain.clone(), cell.clone(), *width))
+            .collect(),
+        memory: None,
+        time_window: 0..4_500,
+    };
+    let faults = space.sample_campaign(n, &mut StdRng::seed_from_u64(0xE9));
+
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>12} {:>10} {:>18}",
+        "controller", "detected", "escaped", "latent", "overwritten", "failed", "critical failures"
+    );
+    for name in ["pi-control", "pi-control-ber"] {
+        let wl = workloads::by_name(name).expect("workload exists");
+        let campaign = Campaign::builder(format!("e9-{name}"))
+            .target_system("thor-rd")
+            .workload(bench::workload_image(&wl))
+            .observe_chains(["internal"])
+            .output(OutputRegion::Ports)
+            .termination(Termination {
+                max_instructions: 3_000_000,
+                max_iterations: Some(200),
+            })
+            .faults(faults.clone())
+            .build()
+            .expect("valid campaign");
+
+        let mut target = ThorTarget::default();
+        let monitor = ProgressMonitor::new(n);
+        let mut motor = envsim::DcMotor::new();
+        let result =
+            algorithms::faultinjector_scifi(&mut target, &campaign, &monitor, &mut motor)
+                .expect("campaign failed");
+
+        let reference_out = result.reference.state.outputs[0] as i32 as i64;
+        let mut counts = std::collections::BTreeMap::new();
+        let mut failed = 0usize;
+        let mut critical = 0usize;
+        for record in &result.records {
+            let outcome = classify(&result.reference, record);
+            *counts.entry(outcome.category()).or_insert(0usize) += 1;
+            // A run "fails" when it does not deliver service to the end
+            // (any termination other than the reference's) or delivers a
+            // wrong output.
+            let completed = record.termination == result.reference.termination;
+            if !completed {
+                failed += 1;
+            }
+            // Critical failure: the plant ends up uncontrolled — either the
+            // controller stopped early (a fail-stop detection leaves the
+            // engine without a controller; there is no backup in this
+            // setup) or it kept running far from the set point.
+            let out = record
+                .state
+                .outputs
+                .first()
+                .copied()
+                .unwrap_or_default() as i32 as i64;
+            if !completed || (out - reference_out).abs() > CRITICAL_DEVIATION {
+                critical += 1;
+            }
+        }
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>12} {:>10} {:>18}",
+            name,
+            counts.get("detected").copied().unwrap_or(0),
+            counts.get("escaped").copied().unwrap_or(0),
+            counts.get("latent").copied().unwrap_or(0),
+            counts.get("overwritten").copied().unwrap_or(0),
+            failed,
+            critical,
+        );
+    }
+    println!(
+        "\n(critical failure: controller stopped early — plant left uncontrolled — or \
+         final output deviates > {CRITICAL_DEVIATION} fixed-point units from the reference)"
+    );
+}

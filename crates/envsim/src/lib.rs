@@ -1,0 +1,396 @@
+//! Environment simulators for GOOFI control workloads.
+//!
+//! The GOOFI set-up phase lets the user attach "a user provided environment
+//! simulator emulating the target system environment" (paper Figure 1):
+//! during each workload loop iteration "data may be exchanged" between the
+//! target and the simulator (§3.2). This crate provides that component — a
+//! few simple plant models plus scripted/constant stimuli — behind the
+//! [`Environment`] trait that the `goofi-core` campaign runner drives at
+//! every `sync` iteration boundary.
+//!
+//! All plant state is fixed-point (`value * 256`) to match the integer-only
+//! target CPU.
+//!
+//! # Example
+//!
+//! ```
+//! use envsim::{DcMotor, Environment};
+//!
+//! let mut motor = DcMotor::new();
+//! // Drive with a constant control signal of 16.0 (fixed-point 4096).
+//! let mut speed = 0;
+//! for _ in 0..200 {
+//!     speed = motor.exchange(&[4096])[0] as i32;
+//! }
+//! // The motor settles at the commanded speed.
+//! assert!((speed - 4096).abs() < 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Fixed-point scale used by all plants: value 1.0 == 256.
+pub const FIXED_ONE: i32 = 256;
+
+/// A target-system environment: consumes the target's outputs and produces
+/// its next inputs, once per workload loop iteration.
+pub trait Environment: Send {
+    /// Short name logged with the campaign data.
+    fn name(&self) -> &str;
+
+    /// Resets the plant to its initial state (before each experiment).
+    fn reset(&mut self);
+
+    /// One exchange step: `outputs` are the target's output-port values;
+    /// the return value is written to the target's input ports.
+    fn exchange(&mut self, outputs: &[u32]) -> Vec<u32>;
+}
+
+/// A first-order DC-motor model: the shaft speed lags the commanded value.
+///
+/// `speed += (u - speed) / 16` per iteration — a stable low-pass plant the
+/// PI-control workload regulates to its set point, mirroring the control
+/// application GOOFI was used with in the paper's reference \[12\].
+#[derive(Debug, Clone)]
+pub struct DcMotor {
+    speed: i32,
+    initial_speed: i32,
+}
+
+impl Default for DcMotor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DcMotor {
+    /// A motor at standstill.
+    pub fn new() -> Self {
+        DcMotor {
+            speed: 0,
+            initial_speed: 0,
+        }
+    }
+
+    /// A motor with a non-zero initial speed (fixed-point).
+    pub fn with_initial_speed(speed: i32) -> Self {
+        DcMotor {
+            speed,
+            initial_speed: speed,
+        }
+    }
+
+    /// Current shaft speed (fixed-point).
+    pub fn speed(&self) -> i32 {
+        self.speed
+    }
+}
+
+impl Environment for DcMotor {
+    fn name(&self) -> &str {
+        "dc-motor"
+    }
+
+    fn reset(&mut self) {
+        self.speed = self.initial_speed;
+    }
+
+    fn exchange(&mut self, outputs: &[u32]) -> Vec<u32> {
+        let u = outputs.first().copied().unwrap_or(0) as i32;
+        self.speed += (u - self.speed) >> 4;
+        vec![self.speed as u32]
+    }
+}
+
+/// A leaky water tank: the level integrates inflow minus a proportional
+/// leak. Slightly different dynamics than [`DcMotor`] (pure integrator with
+/// loss), useful as a second control scenario.
+#[derive(Debug, Clone, Default)]
+pub struct WaterTank {
+    level: i32,
+}
+
+impl WaterTank {
+    /// An empty tank.
+    pub fn new() -> Self {
+        WaterTank::default()
+    }
+
+    /// Current level (fixed-point).
+    pub fn level(&self) -> i32 {
+        self.level
+    }
+}
+
+impl Environment for WaterTank {
+    fn name(&self) -> &str {
+        "water-tank"
+    }
+
+    fn reset(&mut self) {
+        self.level = 0;
+    }
+
+    fn exchange(&mut self, outputs: &[u32]) -> Vec<u32> {
+        let inflow = outputs.first().copied().unwrap_or(0) as i32;
+        // level += inflow/32 - level/64  (leak proportional to level)
+        self.level += (inflow >> 5) - (self.level >> 6);
+        if self.level < 0 {
+            self.level = 0;
+        }
+        vec![self.level as u32]
+    }
+}
+
+/// A simplified jet engine: the plant of the control application GOOFI was
+/// first used with (paper reference \[12\]).
+///
+/// First-order like the [`DcMotor`], but with two realistic nonlinearities:
+/// the turbine spools *up* slower than it spools *down* (thermal limits),
+/// and the speed never falls below the idle floor.
+#[derive(Debug, Clone)]
+pub struct JetEngine {
+    speed: i32,
+}
+
+/// Idle speed floor of [`JetEngine`] (fixed-point).
+pub const JET_IDLE: i32 = 256;
+
+impl Default for JetEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JetEngine {
+    /// An engine at idle.
+    pub fn new() -> Self {
+        JetEngine { speed: JET_IDLE }
+    }
+
+    /// Current turbine speed (fixed-point).
+    pub fn speed(&self) -> i32 {
+        self.speed
+    }
+}
+
+impl Environment for JetEngine {
+    fn name(&self) -> &str {
+        "jet-engine"
+    }
+
+    fn reset(&mut self) {
+        self.speed = JET_IDLE;
+    }
+
+    fn exchange(&mut self, outputs: &[u32]) -> Vec<u32> {
+        let u = outputs.first().copied().unwrap_or(0) as i32;
+        let error = u - self.speed;
+        // Spool-up is four times slower than spool-down.
+        self.speed += if error > 0 { error >> 6 } else { error >> 4 };
+        if self.speed < JET_IDLE {
+            self.speed = JET_IDLE;
+        }
+        vec![self.speed as u32]
+    }
+}
+
+/// The no-environment null object: ignores outputs, supplies no inputs.
+///
+/// Campaigns over terminating workloads that never exchange data use this
+/// in place of a real plant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullEnvironment;
+
+impl NullEnvironment {
+    /// Creates the null environment.
+    pub fn new() -> Self {
+        NullEnvironment
+    }
+}
+
+impl Environment for NullEnvironment {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn reset(&mut self) {}
+
+    fn exchange(&mut self, _outputs: &[u32]) -> Vec<u32> {
+        Vec::new()
+    }
+}
+
+/// Feeds a fixed input vector every iteration, ignoring outputs.
+#[derive(Debug, Clone)]
+pub struct ConstantEnvironment {
+    inputs: Vec<u32>,
+}
+
+impl ConstantEnvironment {
+    /// An environment that always supplies `inputs`.
+    pub fn new(inputs: Vec<u32>) -> Self {
+        ConstantEnvironment { inputs }
+    }
+}
+
+impl Environment for ConstantEnvironment {
+    fn name(&self) -> &str {
+        "constant"
+    }
+
+    fn reset(&mut self) {}
+
+    fn exchange(&mut self, _outputs: &[u32]) -> Vec<u32> {
+        self.inputs.clone()
+    }
+}
+
+/// Replays a pre-recorded stimulus sequence; repeats the last entry when
+/// the script runs out. Also records every output it is handed, so a test
+/// can assert on the target's behaviour over time.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedEnvironment {
+    script: Vec<Vec<u32>>,
+    position: usize,
+    observed: Vec<Vec<u32>>,
+}
+
+impl ScriptedEnvironment {
+    /// An environment replaying `script` step by step.
+    pub fn new(script: Vec<Vec<u32>>) -> Self {
+        ScriptedEnvironment {
+            script,
+            position: 0,
+            observed: Vec::new(),
+        }
+    }
+
+    /// Outputs the target produced, one entry per exchange.
+    pub fn observed(&self) -> &[Vec<u32>] {
+        &self.observed
+    }
+}
+
+impl Environment for ScriptedEnvironment {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn reset(&mut self) {
+        self.position = 0;
+        self.observed.clear();
+    }
+
+    fn exchange(&mut self, outputs: &[u32]) -> Vec<u32> {
+        self.observed.push(outputs.to_vec());
+        let step = self
+            .script
+            .get(self.position)
+            .or_else(|| self.script.last())
+            .cloned()
+            .unwrap_or_default();
+        if self.position + 1 < self.script.len() {
+            self.position += 1;
+        }
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_motor_tracks_command() {
+        let mut m = DcMotor::new();
+        for _ in 0..200 {
+            m.exchange(&[2560]);
+        }
+        assert!((m.speed() - 2560).abs() < 32, "speed {}", m.speed());
+    }
+
+    #[test]
+    fn dc_motor_reset_restores_initial_speed() {
+        let mut m = DcMotor::with_initial_speed(100);
+        m.exchange(&[5000]);
+        assert_ne!(m.speed(), 100);
+        m.reset();
+        assert_eq!(m.speed(), 100);
+    }
+
+    #[test]
+    fn jet_engine_spools_up_to_command() {
+        let mut e = JetEngine::new();
+        for _ in 0..1_000 {
+            e.exchange(&[2560]);
+        }
+        assert!((e.speed() - 2560).abs() < 64, "speed {}", e.speed());
+    }
+
+    #[test]
+    fn jet_engine_spools_down_faster_than_up() {
+        let mut up = JetEngine::new();
+        let first_up = up.exchange(&[4096])[0] as i32 - JET_IDLE;
+        let mut down = JetEngine::new();
+        for _ in 0..2_000 {
+            down.exchange(&[4096]);
+        }
+        let at_speed = down.speed();
+        let first_down = at_speed - down.exchange(&[JET_IDLE as u32])[0] as i32;
+        // Same magnitude of command change; the downward step is larger.
+        assert!(
+            first_down > first_up,
+            "down step {first_down} vs up step {first_up}"
+        );
+    }
+
+    #[test]
+    fn jet_engine_never_drops_below_idle() {
+        let mut e = JetEngine::new();
+        for _ in 0..100 {
+            e.exchange(&[0]);
+        }
+        assert_eq!(e.speed(), JET_IDLE);
+        e.exchange(&[5000]);
+        e.reset();
+        assert_eq!(e.speed(), JET_IDLE);
+    }
+
+    #[test]
+    fn water_tank_balances_inflow_and_leak() {
+        let mut t = WaterTank::new();
+        for _ in 0..500 {
+            t.exchange(&[1024]);
+        }
+        // Equilibrium: inflow/32 == level/64 -> level == 2*inflow.
+        assert!((t.level() - 2048).abs() < 64, "level {}", t.level());
+    }
+
+    #[test]
+    fn water_tank_never_negative() {
+        let mut t = WaterTank::new();
+        t.exchange(&[0]);
+        assert_eq!(t.level(), 0);
+    }
+
+    #[test]
+    fn constant_environment_is_constant() {
+        let mut e = ConstantEnvironment::new(vec![7, 8]);
+        assert_eq!(e.exchange(&[1]), vec![7, 8]);
+        assert_eq!(e.exchange(&[999]), vec![7, 8]);
+    }
+
+    #[test]
+    fn scripted_environment_replays_and_records() {
+        let mut e = ScriptedEnvironment::new(vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(e.exchange(&[10]), vec![1]);
+        assert_eq!(e.exchange(&[11]), vec![2]);
+        assert_eq!(e.exchange(&[12]), vec![3]);
+        assert_eq!(e.exchange(&[13]), vec![3]); // repeats last
+        assert_eq!(e.observed().len(), 4);
+        e.reset();
+        assert_eq!(e.exchange(&[0]), vec![1]);
+        assert_eq!(e.observed().len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Outcome classification: reference vs experiment comparison (§3.4).
+
+use goofi_core::logging::{ExperimentRecord, TerminationCause};
+use std::fmt;
+
+/// How an escaped error manifested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EscapeReason {
+    /// The workload produced incorrect results.
+    WrongOutput,
+    /// The workload missed its deadline (time-out or wrong termination
+    /// behaviour — "timeliness violations").
+    Timeliness,
+}
+
+impl fmt::Display for EscapeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EscapeReason::WrongOutput => f.write_str("incorrect results"),
+            EscapeReason::Timeliness => f.write_str("timeliness violation"),
+        }
+    }
+}
+
+/// The paper's §3.4 experiment outcome taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Effective, detected by an error detection mechanism.
+    Detected {
+        /// Mechanism that caught the error.
+        mechanism: String,
+    },
+    /// Effective, but escaped all detection mechanisms.
+    Escaped {
+        /// Failure manifestation.
+        reason: EscapeReason,
+    },
+    /// Non-effective: state differs from the reference, nothing failed.
+    Latent,
+    /// Non-effective: no difference from the reference at all.
+    Overwritten,
+}
+
+impl Outcome {
+    /// Whether the error was effective (detected or escaped).
+    pub fn is_effective(&self) -> bool {
+        matches!(self, Outcome::Detected { .. } | Outcome::Escaped { .. })
+    }
+
+    /// The coarse category name used in report tables and the database.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Outcome::Detected { .. } => "detected",
+            Outcome::Escaped { .. } => "escaped",
+            Outcome::Latent => "latent",
+            Outcome::Overwritten => "overwritten",
+        }
+    }
+
+    /// The detection mechanism, when detected.
+    pub fn mechanism(&self) -> Option<&str> {
+        match self {
+            Outcome::Detected { mechanism } => Some(mechanism),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Detected { mechanism } => write!(f, "detected ({mechanism})"),
+            Outcome::Escaped { reason } => write!(f, "escaped ({reason})"),
+            Outcome::Latent => f.write_str("latent"),
+            Outcome::Overwritten => f.write_str("overwritten"),
+        }
+    }
+}
+
+/// Classifies one experiment against the campaign's reference run.
+///
+/// Rules, in order:
+///
+/// 1. a [`TerminationCause::Detected`] termination is a **detected** error;
+/// 2. a termination kind different from the reference's (e.g. time-out
+///    where the reference completed) is an **escaped** error with a
+///    timeliness violation;
+/// 3. same termination but different workload outputs is an **escaped**
+///    error with incorrect results;
+/// 4. correct behaviour with a state difference is a **latent** error;
+/// 5. no difference at all is an **overwritten** error.
+pub fn classify(reference: &ExperimentRecord, experiment: &ExperimentRecord) -> Outcome {
+    if let TerminationCause::Detected(d) = &experiment.termination {
+        return Outcome::Detected {
+            mechanism: d.mechanism.clone(),
+        };
+    }
+    if std::mem::discriminant(&experiment.termination)
+        != std::mem::discriminant(&reference.termination)
+    {
+        return Outcome::Escaped {
+            reason: EscapeReason::Timeliness,
+        };
+    }
+    if experiment.state.outputs != reference.state.outputs {
+        return Outcome::Escaped {
+            reason: EscapeReason::WrongOutput,
+        };
+    }
+    if experiment.state.same_state(&reference.state) {
+        Outcome::Overwritten
+    } else {
+        Outcome::Latent
+    }
+}
+
+/// One experiment together with its classification and fault metadata,
+/// ready for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedExperiment {
+    /// Experiment name.
+    pub name: String,
+    /// Classification.
+    pub outcome: Outcome,
+    /// Fault-location class (e.g. `internal.R3`, `icache`, `memory`).
+    pub location_class: Option<String>,
+    /// Injection trigger string.
+    pub trigger: Option<String>,
+}
+
+/// Classifies a whole campaign: pairs each record with the reference run.
+///
+/// Records without a fault (the reference itself) are skipped.
+pub fn classify_campaign(
+    reference: &ExperimentRecord,
+    records: &[ExperimentRecord],
+) -> Vec<ClassifiedExperiment> {
+    records
+        .iter()
+        .filter(|r| !r.is_reference())
+        .map(|r| ClassifiedExperiment {
+            name: r.name.clone(),
+            outcome: classify(reference, r),
+            location_class: r
+                .fault
+                .as_ref()
+                .and_then(|f| f.locations.first())
+                .map(|l| l.class()),
+            trigger: r.fault.as_ref().map(|f| f.trigger.encode()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goofi_core::fault::{FaultLocation, FaultSpec};
+    use goofi_core::logging::StateSnapshot;
+    use goofi_core::trigger::Trigger;
+    use goofi_core::DetectionInfo;
+
+    fn record(
+        termination: TerminationCause,
+        outputs: Vec<u32>,
+        digest: u64,
+        fault: Option<FaultSpec>,
+    ) -> ExperimentRecord {
+        ExperimentRecord {
+            name: "e".into(),
+            parent: None,
+            campaign: "c".into(),
+            fault,
+            termination,
+            state: StateSnapshot {
+                outputs,
+                memory_digest: digest,
+                ..Default::default()
+            },
+            trace: vec![],
+        }
+    }
+
+    fn reference() -> ExperimentRecord {
+        record(TerminationCause::WorkloadEnd, vec![42], 1000, None)
+    }
+
+    fn some_fault() -> Option<FaultSpec> {
+        Some(FaultSpec::single(
+            FaultLocation::ScanCell {
+                chain: "internal".into(),
+                cell: "R1".into(),
+                bit: 0,
+            },
+            Trigger::AfterInstructions(10),
+        ))
+    }
+
+    #[test]
+    fn detected_wins_over_everything() {
+        let exp = record(
+            TerminationCause::Detected(DetectionInfo {
+                mechanism: "parity_icache".into(),
+                code: 1,
+            }),
+            vec![999], // outputs also wrong, but detection takes precedence
+            5,
+            some_fault(),
+        );
+        let o = classify(&reference(), &exp);
+        assert_eq!(
+            o,
+            Outcome::Detected {
+                mechanism: "parity_icache".into()
+            }
+        );
+        assert!(o.is_effective());
+        assert_eq!(o.category(), "detected");
+        assert_eq!(o.mechanism(), Some("parity_icache"));
+    }
+
+    #[test]
+    fn timeout_is_timeliness_escape() {
+        let exp = record(TerminationCause::Timeout, vec![42], 1000, some_fault());
+        assert_eq!(
+            classify(&reference(), &exp),
+            Outcome::Escaped {
+                reason: EscapeReason::Timeliness
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_output_is_escape() {
+        let exp = record(TerminationCause::WorkloadEnd, vec![41], 1000, some_fault());
+        let o = classify(&reference(), &exp);
+        assert_eq!(
+            o,
+            Outcome::Escaped {
+                reason: EscapeReason::WrongOutput
+            }
+        );
+        assert!(o.is_effective());
+    }
+
+    #[test]
+    fn latent_when_state_differs_silently() {
+        let exp = record(TerminationCause::WorkloadEnd, vec![42], 1001, some_fault());
+        let o = classify(&reference(), &exp);
+        assert_eq!(o, Outcome::Latent);
+        assert!(!o.is_effective());
+    }
+
+    #[test]
+    fn overwritten_when_identical() {
+        let exp = record(TerminationCause::WorkloadEnd, vec![42], 1000, some_fault());
+        assert_eq!(classify(&reference(), &exp), Outcome::Overwritten);
+    }
+
+    #[test]
+    fn scan_difference_is_latent() {
+        let mut exp = record(TerminationCause::WorkloadEnd, vec![42], 1000, some_fault());
+        exp.state.scan.insert("internal".into(), "1".into());
+        assert_eq!(classify(&reference(), &exp), Outcome::Latent);
+    }
+
+    #[test]
+    fn iteration_limit_reference_matches() {
+        // Control workloads terminate via the iteration limit in the
+        // reference run; an experiment doing the same is not an escape.
+        let reference = record(TerminationCause::IterationLimit, vec![7], 5, None);
+        let exp = record(TerminationCause::IterationLimit, vec![7], 5, some_fault());
+        assert_eq!(classify(&reference, &exp), Outcome::Overwritten);
+        let exp = record(TerminationCause::Timeout, vec![7], 5, some_fault());
+        assert_eq!(
+            classify(&reference, &exp),
+            Outcome::Escaped {
+                reason: EscapeReason::Timeliness
+            }
+        );
+    }
+
+    #[test]
+    fn classify_campaign_skips_reference() {
+        let reference = reference();
+        let records = vec![
+            reference.clone(),
+            record(TerminationCause::WorkloadEnd, vec![42], 1000, some_fault()),
+            record(TerminationCause::Timeout, vec![0], 0, some_fault()),
+        ];
+        let classified = classify_campaign(&reference, &records);
+        assert_eq!(classified.len(), 2);
+        assert_eq!(classified[0].outcome, Outcome::Overwritten);
+        assert_eq!(classified[0].location_class.as_deref(), Some("internal.R1"));
+        assert_eq!(classified[0].trigger.as_deref(), Some("instr:10"));
+        assert_eq!(
+            classified[1].outcome,
+            Outcome::Escaped {
+                reason: EscapeReason::Timeliness
+            }
+        );
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            Outcome::Detected {
+                mechanism: "overflow".into()
+            }
+            .to_string(),
+            "detected (overflow)"
+        );
+        assert_eq!(
+            Outcome::Escaped {
+                reason: EscapeReason::WrongOutput
+            }
+            .to_string(),
+            "escaped (incorrect results)"
+        );
+        assert_eq!(Outcome::Latent.to_string(), "latent");
+    }
+}

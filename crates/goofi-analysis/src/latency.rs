@@ -1,0 +1,165 @@
+//! Detection latency: how long an error stays in the system before an
+//! error detection mechanism fires.
+//!
+//! The logged state vector carries "information about when and where any
+//! faults were injected" (§3.3) together with the termination counters, so
+//! the latency of every detected error — instructions between injection
+//! and detection — falls out of the log table. Latency distributions are a
+//! standard dependability measure in the companion Thor studies.
+
+use goofi_core::logging::{ExperimentRecord, TerminationCause};
+use goofi_core::trigger::Trigger;
+
+/// One detected error's latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionLatency {
+    /// Experiment name.
+    pub experiment: String,
+    /// Mechanism that fired.
+    pub mechanism: String,
+    /// Injection time (instructions).
+    pub injected_at: u64,
+    /// Detection time (instructions).
+    pub detected_at: u64,
+    /// `detected_at - injected_at`.
+    pub latency: u64,
+}
+
+/// Extracts per-experiment detection latencies from a campaign's records.
+///
+/// Only experiments that were *detected* and whose trigger pins a definite
+/// injection time (instruction count, or pre-runtime = time 0) contribute.
+pub fn detection_latencies(records: &[ExperimentRecord]) -> Vec<DetectionLatency> {
+    records
+        .iter()
+        .filter_map(|r| {
+            let TerminationCause::Detected(d) = &r.termination else {
+                return None;
+            };
+            let fault = r.fault.as_ref()?;
+            let injected_at = match fault.trigger {
+                Trigger::AfterInstructions(t) => t,
+                Trigger::PreRuntime => 0,
+                _ => return None,
+            };
+            Some(DetectionLatency {
+                experiment: r.name.clone(),
+                mechanism: d.mechanism.clone(),
+                injected_at,
+                detected_at: r.state.instructions,
+                latency: r.state.instructions.saturating_sub(injected_at),
+            })
+        })
+        .collect()
+}
+
+/// Summary statistics over a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of detected errors measured.
+    pub samples: usize,
+    /// Minimum latency (instructions).
+    pub min: u64,
+    /// Maximum latency (instructions).
+    pub max: u64,
+    /// Mean latency, rounded.
+    pub mean: u64,
+    /// Median latency.
+    pub median: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a latency list; all-zero summary for an empty input.
+    pub fn from_latencies(latencies: &[DetectionLatency]) -> LatencySummary {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut values: Vec<u64> = latencies.iter().map(|l| l.latency).collect();
+        values.sort_unstable();
+        let sum: u128 = values.iter().map(|&v| v as u128).sum();
+        LatencySummary {
+            samples: values.len(),
+            min: values[0],
+            max: *values.last().expect("non-empty"),
+            mean: (sum / values.len() as u128) as u64,
+            median: values[values.len() / 2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goofi_core::fault::{FaultLocation, FaultSpec};
+    use goofi_core::logging::StateSnapshot;
+    use goofi_core::DetectionInfo;
+
+    fn record(
+        name: &str,
+        trigger: Trigger,
+        termination: TerminationCause,
+        at_instr: u64,
+    ) -> ExperimentRecord {
+        ExperimentRecord {
+            name: name.into(),
+            parent: None,
+            campaign: "c".into(),
+            fault: Some(FaultSpec::single(
+                FaultLocation::Memory { addr: 0, bit: 0 },
+                trigger,
+            )),
+            termination,
+            state: StateSnapshot {
+                instructions: at_instr,
+                ..Default::default()
+            },
+            trace: vec![],
+        }
+    }
+
+    fn detected(mechanism: &str) -> TerminationCause {
+        TerminationCause::Detected(DetectionInfo {
+            mechanism: mechanism.into(),
+            code: 1,
+        })
+    }
+
+    #[test]
+    fn latencies_extracted_only_for_detected_with_known_time() {
+        let records = vec![
+            record("a", Trigger::AfterInstructions(100), detected("parity_icache"), 150),
+            record("b", Trigger::AfterInstructions(10), TerminationCause::WorkloadEnd, 900),
+            record("c", Trigger::PreRuntime, detected("illegal_opcode"), 3),
+            record("d", Trigger::BranchExecuted, detected("overflow"), 80),
+        ];
+        let lats = detection_latencies(&records);
+        assert_eq!(lats.len(), 2);
+        assert_eq!(lats[0].latency, 50);
+        assert_eq!(lats[0].mechanism, "parity_icache");
+        assert_eq!(lats[1].latency, 3);
+        assert_eq!(lats[1].injected_at, 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let records = vec![
+            record("a", Trigger::AfterInstructions(0), detected("m"), 10),
+            record("b", Trigger::AfterInstructions(0), detected("m"), 20),
+            record("c", Trigger::AfterInstructions(0), detected("m"), 90),
+        ];
+        let s = LatencySummary::from_latencies(&detection_latencies(&records));
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 90);
+        assert_eq!(s.mean, 40);
+        assert_eq!(s.median, 20);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(
+            LatencySummary::from_latencies(&[]),
+            LatencySummary::default()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! The GOOFI analysis phase.
+//!
+//! "The data in the database table `LoggedSystemState` is analysed in the
+//! analysis phase in order to obtain various dependability measures"
+//! (paper §3.4). The paper's outcome taxonomy is implemented verbatim:
+//!
+//! * **Effective errors**
+//!   * *Detected errors* — caught by the target's error detection
+//!     mechanisms, "further classified into errors detected by each of the
+//!     various mechanisms";
+//!   * *Escaped errors* — "errors that escape the error detection
+//!     mechanisms causing failures such as incorrect results or timeliness
+//!     violations".
+//! * **Non-effective errors**
+//!   * *Latent errors* — state differs from the reference run but no
+//!     detection and no failure;
+//!   * *Overwritten errors* — "no difference between the correct system
+//!     states".
+//!
+//! The paper notes that analysis software was hand-written per target
+//! ("currently, there is no support for automatic generation of software
+//! that analyses the LoggedSystemState table") and lists automating it as
+//! future work — [`queries`] is that extension: classification results are
+//! written back to the database and canned SQL produces the report tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+pub mod latency;
+pub mod propagation;
+pub mod queries;
+pub mod report;
+pub mod stats;
+
+pub use classify::{classify, classify_campaign, ClassifiedExperiment, EscapeReason, Outcome};

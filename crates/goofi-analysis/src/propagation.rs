@@ -1,0 +1,172 @@
+//! Error-propagation analysis over detail-mode traces.
+//!
+//! "The detail mode operation is used to produce an execution trace,
+//! allowing the error propagation to be analysed in detail" (§3.3) — and
+//! the §2.3 `parentExperiment` workflow exists precisely to re-run an
+//! interesting experiment in detail mode. This module diffs the detail
+//! trace of a faulty run against the reference trace and reports where the
+//! corruption first appeared and how far it spread over time.
+
+use goofi_core::logging::StateSnapshot;
+
+/// Divergence between one pair of trace entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepDivergence {
+    /// Instruction index within the trace.
+    pub step: usize,
+    /// Number of differing scan bits, per chain.
+    pub per_chain: Vec<(String, usize)>,
+    /// Total differing bits.
+    pub total_bits: usize,
+    /// Whether the workload outputs differ at this step.
+    pub outputs_differ: bool,
+}
+
+/// The propagation profile of one experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Propagation {
+    /// First step at which any state differed, if ever.
+    pub first_divergence: Option<usize>,
+    /// Divergence at every compared step (steps with zero difference
+    /// included, so the series can be plotted).
+    pub series: Vec<StepDivergence>,
+    /// Steps compared (the shorter of the two traces).
+    pub compared_steps: usize,
+}
+
+impl Propagation {
+    /// Maximum number of corrupted bits seen at any step.
+    pub fn peak_bits(&self) -> usize {
+        self.series.iter().map(|s| s.total_bits).max().unwrap_or(0)
+    }
+
+    /// Step at which corruption peaked.
+    pub fn peak_step(&self) -> Option<usize> {
+        self.series
+            .iter()
+            .max_by_key(|s| s.total_bits)
+            .filter(|s| s.total_bits > 0)
+            .map(|s| s.step)
+    }
+}
+
+fn diff_bit_strings(a: &str, b: &str) -> usize {
+    if a.len() == b.len() {
+        a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count()
+    } else {
+        // Geometry mismatch: count the whole longer string as corrupt.
+        a.len().max(b.len())
+    }
+}
+
+fn diff_snapshots(reference: &StateSnapshot, faulty: &StateSnapshot) -> (Vec<(String, usize)>, usize) {
+    let mut per_chain = Vec::new();
+    let mut total = 0;
+    for (chain, ref_bits) in &reference.scan {
+        let n = match faulty.scan.get(chain) {
+            Some(f_bits) => diff_bit_strings(ref_bits, f_bits),
+            None => ref_bits.len(),
+        };
+        if n > 0 {
+            per_chain.push((chain.clone(), n));
+        }
+        total += n;
+    }
+    for (chain, f_bits) in &faulty.scan {
+        if !reference.scan.contains_key(chain) {
+            per_chain.push((chain.clone(), f_bits.len()));
+            total += f_bits.len();
+        }
+    }
+    (per_chain, total)
+}
+
+/// Diffs two detail traces step by step.
+pub fn analyse(reference: &[StateSnapshot], faulty: &[StateSnapshot]) -> Propagation {
+    let compared = reference.len().min(faulty.len());
+    let mut series = Vec::with_capacity(compared);
+    let mut first = None;
+    for step in 0..compared {
+        let (per_chain, total_bits) = diff_snapshots(&reference[step], &faulty[step]);
+        let outputs_differ = reference[step].outputs != faulty[step].outputs;
+        if first.is_none() && (total_bits > 0 || outputs_differ) {
+            first = Some(step);
+        }
+        series.push(StepDivergence {
+            step,
+            per_chain,
+            total_bits,
+            outputs_differ,
+        });
+    }
+    Propagation {
+        first_divergence: first,
+        series,
+        compared_steps: compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(bits: &str, outputs: &[u32]) -> StateSnapshot {
+        let mut s = StateSnapshot {
+            outputs: outputs.to_vec(),
+            ..Default::default()
+        };
+        s.scan.insert("internal".into(), bits.to_string());
+        s
+    }
+
+    #[test]
+    fn identical_traces_never_diverge() {
+        let t = vec![snap("0000", &[1]), snap("0001", &[2])];
+        let p = analyse(&t, &t);
+        assert_eq!(p.first_divergence, None);
+        assert_eq!(p.peak_bits(), 0);
+        assert_eq!(p.peak_step(), None);
+        assert_eq!(p.compared_steps, 2);
+    }
+
+    #[test]
+    fn divergence_located_and_counted() {
+        let reference = vec![snap("0000", &[1]), snap("0000", &[1]), snap("0000", &[1])];
+        let faulty = vec![snap("0000", &[1]), snap("0100", &[1]), snap("0110", &[2])];
+        let p = analyse(&reference, &faulty);
+        assert_eq!(p.first_divergence, Some(1));
+        assert_eq!(p.series[1].total_bits, 1);
+        assert_eq!(p.series[2].total_bits, 2);
+        assert!(p.series[2].outputs_differ);
+        assert_eq!(p.peak_bits(), 2);
+        assert_eq!(p.peak_step(), Some(2));
+        assert_eq!(p.series[1].per_chain, vec![("internal".to_string(), 1)]);
+    }
+
+    #[test]
+    fn output_only_divergence_detected() {
+        let reference = vec![snap("00", &[1])];
+        let faulty = vec![snap("00", &[9])];
+        let p = analyse(&reference, &faulty);
+        assert_eq!(p.first_divergence, Some(0));
+        assert_eq!(p.series[0].total_bits, 0);
+        assert!(p.series[0].outputs_differ);
+    }
+
+    #[test]
+    fn shorter_trace_bounds_comparison() {
+        let reference = vec![snap("0", &[]), snap("0", &[]), snap("0", &[])];
+        let faulty = vec![snap("1", &[])];
+        let p = analyse(&reference, &faulty);
+        assert_eq!(p.compared_steps, 1);
+        assert_eq!(p.first_divergence, Some(0));
+    }
+
+    #[test]
+    fn missing_chain_counts_fully() {
+        let reference = vec![snap("0101", &[])];
+        let faulty = vec![StateSnapshot::default()];
+        let p = analyse(&reference, &faulty);
+        assert_eq!(p.series[0].total_bits, 4);
+    }
+}

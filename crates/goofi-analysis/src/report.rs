@@ -1,0 +1,195 @@
+//! Report tables: render campaign statistics the way fault-injection papers
+//! present them (outcome distributions per location class, per mechanism).
+
+use crate::stats::{CampaignStats, Estimate};
+use std::fmt::Write as _;
+
+/// Fixed category order used in all tables.
+pub const CATEGORIES: [&str; 4] = ["detected", "escaped", "latent", "overwritten"];
+
+fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    rule(&mut out);
+    out.push('|');
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(out, " {h:<w$} |");
+    }
+    out.push('\n');
+    rule(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {cell:>w$} |");
+        }
+        out.push('\n');
+    }
+    rule(&mut out);
+    out
+}
+
+fn percent(count: usize, total: usize) -> String {
+    if total == 0 {
+        "-".to_string()
+    } else {
+        format!("{count} ({:.1}%)", 100.0 * count as f64 / total as f64)
+    }
+}
+
+/// The overall outcome-distribution table of a campaign.
+pub fn outcome_table(stats: &CampaignStats) -> String {
+    let header = vec!["outcome".to_string(), "experiments".to_string()];
+    let mut rows = Vec::new();
+    for cat in CATEGORIES {
+        rows.push(vec![
+            cat.to_string(),
+            percent(stats.category_count(cat), stats.total),
+        ]);
+    }
+    rows.push(vec!["total".to_string(), stats.total.to_string()]);
+    render_table(&header, &rows)
+}
+
+/// Detected errors broken down per mechanism ("further classified into
+/// errors detected by each of the various mechanisms", §3.4).
+pub fn mechanism_table(stats: &CampaignStats) -> String {
+    let detected = stats.category_count("detected");
+    let header = vec!["mechanism".to_string(), "detections".to_string()];
+    let mut rows: Vec<Vec<String>> = stats
+        .by_mechanism
+        .iter()
+        .map(|(m, n)| vec![m.clone(), percent(*n, detected)])
+        .collect();
+    rows.sort_by(|a, b| b[1].cmp(&a[1]).then(a[0].cmp(&b[0])));
+    render_table(&header, &rows)
+}
+
+/// Outcome distribution per fault-location class — the shape of the result
+/// tables in the companion Thor studies.
+pub fn location_table(stats: &CampaignStats) -> String {
+    let mut header = vec!["location".to_string()];
+    header.extend(CATEGORIES.iter().map(|c| c.to_string()));
+    header.push("total".to_string());
+    let mut rows = Vec::new();
+    for (loc, counts) in &stats.by_location {
+        let total: usize = counts.values().sum();
+        let mut row = vec![loc.clone()];
+        for cat in CATEGORIES {
+            row.push(percent(counts.get(cat).copied().unwrap_or(0), total));
+        }
+        row.push(total.to_string());
+        rows.push(row);
+    }
+    render_table(&header, &rows)
+}
+
+/// The coverage summary block.
+pub fn coverage_summary(stats: &CampaignStats) -> String {
+    let fmt = |label: &str, e: Estimate| {
+        format!(
+            "{label:<28} {}  ({}/{} experiments)\n",
+            e.to_percent_string(),
+            e.count,
+            e.total
+        )
+    };
+    let mut out = String::new();
+    out.push_str(&fmt("error effectiveness:", stats.effectiveness()));
+    out.push_str(&fmt("error detection coverage:", stats.detection_coverage()));
+    out
+}
+
+/// The full campaign report: all tables plus the coverage summary.
+pub fn full_report(title: &str, stats: &CampaignStats) -> String {
+    format!(
+        "== {title} ==\n\n{}\n{}\n{}\n{}",
+        outcome_table(stats),
+        mechanism_table(stats),
+        location_table(stats),
+        coverage_summary(stats)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{ClassifiedExperiment, Outcome};
+
+    fn stats() -> CampaignStats {
+        let classified = vec![
+            ClassifiedExperiment {
+                name: "a".into(),
+                outcome: Outcome::Detected {
+                    mechanism: "parity_icache".into(),
+                },
+                location_class: Some("icache".into()),
+                trigger: None,
+            },
+            ClassifiedExperiment {
+                name: "b".into(),
+                outcome: Outcome::Overwritten,
+                location_class: Some("internal.R1".into()),
+                trigger: None,
+            },
+            ClassifiedExperiment {
+                name: "c".into(),
+                outcome: Outcome::Latent,
+                location_class: Some("icache".into()),
+                trigger: None,
+            },
+        ];
+        CampaignStats::from_classified(&classified)
+    }
+
+    #[test]
+    fn outcome_table_contains_all_categories() {
+        let t = outcome_table(&stats());
+        for cat in CATEGORIES {
+            assert!(t.contains(cat), "{t}");
+        }
+        assert!(t.contains("1 (33.3%)"), "{t}");
+        assert!(t.contains("total"));
+    }
+
+    #[test]
+    fn mechanism_table_lists_mechanisms() {
+        let t = mechanism_table(&stats());
+        assert!(t.contains("parity_icache"));
+        assert!(t.contains("1 (100.0%)"));
+    }
+
+    #[test]
+    fn location_table_has_one_row_per_class() {
+        let t = location_table(&stats());
+        assert!(t.contains("icache"));
+        assert!(t.contains("internal.R1"));
+    }
+
+    #[test]
+    fn full_report_composes() {
+        let r = full_report("demo campaign", &stats());
+        assert!(r.starts_with("== demo campaign =="));
+        assert!(r.contains("error detection coverage:"));
+        assert!(r.contains("error effectiveness:"));
+    }
+
+    #[test]
+    fn empty_stats_render() {
+        let s = CampaignStats::default();
+        assert!(outcome_table(&s).contains("-"));
+        let _ = full_report("empty", &s);
+    }
+}

@@ -1,0 +1,248 @@
+//! Dependability measures: coverage estimates with confidence intervals.
+//!
+//! "Fault injection can also be used to obtain dependability measures such
+//! as the error coverage of a system. The coverage can then be used in an
+//! analytical model to calculate the system's availability and reliability"
+//! (paper §1). Campaign outcomes are Bernoulli samples, so coverage is a
+//! proportion with a Wilson-score confidence interval.
+
+use crate::classify::ClassifiedExperiment;
+use std::collections::BTreeMap;
+
+/// A proportion estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Successes.
+    pub count: usize,
+    /// Trials.
+    pub total: usize,
+    /// Point estimate `count / total`.
+    pub proportion: f64,
+    /// Lower bound of the 95% Wilson interval.
+    pub low: f64,
+    /// Upper bound of the 95% Wilson interval.
+    pub high: f64,
+}
+
+impl Estimate {
+    /// Wilson-score interval at z = 1.96 (95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > total`.
+    pub fn wilson(count: usize, total: usize) -> Estimate {
+        assert!(count <= total, "count {count} exceeds total {total}");
+        if total == 0 {
+            return Estimate {
+                count,
+                total,
+                proportion: 0.0,
+                low: 0.0,
+                high: 1.0,
+            };
+        }
+        let z = 1.96_f64;
+        let n = total as f64;
+        let p = count as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let margin = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        Estimate {
+            count,
+            total,
+            proportion: p,
+            low: (centre - margin).max(0.0),
+            high: (centre + margin).min(1.0),
+        }
+    }
+
+    /// Formats as `"p% [low%, high%]"`.
+    pub fn to_percent_string(&self) -> String {
+        format!(
+            "{:5.1}% [{:4.1}%, {:4.1}%]",
+            self.proportion * 100.0,
+            self.low * 100.0,
+            self.high * 100.0
+        )
+    }
+}
+
+/// Aggregated campaign statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignStats {
+    /// Total classified experiments.
+    pub total: usize,
+    /// Counts per outcome category.
+    pub by_category: BTreeMap<String, usize>,
+    /// Counts per detection mechanism (detected outcomes only).
+    pub by_mechanism: BTreeMap<String, usize>,
+    /// Outcome-category counts per fault-location class.
+    pub by_location: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl CampaignStats {
+    /// Builds statistics from classified experiments.
+    pub fn from_classified(classified: &[ClassifiedExperiment]) -> CampaignStats {
+        let mut stats = CampaignStats {
+            total: classified.len(),
+            ..Default::default()
+        };
+        for c in classified {
+            *stats
+                .by_category
+                .entry(c.outcome.category().to_string())
+                .or_insert(0) += 1;
+            if let Some(m) = c.outcome.mechanism() {
+                *stats.by_mechanism.entry(m.to_string()).or_insert(0) += 1;
+            }
+            if let Some(loc) = &c.location_class {
+                *stats
+                    .by_location
+                    .entry(loc.clone())
+                    .or_default()
+                    .entry(c.outcome.category().to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+        stats
+    }
+
+    /// Experiments in a category.
+    pub fn category_count(&self, category: &str) -> usize {
+        self.by_category.get(category).copied().unwrap_or(0)
+    }
+
+    /// Number of effective errors (detected + escaped).
+    pub fn effective(&self) -> usize {
+        self.category_count("detected") + self.category_count("escaped")
+    }
+
+    /// Error-detection coverage: detected / effective, with CI.
+    ///
+    /// This is the paper's headline dependability measure — the fraction of
+    /// effective errors the target's mechanisms catch.
+    pub fn detection_coverage(&self) -> Estimate {
+        Estimate::wilson(self.category_count("detected"), self.effective())
+    }
+
+    /// Fraction of all experiments whose fault was effective, with CI.
+    pub fn effectiveness(&self) -> Estimate {
+        Estimate::wilson(self.effective(), self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{EscapeReason, Outcome};
+
+    fn classified(outcome: Outcome, loc: &str) -> ClassifiedExperiment {
+        ClassifiedExperiment {
+            name: "e".into(),
+            outcome,
+            location_class: Some(loc.to_string()),
+            trigger: None,
+        }
+    }
+
+    fn sample() -> Vec<ClassifiedExperiment> {
+        vec![
+            classified(
+                Outcome::Detected {
+                    mechanism: "parity_icache".into(),
+                },
+                "icache",
+            ),
+            classified(
+                Outcome::Detected {
+                    mechanism: "parity_icache".into(),
+                },
+                "icache",
+            ),
+            classified(
+                Outcome::Detected {
+                    mechanism: "overflow".into(),
+                },
+                "internal.R1",
+            ),
+            classified(
+                Outcome::Escaped {
+                    reason: EscapeReason::WrongOutput,
+                },
+                "internal.R1",
+            ),
+            classified(Outcome::Latent, "internal.R2"),
+            classified(Outcome::Overwritten, "memory"),
+            classified(Outcome::Overwritten, "memory"),
+            classified(Outcome::Overwritten, "memory"),
+        ]
+    }
+
+    #[test]
+    fn category_and_mechanism_counts() {
+        let s = CampaignStats::from_classified(&sample());
+        assert_eq!(s.total, 8);
+        assert_eq!(s.category_count("detected"), 3);
+        assert_eq!(s.category_count("escaped"), 1);
+        assert_eq!(s.category_count("latent"), 1);
+        assert_eq!(s.category_count("overwritten"), 3);
+        assert_eq!(s.by_mechanism.get("parity_icache"), Some(&2));
+        assert_eq!(s.by_mechanism.get("overflow"), Some(&1));
+        assert_eq!(s.effective(), 4);
+    }
+
+    #[test]
+    fn by_location_breakdown() {
+        let s = CampaignStats::from_classified(&sample());
+        assert_eq!(s.by_location["icache"]["detected"], 2);
+        assert_eq!(s.by_location["memory"]["overwritten"], 3);
+        assert_eq!(s.by_location["internal.R1"]["escaped"], 1);
+    }
+
+    #[test]
+    fn coverage_estimates() {
+        let s = CampaignStats::from_classified(&sample());
+        let cov = s.detection_coverage();
+        assert_eq!(cov.count, 3);
+        assert_eq!(cov.total, 4);
+        assert!((cov.proportion - 0.75).abs() < 1e-12);
+        assert!(cov.low < 0.75 && 0.75 < cov.high);
+        let eff = s.effectiveness();
+        assert_eq!(eff.count, 4);
+        assert_eq!(eff.total, 8);
+    }
+
+    #[test]
+    fn wilson_properties() {
+        // Degenerate inputs stay in [0, 1].
+        let e = Estimate::wilson(0, 0);
+        assert_eq!(e.low, 0.0);
+        assert_eq!(e.high, 1.0);
+        let e = Estimate::wilson(10, 10);
+        assert!(e.high <= 1.0 && e.low > 0.5);
+        let e = Estimate::wilson(0, 10);
+        assert!(e.low >= 0.0 && e.high < 0.5);
+        // Interval shrinks with sample size.
+        let small = Estimate::wilson(5, 10);
+        let large = Estimate::wilson(500, 1000);
+        assert!(large.high - large.low < small.high - small.low);
+        // Known value: 8/10 -> Wilson 95% CI roughly [0.49, 0.94].
+        let e = Estimate::wilson(8, 10);
+        assert!((e.low - 0.49).abs() < 0.02, "{e:?}");
+        assert!((e.high - 0.943).abs() < 0.02, "{e:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn wilson_rejects_bad_input() {
+        Estimate::wilson(2, 1);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let e = Estimate::wilson(1, 2);
+        let s = e.to_percent_string();
+        assert!(s.contains("50.0%"), "{s}");
+    }
+}

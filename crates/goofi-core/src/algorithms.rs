@@ -1,0 +1,675 @@
+//! The fault-injection algorithms — the paper's Figure 2, generically.
+//!
+//! Each algorithm is a plain function over `T: TargetAccess`, composed
+//! entirely from the abstract building blocks. The SCIFI algorithm follows
+//! the paper's listing step by step:
+//!
+//! ```text
+//! readCampaignData(campaignNr);
+//! makeReferenceRun();
+//! for (int i = 0; i < nrOfExperiments; i++) {
+//!     initTestCard(); loadWorkload(); writeMemory();
+//!     runWorkload(); waitForBreakpoint();
+//!     readScanChain(); injectFault(); writeScanChain();
+//!     waitForTermination(); readMemory(); readScanChain();
+//! }
+//! ```
+//!
+//! `injectFault()` is realised as read-chain → invert bits → write-chain
+//! ("reading the contents of the scan-chains, inverting the bits stated in
+//! the campaign data and writing back", §3.3).
+
+use crate::campaign::{Campaign, EnvExchange, OutputRegion, Technique};
+use crate::fault::{FaultLocation, FaultModel, FaultSpec};
+use crate::logging::{
+    digest_words, ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause,
+};
+use crate::monitor::ProgressMonitor;
+use crate::target::{RunBudget, RunEvent, TargetAccess};
+use crate::{GoofiError, Result};
+use envsim::Environment;
+
+/// The outcome of a whole campaign: the reference run plus one record per
+/// experiment, ready for [`crate::dbio`] storage and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The fault-free reference run.
+    pub reference: ExperimentRecord,
+    /// One record per executed experiment.
+    pub records: Vec<ExperimentRecord>,
+}
+
+/// Runs a SCIFI campaign (the paper's `faultInjectorSCIFI`).
+///
+/// # Errors
+///
+/// Fails if the campaign's technique is not [`Technique::Scifi`], on target
+/// errors, or when stopped from the monitor.
+pub fn faultinjector_scifi<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+) -> Result<CampaignResult> {
+    if campaign.technique != Technique::Scifi {
+        return Err(GoofiError::Config(
+            "faultinjector_scifi requires a SCIFI campaign".into(),
+        ));
+    }
+    run_campaign(target, campaign, monitor, env)
+}
+
+/// Runs a pre-runtime or runtime SWIFI campaign (the paper's
+/// `faultInjectorSWIFI`).
+///
+/// # Errors
+///
+/// Fails if the campaign's technique is SCIFI, on target errors, or when
+/// stopped from the monitor.
+pub fn faultinjector_swifi<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+) -> Result<CampaignResult> {
+    if campaign.technique == Technique::Scifi {
+        return Err(GoofiError::Config(
+            "faultinjector_swifi requires a SWIFI campaign".into(),
+        ));
+    }
+    run_campaign(target, campaign, monitor, env)
+}
+
+/// Runs a pin-level campaign: faults forced onto device pins through the
+/// boundary scan chain (the third technique of the paper's §2.1, composed
+/// from the very same building blocks).
+///
+/// # Errors
+///
+/// Fails if the campaign's technique is not [`Technique::PinLevel`], on
+/// target errors, or when stopped from the monitor.
+pub fn faultinjector_pinlevel<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+) -> Result<CampaignResult> {
+    if campaign.technique != Technique::PinLevel {
+        return Err(GoofiError::Config(
+            "faultinjector_pinlevel requires a pin-level campaign".into(),
+        ));
+    }
+    run_campaign(target, campaign, monitor, env)
+}
+
+/// Technique-dispatching campaign driver: reference run, then every
+/// experiment, honouring the progress monitor between experiments.
+///
+/// # Errors
+///
+/// Target errors, configuration errors, or [`GoofiError::Stopped`].
+pub fn run_campaign<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+) -> Result<CampaignResult> {
+    campaign.validate()?;
+    let reference = make_reference_run(target, campaign, &mut *env)?;
+    let mut records = Vec::with_capacity(campaign.faults.len());
+    for index in 0..campaign.faults.len() {
+        monitor.checkpoint()?;
+        let record = run_experiment(target, campaign, index, &mut *env)?;
+        monitor.record(&record.termination);
+        records.push(record);
+    }
+    Ok(CampaignResult { reference, records })
+}
+
+/// Executes the fault-free reference run, "logging the fault-free system
+/// state" (§3.3) — in detail mode, after every instruction.
+///
+/// # Errors
+///
+/// Target errors.
+pub fn make_reference_run<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+) -> Result<ExperimentRecord> {
+    target.init_test_card()?;
+    target.load_workload(&campaign.workload)?;
+    env.reset();
+    target.write_input_ports(&campaign.initial_inputs)?;
+    target.clear_breakpoints()?;
+    let (termination, trace) = if campaign.logging == LoggingMode::Detail {
+        continue_stepping(target, campaign, env, None, true)?
+    } else {
+        continue_to_termination(target, campaign, env, None)?
+    };
+    let state = snapshot(target, campaign, true)?;
+    Ok(ExperimentRecord {
+        name: format!("{}/{}", campaign.name, ExperimentRecord::REFERENCE_NAME),
+        parent: None,
+        campaign: campaign.name.clone(),
+        fault: None,
+        termination,
+        state,
+        trace,
+    })
+}
+
+/// Executes one fault-injection experiment.
+///
+/// # Errors
+///
+/// Target errors or an out-of-range experiment index.
+pub fn run_experiment<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    index: usize,
+    env: &mut dyn Environment,
+) -> Result<ExperimentRecord> {
+    run_experiment_inner(target, campaign, index, env, None, campaign.logging)
+}
+
+/// Re-runs experiment `index` in detail mode, recording `parent` as the
+/// originating experiment — the paper's §2.3 `parentExperiment` workflow
+/// ("re-running the experiment logging the system state after each machine
+/// instruction").
+///
+/// # Errors
+///
+/// Target errors or an out-of-range experiment index.
+pub fn rerun_detailed<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    index: usize,
+    env: &mut dyn Environment,
+) -> Result<ExperimentRecord> {
+    let parent = campaign.experiment_name(index);
+    let mut record = run_experiment_inner(
+        target,
+        campaign,
+        index,
+        env,
+        Some(parent.clone()),
+        LoggingMode::Detail,
+    )?;
+    record.name = format!("{parent}/detail");
+    Ok(record)
+}
+
+fn run_experiment_inner<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    index: usize,
+    env: &mut dyn Environment,
+    parent: Option<String>,
+    logging: LoggingMode,
+) -> Result<ExperimentRecord> {
+    let spec = campaign.faults.get(index).ok_or_else(|| {
+        GoofiError::Config(format!(
+            "experiment index {index} out of range ({} faults)",
+            campaign.faults.len()
+        ))
+    })?;
+
+    // initTestCard(); loadWorkload(); writeMemory();
+    target.init_test_card()?;
+    target.load_workload(&campaign.workload)?;
+    env.reset();
+    target.write_input_ports(&campaign.initial_inputs)?;
+    target.clear_breakpoints()?;
+
+    let trace: Vec<StateSnapshot>;
+    let termination = if spec.trigger.is_pre_runtime() {
+        // Pre-runtime SWIFI: corrupt the image, then just run.
+        apply_fault(target, spec)?;
+        let (t, tr) = continue_with_model(target, campaign, spec, env, logging)?;
+        trace = tr;
+        t
+    } else {
+        // runWorkload(); waitForBreakpoint(). In detail mode the
+        // pre-injection phase is logged per instruction too, so the
+        // experiment trace aligns with the reference trace.
+        target.set_breakpoint(spec.trigger)?;
+        let detail = logging == LoggingMode::Detail;
+        let (outcome, mut pre_trace) = if detail {
+            wait_for_breakpoint_detailed(target, campaign, &mut *env)?
+        } else {
+            (wait_for_breakpoint(target, campaign, &mut *env)?, Vec::new())
+        };
+        match outcome {
+            WaitOutcome::Breakpoint => {
+                target.clear_breakpoints()?;
+                // readScanChain(); injectFault(); writeScanChain();
+                apply_fault(target, spec)?;
+                // waitForTermination();
+                let (t, tr) = continue_with_model(target, campaign, spec, env, logging)?;
+                pre_trace.extend(tr);
+                trace = pre_trace;
+                t
+            }
+            // The trigger never fired: the workload terminated first. The
+            // fault was never injected; log the natural termination.
+            WaitOutcome::Terminated(t) => {
+                trace = pre_trace;
+                t
+            }
+        }
+    };
+
+    // readMemory(); readScanChain(); -> log the system state.
+    let state = snapshot(target, campaign, true)?;
+    Ok(ExperimentRecord {
+        name: campaign.experiment_name(index),
+        parent,
+        campaign: campaign.name.clone(),
+        fault: Some(spec.clone()),
+        termination,
+        state,
+        trace,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fault application.
+
+/// Injects every location of `spec` once: scan cells via
+/// read-chain/flip/write-chain, memory bits via the SWIFI primitive.
+///
+/// # Errors
+///
+/// Scan or memory errors (e.g. attempting to flip a read-only cell).
+pub fn apply_fault<T: TargetAccess + ?Sized>(target: &mut T, spec: &FaultSpec) -> Result<()> {
+    match spec.model {
+        FaultModel::TransientBitFlip | FaultModel::Intermittent { .. } => {
+            flip_locations(target, &spec.locations)
+        }
+        FaultModel::StuckAtZero => force_locations(target, &spec.locations, false),
+        FaultModel::StuckAtOne => force_locations(target, &spec.locations, true),
+    }
+}
+
+fn flip_locations<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    locations: &[FaultLocation],
+) -> Result<()> {
+    for loc in locations {
+        match loc {
+            FaultLocation::ScanCell { chain, cell, bit } => {
+                let layout = chain_layout(target, chain)?;
+                let offset = cell_bit_offset(&layout, chain, cell, *bit)?;
+                let mut bits = target.read_scan_chain(chain)?;
+                bits.flip(offset);
+                target.write_scan_chain(chain, &bits)?;
+            }
+            FaultLocation::Memory { addr, bit } => {
+                target.flip_memory_bit(*addr, *bit)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn force_locations<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    locations: &[FaultLocation],
+    value: bool,
+) -> Result<()> {
+    for loc in locations {
+        match loc {
+            FaultLocation::ScanCell { chain, cell, bit } => {
+                let layout = chain_layout(target, chain)?;
+                let offset = cell_bit_offset(&layout, chain, cell, *bit)?;
+                let mut bits = target.read_scan_chain(chain)?;
+                if bits.get(offset) != value {
+                    bits.set(offset, value);
+                    target.write_scan_chain(chain, &bits)?;
+                }
+            }
+            FaultLocation::Memory { addr, bit } => {
+                let word = target.read_memory(*addr, 1)?[0];
+                let is_set = (word >> bit) & 1 == 1;
+                if is_set != value {
+                    target.flip_memory_bit(*addr, *bit)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn chain_layout<T: TargetAccess + ?Sized>(
+    target: &T,
+    chain: &str,
+) -> Result<scanchain::ChainLayout> {
+    target
+        .chain_layouts()
+        .into_iter()
+        .find(|l| l.name() == chain)
+        .ok_or_else(|| GoofiError::Scan(scanchain::ScanError::UnknownChain(chain.to_string())))
+}
+
+fn cell_bit_offset(
+    layout: &scanchain::ChainLayout,
+    chain: &str,
+    cell: &str,
+    bit: usize,
+) -> Result<usize> {
+    let def = layout
+        .cell(cell)
+        .ok_or_else(|| GoofiError::Scan(scanchain::ScanError::UnknownCell(cell.to_string())))?;
+    if def.access == scanchain::CellAccess::ReadOnly {
+        return Err(GoofiError::Scan(scanchain::ScanError::ReadOnlyCell {
+            cell: cell.to_string(),
+            chain: chain.to_string(),
+        }));
+    }
+    if bit >= def.width {
+        return Err(GoofiError::Scan(scanchain::ScanError::ValueTooWide {
+            cell: cell.to_string(),
+            width: def.width,
+            value: bit as u64,
+        }));
+    }
+    Ok(def.offset + bit)
+}
+
+// ---------------------------------------------------------------------------
+// Run-control helpers.
+
+enum WaitOutcome {
+    Breakpoint,
+    Terminated(TerminationCause),
+}
+
+/// Detail-mode variant of [`wait_for_breakpoint`]: single-steps to the
+/// breakpoint, logging a snapshot after every instruction.
+fn wait_for_breakpoint_detailed<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+) -> Result<(WaitOutcome, Vec<StateSnapshot>)> {
+    let mut trace = Vec::new();
+    loop {
+        if remaining_budget(target, campaign) == 0 {
+            return Ok((WaitOutcome::Terminated(TerminationCause::Timeout), trace));
+        }
+        let before = target.instructions_executed();
+        let event = target.step_instruction()?;
+        if target.instructions_executed() > before {
+            trace.push(snapshot(target, campaign, false)?);
+        }
+        match event {
+            None => {}
+            Some(RunEvent::Breakpoint { .. }) => {
+                return Ok((WaitOutcome::Breakpoint, trace))
+            }
+            Some(RunEvent::Halted) => {
+                return Ok((
+                    WaitOutcome::Terminated(TerminationCause::WorkloadEnd),
+                    trace,
+                ))
+            }
+            Some(RunEvent::Detected(d)) => {
+                return Ok((
+                    WaitOutcome::Terminated(TerminationCause::Detected(d)),
+                    trace,
+                ))
+            }
+            Some(RunEvent::Timeout | RunEvent::BudgetExhausted) => {
+                return Ok((WaitOutcome::Terminated(TerminationCause::Timeout), trace))
+            }
+            Some(RunEvent::IterationBoundary { iteration }) => {
+                if campaign
+                    .termination
+                    .max_iterations
+                    .is_some_and(|max| iteration >= max)
+                {
+                    return Ok((
+                        WaitOutcome::Terminated(TerminationCause::IterationLimit),
+                        trace,
+                    ));
+                }
+                exchange_env(target, campaign, &mut *env)?;
+            }
+        }
+    }
+}
+
+/// Runs until the armed breakpoint fires, exchanging environment data at
+/// iteration boundaries; reports natural termination if it comes first.
+fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+) -> Result<WaitOutcome> {
+    loop {
+        let remaining = remaining_budget(target, campaign);
+        if remaining == 0 {
+            return Ok(WaitOutcome::Terminated(TerminationCause::Timeout));
+        }
+        match target.run_workload(RunBudget {
+            max_instructions: remaining,
+        })? {
+            RunEvent::Breakpoint { .. } => return Ok(WaitOutcome::Breakpoint),
+            RunEvent::Halted => {
+                return Ok(WaitOutcome::Terminated(TerminationCause::WorkloadEnd))
+            }
+            RunEvent::Detected(d) => {
+                return Ok(WaitOutcome::Terminated(TerminationCause::Detected(d)))
+            }
+            RunEvent::Timeout | RunEvent::BudgetExhausted => {
+                return Ok(WaitOutcome::Terminated(TerminationCause::Timeout))
+            }
+            RunEvent::IterationBoundary { iteration } => {
+                if campaign
+                    .termination
+                    .max_iterations
+                    .is_some_and(|max| iteration >= max)
+                {
+                    return Ok(WaitOutcome::Terminated(TerminationCause::IterationLimit));
+                }
+                exchange_env(target, campaign, &mut *env)?;
+            }
+        }
+    }
+}
+
+/// Continues a just-injected experiment to termination, honouring the fault
+/// model (persistent models keep re-asserting the fault) and the logging
+/// mode (detail mode snapshots after every instruction).
+fn continue_with_model<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    spec: &FaultSpec,
+    env: &mut dyn Environment,
+    logging: LoggingMode,
+) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
+    let detail = logging == LoggingMode::Detail;
+    match spec.model {
+        FaultModel::TransientBitFlip if !detail => {
+            continue_to_termination(target, campaign, env, None)
+        }
+        FaultModel::TransientBitFlip => continue_stepping(target, campaign, env, None, true),
+        // Persistent models need per-instruction control.
+        model => continue_stepping(target, campaign, env, Some((spec, model)), detail),
+    }
+}
+
+/// Coarse-grained continuation: whole `run_workload` slices (normal mode).
+fn continue_to_termination<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+    _unused: Option<()>,
+) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
+    loop {
+        let remaining = remaining_budget(target, campaign);
+        if remaining == 0 {
+            return Ok((TerminationCause::Timeout, Vec::new()));
+        }
+        match target.run_workload(RunBudget {
+            max_instructions: remaining,
+        })? {
+            RunEvent::Halted => return Ok((TerminationCause::WorkloadEnd, Vec::new())),
+            RunEvent::Detected(d) => return Ok((TerminationCause::Detected(d), Vec::new())),
+            RunEvent::Timeout | RunEvent::BudgetExhausted => {
+                return Ok((TerminationCause::Timeout, Vec::new()))
+            }
+            RunEvent::Breakpoint { .. } => {
+                // A stray breakpoint (should not happen: cleared before).
+                target.clear_breakpoints()?;
+            }
+            RunEvent::IterationBoundary { iteration } => {
+                if campaign
+                    .termination
+                    .max_iterations
+                    .is_some_and(|max| iteration >= max)
+                {
+                    return Ok((TerminationCause::IterationLimit, Vec::new()));
+                }
+                exchange_env(target, campaign, &mut *env)?;
+            }
+        }
+    }
+}
+
+/// Fine-grained continuation: single-step, used by detail-mode logging and
+/// by persistent fault models. "In detail mode the system state is logged
+/// as frequently as the target system allows, typically after the execution
+/// of each machine instruction, which increases the time-overhead" (§3.3).
+fn continue_stepping<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+    persistent: Option<(&FaultSpec, FaultModel)>,
+    detail: bool,
+) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
+    let mut trace = Vec::new();
+    let inject_instr = target.instructions_executed();
+    let mut bursts_done: u32 = 1; // the initial injection counts as burst 1
+
+    loop {
+        if remaining_budget(target, campaign) == 0 {
+            return Ok((TerminationCause::Timeout, trace));
+        }
+        let before = target.instructions_executed();
+        let event = target.step_instruction()?;
+        // Only retired instructions get a trace entry, so the faulty trace
+        // stays index-aligned with the reference trace. Detail-mode entries
+        // skip the memory digest: hashing all of memory per instruction
+        // would dwarf the experiment itself.
+        if detail && target.instructions_executed() > before {
+            trace.push(snapshot(target, campaign, false)?);
+        }
+        // Re-assert persistent faults.
+        if let Some((spec, model)) = persistent {
+            match model {
+                FaultModel::StuckAtZero => force_locations(target, &spec.locations, false)?,
+                FaultModel::StuckAtOne => force_locations(target, &spec.locations, true)?,
+                FaultModel::Intermittent { period, bursts } => {
+                    let elapsed = target.instructions_executed().saturating_sub(inject_instr);
+                    if bursts_done < bursts && period > 0 && elapsed >= period * bursts_done as u64
+                    {
+                        flip_locations(target, &spec.locations)?;
+                        bursts_done += 1;
+                    }
+                }
+                FaultModel::TransientBitFlip => {}
+            }
+        }
+        match event {
+            None => {}
+            Some(RunEvent::Halted) => return Ok((TerminationCause::WorkloadEnd, trace)),
+            Some(RunEvent::Detected(d)) => return Ok((TerminationCause::Detected(d), trace)),
+            Some(RunEvent::Timeout | RunEvent::BudgetExhausted) => {
+                return Ok((TerminationCause::Timeout, trace))
+            }
+            Some(RunEvent::Breakpoint { .. }) => {
+                target.clear_breakpoints()?;
+            }
+            Some(RunEvent::IterationBoundary { iteration }) => {
+                if campaign
+                    .termination
+                    .max_iterations
+                    .is_some_and(|max| iteration >= max)
+                {
+                    return Ok((TerminationCause::IterationLimit, trace));
+                }
+                exchange_env(target, campaign, &mut *env)?;
+            }
+        }
+    }
+}
+
+fn remaining_budget<T: TargetAccess + ?Sized>(target: &T, campaign: &Campaign) -> u64 {
+    campaign
+        .termination
+        .max_instructions
+        .saturating_sub(target.instructions_executed())
+}
+
+/// One environment exchange, via ports or via the campaign's designated
+/// memory locations (§3.2).
+fn exchange_env<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+) -> Result<()> {
+    match &campaign.env_exchange {
+        EnvExchange::Ports => {
+            let outputs = target.read_output_ports()?;
+            let inputs = env.exchange(&outputs);
+            target.write_input_ports(&inputs)?;
+        }
+        EnvExchange::Memory { outputs, inputs } => {
+            let mut out_values = Vec::with_capacity(outputs.len());
+            for &addr in outputs {
+                out_values.push(target.read_memory(addr, 1)?[0]);
+            }
+            let in_values = env.exchange(&out_values);
+            for (&addr, value) in inputs.iter().zip(in_values) {
+                target.write_memory(addr, &[value])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Captures the observable system state per the campaign's observe list.
+///
+/// # Errors
+///
+/// Target errors. An out-of-range output region (a fault corrupted a
+/// pointer) yields empty outputs rather than an error, so the experiment
+/// still logs.
+pub fn snapshot<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    with_memory_digest: bool,
+) -> Result<StateSnapshot> {
+    let mut snap = StateSnapshot {
+        iterations: target.iterations_completed(),
+        instructions: target.instructions_executed(),
+        cycles: target.cycles_executed(),
+        ..StateSnapshot::default()
+    };
+    for chain in &campaign.observe.chains {
+        let bits = target.read_scan_chain(chain)?;
+        snap.scan.insert(chain.clone(), bits.to_bit_string());
+    }
+    if with_memory_digest {
+        let words = target.read_memory(0, target.memory_size() as usize)?;
+        snap.memory_digest = digest_words(&words);
+    }
+    snap.outputs = match campaign.observe.output {
+        OutputRegion::Memory { addr, len } => {
+            target.read_memory(addr, len as usize).unwrap_or_default()
+        }
+        OutputRegion::Ports => target.read_output_ports()?,
+    };
+    Ok(snap)
+}

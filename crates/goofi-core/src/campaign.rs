@@ -1,0 +1,754 @@
+//! Campaign configuration: the set-up phase of GOOFI.
+//!
+//! "In the set-up phase, the user selects a target system … chooses the
+//! fault injection locations … as well as the fault models to use and the
+//! points in time the faults should be injected. The user also selects the
+//! target system workload and the number of fault injection experiments to
+//! perform" plus "the termination conditions for the experiments" (§3.2).
+//! [`Campaign`] carries all of that; [`CampaignBuilder`] is the typed
+//! replacement for the paper's set-up GUI (Figure 6).
+
+use crate::fault::{FaultLocation, FaultSpec};
+use crate::logging::LoggingMode;
+use crate::GoofiError;
+
+/// A downloadable workload image, independent of any particular assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadImage {
+    /// Workload name (logged with the campaign).
+    pub name: String,
+    /// The memory image, loaded at word 0.
+    pub words: Vec<u32>,
+    /// Words belonging to the write-protected code segment.
+    pub code_words: u32,
+    /// Entry-point address.
+    pub entry: u32,
+}
+
+impl WorkloadImage {
+    /// Hex serialisation of the image words (database storage).
+    pub fn encode_words(&self) -> String {
+        self.words
+            .iter()
+            .map(|w| format!("{w:08x}"))
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Parses [`WorkloadImage::encode_words`] output.
+    pub fn decode_words(s: &str) -> Option<Vec<u32>> {
+        if !s.len().is_multiple_of(8) {
+            return None;
+        }
+        s.as_bytes()
+            .chunks(8)
+            .map(|c| u32::from_str_radix(std::str::from_utf8(c).ok()?, 16).ok())
+            .collect()
+    }
+}
+
+/// Where the workload's result lives (compared against the reference run to
+/// classify escaped errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputRegion {
+    /// A data-memory block `[addr, addr+len)`.
+    Memory {
+        /// First word address.
+        addr: u32,
+        /// Number of words.
+        len: u32,
+    },
+    /// The output-port latches.
+    Ports,
+}
+
+impl OutputRegion {
+    /// Database string form.
+    pub fn encode(self) -> String {
+        match self {
+            OutputRegion::Memory { addr, len } => format!("mem:{addr}:{len}"),
+            OutputRegion::Ports => "ports".to_string(),
+        }
+    }
+
+    /// Parses [`OutputRegion::encode`] output.
+    pub fn decode(s: &str) -> Option<OutputRegion> {
+        if s == "ports" {
+            return Some(OutputRegion::Ports);
+        }
+        let rest = s.strip_prefix("mem:")?;
+        let (a, l) = rest.split_once(':')?;
+        Some(OutputRegion::Memory {
+            addr: a.parse().ok()?,
+            len: l.parse().ok()?,
+        })
+    }
+}
+
+/// How the target exchanges data with the environment simulator at each
+/// loop iteration: via the I/O ports, or via "the memory locations holding
+/// output and input data within the target system" (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvExchange {
+    /// Outputs read from the output ports; inputs written to input ports.
+    Ports,
+    /// Outputs read from memory; inputs written to memory.
+    Memory {
+        /// Word addresses holding the target's outputs.
+        outputs: Vec<u32>,
+        /// Word addresses receiving the environment's inputs.
+        inputs: Vec<u32>,
+    },
+}
+
+impl EnvExchange {
+    /// Database string form.
+    pub fn encode(&self) -> String {
+        match self {
+            EnvExchange::Ports => "ports".to_string(),
+            EnvExchange::Memory { outputs, inputs } => {
+                let fmt = |v: &[u32]| {
+                    v.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+                };
+                format!("mem:{}:{}", fmt(outputs), fmt(inputs))
+            }
+        }
+    }
+
+    /// Parses [`EnvExchange::encode`] output.
+    pub fn decode(s: &str) -> Option<EnvExchange> {
+        if s == "ports" {
+            return Some(EnvExchange::Ports);
+        }
+        let rest = s.strip_prefix("mem:")?;
+        let (outs, ins) = rest.split_once(':')?;
+        let parse = |v: &str| -> Option<Vec<u32>> {
+            v.split(',')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.parse().ok())
+                .collect()
+        };
+        Some(EnvExchange::Memory {
+            outputs: parse(outs)?,
+            inputs: parse(ins)?,
+        })
+    }
+}
+
+/// What to log at experiment end: "the locations to observe can be selected
+/// by the user in the set-up phase" (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserveList {
+    /// Scan chains captured into the state vector.
+    pub chains: Vec<String>,
+    /// The workload output region.
+    pub output: OutputRegion,
+}
+
+/// Fault-injection techniques implemented by the tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Scan-chain implemented fault injection (§3).
+    Scifi,
+    /// Pre-runtime software implemented fault injection (§1).
+    SwifiPreRuntime,
+    /// Runtime SWIFI (§4 extension): faults injected into memory at a
+    /// trigger point, without scan-chain access.
+    SwifiRuntime,
+    /// Pin-level fault injection (§2.1: "we can define algorithms for fault
+    /// injection techniques such as SCIFI, SWIFI or pin level fault
+    /// injection"): faults forced onto the device pins, reached through the
+    /// boundary scan chain.
+    PinLevel,
+}
+
+impl Technique {
+    /// Database string form.
+    pub fn encode(self) -> &'static str {
+        match self {
+            Technique::Scifi => "scifi",
+            Technique::SwifiPreRuntime => "swifi-pre",
+            Technique::SwifiRuntime => "swifi-run",
+            Technique::PinLevel => "pin",
+        }
+    }
+
+    /// Parses [`Technique::encode`] output.
+    pub fn decode(s: &str) -> Option<Technique> {
+        match s {
+            "scifi" => Some(Technique::Scifi),
+            "swifi-pre" => Some(Technique::SwifiPreRuntime),
+            "swifi-run" => Some(Technique::SwifiRuntime),
+            "pin" => Some(Technique::PinLevel),
+            _ => None,
+        }
+    }
+}
+
+/// Experiment termination conditions (§3.2): "a time-out value has been
+/// reached, an error has been detected or the execution of the workload
+/// ends, whichever comes first", plus the iteration cap for infinite-loop
+/// workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Termination {
+    /// Instruction budget per experiment (the time-out).
+    pub max_instructions: u64,
+    /// Maximum workload loop iterations (`None` for terminating workloads).
+    pub max_iterations: Option<u64>,
+}
+
+impl Default for Termination {
+    fn default() -> Self {
+        Termination {
+            max_instructions: 1_000_000,
+            max_iterations: None,
+        }
+    }
+}
+
+/// A fully configured fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Campaign name (primary key of `CampaignData`).
+    pub name: String,
+    /// Target system name (foreign key into `TargetSystemData`).
+    pub target_system: String,
+    /// Injection technique.
+    pub technique: Technique,
+    /// The workload to run.
+    pub workload: WorkloadImage,
+    /// One fault per experiment.
+    pub faults: Vec<FaultSpec>,
+    /// Termination conditions.
+    pub termination: Termination,
+    /// Normal or detail logging.
+    pub logging: LoggingMode,
+    /// What to observe/log.
+    pub observe: ObserveList,
+    /// Initial input-port values downloaded with the workload.
+    pub initial_inputs: Vec<u32>,
+    /// How environment data is exchanged at iteration boundaries.
+    pub env_exchange: EnvExchange,
+}
+
+impl Campaign {
+    /// Starts building a campaign.
+    pub fn builder(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder::new(name)
+    }
+
+    /// Number of experiments.
+    pub fn experiment_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The name of experiment `i` within this campaign.
+    pub fn experiment_name(&self, i: usize) -> String {
+        format!("{}/exp{i:05}", self.name)
+    }
+
+    /// Merges several campaigns into a new one — the paper's §3.2 set-up
+    /// operation ("merge campaign data from several fault injection
+    /// campaigns into a new fault injection campaign"). The head campaign
+    /// supplies workload, technique, termination and observe settings; the
+    /// fault lists are concatenated in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoofiError::Config`] when no campaigns are given, or when
+    /// the campaigns disagree on workload, technique or target system (a
+    /// merged campaign must still describe one coherent experiment series).
+    pub fn merge(
+        name: impl Into<String>,
+        campaigns: &[&Campaign],
+    ) -> crate::Result<Campaign> {
+        let name = name.into();
+        let head = campaigns
+            .first()
+            .ok_or_else(|| GoofiError::Config("merge needs at least one campaign".into()))?;
+        for c in &campaigns[1..] {
+            if c.workload != head.workload {
+                return Err(GoofiError::Config(format!(
+                    "cannot merge `{}` into `{name}`: different workload",
+                    c.name
+                )));
+            }
+            if c.technique != head.technique {
+                return Err(GoofiError::Config(format!(
+                    "cannot merge `{}` into `{name}`: different technique",
+                    c.name
+                )));
+            }
+            if c.target_system != head.target_system {
+                return Err(GoofiError::Config(format!(
+                    "cannot merge `{}` into `{name}`: different target system",
+                    c.name
+                )));
+            }
+        }
+        let mut merged = (*head).clone();
+        merged.name = name;
+        merged.faults = campaigns.iter().flat_map(|c| c.faults.clone()).collect();
+        merged.validate()?;
+        Ok(merged)
+    }
+
+    /// Validates technique/fault consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoofiError::Config`] when e.g. a pre-runtime SWIFI campaign
+    /// contains scan-cell faults or non-pre-runtime triggers.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.name.is_empty() {
+            return Err(GoofiError::Config("campaign name must not be empty".into()));
+        }
+        if self.workload.words.is_empty() {
+            return Err(GoofiError::Config("workload image is empty".into()));
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.locations.is_empty() {
+                return Err(GoofiError::Config(format!("experiment {i} has no fault locations")));
+            }
+            match self.technique {
+                Technique::Scifi => {
+                    if f.trigger.is_pre_runtime() {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: SCIFI requires a runtime trigger"
+                        )));
+                    }
+                }
+                Technique::SwifiPreRuntime => {
+                    if !f.trigger.is_pre_runtime() {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: pre-runtime SWIFI requires the PreRuntime trigger"
+                        )));
+                    }
+                    if f.locations.iter().any(|l| !matches!(l, FaultLocation::Memory { .. })) {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: pre-runtime SWIFI can only target memory"
+                        )));
+                    }
+                }
+                Technique::SwifiRuntime => {
+                    if f.trigger.is_pre_runtime() {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: runtime SWIFI requires a runtime trigger"
+                        )));
+                    }
+                    if f.locations.iter().any(|l| !matches!(l, FaultLocation::Memory { .. })) {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: runtime SWIFI can only target memory"
+                        )));
+                    }
+                }
+                Technique::PinLevel => {
+                    if f.trigger.is_pre_runtime() {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: pin-level injection requires a runtime trigger"
+                        )));
+                    }
+                    if f.locations.iter().any(|l| !matches!(l, FaultLocation::ScanCell { .. })) {
+                        return Err(GoofiError::Config(format!(
+                            "experiment {i}: pin-level injection targets (boundary) scan cells"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Campaign`] — the typed set-up dialogue.
+///
+/// # Example
+///
+/// ```
+/// use goofi_core::campaign::{Campaign, OutputRegion, Technique, WorkloadImage};
+/// use goofi_core::fault::{FaultLocation, FaultSpec};
+/// use goofi_core::trigger::Trigger;
+///
+/// let workload = WorkloadImage {
+///     name: "demo".into(),
+///     words: vec![0x0100_0000], // halt
+///     code_words: 1,
+///     entry: 0,
+/// };
+/// let campaign = Campaign::builder("c1")
+///     .target_system("thor-rd")
+///     .technique(Technique::Scifi)
+///     .workload(workload)
+///     .observe_chains(["internal"])
+///     .output(OutputRegion::Ports)
+///     .fault(FaultSpec::single(
+///         FaultLocation::ScanCell { chain: "internal".into(), cell: "R1".into(), bit: 0 },
+///         Trigger::AfterInstructions(0),
+///     ))
+///     .build()
+///     .unwrap();
+/// assert_eq!(campaign.experiment_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    name: String,
+    target_system: String,
+    technique: Technique,
+    workload: Option<WorkloadImage>,
+    faults: Vec<FaultSpec>,
+    termination: Termination,
+    logging: LoggingMode,
+    chains: Vec<String>,
+    output: OutputRegion,
+    initial_inputs: Vec<u32>,
+    env_exchange: EnvExchange,
+}
+
+impl CampaignBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        CampaignBuilder {
+            name: name.into(),
+            target_system: String::new(),
+            technique: Technique::Scifi,
+            workload: None,
+            faults: Vec::new(),
+            termination: Termination::default(),
+            logging: LoggingMode::Normal,
+            chains: Vec::new(),
+            output: OutputRegion::Ports,
+            initial_inputs: Vec::new(),
+            env_exchange: EnvExchange::Ports,
+        }
+    }
+
+    /// Sets the target-system name.
+    pub fn target_system(mut self, name: impl Into<String>) -> Self {
+        self.target_system = name.into();
+        self
+    }
+
+    /// Sets the injection technique.
+    pub fn technique(mut self, t: Technique) -> Self {
+        self.technique = t;
+        self
+    }
+
+    /// Sets the workload image.
+    pub fn workload(mut self, w: WorkloadImage) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Adds one fault (one experiment).
+    pub fn fault(mut self, f: FaultSpec) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// Adds many faults.
+    pub fn faults(mut self, fs: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults.extend(fs);
+        self
+    }
+
+    /// Sets the termination conditions.
+    pub fn termination(mut self, t: Termination) -> Self {
+        self.termination = t;
+        self
+    }
+
+    /// Sets the logging mode.
+    pub fn logging(mut self, mode: LoggingMode) -> Self {
+        self.logging = mode;
+        self
+    }
+
+    /// Chooses which scan chains are captured into the state vector.
+    pub fn observe_chains<S: Into<String>>(mut self, chains: impl IntoIterator<Item = S>) -> Self {
+        self.chains = chains.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the workload output region.
+    pub fn output(mut self, o: OutputRegion) -> Self {
+        self.output = o;
+        self
+    }
+
+    /// Sets the initial input-port values.
+    pub fn initial_inputs(mut self, inputs: Vec<u32>) -> Self {
+        self.initial_inputs = inputs;
+        self
+    }
+
+    /// Sets how environment data is exchanged at iteration boundaries
+    /// (ports by default; §3.2 also allows designated memory locations).
+    pub fn env_exchange(mut self, exchange: EnvExchange) -> Self {
+        self.env_exchange = exchange;
+        self
+    }
+
+    /// Finishes and validates the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoofiError::Config`] when mandatory pieces are missing or
+    /// inconsistent (see [`Campaign::validate`]).
+    pub fn build(self) -> crate::Result<Campaign> {
+        let workload = self
+            .workload
+            .ok_or_else(|| GoofiError::Config("campaign needs a workload".into()))?;
+        let campaign = Campaign {
+            name: self.name,
+            target_system: self.target_system,
+            technique: self.technique,
+            workload,
+            faults: self.faults,
+            termination: self.termination,
+            logging: self.logging,
+            observe: ObserveList {
+                chains: self.chains,
+                output: self.output,
+            },
+            initial_inputs: self.initial_inputs,
+            env_exchange: self.env_exchange,
+        };
+        campaign.validate()?;
+        Ok(campaign)
+    }
+}
+
+/// The configuration-phase description of a target system — the contents of
+/// the `TargetSystemData` table (paper §2.3, Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSystemData {
+    /// Target-system name (primary key).
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// Memory size in words.
+    pub memory_words: u32,
+    /// Scan chains and their fault-injection locations:
+    /// `(chain, cell, width, writable)`.
+    pub locations: Vec<(String, String, usize, bool)>,
+}
+
+impl TargetSystemData {
+    /// Builds the description by interrogating a live target, as the
+    /// configuration GUI would.
+    pub fn from_target<T: crate::TargetAccess + ?Sized>(
+        target: &T,
+        description: impl Into<String>,
+    ) -> Self {
+        let mut locations = Vec::new();
+        for layout in target.chain_layouts() {
+            for cell in layout.cells() {
+                locations.push((
+                    layout.name().to_string(),
+                    cell.name.clone(),
+                    cell.width,
+                    cell.access == scanchain::CellAccess::ReadWrite,
+                ));
+            }
+        }
+        TargetSystemData {
+            name: target.target_name().to_string(),
+            description: description.into(),
+            memory_words: target.memory_size(),
+            locations,
+        }
+    }
+
+    /// The fault space over all writable scan locations plus a memory range.
+    pub fn fault_space(
+        &self,
+        memory: Option<std::ops::Range<u32>>,
+        time_window: std::ops::Range<u64>,
+    ) -> crate::fault::FaultSpace {
+        crate::fault::FaultSpace {
+            scan_cells: self
+                .locations
+                .iter()
+                .filter(|(_, _, _, writable)| *writable)
+                .map(|(chain, cell, width, _)| (chain.clone(), cell.clone(), *width))
+                .collect(),
+            memory,
+            time_window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultLocation, FaultSpec};
+    use crate::trigger::Trigger;
+
+    fn image() -> WorkloadImage {
+        WorkloadImage {
+            name: "w".into(),
+            words: vec![1, 2, 3],
+            code_words: 2,
+            entry: 0,
+        }
+    }
+
+    fn scan_fault(t: Trigger) -> FaultSpec {
+        FaultSpec::single(
+            FaultLocation::ScanCell {
+                chain: "internal".into(),
+                cell: "R1".into(),
+                bit: 3,
+            },
+            t,
+        )
+    }
+
+    fn mem_fault(t: Trigger) -> FaultSpec {
+        FaultSpec::single(FaultLocation::Memory { addr: 10, bit: 1 }, t)
+    }
+
+    #[test]
+    fn builder_produces_valid_campaign() {
+        let c = Campaign::builder("c")
+            .target_system("t")
+            .workload(image())
+            .fault(scan_fault(Trigger::AfterInstructions(5)))
+            .build()
+            .unwrap();
+        assert_eq!(c.experiment_count(), 1);
+        assert_eq!(c.experiment_name(3), "c/exp00003");
+    }
+
+    #[test]
+    fn builder_requires_workload() {
+        let e = Campaign::builder("c").build().unwrap_err();
+        assert!(matches!(e, GoofiError::Config(_)));
+    }
+
+    #[test]
+    fn scifi_rejects_pre_runtime_trigger() {
+        let e = Campaign::builder("c")
+            .workload(image())
+            .technique(Technique::Scifi)
+            .fault(scan_fault(Trigger::PreRuntime))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, GoofiError::Config(_)));
+    }
+
+    #[test]
+    fn swifi_pre_requires_memory_and_pre_trigger() {
+        let ok = Campaign::builder("c")
+            .workload(image())
+            .technique(Technique::SwifiPreRuntime)
+            .fault(mem_fault(Trigger::PreRuntime))
+            .build();
+        assert!(ok.is_ok());
+
+        let e = Campaign::builder("c")
+            .workload(image())
+            .technique(Technique::SwifiPreRuntime)
+            .fault(mem_fault(Trigger::AfterInstructions(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, GoofiError::Config(_)));
+
+        let e = Campaign::builder("c")
+            .workload(image())
+            .technique(Technique::SwifiPreRuntime)
+            .fault(scan_fault(Trigger::PreRuntime))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, GoofiError::Config(_)));
+    }
+
+    #[test]
+    fn swifi_runtime_rejects_scan_locations() {
+        let e = Campaign::builder("c")
+            .workload(image())
+            .technique(Technique::SwifiRuntime)
+            .fault(scan_fault(Trigger::AfterInstructions(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, GoofiError::Config(_)));
+    }
+
+    #[test]
+    fn merge_concatenates_faults() {
+        let a = Campaign::builder("a")
+            .workload(image())
+            .fault(scan_fault(Trigger::AfterInstructions(1)))
+            .fault(scan_fault(Trigger::AfterInstructions(2)))
+            .build()
+            .unwrap();
+        let b = Campaign::builder("b")
+            .workload(image())
+            .fault(scan_fault(Trigger::AfterInstructions(3)))
+            .build()
+            .unwrap();
+        let merged = Campaign::merge("ab", &[&a, &b]).unwrap();
+        assert_eq!(merged.name, "ab");
+        assert_eq!(merged.experiment_count(), 3);
+        assert_eq!(merged.faults[2], b.faults[0]);
+        assert_eq!(merged.workload, a.workload);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_campaigns() {
+        let a = Campaign::builder("a")
+            .workload(image())
+            .fault(scan_fault(Trigger::AfterInstructions(1)))
+            .build()
+            .unwrap();
+        let mut other_wl = image();
+        other_wl.words.push(7);
+        let b = Campaign::builder("b")
+            .workload(other_wl)
+            .fault(scan_fault(Trigger::AfterInstructions(1)))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Campaign::merge("ab", &[&a, &b]),
+            Err(GoofiError::Config(_))
+        ));
+        let c = Campaign::builder("c")
+            .workload(image())
+            .technique(Technique::SwifiPreRuntime)
+            .fault(mem_fault(Trigger::PreRuntime))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Campaign::merge("ac", &[&a, &c]),
+            Err(GoofiError::Config(_))
+        ));
+        assert!(matches!(
+            Campaign::merge("none", &[]),
+            Err(GoofiError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn image_word_encoding_roundtrip() {
+        let img = image();
+        let enc = img.encode_words();
+        assert_eq!(WorkloadImage::decode_words(&enc), Some(img.words));
+        assert_eq!(WorkloadImage::decode_words("123"), None);
+        assert_eq!(WorkloadImage::decode_words("zzzzzzzz"), None);
+    }
+
+    #[test]
+    fn enum_encodings_roundtrip() {
+        for t in [
+            Technique::Scifi,
+            Technique::SwifiPreRuntime,
+            Technique::SwifiRuntime,
+            Technique::PinLevel,
+        ] {
+            assert_eq!(Technique::decode(t.encode()), Some(t));
+        }
+        for o in [OutputRegion::Ports, OutputRegion::Memory { addr: 5, len: 2 }] {
+            assert_eq!(OutputRegion::decode(&o.encode()), Some(o));
+        }
+    }
+}

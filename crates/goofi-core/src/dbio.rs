@@ -1,0 +1,628 @@
+//! Database storage: the paper's Figure 4 schema over `goofidb`.
+//!
+//! Three tables joined by foreign keys: `TargetSystemData` ("all information
+//! about the target system required for setting up new fault injection
+//! campaigns"), `CampaignData` ("all the information needed to conduct a
+//! campaign") and `LoggedSystemState` ("the system state during and after an
+//! experiment"), whose `parentExperiment` attribute links detail-mode
+//! re-runs to the original experiment (§2.3).
+
+use crate::algorithms::CampaignResult;
+use crate::campaign::{
+    Campaign, EnvExchange, ObserveList, OutputRegion, TargetSystemData, Technique, Termination,
+    WorkloadImage,
+};
+use crate::fault::FaultSpec;
+use crate::logging::{ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause};
+use crate::{GoofiError, Result};
+use goofidb::{Database, Value};
+
+/// Table name: target-system descriptions.
+pub const TARGET_TABLE: &str = "TargetSystemData";
+/// Table name: campaign configurations.
+pub const CAMPAIGN_TABLE: &str = "CampaignData";
+/// Table name: per-experiment logs.
+pub const LOG_TABLE: &str = "LoggedSystemState";
+
+/// Creates the three tables (idempotent).
+///
+/// # Errors
+///
+/// Database errors other than "table exists".
+pub fn init_schema(db: &mut Database) -> Result<()> {
+    let stmts = [
+        "CREATE TABLE TargetSystemData (
+            name TEXT PRIMARY KEY,
+            description TEXT,
+            memoryWords INTEGER,
+            locations TEXT)",
+        "CREATE TABLE CampaignData (
+            campaignName TEXT PRIMARY KEY,
+            targetSystem TEXT,
+            technique TEXT,
+            workloadName TEXT,
+            workloadImage TEXT,
+            codeWords INTEGER,
+            entry INTEGER,
+            nrOfExperiments INTEGER,
+            maxInstructions INTEGER,
+            maxIterations INTEGER,
+            loggingMode TEXT,
+            observeChains TEXT,
+            outputRegion TEXT,
+            initialInputs TEXT,
+            envExchange TEXT,
+            faults TEXT,
+            FOREIGN KEY (targetSystem) REFERENCES TargetSystemData(name))",
+        "CREATE TABLE LoggedSystemState (
+            experimentName TEXT PRIMARY KEY,
+            parentExperiment TEXT,
+            campaignName TEXT,
+            experimentData TEXT,
+            termination TEXT,
+            stateVector TEXT,
+            trace TEXT,
+            FOREIGN KEY (campaignName) REFERENCES CampaignData(campaignName))",
+    ];
+    for stmt in stmts {
+        match db.execute(stmt) {
+            Ok(_) => {}
+            Err(goofidb::DbError::TableExists(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Stores (or replaces) a target-system description.
+///
+/// # Errors
+///
+/// Database errors.
+pub fn store_target_system(db: &mut Database, data: &TargetSystemData) -> Result<()> {
+    let locations = data
+        .locations
+        .iter()
+        .map(|(chain, cell, width, rw)| {
+            format!("{chain}:{cell}:{width}:{}", if *rw { "rw" } else { "ro" })
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    // Replace an existing row of the same name.
+    let existing = db
+        .table(TARGET_TABLE)
+        .is_some_and(|t| t.contains_key(&Value::text(data.name.clone())));
+    if existing {
+        db.update_where(
+            TARGET_TABLE,
+            |row| row[0] == Value::text(data.name.clone()),
+            |row| {
+                row[1] = Value::text(data.description.clone());
+                row[2] = Value::from(data.memory_words);
+                row[3] = Value::text(locations.clone());
+            },
+        )?;
+    } else {
+        db.insert(
+            TARGET_TABLE,
+            vec![
+                Value::text(data.name.clone()),
+                Value::text(data.description.clone()),
+                Value::from(data.memory_words),
+                Value::text(locations),
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+/// Loads a target-system description.
+///
+/// # Errors
+///
+/// Fails when the target system is unknown or the row is malformed.
+pub fn load_target_system(db: &Database, name: &str) -> Result<TargetSystemData> {
+    let table = db
+        .table(TARGET_TABLE)
+        .ok_or_else(|| GoofiError::Config(format!("no {TARGET_TABLE} table")))?;
+    let row = table
+        .find_by_key(&Value::text(name))
+        .ok_or_else(|| GoofiError::Config(format!("unknown target system `{name}`")))?;
+    let locations_text = row[3].as_text().unwrap_or_default();
+    let mut locations = Vec::new();
+    for entry in locations_text.split(';').filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        if parts.len() != 4 {
+            return Err(GoofiError::Config(format!("bad location entry `{entry}`")));
+        }
+        locations.push((
+            parts[0].to_string(),
+            parts[1].to_string(),
+            parts[2]
+                .parse()
+                .map_err(|_| GoofiError::Config(format!("bad width in `{entry}`")))?,
+            parts[3] == "rw",
+        ));
+    }
+    Ok(TargetSystemData {
+        name: name.to_string(),
+        description: row[1].as_text().unwrap_or_default().to_string(),
+        memory_words: row[2].as_int().unwrap_or(0) as u32,
+        locations,
+    })
+}
+
+/// Stores a campaign configuration (the set-up phase output).
+///
+/// # Errors
+///
+/// Fails when the referenced target system is absent (foreign key) or the
+/// campaign name is taken.
+pub fn store_campaign(db: &mut Database, campaign: &Campaign) -> Result<()> {
+    let faults = campaign
+        .faults
+        .iter()
+        .map(FaultSpec::encode)
+        .collect::<Vec<_>>()
+        .join("|");
+    let inputs = campaign
+        .initial_inputs
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    db.insert(
+        CAMPAIGN_TABLE,
+        vec![
+            Value::text(campaign.name.clone()),
+            if campaign.target_system.is_empty() {
+                Value::Null
+            } else {
+                Value::text(campaign.target_system.clone())
+            },
+            Value::text(campaign.technique.encode()),
+            Value::text(campaign.workload.name.clone()),
+            Value::text(campaign.workload.encode_words()),
+            Value::from(campaign.workload.code_words),
+            Value::from(campaign.workload.entry),
+            Value::from(campaign.faults.len() as u64),
+            Value::from(campaign.termination.max_instructions),
+            campaign
+                .termination
+                .max_iterations
+                .map_or(Value::Null, Value::from),
+            Value::text(campaign.logging.encode()),
+            Value::text(campaign.observe.chains.join(",")),
+            Value::text(campaign.observe.output.encode()),
+            Value::text(inputs),
+            Value::text(campaign.env_exchange.encode()),
+            Value::text(faults),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Replaces a stored campaign's configuration — the paper's §3.2 set-up
+/// operation ("the user may also modify already stored campaign data
+/// created for earlier fault injection campaigns").
+///
+/// # Errors
+///
+/// Fails when the campaign does not exist, or when experiments have
+/// already been logged against it (results must stay reproducible from
+/// their campaign row).
+pub fn update_campaign(db: &mut Database, campaign: &Campaign) -> Result<()> {
+    let exists = db
+        .table(CAMPAIGN_TABLE)
+        .is_some_and(|t| t.contains_key(&Value::text(campaign.name.clone())));
+    if !exists {
+        return Err(GoofiError::Config(format!(
+            "unknown campaign `{}`",
+            campaign.name
+        )));
+    }
+    let has_logs = db.table(LOG_TABLE).is_some_and(|t| {
+        t.iter()
+            .any(|row| row[2].as_text() == Some(campaign.name.as_str()))
+    });
+    if has_logs {
+        return Err(GoofiError::Config(format!(
+            "campaign `{}` already has logged experiments; merge into a new campaign instead",
+            campaign.name
+        )));
+    }
+    db.delete_where(CAMPAIGN_TABLE, |row| {
+        row[0] == Value::text(campaign.name.clone())
+    })?;
+    store_campaign(db, campaign)
+}
+
+/// Loads a campaign back from the database (the paper's
+/// `readCampaignData(campaignNr)` step).
+///
+/// # Errors
+///
+/// Fails on unknown campaigns or malformed rows.
+pub fn load_campaign(db: &Database, name: &str) -> Result<Campaign> {
+    let table = db
+        .table(CAMPAIGN_TABLE)
+        .ok_or_else(|| GoofiError::Config(format!("no {CAMPAIGN_TABLE} table")))?;
+    let row = table
+        .find_by_key(&Value::text(name))
+        .ok_or_else(|| GoofiError::Config(format!("unknown campaign `{name}`")))?;
+    let bad = |what: &str| GoofiError::Config(format!("campaign `{name}`: bad {what}"));
+
+    let words = WorkloadImage::decode_words(row[4].as_text().unwrap_or_default())
+        .ok_or_else(|| bad("workload image"))?;
+    let mut faults = Vec::new();
+    for f in row[15].as_text().unwrap_or_default().split('|').filter(|f| !f.is_empty()) {
+        faults.push(FaultSpec::decode(f).ok_or_else(|| bad("fault spec"))?);
+    }
+    let initial_inputs = row[13]
+        .as_text()
+        .unwrap_or_default()
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(str::parse)
+        .collect::<std::result::Result<Vec<u32>, _>>()
+        .map_err(|_| bad("initial inputs"))?;
+    Ok(Campaign {
+        name: name.to_string(),
+        target_system: row[1].as_text().unwrap_or_default().to_string(),
+        technique: Technique::decode(row[2].as_text().unwrap_or_default())
+            .ok_or_else(|| bad("technique"))?,
+        workload: WorkloadImage {
+            name: row[3].as_text().unwrap_or_default().to_string(),
+            words,
+            code_words: row[5].as_int().unwrap_or(0) as u32,
+            entry: row[6].as_int().unwrap_or(0) as u32,
+        },
+        faults,
+        termination: Termination {
+            max_instructions: row[8].as_int().unwrap_or(0) as u64,
+            max_iterations: row[9].as_int().map(|v| v as u64),
+        },
+        logging: LoggingMode::decode(row[10].as_text().unwrap_or_default())
+            .ok_or_else(|| bad("logging mode"))?,
+        observe: ObserveList {
+            chains: row[11]
+                .as_text()
+                .unwrap_or_default()
+                .split(',')
+                .filter(|c| !c.is_empty())
+                .map(str::to_string)
+                .collect(),
+            output: OutputRegion::decode(row[12].as_text().unwrap_or_default())
+                .ok_or_else(|| bad("output region"))?,
+        },
+        initial_inputs,
+        env_exchange: EnvExchange::decode(row[14].as_text().unwrap_or_default())
+            .ok_or_else(|| bad("envExchange"))?,
+    })
+}
+
+/// Logs one experiment to `LoggedSystemState`.
+///
+/// # Errors
+///
+/// Fails when the campaign row is absent (foreign key) or the experiment
+/// name is taken.
+pub fn log_experiment(db: &mut Database, record: &ExperimentRecord) -> Result<()> {
+    let trace = record
+        .trace
+        .iter()
+        .map(StateSnapshot::encode)
+        .collect::<Vec<_>>()
+        .join("---\n");
+    db.insert(
+        LOG_TABLE,
+        vec![
+            Value::text(record.name.clone()),
+            record
+                .parent
+                .clone()
+                .map_or(Value::Null, Value::text),
+            Value::text(record.campaign.clone()),
+            record
+                .fault
+                .as_ref()
+                .map_or(Value::Null, |f| Value::text(f.encode())),
+            Value::text(record.termination.encode()),
+            Value::text(record.state.encode()),
+            if trace.is_empty() {
+                Value::Null
+            } else {
+                Value::text(trace)
+            },
+        ],
+    )?;
+    Ok(())
+}
+
+/// Stores a full campaign result: the reference run plus all experiments.
+///
+/// # Errors
+///
+/// Database errors (the campaign row must already exist).
+pub fn store_result(db: &mut Database, result: &CampaignResult) -> Result<()> {
+    log_experiment(db, &result.reference)?;
+    for record in &result.records {
+        log_experiment(db, record)?;
+    }
+    Ok(())
+}
+
+/// Loads one experiment record by name.
+///
+/// # Errors
+///
+/// Fails on unknown experiments or malformed rows.
+pub fn load_experiment(db: &Database, name: &str) -> Result<ExperimentRecord> {
+    let table = db
+        .table(LOG_TABLE)
+        .ok_or_else(|| GoofiError::Config(format!("no {LOG_TABLE} table")))?;
+    let row = table
+        .find_by_key(&Value::text(name))
+        .ok_or_else(|| GoofiError::Config(format!("unknown experiment `{name}`")))?;
+    decode_log_row(row)
+}
+
+/// Loads every experiment of a campaign (reference first, when present).
+///
+/// # Errors
+///
+/// Fails on malformed rows.
+pub fn load_experiments(db: &Database, campaign: &str) -> Result<Vec<ExperimentRecord>> {
+    let table = db
+        .table(LOG_TABLE)
+        .ok_or_else(|| GoofiError::Config(format!("no {LOG_TABLE} table")))?;
+    let mut records = Vec::new();
+    for row in table.iter() {
+        if row[2].as_text() == Some(campaign) {
+            records.push(decode_log_row(row)?);
+        }
+    }
+    // Length-then-lexicographic keeps numeric order even past the 5-digit
+    // zero padding of experiment names.
+    records.sort_by_key(|r| (!r.is_reference(), r.name.len(), r.name.clone()));
+    Ok(records)
+}
+
+fn decode_log_row(row: &[Value]) -> Result<ExperimentRecord> {
+    let name = row[0].as_text().unwrap_or_default().to_string();
+    let bad = |what: &str| GoofiError::Config(format!("experiment `{name}`: bad {what}"));
+    let fault = match row[3].as_text() {
+        Some(s) => Some(FaultSpec::decode(s).ok_or_else(|| bad("experimentData"))?),
+        None => None,
+    };
+    let termination = TerminationCause::decode(row[4].as_text().unwrap_or_default())
+        .ok_or_else(|| bad("termination"))?;
+    let state = StateSnapshot::decode(row[5].as_text().unwrap_or_default())
+        .ok_or_else(|| bad("stateVector"))?;
+    let mut trace = Vec::new();
+    if let Some(text) = row[6].as_text() {
+        for part in text.split("---\n") {
+            trace.push(StateSnapshot::decode(part).ok_or_else(|| bad("trace"))?);
+        }
+    }
+    Ok(ExperimentRecord {
+        name: name.clone(),
+        parent: row[1].as_text().map(str::to_string),
+        campaign: row[2].as_text().unwrap_or_default().to_string(),
+        fault,
+        termination,
+        state,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultLocation;
+    use crate::trigger::Trigger;
+
+    fn demo_campaign() -> Campaign {
+        Campaign::builder("c1")
+            .target_system("thor-rd")
+            .technique(Technique::Scifi)
+            .workload(WorkloadImage {
+                name: "w".into(),
+                words: vec![0xDEADBEEF, 0x01000000],
+                code_words: 2,
+                entry: 0,
+            })
+            .observe_chains(["internal"])
+            .output(OutputRegion::Memory { addr: 10, len: 2 })
+            .initial_inputs(vec![5, 6])
+            .fault(FaultSpec::single(
+                FaultLocation::ScanCell {
+                    chain: "internal".into(),
+                    cell: "R1".into(),
+                    bit: 4,
+                },
+                Trigger::AfterInstructions(100),
+            ))
+            .fault(FaultSpec::single(
+                FaultLocation::Memory { addr: 3, bit: 7 },
+                Trigger::Breakpoint(1),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    fn demo_target() -> TargetSystemData {
+        TargetSystemData {
+            name: "thor-rd".into(),
+            description: "simulated thor".into(),
+            memory_words: 65536,
+            locations: vec![
+                ("internal".into(), "R1".into(), 32, true),
+                ("internal".into(), "DETECT".into(), 32, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn schema_is_idempotent() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        init_schema(&mut db).unwrap();
+        assert_eq!(db.table_names().len(), 3);
+    }
+
+    #[test]
+    fn target_system_roundtrip() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        let t = demo_target();
+        store_target_system(&mut db, &t).unwrap();
+        assert_eq!(load_target_system(&db, "thor-rd").unwrap(), t);
+        // Re-store replaces.
+        let mut t2 = t.clone();
+        t2.description = "updated".into();
+        store_target_system(&mut db, &t2).unwrap();
+        assert_eq!(load_target_system(&db, "thor-rd").unwrap(), t2);
+        assert!(load_target_system(&db, "nope").is_err());
+    }
+
+    #[test]
+    fn campaign_roundtrip() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+        assert_eq!(load_campaign(&db, "c1").unwrap(), c);
+        assert!(load_campaign(&db, "nope").is_err());
+    }
+
+    #[test]
+    fn campaign_fk_requires_target_system() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        let e = store_campaign(&mut db, &demo_campaign()).unwrap_err();
+        assert!(matches!(
+            e,
+            GoofiError::Db(goofidb::DbError::ForeignKeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn update_campaign_replaces_until_logs_exist() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let mut c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+
+        // Modify the stored set-up (paper §3.2).
+        c.termination.max_instructions = 42;
+        c.faults.truncate(1);
+        update_campaign(&mut db, &c).unwrap();
+        assert_eq!(load_campaign(&db, "c1").unwrap(), c);
+
+        // Unknown campaigns are rejected.
+        let mut other = c.clone();
+        other.name = "nope".into();
+        assert!(update_campaign(&mut db, &other).is_err());
+
+        // Once experiments are logged, the campaign is frozen.
+        log_experiment(
+            &mut db,
+            &ExperimentRecord {
+                name: "c1/exp00000".into(),
+                parent: None,
+                campaign: "c1".into(),
+                fault: Some(c.faults[0].clone()),
+                termination: TerminationCause::WorkloadEnd,
+                state: StateSnapshot::default(),
+                trace: vec![],
+            },
+        )
+        .unwrap();
+        assert!(update_campaign(&mut db, &c).is_err());
+    }
+
+    #[test]
+    fn experiment_roundtrip_including_parent_and_trace() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+
+        let mut snap = StateSnapshot {
+            memory_digest: 42,
+            outputs: vec![1, 2],
+            ..Default::default()
+        };
+        snap.scan.insert("internal".into(), "0110".into());
+        let record = ExperimentRecord {
+            name: "c1/exp00000".into(),
+            parent: None,
+            campaign: "c1".into(),
+            fault: Some(c.faults[0].clone()),
+            termination: TerminationCause::WorkloadEnd,
+            state: snap.clone(),
+            trace: vec![snap.clone(), snap.clone()],
+        };
+        log_experiment(&mut db, &record).unwrap();
+        assert_eq!(load_experiment(&db, "c1/exp00000").unwrap(), record);
+
+        // A detail-mode re-run referencing its parent (paper §2.3).
+        let rerun = ExperimentRecord {
+            name: "c1/exp00000/detail".into(),
+            parent: Some("c1/exp00000".into()),
+            ..record.clone()
+        };
+        log_experiment(&mut db, &rerun).unwrap();
+        let loaded = load_experiment(&db, "c1/exp00000/detail").unwrap();
+        assert_eq!(loaded.parent.as_deref(), Some("c1/exp00000"));
+    }
+
+    #[test]
+    fn load_experiments_sorts_reference_first() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+
+        let make = |name: &str, fault: Option<FaultSpec>| ExperimentRecord {
+            name: name.into(),
+            parent: None,
+            campaign: "c1".into(),
+            fault,
+            termination: TerminationCause::WorkloadEnd,
+            state: StateSnapshot::default(),
+            trace: vec![],
+        };
+        log_experiment(&mut db, &make("c1/exp00001", Some(c.faults[0].clone()))).unwrap();
+        log_experiment(&mut db, &make("c1/reference", None)).unwrap();
+        log_experiment(&mut db, &make("c1/exp00000", Some(c.faults[1].clone()))).unwrap();
+
+        let records = load_experiments(&db, "c1").unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(records[0].is_reference());
+        assert_eq!(records[1].name, "c1/exp00000");
+        assert_eq!(records[2].name, "c1/exp00001");
+        assert!(load_experiments(&db, "other").unwrap().is_empty());
+    }
+
+    #[test]
+    fn experiment_fk_requires_campaign() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        let record = ExperimentRecord {
+            name: "x".into(),
+            parent: None,
+            campaign: "missing".into(),
+            fault: None,
+            termination: TerminationCause::Timeout,
+            state: StateSnapshot::default(),
+            trace: vec![],
+        };
+        assert!(log_experiment(&mut db, &record).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Framework error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the fault-injection framework.
+#[derive(Debug)]
+pub enum GoofiError {
+    /// A scan-chain/test-card operation failed.
+    Scan(scanchain::ScanError),
+    /// A database operation failed.
+    Db(goofidb::DbError),
+    /// A target-system operation failed (message from the target interface).
+    Target(String),
+    /// The campaign configuration is invalid.
+    Config(String),
+    /// A `Framework` template method was called before being implemented
+    /// for the target system (paper Figure 3: "Write your code here!").
+    Unimplemented(&'static str),
+    /// The campaign was stopped from the progress monitor.
+    Stopped,
+}
+
+impl fmt::Display for GoofiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoofiError::Scan(e) => write!(f, "scan-chain error: {e}"),
+            GoofiError::Db(e) => write!(f, "database error: {e}"),
+            GoofiError::Target(msg) => write!(f, "target system error: {msg}"),
+            GoofiError::Config(msg) => write!(f, "campaign configuration error: {msg}"),
+            GoofiError::Unimplemented(method) => {
+                write!(f, "abstract method `{method}` not implemented for this target system")
+            }
+            GoofiError::Stopped => f.write_str("campaign stopped by the user"),
+        }
+    }
+}
+
+impl Error for GoofiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GoofiError::Scan(e) => Some(e),
+            GoofiError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scanchain::ScanError> for GoofiError {
+    fn from(e: scanchain::ScanError) -> Self {
+        GoofiError::Scan(e)
+    }
+}
+
+impl From<goofidb::DbError> for GoofiError {
+    fn from(e: goofidb::DbError) -> Self {
+        GoofiError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GoofiError::Unimplemented("load_workload");
+        assert!(e.to_string().contains("load_workload"));
+        let e = GoofiError::from(scanchain::ScanError::UnknownChain("x".into()));
+        assert!(e.to_string().contains("scan-chain"));
+        let e = GoofiError::from(goofidb::DbError::NoSuchTable("t".into()));
+        assert!(e.to_string().contains("database"));
+        assert!(GoofiError::Stopped.to_string().contains("stopped"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = GoofiError::from(goofidb::DbError::NoSuchTable("t".into()));
+        assert!(e.source().is_some());
+        assert!(GoofiError::Stopped.source().is_none());
+    }
+}

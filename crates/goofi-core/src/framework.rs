@@ -1,0 +1,195 @@
+//! The porting template: the paper's `Framework` class (Figure 3).
+//!
+//! In the Java tool, a programmer adapts GOOFI to a new target by copying
+//! the `Framework` class — whose every method body reads `// Write your
+//! code here!` — and filling in the abstract methods used by the desired
+//! fault-injection algorithms. [`NullTarget`] is the same artefact in Rust:
+//! a [`TargetAccess`] implementation whose every method returns
+//! [`GoofiError::Unimplemented`], with the method name in the error. Copy
+//! it, rename it, and replace the bodies one by one; any algorithm run
+//! against a partially ported target fails fast with the name of the first
+//! missing building block, exactly like the paper's workflow.
+
+use crate::campaign::WorkloadImage;
+use crate::preinject::StepAccess;
+use crate::target::{RunBudget, RunEvent, TargetAccess};
+use crate::trigger::Trigger;
+use crate::{GoofiError, Result};
+use scanchain::{BitVec, ChainLayout};
+
+/// The "write your code here" target-system template.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTarget;
+
+impl NullTarget {
+    /// Creates the template target.
+    pub fn new() -> Self {
+        NullTarget
+    }
+}
+
+impl TargetAccess for NullTarget {
+    fn target_name(&self) -> &str {
+        "unported-target"
+    }
+
+    fn init_test_card(&mut self) -> Result<()> {
+        Err(GoofiError::Unimplemented("init_test_card")) // Write your code here!
+    }
+
+    fn load_workload(&mut self, _image: &WorkloadImage) -> Result<()> {
+        Err(GoofiError::Unimplemented("load_workload")) // Write your code here!
+    }
+
+    fn reset_target(&mut self) -> Result<()> {
+        Err(GoofiError::Unimplemented("reset_target")) // Write your code here!
+    }
+
+    fn write_memory(&mut self, _addr: u32, _data: &[u32]) -> Result<()> {
+        Err(GoofiError::Unimplemented("write_memory")) // Write your code here!
+    }
+
+    fn read_memory(&mut self, _addr: u32, _len: usize) -> Result<Vec<u32>> {
+        Err(GoofiError::Unimplemented("read_memory")) // Write your code here!
+    }
+
+    fn flip_memory_bit(&mut self, _addr: u32, _bit: u8) -> Result<()> {
+        Err(GoofiError::Unimplemented("flip_memory_bit")) // Write your code here!
+    }
+
+    fn memory_size(&self) -> u32 {
+        0
+    }
+
+    fn set_breakpoint(&mut self, _trigger: Trigger) -> Result<()> {
+        Err(GoofiError::Unimplemented("set_breakpoint")) // Write your code here!
+    }
+
+    fn clear_breakpoints(&mut self) -> Result<()> {
+        Err(GoofiError::Unimplemented("clear_breakpoints")) // Write your code here!
+    }
+
+    fn run_workload(&mut self, _budget: RunBudget) -> Result<RunEvent> {
+        Err(GoofiError::Unimplemented("run_workload")) // Write your code here!
+    }
+
+    fn step_instruction(&mut self) -> Result<Option<RunEvent>> {
+        Err(GoofiError::Unimplemented("step_instruction")) // Write your code here!
+    }
+
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        Vec::new()
+    }
+
+    fn read_scan_chain(&mut self, _chain: &str) -> Result<BitVec> {
+        Err(GoofiError::Unimplemented("read_scan_chain")) // Write your code here!
+    }
+
+    fn write_scan_chain(&mut self, _chain: &str, _bits: &BitVec) -> Result<()> {
+        Err(GoofiError::Unimplemented("write_scan_chain")) // Write your code here!
+    }
+
+    fn write_input_ports(&mut self, _inputs: &[u32]) -> Result<()> {
+        Err(GoofiError::Unimplemented("write_input_ports")) // Write your code here!
+    }
+
+    fn read_output_ports(&mut self) -> Result<Vec<u32>> {
+        Err(GoofiError::Unimplemented("read_output_ports")) // Write your code here!
+    }
+
+    fn instructions_executed(&self) -> u64 {
+        0
+    }
+
+    fn cycles_executed(&self) -> u64 {
+        0
+    }
+
+    fn iterations_completed(&self) -> u64 {
+        0
+    }
+
+    fn step_traced(&mut self) -> Result<(Option<RunEvent>, StepAccess)> {
+        Err(GoofiError::Unimplemented("step_traced")) // Write your code here!
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_method_names_itself() {
+        let mut t = NullTarget::new();
+        let err = |e: GoofiError, name: &str| {
+            match e {
+                GoofiError::Unimplemented(m) => assert_eq!(m, name),
+                other => panic!("expected Unimplemented, got {other}"),
+            }
+        };
+        err(t.init_test_card().unwrap_err(), "init_test_card");
+        err(
+            t.load_workload(&WorkloadImage {
+                name: String::new(),
+                words: vec![],
+                code_words: 0,
+                entry: 0,
+            })
+            .unwrap_err(),
+            "load_workload",
+        );
+        err(t.reset_target().unwrap_err(), "reset_target");
+        err(t.write_memory(0, &[]).unwrap_err(), "write_memory");
+        err(t.read_memory(0, 0).unwrap_err(), "read_memory");
+        err(t.flip_memory_bit(0, 0).unwrap_err(), "flip_memory_bit");
+        err(
+            t.set_breakpoint(Trigger::BranchExecuted).unwrap_err(),
+            "set_breakpoint",
+        );
+        err(t.clear_breakpoints().unwrap_err(), "clear_breakpoints");
+        err(
+            t.run_workload(RunBudget::default()).unwrap_err(),
+            "run_workload",
+        );
+        err(t.step_instruction().unwrap_err(), "step_instruction");
+        err(t.read_scan_chain("x").unwrap_err(), "read_scan_chain");
+        err(
+            t.write_scan_chain("x", &BitVec::zeros(1)).unwrap_err(),
+            "write_scan_chain",
+        );
+        err(t.write_input_ports(&[]).unwrap_err(), "write_input_ports");
+        err(t.read_output_ports().unwrap_err(), "read_output_ports");
+        err(t.step_traced().unwrap_err(), "step_traced");
+        assert!(t.chain_layouts().is_empty());
+        assert_eq!(t.memory_size(), 0);
+    }
+
+    #[test]
+    fn algorithms_fail_fast_on_unported_target() {
+        // Running an algorithm against the template reports the first
+        // missing building block — the paper's porting workflow.
+        let mut t = NullTarget::new();
+        let campaign = crate::campaign::Campaign::builder("c")
+            .workload(WorkloadImage {
+                name: "w".into(),
+                words: vec![0],
+                code_words: 1,
+                entry: 0,
+            })
+            .fault(crate::fault::FaultSpec::single(
+                crate::fault::FaultLocation::ScanCell {
+                    chain: "internal".into(),
+                    cell: "R1".into(),
+                    bit: 0,
+                },
+                crate::trigger::Trigger::AfterInstructions(1),
+            ))
+            .build()
+            .unwrap();
+        let monitor = crate::monitor::ProgressMonitor::new(1);
+        let e = crate::algorithms::make_reference_run(&mut t, &campaign, &mut envsim::NullEnvironment)
+            .unwrap_err();
+        assert!(matches!(e, GoofiError::Unimplemented("init_test_card")));
+        let _ = monitor;
+    }
+}

@@ -1,0 +1,287 @@
+//! Logging modes, state snapshots and experiment records.
+//!
+//! GOOFI "can be operated in either normal or detail mode. In normal mode,
+//! the system state is logged only when the termination condition is
+//! fulfilled. In detail mode the system state is logged as frequently as the
+//! target system allows, typically after the execution of each machine
+//! instruction" (§3.3). The logged state "typically includes the contents of
+//! all the locations in the target system that are observable … as well as
+//! the workload input and output values, together with information about
+//! when and where any faults were injected".
+
+use crate::target::DetectionInfo;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Normal (end-state only) or detail (per-instruction trace) logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoggingMode {
+    /// Log the system state only at termination.
+    #[default]
+    Normal,
+    /// Additionally log the state vector after every instruction.
+    Detail,
+}
+
+impl LoggingMode {
+    /// Database string form.
+    pub fn encode(self) -> &'static str {
+        match self {
+            LoggingMode::Normal => "normal",
+            LoggingMode::Detail => "detail",
+        }
+    }
+
+    /// Parses [`LoggingMode::encode`] output.
+    pub fn decode(s: &str) -> Option<LoggingMode> {
+        match s {
+            "normal" => Some(LoggingMode::Normal),
+            "detail" => Some(LoggingMode::Detail),
+            _ => None,
+        }
+    }
+}
+
+/// Why an experiment terminated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TerminationCause {
+    /// The workload ran to completion.
+    WorkloadEnd,
+    /// An error detection mechanism fired.
+    Detected(DetectionInfo),
+    /// The time-out value was reached (watchdog or instruction budget).
+    Timeout,
+    /// The configured maximum number of loop iterations completed.
+    IterationLimit,
+}
+
+impl TerminationCause {
+    /// Database string form.
+    pub fn encode(&self) -> String {
+        match self {
+            TerminationCause::WorkloadEnd => "end".to_string(),
+            TerminationCause::Detected(d) => format!("detected:{}:{}", d.mechanism, d.code),
+            TerminationCause::Timeout => "timeout".to_string(),
+            TerminationCause::IterationLimit => "iterations".to_string(),
+        }
+    }
+
+    /// Parses [`TerminationCause::encode`] output.
+    pub fn decode(s: &str) -> Option<TerminationCause> {
+        match s {
+            "end" => return Some(TerminationCause::WorkloadEnd),
+            "timeout" => return Some(TerminationCause::Timeout),
+            "iterations" => return Some(TerminationCause::IterationLimit),
+            _ => {}
+        }
+        let rest = s.strip_prefix("detected:")?;
+        let (mechanism, code) = rest.rsplit_once(':')?;
+        Some(TerminationCause::Detected(DetectionInfo {
+            mechanism: mechanism.to_string(),
+            code: code.parse().ok()?,
+        }))
+    }
+}
+
+impl fmt::Display for TerminationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationCause::WorkloadEnd => f.write_str("workload end"),
+            TerminationCause::Detected(d) => write!(f, "detected by {}", d.mechanism),
+            TerminationCause::Timeout => f.write_str("time-out"),
+            TerminationCause::IterationLimit => f.write_str("iteration limit"),
+        }
+    }
+}
+
+/// One logged system state: the `statevector` attribute of the
+/// `LoggedSystemState` table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateSnapshot {
+    /// Captured scan chains (chain name → bit string), restricted to the
+    /// observe list of the campaign.
+    pub scan: BTreeMap<String, String>,
+    /// FNV-1a digest of all of target memory (latent-error comparison).
+    pub memory_digest: u64,
+    /// The workload's output values (designated memory region or ports).
+    pub outputs: Vec<u32>,
+    /// Completed loop iterations.
+    pub iterations: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+}
+
+impl StateSnapshot {
+    /// Serialises to the text form stored in the database.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (chain, bits) in &self.scan {
+            out.push_str(&format!("chain {chain} {bits}\n"));
+        }
+        out.push_str(&format!("memdigest {}\n", self.memory_digest));
+        let outs: Vec<String> = self.outputs.iter().map(u32::to_string).collect();
+        out.push_str(&format!("outputs {}\n", outs.join(",")));
+        out.push_str(&format!(
+            "counters {} {} {}\n",
+            self.iterations, self.instructions, self.cycles
+        ));
+        out
+    }
+
+    /// Parses [`StateSnapshot::encode`] output.
+    pub fn decode(s: &str) -> Option<StateSnapshot> {
+        let mut snap = StateSnapshot::default();
+        for line in s.lines() {
+            let mut parts = line.splitn(2, ' ');
+            let key = parts.next()?;
+            let rest = parts.next().unwrap_or("");
+            match key {
+                "chain" => {
+                    let (name, bits) = rest.split_once(' ')?;
+                    snap.scan.insert(name.to_string(), bits.to_string());
+                }
+                "memdigest" => snap.memory_digest = rest.parse().ok()?,
+                "outputs" => {
+                    snap.outputs = rest
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(str::parse)
+                        .collect::<std::result::Result<_, _>>()
+                        .ok()?;
+                }
+                "counters" => {
+                    let mut it = rest.split(' ');
+                    snap.iterations = it.next()?.parse().ok()?;
+                    snap.instructions = it.next()?.parse().ok()?;
+                    snap.cycles = it.next()?.parse().ok()?;
+                }
+                _ => return None,
+            }
+        }
+        Some(snap)
+    }
+
+    /// Whether two snapshots describe the same architectural state
+    /// (used to separate latent from overwritten errors).
+    pub fn same_state(&self, other: &StateSnapshot) -> bool {
+        self.scan == other.scan && self.memory_digest == other.memory_digest
+    }
+}
+
+/// FNV-1a over a word slice — the memory digest function.
+pub fn digest_words(words: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The complete log of one fault-injection experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Unique experiment name (e.g. `"c1/exp0042"`).
+    pub name: String,
+    /// Parent experiment when this is a detail-mode re-run (paper §2.3's
+    /// `parentExperiment` attribute); empty otherwise.
+    pub parent: Option<String>,
+    /// Campaign this experiment belongs to.
+    pub campaign: String,
+    /// The injected fault; `None` for the reference (fault-free) run.
+    pub fault: Option<crate::fault::FaultSpec>,
+    /// Why the run terminated.
+    pub termination: TerminationCause,
+    /// Final system state.
+    pub state: StateSnapshot,
+    /// Detail-mode per-instruction trace (empty in normal mode).
+    pub trace: Vec<StateSnapshot>,
+}
+
+impl ExperimentRecord {
+    /// Name used for the reference run of a campaign.
+    pub const REFERENCE_NAME: &'static str = "reference";
+
+    /// Whether this record is the campaign's reference run.
+    pub fn is_reference(&self) -> bool {
+        self.fault.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logging_mode_roundtrip() {
+        for m in [LoggingMode::Normal, LoggingMode::Detail] {
+            assert_eq!(LoggingMode::decode(m.encode()), Some(m));
+        }
+        assert_eq!(LoggingMode::decode("x"), None);
+    }
+
+    #[test]
+    fn termination_roundtrip() {
+        for t in [
+            TerminationCause::WorkloadEnd,
+            TerminationCause::Timeout,
+            TerminationCause::IterationLimit,
+            TerminationCause::Detected(DetectionInfo {
+                mechanism: "parity_icache".into(),
+                code: 1,
+            }),
+        ] {
+            assert_eq!(TerminationCause::decode(&t.encode()), Some(t.clone()), "{t}");
+        }
+        assert_eq!(TerminationCause::decode("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut snap = StateSnapshot {
+            memory_digest: 12345,
+            outputs: vec![1, 2, 3],
+            iterations: 4,
+            instructions: 500,
+            cycles: 900,
+            ..Default::default()
+        };
+        snap.scan.insert("internal".into(), "0101".into());
+        snap.scan.insert("icache".into(), "111".into());
+        assert_eq!(StateSnapshot::decode(&snap.encode()), Some(snap.clone()));
+    }
+
+    #[test]
+    fn empty_outputs_roundtrip() {
+        let snap = StateSnapshot::default();
+        assert_eq!(StateSnapshot::decode(&snap.encode()), Some(snap));
+    }
+
+    #[test]
+    fn same_state_ignores_counters() {
+        let mut a = StateSnapshot {
+            memory_digest: 1,
+            cycles: 10,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.cycles = 99;
+        assert!(a.same_state(&b));
+        b.memory_digest = 2;
+        assert!(!a.same_state(&b));
+        b.memory_digest = 1;
+        a.scan.insert("internal".into(), "1".into());
+        assert!(!a.same_state(&b));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        assert_ne!(digest_words(&[1, 2]), digest_words(&[2, 1]));
+        assert_eq!(digest_words(&[1, 2]), digest_words(&[1, 2]));
+        assert_ne!(digest_words(&[0]), digest_words(&[]));
+    }
+}

@@ -1,0 +1,216 @@
+//! Campaign progress monitoring: the paper's progress window (Figure 7).
+//!
+//! "During the fault injection campaign, a progress window is shown enabling
+//! the user to monitor the experiments, e.g. getting information about the
+//! number of faults injected and also to pause, restart or end the campaign"
+//! (§3.3). [`ProgressMonitor`] is that component as a thread-safe API: the
+//! campaign loop calls [`ProgressMonitor::checkpoint`] between experiments,
+//! which blocks while paused and aborts when stopped; any thread (a CLI, a
+//! UI, a test) can pause/resume/stop and read the live counters.
+
+use crate::logging::TerminationCause;
+use crate::{GoofiError, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Run,
+    Pause,
+    Stop,
+}
+
+/// Live campaign counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Experiments configured in the campaign.
+    pub total: usize,
+    /// Experiments completed so far.
+    pub completed: usize,
+    /// Experiments skipped (e.g. pruned by pre-injection analysis).
+    pub skipped: usize,
+    /// Completed experiments per termination cause (encoded form).
+    pub by_termination: BTreeMap<String, usize>,
+}
+
+impl Progress {
+    /// Fraction of experiments done, 0.0..=1.0.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.completed + self.skipped) as f64 / self.total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    command: Mutex<Command>,
+    wakeup: Condvar,
+    progress: Mutex<Progress>,
+}
+
+/// Thread-safe pause/resume/stop control plus progress counters.
+#[derive(Debug, Clone)]
+pub struct ProgressMonitor {
+    inner: Arc<Inner>,
+}
+
+impl Default for ProgressMonitor {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl ProgressMonitor {
+    /// Creates a monitor for a campaign of `total` experiments.
+    pub fn new(total: usize) -> Self {
+        ProgressMonitor {
+            inner: Arc::new(Inner {
+                command: Mutex::new(Command::Run),
+                wakeup: Condvar::new(),
+                progress: Mutex::new(Progress {
+                    total,
+                    ..Progress::default()
+                }),
+            }),
+        }
+    }
+
+    /// Pauses the campaign after the current experiment.
+    pub fn pause(&self) {
+        *self.inner.command.lock() = Command::Pause;
+    }
+
+    /// Resumes a paused campaign.
+    pub fn resume(&self) {
+        let mut cmd = self.inner.command.lock();
+        if *cmd == Command::Pause {
+            *cmd = Command::Run;
+        }
+        self.inner.wakeup.notify_all();
+    }
+
+    /// Ends the campaign after the current experiment.
+    pub fn stop(&self) {
+        *self.inner.command.lock() = Command::Stop;
+        self.inner.wakeup.notify_all();
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        *self.inner.command.lock() == Command::Stop
+    }
+
+    /// Called by the campaign loop between experiments: blocks while
+    /// paused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoofiError::Stopped`] once the user has ended the campaign.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut cmd = self.inner.command.lock();
+        while *cmd == Command::Pause {
+            self.inner.wakeup.wait(&mut cmd);
+        }
+        if *cmd == Command::Stop {
+            return Err(GoofiError::Stopped);
+        }
+        Ok(())
+    }
+
+    /// Records a completed experiment and its termination cause.
+    pub fn record(&self, cause: &TerminationCause) {
+        let mut p = self.inner.progress.lock();
+        p.completed += 1;
+        *p.by_termination.entry(cause.encode()).or_insert(0) += 1;
+    }
+
+    /// Records an experiment skipped without running (pre-injection
+    /// analysis).
+    pub fn record_skipped(&self) {
+        self.inner.progress.lock().skipped += 1;
+    }
+
+    /// Adjusts the expected experiment count (e.g. when campaigns merge).
+    pub fn set_total(&self, total: usize) {
+        self.inner.progress.lock().total = total;
+    }
+
+    /// A copy of the current counters.
+    pub fn snapshot(&self) -> Progress {
+        self.inner.progress.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::DetectionInfo;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn records_and_fractions() {
+        let m = ProgressMonitor::new(4);
+        m.record(&TerminationCause::WorkloadEnd);
+        m.record(&TerminationCause::Detected(DetectionInfo {
+            mechanism: "parity_icache".into(),
+            code: 1,
+        }));
+        m.record_skipped();
+        let p = m.snapshot();
+        assert_eq!(p.completed, 2);
+        assert_eq!(p.skipped, 1);
+        assert_eq!(p.fraction(), 0.75);
+        assert_eq!(p.by_termination.get("end"), Some(&1));
+    }
+
+    #[test]
+    fn stop_aborts_checkpoint() {
+        let m = ProgressMonitor::new(1);
+        m.checkpoint().unwrap();
+        m.stop();
+        assert!(m.is_stopped());
+        assert!(matches!(m.checkpoint(), Err(GoofiError::Stopped)));
+    }
+
+    #[test]
+    fn pause_blocks_until_resume() {
+        let m = ProgressMonitor::new(1);
+        m.pause();
+        let m2 = m.clone();
+        let handle = thread::spawn(move || m2.checkpoint());
+        // Give the worker time to block on the pause.
+        thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished());
+        m.resume();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stop_wakes_a_paused_campaign() {
+        let m = ProgressMonitor::new(1);
+        m.pause();
+        let m2 = m.clone();
+        let handle = thread::spawn(move || m2.checkpoint());
+        thread::sleep(Duration::from_millis(50));
+        m.stop();
+        assert!(matches!(handle.join().unwrap(), Err(GoofiError::Stopped)));
+    }
+
+    #[test]
+    fn resume_does_not_cancel_stop() {
+        let m = ProgressMonitor::new(1);
+        m.stop();
+        m.resume();
+        assert!(m.is_stopped());
+    }
+
+    #[test]
+    fn empty_campaign_fraction_is_one() {
+        assert_eq!(ProgressMonitor::new(0).snapshot().fraction(), 1.0);
+    }
+}

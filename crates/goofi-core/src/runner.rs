@@ -1,0 +1,120 @@
+//! Parallel campaign execution.
+//!
+//! Fault-injection experiments are independent: each one reloads the
+//! workload and resets the target, so a campaign shards perfectly across
+//! worker threads, each owning a private target instance (a simulator
+//! affords as many "test cards" as there are cores — the one place this
+//! reproduction can go beyond the paper's single-target hardware setup).
+//! Results are identical to the serial runner's, which the integration
+//! tests assert.
+
+use crate::algorithms::{self, CampaignResult};
+use crate::campaign::Campaign;
+use crate::logging::ExperimentRecord;
+use crate::monitor::ProgressMonitor;
+use crate::target::TargetAccess;
+use crate::{GoofiError, Result};
+use envsim::Environment;
+
+/// Runs a campaign across `workers` threads.
+///
+/// `make_target` builds one target per worker; `make_env` (optional) builds
+/// one environment simulator per worker. Records come back in experiment
+/// order, preceded by the reference run — byte-for-byte what the serial
+/// [`algorithms::run_campaign`] produces.
+///
+/// # Errors
+///
+/// The first worker error is returned; [`GoofiError::Stopped`] when the
+/// monitor ends the campaign early.
+pub fn run_campaign_parallel<T, FT, FE>(
+    make_target: FT,
+    make_env: Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
+    if workers == 0 {
+        return Err(GoofiError::Config("worker count must be at least 1".into()));
+    }
+    campaign.validate()?;
+
+    // Reference run on a dedicated target.
+    let mut ref_target = make_target();
+    let mut ref_env: Box<dyn Environment> = match &make_env {
+        Some(f) => f(),
+        None => Box::new(envsim::NullEnvironment),
+    };
+    let reference =
+        algorithms::make_reference_run(&mut ref_target, campaign, ref_env.as_mut())?;
+
+    let n = campaign.faults.len();
+    let workers = workers.min(n.max(1));
+    let mut slots: Vec<Option<Result<ExperimentRecord>>> = Vec::new();
+    slots.resize_with(n, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_cells: Vec<parking_lot::Mutex<Option<Result<ExperimentRecord>>>> =
+        slots.into_iter().map(parking_lot::Mutex::new).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut target = make_target();
+                let mut env: Box<dyn Environment> = match &make_env {
+                    Some(f) => f(),
+                    None => Box::new(envsim::NullEnvironment),
+                };
+                loop {
+                    if monitor.checkpoint().is_err() {
+                        return;
+                    }
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= n {
+                        return;
+                    }
+                    let result =
+                        algorithms::run_experiment(&mut target, campaign, index, env.as_mut());
+                    if let Ok(record) = &result {
+                        monitor.record(&record.termination);
+                    }
+                    let failed = result.is_err();
+                    *slot_cells[index].lock() = Some(result);
+                    if failed {
+                        // Let other workers finish their current item, but
+                        // claim no more work.
+                        monitor.stop();
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    if monitor.is_stopped() {
+        // Distinguish user stop from worker failure: surface the first
+        // worker error if any.
+        for cell in &slot_cells {
+            if let Some(Err(_)) = &*cell.lock() {
+                let err = cell.lock().take().expect("checked Some");
+                return Err(err.expect_err("checked Err"));
+            }
+        }
+        return Err(GoofiError::Stopped);
+    }
+
+    let mut records = Vec::with_capacity(n);
+    for cell in slot_cells {
+        match cell.into_inner() {
+            Some(Ok(record)) => records.push(record),
+            Some(Err(e)) => return Err(e),
+            None => return Err(GoofiError::Stopped),
+        }
+    }
+    Ok(CampaignResult { reference, records })
+}

@@ -1,0 +1,157 @@
+//! The target-system interface: GOOFI's abstract building blocks.
+//!
+//! The paper's `FaultInjectionAlgorithms` class declares abstract methods —
+//! `initTestCard()`, `loadWorkload()`, `runWorkload()`,
+//! `waitForBreakpoint()`, `writeMemory()`, `readMemory()`,
+//! `readScanChain()`, `injectFault()`, `writeScanChain()`,
+//! `waitForTermination()` — that each `TargetSystemInterface` implements
+//! (Figure 2). [`TargetAccess`] is the Rust rendering of that contract: the
+//! generic algorithms in [`crate::algorithms`] are written purely against
+//! this trait, and porting GOOFI to a new target system means implementing
+//! it (see [`crate::framework::NullTarget`] for the template).
+//!
+//! `injectFault()` and `waitForBreakpoint()`/`waitForTermination()` are not
+//! trait methods: they are *compositions* of building blocks (read chain →
+//! flip bits → write chain; run until event), provided once, generically, in
+//! [`crate::algorithms`].
+
+use crate::campaign::WorkloadImage;
+use crate::trigger::Trigger;
+use crate::Result;
+use scanchain::{BitVec, ChainLayout};
+
+/// Execution budget for one [`TargetAccess::run_workload`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum instructions to retire before returning
+    /// [`RunEvent::BudgetExhausted`].
+    pub max_instructions: u64,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_instructions: 10_000_000,
+        }
+    }
+}
+
+/// A detection reported by the target's error detection mechanisms,
+/// identified by the target-specific mechanism name (the analysis phase
+/// classifies "errors detected by each of the various mechanisms", §3.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetectionInfo {
+    /// Mechanism name, e.g. `"parity_icache"`.
+    pub mechanism: String,
+    /// Target-specific detection code (stored in the log).
+    pub code: u32,
+}
+
+/// Why a [`TargetAccess::run_workload`] call returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunEvent {
+    /// The workload ran to completion.
+    Halted,
+    /// An armed breakpoint (fault trigger) fired.
+    Breakpoint {
+        /// Instructions retired when it fired.
+        at_instruction: u64,
+        /// Cycles elapsed when it fired.
+        at_cycle: u64,
+    },
+    /// An error detection mechanism fired.
+    Detected(DetectionInfo),
+    /// The workload reached a loop-iteration boundary; the framework
+    /// exchanges data with the environment simulator and resumes.
+    IterationBoundary {
+        /// Completed iterations so far.
+        iteration: u64,
+    },
+    /// The target's watchdog/time-out termination condition fired.
+    Timeout,
+    /// The per-call instruction budget ran out.
+    BudgetExhausted,
+}
+
+/// The abstract methods a target system implements to join GOOFI.
+///
+/// Implementations wrap whatever reaches the real target — for the Thor
+/// simulator that is a [`scanchain::TestCard`] plus direct memory download.
+/// All methods return [`crate::GoofiError::Unimplemented`]-style errors when
+/// the port has not filled them in; see [`crate::framework::NullTarget`].
+pub trait TargetAccess {
+    /// Stable target-system name (keys the `TargetSystemData` table).
+    fn target_name(&self) -> &str;
+
+    /// Initialises the test card / debug link (paper: `initTestCard()`).
+    fn init_test_card(&mut self) -> Result<()>;
+
+    /// Downloads the workload image and resets the core
+    /// (paper: `loadWorkload()`).
+    fn load_workload(&mut self, image: &WorkloadImage) -> Result<()>;
+
+    /// Resets the core without reloading memory.
+    fn reset_target(&mut self) -> Result<()>;
+
+    /// Writes words into target memory (paper: `writeMemory()`).
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()>;
+
+    /// Reads words from target memory (paper: `readMemory()`).
+    fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>>;
+
+    /// Inverts one bit of one memory word (the SWIFI primitive).
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<()>;
+
+    /// Total memory size in words.
+    fn memory_size(&self) -> u32;
+
+    /// Arms a breakpoint for the given trigger (set via the scan chains on
+    /// scan-instrumented targets).
+    ///
+    /// # Errors
+    ///
+    /// Fails for [`Trigger::PreRuntime`], which needs no breakpoint.
+    fn set_breakpoint(&mut self, trigger: Trigger) -> Result<()>;
+
+    /// Disarms all breakpoints.
+    fn clear_breakpoints(&mut self) -> Result<()>;
+
+    /// Runs the workload until an event occurs (paper: `runWorkload()` +
+    /// `waitForBreakpoint()`/`waitForTermination()`).
+    fn run_workload(&mut self, budget: RunBudget) -> Result<RunEvent>;
+
+    /// Executes a single instruction; `None` means execution continues.
+    /// Used by detail-mode logging ("the system state is logged … typically
+    /// after the execution of each machine instruction", §3.3).
+    fn step_instruction(&mut self) -> Result<Option<RunEvent>>;
+
+    /// The target's scan-chain layouts (configuration phase, Figure 5).
+    fn chain_layouts(&self) -> Vec<ChainLayout>;
+
+    /// Captures a full chain image (paper: `readScanChain()`).
+    fn read_scan_chain(&mut self, chain: &str) -> Result<BitVec>;
+
+    /// Updates a chain's writable cells (paper: `writeScanChain()`).
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> Result<()>;
+
+    /// Drives the target's input ports (environment simulator data).
+    fn write_input_ports(&mut self, inputs: &[u32]) -> Result<()>;
+
+    /// Reads the target's output-port latches.
+    fn read_output_ports(&mut self) -> Result<Vec<u32>>;
+
+    /// Instructions retired since the last reset.
+    fn instructions_executed(&self) -> u64;
+
+    /// Cycles elapsed since the last reset.
+    fn cycles_executed(&self) -> u64;
+
+    /// Workload loop iterations completed since the last reset.
+    fn iterations_completed(&self) -> u64;
+
+    /// Executes one instruction while recording which architectural
+    /// locations it read and wrote — the input to the pre-injection
+    /// (liveness) analysis. Targets without trace support may return
+    /// `Err(GoofiError::Unimplemented)`, which disables the optimisation.
+    fn step_traced(&mut self) -> Result<(Option<RunEvent>, crate::preinject::StepAccess)>;
+}

@@ -1,0 +1,507 @@
+//! Run-control tests of the generic algorithms against a scripted mock
+//! target — verifying the paper's Figure 2 call sequence and the
+//! termination/fault-model edge cases independently of any real CPU.
+
+use goofi_core::algorithms::{self, CampaignResult};
+use goofi_core::campaign::{Campaign, OutputRegion, Termination, WorkloadImage};
+use goofi_core::fault::{FaultLocation, FaultModel, FaultSpec};
+use goofi_core::logging::{LoggingMode, TerminationCause};
+use goofi_core::monitor::ProgressMonitor;
+use goofi_core::preinject::StepAccess;
+use goofi_core::trigger::Trigger;
+use goofi_core::{DetectionInfo, GoofiError, RunBudget, RunEvent, TargetAccess};
+use scanchain::{BitVec, CellAccess, ChainLayout};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A deterministic scripted target.
+///
+/// The "workload" runs for `workload_len` instructions and halts. A `sync`
+/// boundary fires every `iteration_every` instructions (if set). A
+/// detection fires at instruction `detect_at` (if set). Each instruction
+/// zeroes cell `A` of the scan chain — simulating hardware that overwrites
+/// the location every cycle, so persistent fault models must keep
+/// re-asserting.
+struct MockTarget {
+    layout: ChainLayout,
+    chain: BitVec,
+    memory: Vec<u32>,
+    instructions: u64,
+    iterations: u64,
+    workload_len: u64,
+    iteration_every: Option<u64>,
+    detect_at: Option<u64>,
+    breakpoint: Option<u64>,
+    halted: bool,
+    calls: Rc<RefCell<Vec<String>>>,
+    chain_writes: u64,
+}
+
+impl MockTarget {
+    fn new(workload_len: u64) -> Self {
+        let layout = ChainLayout::builder("internal")
+            .cell("A", 8, CellAccess::ReadWrite)
+            .cell("S", 4, CellAccess::ReadOnly)
+            .build();
+        MockTarget {
+            chain: BitVec::zeros(layout.total_bits()),
+            layout,
+            memory: vec![0; 64],
+            instructions: 0,
+            iterations: 0,
+            workload_len,
+            iteration_every: None,
+            detect_at: None,
+            breakpoint: None,
+            halted: false,
+            calls: Rc::new(RefCell::new(Vec::new())),
+            chain_writes: 0,
+        }
+    }
+
+    fn log(&self, call: &str) {
+        self.calls.borrow_mut().push(call.to_string());
+    }
+
+    fn exec_one(&mut self) -> Option<RunEvent> {
+        if self.halted {
+            return Some(RunEvent::Halted);
+        }
+        if self.breakpoint == Some(self.instructions) {
+            return Some(RunEvent::Breakpoint {
+                at_instruction: self.instructions,
+                at_cycle: self.instructions,
+            });
+        }
+        self.instructions += 1;
+        // The hardware rewrites cell A every instruction.
+        self.layout.write_cell(&mut self.chain, "A", 0).unwrap();
+        if self.detect_at == Some(self.instructions) {
+            return Some(RunEvent::Detected(DetectionInfo {
+                mechanism: "mock".into(),
+                code: 9,
+            }));
+        }
+        if self.instructions >= self.workload_len {
+            self.halted = true;
+            return Some(RunEvent::Halted);
+        }
+        if let Some(every) = self.iteration_every {
+            if self.instructions.is_multiple_of(every) {
+                self.iterations += 1;
+                return Some(RunEvent::IterationBoundary {
+                    iteration: self.iterations,
+                });
+            }
+        }
+        None
+    }
+}
+
+impl TargetAccess for MockTarget {
+    fn target_name(&self) -> &str {
+        "mock"
+    }
+    fn init_test_card(&mut self) -> goofi_core::Result<()> {
+        self.log("init_test_card");
+        Ok(())
+    }
+    fn load_workload(&mut self, _image: &WorkloadImage) -> goofi_core::Result<()> {
+        self.log("load_workload");
+        self.instructions = 0;
+        self.iterations = 0;
+        self.halted = false;
+        self.chain = BitVec::zeros(self.layout.total_bits());
+        Ok(())
+    }
+    fn reset_target(&mut self) -> goofi_core::Result<()> {
+        self.log("reset_target");
+        Ok(())
+    }
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> goofi_core::Result<()> {
+        self.log("write_memory");
+        for (i, w) in data.iter().enumerate() {
+            self.memory[addr as usize + i] = *w;
+        }
+        Ok(())
+    }
+    fn read_memory(&mut self, addr: u32, len: usize) -> goofi_core::Result<Vec<u32>> {
+        Ok(self.memory[addr as usize..addr as usize + len].to_vec())
+    }
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> goofi_core::Result<()> {
+        self.log("flip_memory_bit");
+        self.memory[addr as usize] ^= 1 << bit;
+        Ok(())
+    }
+    fn memory_size(&self) -> u32 {
+        self.memory.len() as u32
+    }
+    fn set_breakpoint(&mut self, trigger: Trigger) -> goofi_core::Result<()> {
+        self.log("set_breakpoint");
+        match trigger {
+            Trigger::AfterInstructions(n) => {
+                self.breakpoint = Some(n);
+                Ok(())
+            }
+            other => Err(GoofiError::Config(format!(
+                "mock target only supports instruction-count triggers, got {other}"
+            ))),
+        }
+    }
+    fn clear_breakpoints(&mut self) -> goofi_core::Result<()> {
+        self.log("clear_breakpoints");
+        self.breakpoint = None;
+        Ok(())
+    }
+    fn run_workload(&mut self, budget: RunBudget) -> goofi_core::Result<RunEvent> {
+        self.log("run_workload");
+        for _ in 0..budget.max_instructions {
+            if let Some(ev) = self.exec_one() {
+                return Ok(ev);
+            }
+        }
+        Ok(RunEvent::BudgetExhausted)
+    }
+    fn step_instruction(&mut self) -> goofi_core::Result<Option<RunEvent>> {
+        Ok(self.exec_one())
+    }
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        vec![self.layout.clone()]
+    }
+    fn read_scan_chain(&mut self, chain: &str) -> goofi_core::Result<BitVec> {
+        self.log("read_scan_chain");
+        assert_eq!(chain, "internal");
+        Ok(self.chain.clone())
+    }
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> goofi_core::Result<()> {
+        self.log("write_scan_chain");
+        assert_eq!(chain, "internal");
+        self.chain = self.layout.masked_update(&self.chain, bits).unwrap();
+        self.chain_writes += 1;
+        Ok(())
+    }
+    fn write_input_ports(&mut self, _inputs: &[u32]) -> goofi_core::Result<()> {
+        self.log("write_input_ports");
+        Ok(())
+    }
+    fn read_output_ports(&mut self) -> goofi_core::Result<Vec<u32>> {
+        Ok(vec![self.instructions as u32])
+    }
+    fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+    fn cycles_executed(&self) -> u64 {
+        self.instructions
+    }
+    fn iterations_completed(&self) -> u64 {
+        self.iterations
+    }
+    fn step_traced(&mut self) -> goofi_core::Result<(Option<RunEvent>, StepAccess)> {
+        let ev = self.exec_one();
+        Ok((
+            ev,
+            StepAccess {
+                reads: vec![],
+                writes: vec!["internal:A".into()],
+            },
+        ))
+    }
+}
+
+fn scan_fault(trigger: Trigger, model: FaultModel) -> FaultSpec {
+    FaultSpec {
+        locations: vec![FaultLocation::ScanCell {
+            chain: "internal".into(),
+            cell: "A".into(),
+            bit: 2,
+        }],
+        model,
+        trigger,
+    }
+}
+
+fn campaign(faults: Vec<FaultSpec>, max_instructions: u64) -> Campaign {
+    Campaign::builder("mock")
+        .workload(WorkloadImage {
+            name: "mock-wl".into(),
+            words: vec![0],
+            code_words: 1,
+            entry: 0,
+        })
+        .observe_chains(["internal"])
+        .output(OutputRegion::Ports)
+        .termination(Termination {
+            max_instructions,
+            max_iterations: None,
+        })
+        .faults(faults)
+        .build()
+        .unwrap()
+}
+
+fn run_one(target: &mut MockTarget, c: &Campaign) -> CampaignResult {
+    algorithms::run_campaign(
+        target,
+        c,
+        &ProgressMonitor::new(c.experiment_count()),
+        &mut envsim::NullEnvironment,
+    )
+    .unwrap()
+}
+
+#[test]
+fn scifi_experiment_follows_figure_2_sequence() {
+    let mut target = MockTarget::new(100);
+    let c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(10),
+            FaultModel::TransientBitFlip,
+        )],
+        1_000,
+    );
+    let calls = Rc::clone(&target.calls);
+    let result = run_one(&mut target, &c);
+    assert_eq!(result.records[0].termination, TerminationCause::WorkloadEnd);
+
+    let calls = calls.borrow();
+    // Find where the experiment (after the reference run) begins.
+    let exp_start = calls
+        .iter()
+        .rposition(|c| c == "init_test_card")
+        .expect("experiment init");
+    let tail: Vec<&str> = calls[exp_start..].iter().map(String::as_str).collect();
+    // initTestCard; loadWorkload; (inputs); set_breakpoint; runWorkload;
+    // readScanChain; injectFault=write; clear; waitForTermination; logging.
+    let expect_order = [
+        "init_test_card",
+        "load_workload",
+        "write_input_ports",
+        "set_breakpoint",
+        "run_workload",
+        "clear_breakpoints",
+        "read_scan_chain",  // injectFault: read ...
+        "write_scan_chain", // ... invert, write back
+        "run_workload",     // waitForTermination
+        "read_scan_chain",  // final state logging
+    ];
+    let mut pos = 0;
+    for want in expect_order {
+        pos = tail[pos..]
+            .iter()
+            .position(|c| *c == want)
+            .unwrap_or_else(|| panic!("missing `{want}` after position {pos} in {tail:?}"))
+            + pos
+            + 1;
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_a_timeout() {
+    let mut target = MockTarget::new(1_000_000);
+    let c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(10),
+            FaultModel::TransientBitFlip,
+        )],
+        50, // tiny budget
+    );
+    let result = run_one(&mut target, &c);
+    assert_eq!(result.reference.termination, TerminationCause::Timeout);
+    assert_eq!(result.records[0].termination, TerminationCause::Timeout);
+}
+
+#[test]
+fn detection_during_wait_logs_detected_without_injection() {
+    let mut target = MockTarget::new(100);
+    target.detect_at = Some(5);
+    let c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(50),
+            FaultModel::TransientBitFlip,
+        )],
+        1_000,
+    );
+    let calls = Rc::clone(&target.calls);
+    let result = run_one(&mut target, &c);
+    match &result.records[0].termination {
+        TerminationCause::Detected(d) => assert_eq!(d.mechanism, "mock"),
+        other => panic!("expected detection, got {other:?}"),
+    }
+    // The fault was never injected: no chain write in the experiment.
+    let calls = calls.borrow();
+    let exp_start = calls.iter().rposition(|c| c == "init_test_card").unwrap();
+    assert!(!calls[exp_start..].iter().any(|c| c == "write_scan_chain"));
+}
+
+#[test]
+fn iteration_limit_terminates_before_trigger() {
+    let mut target = MockTarget::new(1_000_000);
+    target.iteration_every = Some(10);
+    let mut c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(500),
+            FaultModel::TransientBitFlip,
+        )],
+        10_000,
+    );
+    c.termination.max_iterations = Some(3);
+    let result = run_one(&mut target, &c);
+    assert_eq!(
+        result.records[0].termination,
+        TerminationCause::IterationLimit
+    );
+    assert_eq!(result.records[0].state.iterations, 3);
+}
+
+#[test]
+fn environment_exchanged_once_per_iteration() {
+    let mut target = MockTarget::new(1_000_000);
+    target.iteration_every = Some(10);
+    let mut c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(15),
+            FaultModel::TransientBitFlip,
+        )],
+        10_000,
+    );
+    c.termination.max_iterations = Some(5);
+    let mut env = envsim::ScriptedEnvironment::new(vec![vec![1], vec![2]]);
+    algorithms::run_experiment(&mut target, &c, 0, &mut env).unwrap();
+    // 5 iterations, the last one terminates the run: 4 exchanges.
+    assert_eq!(env.observed().len(), 4);
+    // The environment saw the target's outputs (instruction counts).
+    assert_eq!(env.observed()[0], vec![10]);
+    assert_eq!(env.observed()[1], vec![20]);
+}
+
+#[test]
+fn memory_based_environment_exchange() {
+    // §3.2: data may be exchanged through "the memory locations holding
+    // output and input data within the target system".
+    let mut target = MockTarget::new(1_000);
+    target.iteration_every = Some(10);
+    target.memory[5] = 77; // the workload's output location
+    let mut c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(999),
+            FaultModel::TransientBitFlip,
+        )],
+        10_000,
+    );
+    c.termination.max_iterations = Some(3);
+    c.env_exchange = goofi_core::campaign::EnvExchange::Memory {
+        outputs: vec![5],
+        inputs: vec![6],
+    };
+    let mut env = envsim::ScriptedEnvironment::new(vec![vec![111], vec![222]]);
+    algorithms::run_experiment(&mut target, &c, 0, &mut env).unwrap();
+    // The environment saw the memory output location...
+    assert_eq!(env.observed(), [[77], [77]]);
+    // ...and its inputs landed in the designated input word.
+    assert_eq!(target.memory[6], 222);
+}
+
+#[test]
+fn transient_fault_writes_chain_exactly_once() {
+    let mut target = MockTarget::new(100);
+    let c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(10),
+            FaultModel::TransientBitFlip,
+        )],
+        1_000,
+    );
+    run_one(&mut target, &c);
+    assert_eq!(target.chain_writes, 1);
+}
+
+#[test]
+fn stuck_at_fault_reasserts_every_instruction() {
+    let mut target = MockTarget::new(50);
+    let c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(10),
+            FaultModel::StuckAtOne,
+        )],
+        1_000,
+    );
+    run_one(&mut target, &c);
+    // The mock zeroes cell A every instruction, so stuck-at-1 must
+    // re-write the chain after (almost) every one of the ~40 remaining
+    // instructions.
+    assert!(
+        target.chain_writes >= 35,
+        "only {} chain writes",
+        target.chain_writes
+    );
+    // And the bit is still forced at the end.
+    let layout = target.layout.clone();
+    assert_eq!(layout.read_cell(&target.chain, "A").unwrap() & 0b100, 0b100);
+}
+
+#[test]
+fn intermittent_fault_bursts_count() {
+    let mut target = MockTarget::new(200);
+    let c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(10),
+            FaultModel::Intermittent {
+                period: 20,
+                bursts: 4,
+            },
+        )],
+        1_000,
+    );
+    run_one(&mut target, &c);
+    // One initial injection plus three re-injections.
+    assert_eq!(target.chain_writes, 4);
+}
+
+#[test]
+fn detail_mode_reference_and_experiment_traces_align() {
+    let mut target = MockTarget::new(30);
+    let mut c = campaign(
+        vec![scan_fault(
+            Trigger::AfterInstructions(10),
+            FaultModel::TransientBitFlip,
+        )],
+        1_000,
+    );
+    c.logging = LoggingMode::Detail;
+    let result = run_one(&mut target, &c);
+    assert_eq!(result.reference.trace.len(), 30);
+    assert_eq!(result.records[0].trace.len(), 30);
+    // Pre-injection prefix identical, post-injection state reflects the
+    // (immediately overwritten) flip only in cycle counters.
+    for step in 0..10 {
+        assert_eq!(
+            result.reference.trace[step], result.records[0].trace[step],
+            "step {step}"
+        );
+    }
+}
+
+#[test]
+fn swifi_runtime_uses_memory_primitive() {
+    let mut target = MockTarget::new(100);
+    let mut c = campaign(
+        vec![FaultSpec {
+            locations: vec![FaultLocation::Memory { addr: 7, bit: 3 }],
+            model: FaultModel::TransientBitFlip,
+            trigger: Trigger::AfterInstructions(10),
+        }],
+        1_000,
+    );
+    c.technique = goofi_core::campaign::Technique::SwifiRuntime;
+    let calls = Rc::clone(&target.calls);
+    let result = algorithms::faultinjector_swifi(
+        &mut target,
+        &c,
+        &ProgressMonitor::new(1),
+        &mut envsim::NullEnvironment,
+    )
+    .unwrap();
+    assert_eq!(result.records.len(), 1);
+    assert!(calls.borrow().iter().any(|c| c == "flip_memory_bit"));
+    assert_eq!(target.memory[7], 1 << 3);
+}

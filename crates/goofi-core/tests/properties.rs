@@ -1,0 +1,179 @@
+//! Property-based tests for framework data types and their database
+//! encodings.
+
+use goofi_core::campaign::{OutputRegion, Technique, WorkloadImage};
+use goofi_core::fault::{FaultLocation, FaultModel, FaultSpec};
+use goofi_core::logging::{StateSnapshot, TerminationCause};
+use goofi_core::trigger::Trigger;
+use goofi_core::DetectionInfo;
+use proptest::prelude::*;
+
+fn arb_trigger() -> impl Strategy<Value = Trigger> {
+    prop_oneof![
+        Just(Trigger::PreRuntime),
+        any::<u32>().prop_map(Trigger::Breakpoint),
+        any::<u64>().prop_map(Trigger::AfterInstructions),
+        any::<u32>().prop_map(Trigger::DataAccess),
+        any::<u32>().prop_map(Trigger::DataWrite),
+        Just(Trigger::BranchExecuted),
+        Just(Trigger::CallExecuted),
+        any::<u64>().prop_map(Trigger::AfterCycles),
+    ]
+}
+
+fn arb_location() -> impl Strategy<Value = FaultLocation> {
+    prop_oneof![
+        ("[a-z]{1,8}", "[A-Z][A-Z0-9.]{0,8}", 0usize..64).prop_map(|(chain, cell, bit)| {
+            FaultLocation::ScanCell { chain, cell, bit }
+        }),
+        (any::<u32>(), 0u8..32).prop_map(|(addr, bit)| FaultLocation::Memory { addr, bit }),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = FaultModel> {
+    prop_oneof![
+        Just(FaultModel::TransientBitFlip),
+        Just(FaultModel::StuckAtZero),
+        Just(FaultModel::StuckAtOne),
+        (1u64..10_000, 1u32..100)
+            .prop_map(|(period, bursts)| FaultModel::Intermittent { period, bursts }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (
+        proptest::collection::vec(arb_location(), 1..4),
+        arb_model(),
+        arb_trigger(),
+    )
+        .prop_map(|(locations, model, trigger)| FaultSpec {
+            locations,
+            model,
+            trigger,
+        })
+}
+
+fn arb_termination() -> impl Strategy<Value = TerminationCause> {
+    prop_oneof![
+        Just(TerminationCause::WorkloadEnd),
+        Just(TerminationCause::Timeout),
+        Just(TerminationCause::IterationLimit),
+        ("[a-z_]{1,16}", any::<u32>()).prop_map(|(mechanism, code)| {
+            TerminationCause::Detected(DetectionInfo { mechanism, code })
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn trigger_roundtrip(t in arb_trigger()) {
+        prop_assert_eq!(Trigger::decode(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn location_roundtrip(l in arb_location()) {
+        prop_assert_eq!(FaultLocation::decode(&l.encode()), Some(l));
+    }
+
+    #[test]
+    fn model_roundtrip(m in arb_model()) {
+        prop_assert_eq!(FaultModel::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn spec_roundtrip(s in arb_spec()) {
+        prop_assert_eq!(FaultSpec::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn termination_roundtrip(t in arb_termination()) {
+        prop_assert_eq!(TerminationCause::decode(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn workload_words_roundtrip(words in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let img = WorkloadImage {
+            name: "w".into(),
+            words: words.clone(),
+            code_words: 0,
+            entry: 0,
+        };
+        prop_assert_eq!(WorkloadImage::decode_words(&img.encode_words()), Some(words));
+    }
+
+    #[test]
+    fn output_region_roundtrip(addr: u32, len: u32, ports: bool) {
+        let o = if ports {
+            OutputRegion::Ports
+        } else {
+            OutputRegion::Memory { addr, len }
+        };
+        prop_assert_eq!(OutputRegion::decode(&o.encode()), Some(o));
+    }
+
+    #[test]
+    fn technique_roundtrip(i in 0usize..4) {
+        let t = [
+            Technique::Scifi,
+            Technique::SwifiPreRuntime,
+            Technique::SwifiRuntime,
+            Technique::PinLevel,
+        ][i];
+        prop_assert_eq!(Technique::decode(t.encode()), Some(t));
+    }
+
+    #[test]
+    fn snapshot_roundtrip(
+        chains in proptest::collection::btree_map("[a-z]{1,8}", "[01]{0,64}", 0..4),
+        digest: u64,
+        outputs in proptest::collection::vec(any::<u32>(), 0..8),
+        iterations: u64,
+        instructions: u64,
+        cycles: u64,
+    ) {
+        let snap = StateSnapshot {
+            scan: chains,
+            memory_digest: digest,
+            outputs,
+            iterations,
+            instructions,
+            cycles,
+        };
+        prop_assert_eq!(StateSnapshot::decode(&snap.encode()), Some(snap));
+    }
+
+    #[test]
+    fn fault_space_samples_stay_in_bounds(
+        n in 1usize..50,
+        seed: u64,
+        mem_start in 0u32..1000,
+        mem_len in 1u32..1000,
+        t_end in 1u64..100_000,
+    ) {
+        use goofi_core::fault::FaultSpace;
+        use rand::SeedableRng;
+        let space = FaultSpace {
+            scan_cells: vec![("internal".into(), "R1".into(), 32)],
+            memory: Some(mem_start..mem_start + mem_len),
+            time_window: 0..t_end,
+        };
+        let specs = space.sample_campaign(n, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(specs.len(), n);
+        for s in specs {
+            match &s.locations[0] {
+                FaultLocation::ScanCell { cell, bit, .. } => {
+                    prop_assert_eq!(cell.as_str(), "R1");
+                    prop_assert!(*bit < 32);
+                }
+                FaultLocation::Memory { addr, bit } => {
+                    prop_assert!((mem_start..mem_start + mem_len).contains(addr));
+                    prop_assert!(*bit < 32);
+                }
+            }
+            match s.trigger {
+                Trigger::AfterInstructions(t) => prop_assert!(t < t_end),
+                other => prop_assert!(false, "unexpected trigger {other:?}"),
+            }
+        }
+    }
+}

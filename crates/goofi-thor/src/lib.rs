@@ -1,0 +1,373 @@
+//! The GOOFI `TargetSystemInterface` for the Thor-RD-like CPU simulator.
+//!
+//! This crate is the Rust equivalent of the paper's target-specific class:
+//! it implements every abstract building block of
+//! [`goofi_core::TargetAccess`] in terms of the `thor` simulator wrapped in
+//! a [`scanchain::TestCard`] — scan accesses walk the real TAP state
+//! machine, breakpoints are programmed into the debug unit, memory is
+//! downloaded through the test card, exactly as §3 of the paper describes
+//! for the real Thor RD.
+//!
+//! # Example
+//!
+//! ```
+//! use goofi_core::TargetAccess;
+//! use goofi_thor::ThorTarget;
+//!
+//! let mut target = ThorTarget::default();
+//! target.init_test_card().unwrap();
+//! assert_eq!(target.target_name(), "thor-rd");
+//! assert_eq!(target.chain_layouts().len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use goofi_core::campaign::WorkloadImage;
+use goofi_core::preinject::StepAccess;
+use goofi_core::trigger::Trigger;
+use goofi_core::{GoofiError, Result, RunBudget, RunEvent, TargetAccess};
+use goofi_core::DetectionInfo;
+use scanchain::{BitVec, ChainLayout, TestCard, TestCardStats};
+use thor::{AccessLog, Cpu, CpuConfig, StopReason, PORT_COUNT};
+
+/// The Thor target system behind a scan-chain test card.
+#[derive(Debug)]
+pub struct ThorTarget {
+    card: TestCard<Cpu>,
+}
+
+impl Default for ThorTarget {
+    fn default() -> Self {
+        Self::new(CpuConfig::default())
+    }
+}
+
+impl ThorTarget {
+    /// Creates a target with the given CPU configuration.
+    pub fn new(config: CpuConfig) -> Self {
+        ThorTarget {
+            card: TestCard::new(Cpu::new(config)),
+        }
+    }
+
+    /// Read access to the wrapped CPU (for assertions in tests/benches).
+    pub fn cpu(&self) -> &Cpu {
+        self.card.target()
+    }
+
+    /// Mutable access to the wrapped CPU.
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        self.card.target_mut()
+    }
+
+    /// Scan-traffic statistics (TCK cycles, bits shifted) — the cost model
+    /// for the logging-overhead experiment.
+    pub fn testcard_stats(&self) -> TestCardStats {
+        self.card.stats()
+    }
+
+    /// Resets the scan-traffic statistics.
+    pub fn reset_testcard_stats(&mut self) {
+        self.card.reset_stats();
+    }
+
+    fn map_stop(&mut self, stop: StopReason) -> RunEvent {
+        match stop {
+            StopReason::Halted => RunEvent::Halted,
+            StopReason::Detected(d) => RunEvent::Detected(DetectionInfo {
+                mechanism: d.mechanism().to_string(),
+                code: d.encode(),
+            }),
+            StopReason::DebugEvent(ev) => {
+                // Unlatch so execution can continue after injection.
+                self.card.target_mut().debug_unit_mut().clear();
+                RunEvent::Breakpoint {
+                    at_instruction: ev.at_instruction,
+                    at_cycle: ev.at_cycle,
+                }
+            }
+            StopReason::Sync { iteration, .. } => RunEvent::IterationBoundary { iteration },
+            StopReason::Timeout => RunEvent::Timeout,
+            StopReason::InstrLimit => RunEvent::BudgetExhausted,
+        }
+    }
+}
+
+fn scan_err(e: scanchain::ScanError) -> GoofiError {
+    GoofiError::Scan(e)
+}
+
+fn mem_err(e: thor::MemoryError) -> GoofiError {
+    GoofiError::Target(format!("memory access failed: {e}"))
+}
+
+impl TargetAccess for ThorTarget {
+    fn target_name(&self) -> &str {
+        "thor-rd"
+    }
+
+    fn init_test_card(&mut self) -> Result<()> {
+        self.card.init().map_err(scan_err)
+    }
+
+    fn load_workload(&mut self, image: &WorkloadImage) -> Result<()> {
+        let thor_image = thor::asm::Image {
+            words: image.words.clone(),
+            code_words: image.code_words,
+            entry: image.entry,
+            labels: Default::default(),
+        };
+        self.card
+            .target_mut()
+            .load_image(&thor_image)
+            .map_err(mem_err)
+    }
+
+    fn reset_target(&mut self) -> Result<()> {
+        self.card.target_mut().reset();
+        Ok(())
+    }
+
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
+        let cpu = self.card.target_mut();
+        cpu.memory_mut().load_block(addr, data).map_err(mem_err)?;
+        for offset in 0..data.len() as u32 {
+            cpu.invalidate_cached(addr + offset);
+        }
+        Ok(())
+    }
+
+    fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
+        self.card
+            .target()
+            .memory()
+            .read_block(addr, len)
+            .map_err(mem_err)
+    }
+
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<()> {
+        let cpu = self.card.target_mut();
+        cpu.memory_mut().flip_bit(addr, bit).map_err(mem_err)?;
+        // Keep the caches coherent with the tool-side write, or the fault
+        // would be masked by a stale cached copy.
+        cpu.invalidate_cached(addr);
+        Ok(())
+    }
+
+    fn memory_size(&self) -> u32 {
+        self.card.target().memory().len() as u32
+    }
+
+    fn set_breakpoint(&mut self, trigger: Trigger) -> Result<()> {
+        let condition = trigger.to_debug_condition().ok_or_else(|| {
+            GoofiError::Config("pre-runtime triggers need no breakpoint".into())
+        })?;
+        self.card.target_mut().debug_unit_mut().arm(condition);
+        Ok(())
+    }
+
+    fn clear_breakpoints(&mut self) -> Result<()> {
+        self.card.target_mut().debug_unit_mut().disarm_all();
+        Ok(())
+    }
+
+    fn run_workload(&mut self, budget: RunBudget) -> Result<RunEvent> {
+        let stop = self.card.target_mut().run(budget.max_instructions);
+        Ok(self.map_stop(stop))
+    }
+
+    fn step_instruction(&mut self) -> Result<Option<RunEvent>> {
+        let stop = self.card.target_mut().step();
+        Ok(stop.map(|s| self.map_stop(s)))
+    }
+
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        thor::ChainSet::names()
+            .iter()
+            .filter_map(|n| self.card.target().chains().by_name(n).cloned())
+            .collect()
+    }
+
+    fn read_scan_chain(&mut self, chain: &str) -> Result<BitVec> {
+        self.card.read_chain(chain).map_err(scan_err)
+    }
+
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> Result<()> {
+        self.card.write_chain(chain, bits).map(|_| ()).map_err(scan_err)
+    }
+
+    fn write_input_ports(&mut self, inputs: &[u32]) -> Result<()> {
+        for (port, value) in inputs.iter().enumerate().take(PORT_COUNT) {
+            self.card.target_mut().set_in_port(port, *value);
+        }
+        Ok(())
+    }
+
+    fn read_output_ports(&mut self) -> Result<Vec<u32>> {
+        Ok((0..PORT_COUNT)
+            .map(|p| self.card.target().out_port(p))
+            .collect())
+    }
+
+    fn instructions_executed(&self) -> u64 {
+        self.card.target().instructions()
+    }
+
+    fn cycles_executed(&self) -> u64 {
+        self.card.target().cycles()
+    }
+
+    fn iterations_completed(&self) -> u64 {
+        self.card.target().iterations()
+    }
+
+    fn step_traced(&mut self) -> Result<(Option<RunEvent>, StepAccess)> {
+        let mut log = AccessLog::default();
+        let stop = self.card.target_mut().step_logged(&mut log);
+        let mut access = StepAccess::default();
+        for r in &log.reg_reads {
+            access.reads.push(format!("internal:R{}", r.index()));
+        }
+        for w in &log.reg_writes {
+            access.writes.push(format!("internal:R{}", w.index()));
+        }
+        if log.flags_read {
+            access.reads.push("internal:FLAGS".to_string());
+        }
+        if log.flags_written {
+            access.writes.push("internal:FLAGS".to_string());
+        }
+        for addr in &log.mem_reads {
+            access.reads.push(format!("mem:{addr}"));
+        }
+        for addr in &log.mem_writes {
+            access.writes.push(format!("mem:{addr}"));
+        }
+        Ok((stop.map(|s| self.map_stop(s)), access))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(src: &str) -> WorkloadImage {
+        let image = thor::asm::assemble(src).unwrap();
+        WorkloadImage {
+            name: "test".into(),
+            words: image.words,
+            code_words: image.code_words,
+            entry: image.entry,
+        }
+    }
+
+    fn ready(src: &str) -> ThorTarget {
+        let mut t = ThorTarget::default();
+        t.init_test_card().unwrap();
+        t.load_workload(&workload(src)).unwrap();
+        t
+    }
+
+    #[test]
+    fn run_maps_halt() {
+        let mut t = ready("ldi r1, 1\nhalt");
+        assert_eq!(
+            t.run_workload(RunBudget::default()).unwrap(),
+            RunEvent::Halted
+        );
+        assert_eq!(t.instructions_executed(), 2);
+        assert!(t.cycles_executed() > 0);
+    }
+
+    #[test]
+    fn breakpoint_maps_and_unlatches() {
+        let mut t = ready("nop\nnop\nnop\nhalt");
+        t.set_breakpoint(Trigger::Breakpoint(2)).unwrap();
+        match t.run_workload(RunBudget::default()).unwrap() {
+            RunEvent::Breakpoint { at_instruction, .. } => assert_eq!(at_instruction, 2),
+            other => panic!("expected breakpoint, got {other:?}"),
+        }
+        t.clear_breakpoints().unwrap();
+        assert_eq!(
+            t.run_workload(RunBudget::default()).unwrap(),
+            RunEvent::Halted
+        );
+    }
+
+    #[test]
+    fn detection_maps_mechanism_name() {
+        let mut t = ready("trap 5");
+        match t.run_workload(RunBudget::default()).unwrap() {
+            RunEvent::Detected(d) => assert_eq!(d.mechanism, "assertion"),
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_maps_to_iteration_boundary() {
+        let mut t = ready("loop: sync 0\nbr loop");
+        assert_eq!(
+            t.run_workload(RunBudget::default()).unwrap(),
+            RunEvent::IterationBoundary { iteration: 1 }
+        );
+        assert_eq!(t.iterations_completed(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_maps() {
+        let mut t = ready("loop: br loop");
+        assert_eq!(
+            t.run_workload(RunBudget { max_instructions: 5 }).unwrap(),
+            RunEvent::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn memory_roundtrip_and_flip() {
+        let mut t = ready("halt");
+        t.write_memory(100, &[0b100, 7]).unwrap();
+        assert_eq!(t.read_memory(100, 2).unwrap(), vec![0b100, 7]);
+        t.flip_memory_bit(100, 2).unwrap();
+        assert_eq!(t.read_memory(100, 1).unwrap(), vec![0]);
+        assert!(t.read_memory(t.memory_size(), 1).is_err());
+    }
+
+    #[test]
+    fn scan_chain_access_through_card() {
+        let mut t = ready("ldi r4, 44\nhalt");
+        t.run_workload(RunBudget::default()).unwrap();
+        let layout = t
+            .chain_layouts()
+            .into_iter()
+            .find(|l| l.name() == "internal")
+            .unwrap();
+        let bits = t.read_scan_chain("internal").unwrap();
+        assert_eq!(layout.read_cell(&bits, "R4").unwrap(), 44);
+    }
+
+    #[test]
+    fn pre_runtime_trigger_rejected_as_breakpoint() {
+        let mut t = ready("halt");
+        assert!(t.set_breakpoint(Trigger::PreRuntime).is_err());
+    }
+
+    #[test]
+    fn io_ports() {
+        let mut t = ready("in r1, 0\nout 1, r1\nhalt");
+        t.write_input_ports(&[123]).unwrap();
+        t.run_workload(RunBudget::default()).unwrap();
+        assert_eq!(t.read_output_ports().unwrap()[1], 123);
+    }
+
+    #[test]
+    fn step_traced_reports_locations() {
+        let mut t = ready("ldi r1, 3\nst r0, r1, 60\nhalt");
+        let (ev, acc) = t.step_traced().unwrap();
+        assert!(ev.is_none());
+        assert_eq!(acc.writes, vec!["internal:R1"]);
+        let (_, acc) = t.step_traced().unwrap();
+        assert!(acc.writes.contains(&"mem:60".to_string()));
+        assert!(acc.reads.contains(&"internal:R1".to_string()));
+    }
+}

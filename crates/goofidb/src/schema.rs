@@ -1,0 +1,273 @@
+//! Table schemas: columns, types, primary and foreign keys.
+
+use crate::value::Value;
+use crate::DbError;
+use std::fmt;
+
+/// SQL column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Integer,
+    /// Double-precision float.
+    Real,
+    /// UTF-8 string.
+    Text,
+}
+
+impl ColumnType {
+    /// SQL keyword for this type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ColumnType::Integer => "INTEGER",
+            ColumnType::Real => "REAL",
+            ColumnType::Text => "TEXT",
+        }
+    }
+
+    /// Parses a SQL type keyword (case-insensitive).
+    pub fn parse(s: &str) -> Option<ColumnType> {
+        match s.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" => Some(ColumnType::Integer),
+            "REAL" | "FLOAT" | "DOUBLE" => Some(ColumnType::Real),
+            "TEXT" | "VARCHAR" | "STRING" => Some(ColumnType::Text),
+            _ => None,
+        }
+    }
+
+    /// Whether `value` is acceptable in a column of this type.
+    ///
+    /// NULL is accepted by every type; integers widen to REAL.
+    pub fn accepts(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Integer, Value::Int(_))
+                | (ColumnType::Real, Value::Real(_) | Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+    /// Whether this column is the table's primary key.
+    pub primary_key: bool,
+}
+
+impl ColumnDef {
+    /// Creates a plain column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            primary_key: false,
+        }
+    }
+
+    /// Creates a primary-key column.
+    pub fn primary(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            primary_key: true,
+        }
+    }
+}
+
+/// A foreign-key constraint: `column` must reference an existing value of
+/// `ref_column` in `ref_table` (which must be that table's primary key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in this table.
+    pub column: String,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced (primary key) column.
+    pub ref_column: String,
+}
+
+impl fmt::Display for ForeignKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}.{}", self.column, self.ref_table, self.ref_column)
+    }
+}
+
+/// The schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Foreign-key constraints.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty/duplicate column lists, more than one primary key, a
+    /// REAL primary key, and foreign keys naming unknown local columns.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        foreign_keys: Vec<ForeignKey>,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(DbError::Execution(format!("table `{name}` has no columns")));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DbError::Execution(format!(
+                    "duplicate column `{}` in table `{name}`",
+                    c.name
+                )));
+            }
+        }
+        let pk_count = columns.iter().filter(|c| c.primary_key).count();
+        if pk_count > 1 {
+            return Err(DbError::Execution(format!(
+                "table `{name}` declares {pk_count} primary keys"
+            )));
+        }
+        if let Some(pk) = columns.iter().find(|c| c.primary_key) {
+            if pk.ty == ColumnType::Real {
+                return Err(DbError::BadPrimaryKey {
+                    table: name,
+                    reason: "REAL columns cannot be primary keys".into(),
+                });
+            }
+        }
+        for fk in &foreign_keys {
+            if !columns.iter().any(|c| c.name == fk.column) {
+                return Err(DbError::NoSuchColumn(fk.column.clone()));
+            }
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            foreign_keys,
+        })
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary-key column index, if the table has one.
+    pub fn primary_key_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_acceptance() {
+        assert!(ColumnType::Integer.accepts(&Value::Int(1)));
+        assert!(!ColumnType::Integer.accepts(&Value::Real(1.0)));
+        assert!(ColumnType::Real.accepts(&Value::Int(1)));
+        assert!(ColumnType::Real.accepts(&Value::Real(1.0)));
+        assert!(ColumnType::Text.accepts(&Value::text("x")));
+        assert!(!ColumnType::Text.accepts(&Value::Int(1)));
+        assert!(ColumnType::Text.accepts(&Value::Null));
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(ColumnType::parse("integer"), Some(ColumnType::Integer));
+        assert_eq!(ColumnType::parse("VARCHAR"), Some(ColumnType::Text));
+        assert_eq!(ColumnType::parse("blob"), None);
+    }
+
+    #[test]
+    fn schema_validation() {
+        let ok = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::primary("id", ColumnType::Integer),
+                ColumnDef::new("x", ColumnType::Real),
+            ],
+            vec![],
+        );
+        assert!(ok.is_ok());
+
+        let dup = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnType::Integer),
+                ColumnDef::new("a", ColumnType::Text),
+            ],
+            vec![],
+        );
+        assert!(dup.is_err());
+
+        let two_pks = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::primary("a", ColumnType::Integer),
+                ColumnDef::primary("b", ColumnType::Integer),
+            ],
+            vec![],
+        );
+        assert!(two_pks.is_err());
+
+        let real_pk = TableSchema::new(
+            "t",
+            vec![ColumnDef::primary("a", ColumnType::Real)],
+            vec![],
+        );
+        assert!(matches!(real_pk, Err(DbError::BadPrimaryKey { .. })));
+
+        let bad_fk = TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ColumnType::Integer)],
+            vec![ForeignKey {
+                column: "zzz".into(),
+                ref_table: "other".into(),
+                ref_column: "id".into(),
+            }],
+        );
+        assert!(matches!(bad_fk, Err(DbError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn lookups() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::primary("id", ColumnType::Integer),
+                ColumnDef::new("x", ColumnType::Text),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(s.column_index("x"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.primary_key_index(), Some(0));
+        assert_eq!(s.column_names(), vec!["id", "x"]);
+    }
+}

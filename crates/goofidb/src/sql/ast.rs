@@ -1,0 +1,234 @@
+//! Abstract syntax of the SQL dialect.
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A parsed statement.
+///
+/// `Select` is by far the largest variant; statements are parsed once and
+/// executed immediately, so the size skew has no practical cost.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE …`
+    CreateTable(TableSchema),
+    /// `DROP TABLE name`
+    DropTable(String),
+    /// `INSERT INTO t (cols) VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list (empty = all columns in order).
+        columns: Vec<String>,
+        /// One literal row per `VALUES` tuple.
+        values: Vec<Vec<Expr>>,
+    },
+    /// `SELECT …`
+    Select(SelectStmt),
+    /// `UPDATE t SET c = e, … WHERE …`
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter (`None` = all rows).
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM t WHERE …`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter (`None` = all rows).
+        where_clause: Option<Expr>,
+    },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Whether duplicate output rows are removed (`SELECT DISTINCT`).
+    pub distinct: bool,
+    /// Projected expressions.
+    pub projections: Vec<Projection>,
+    /// Source table.
+    pub from: String,
+    /// Alias for the source table.
+    pub from_alias: Option<String>,
+    /// Optional inner join.
+    pub join: Option<JoinClause>,
+    /// Row filter.
+    pub where_clause: Option<Expr>,
+    /// Grouping expressions.
+    pub group_by: Vec<Expr>,
+    /// Output orderings: (output column name, descending).
+    pub order_by: Vec<(String, bool)>,
+    /// Row-count cap.
+    pub limit: Option<usize>,
+}
+
+/// `JOIN table [AS alias] ON left = right` (inner, equi-join).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined table.
+    pub table: String,
+    /// Alias for the joined table.
+    pub alias: Option<String>,
+    /// Left side of the equality.
+    pub on_left: Expr,
+    /// Right side of the equality.
+    pub on_right: Expr,
+}
+
+/// One projected output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Star,
+    /// An expression, optionally `AS alias`.
+    Expr(Expr, Option<String>),
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Parses a function name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name for default output column labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified: `t.c` or `c`.
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT e`
+    Not(Box<Expr>),
+    /// `e IS NULL` / `e IS NOT NULL` (`negated` = NOT form).
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether this is the `IS NOT NULL` form.
+        negated: bool,
+    },
+    /// `e LIKE 'pat%'`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+    },
+    /// Aggregate call: `COUNT(*)` has `arg = None`.
+    Aggregate {
+        /// Function.
+        func: AggFunc,
+        /// Argument (`None` = `*`).
+        arg: Option<Box<Expr>>,
+    },
+    /// `e IN (v1, v2, …)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+    },
+    /// `e BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Whether the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            Expr::Not(e) => e.has_aggregate(),
+            Expr::IsNull { expr, .. } => expr.has_aggregate(),
+            Expr::Like { expr, .. } => expr.has_aggregate(),
+            Expr::InList { expr, list } => {
+                expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
+            }
+            Expr::Between { expr, low, high } => {
+                expr.has_aggregate() || low.has_aggregate() || high.has_aggregate()
+            }
+            Expr::Literal(_) | Expr::Column { .. } => false,
+        }
+    }
+
+    /// Default output label for this expression.
+    pub fn default_label(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => format!("{}({})", func.name(), a.default_label()),
+                None => format!("{}(*)", func.name()),
+            },
+            Expr::Literal(v) => v.to_string(),
+            _ => "expr".to_string(),
+        }
+    }
+}

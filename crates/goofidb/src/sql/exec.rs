@@ -1,0 +1,548 @@
+//! Executor: evaluates parsed statements against a [`Database`].
+
+use super::ast::*;
+use crate::db::{Database, QueryResult};
+use crate::table::Row;
+use crate::value::Value;
+use crate::DbError;
+use std::cell::Cell;
+use std::cmp::Ordering;
+
+/// Executes a non-`SELECT` statement.
+pub(super) fn execute(db: &mut Database, stmt: Stmt) -> Result<usize, DbError> {
+    match stmt {
+        Stmt::CreateTable(schema) => {
+            db.create_table(schema)?;
+            Ok(0)
+        }
+        Stmt::DropTable(name) => {
+            db.drop_table(&name)?;
+            Ok(0)
+        }
+        Stmt::Insert {
+            table,
+            columns,
+            values,
+        } => {
+            let schema = db
+                .table(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?
+                .schema()
+                .clone();
+            let indices: Vec<usize> = if columns.is_empty() {
+                (0..schema.columns.len()).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        schema
+                            .column_index(c)
+                            .ok_or_else(|| DbError::NoSuchColumn(c.clone()))
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            let mut inserted = 0;
+            for tuple in values {
+                if tuple.len() != indices.len() {
+                    return Err(DbError::ArityMismatch {
+                        expected: indices.len(),
+                        got: tuple.len(),
+                    });
+                }
+                let mut row = vec![Value::Null; schema.columns.len()];
+                for (i, expr) in indices.iter().zip(tuple) {
+                    row[*i] = eval_literal(&expr)?;
+                }
+                db.insert(&table, row)?;
+                inserted += 1;
+            }
+            Ok(inserted)
+        }
+        Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let t = db
+                .table(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let scope = Scope::for_table(t.schema().name.as_str(), None, t.schema());
+            let set_indices: Vec<usize> = sets
+                .iter()
+                .map(|(c, _)| {
+                    t.schema()
+                        .column_index(c)
+                        .ok_or_else(|| DbError::NoSuchColumn(c.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            // Precompute per-row decisions so evaluation errors propagate.
+            let mut plan: Vec<Option<Vec<(usize, Value)>>> = Vec::with_capacity(t.len());
+            for row in t.iter() {
+                let matches = match &where_clause {
+                    Some(e) => eval_bool(e, &scope, row)? == Some(true),
+                    None => true,
+                };
+                if matches {
+                    let mut assignments = Vec::with_capacity(sets.len());
+                    for ((_, expr), idx) in sets.iter().zip(&set_indices) {
+                        assignments.push((*idx, eval_value(expr, &scope, row)?));
+                    }
+                    plan.push(Some(assignments));
+                } else {
+                    plan.push(None);
+                }
+            }
+            let counter = Cell::new(0usize);
+            let plan_pred = plan.clone();
+            db.update_where(
+                &table,
+                move |_| {
+                    let i = counter.get();
+                    counter.set(i + 1);
+                    plan_pred.get(i).is_some_and(|p| p.is_some())
+                },
+                {
+                    let applied = Cell::new(0usize);
+                    let updates: Vec<Vec<(usize, Value)>> =
+                        plan.into_iter().flatten().collect();
+                    move |row: &mut Row| {
+                        let i = applied.get();
+                        applied.set(i + 1);
+                        if let Some(assignments) = updates.get(i) {
+                            for (idx, v) in assignments {
+                                row[*idx] = v.clone();
+                            }
+                        }
+                    }
+                },
+            )
+        }
+        Stmt::Delete {
+            table,
+            where_clause,
+        } => {
+            let t = db
+                .table(&table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let scope = Scope::for_table(t.schema().name.as_str(), None, t.schema());
+            let mut mask = Vec::with_capacity(t.len());
+            for row in t.iter() {
+                mask.push(match &where_clause {
+                    Some(e) => eval_bool(e, &scope, row)? == Some(true),
+                    None => true,
+                });
+            }
+            let counter = Cell::new(0usize);
+            db.delete_where(&table, move |_| {
+                let i = counter.get();
+                counter.set(i + 1);
+                mask.get(i).copied().unwrap_or(false)
+            })
+        }
+        Stmt::Select(_) => unreachable!("routed to select()"),
+    }
+}
+
+/// Runs a `SELECT`.
+pub(super) fn select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
+    let base = db
+        .table(&stmt.from)
+        .ok_or_else(|| DbError::NoSuchTable(stmt.from.clone()))?;
+    let base_qual = stmt.from_alias.as_deref().unwrap_or(&stmt.from).to_string();
+    let mut scope = Scope::for_table(&base_qual, Some(&stmt.from), base.schema());
+    let mut rows: Vec<Row> = base.iter().cloned().collect();
+
+    if let Some(join) = &stmt.join {
+        let right = db
+            .table(&join.table)
+            .ok_or_else(|| DbError::NoSuchTable(join.table.clone()))?;
+        let right_qual = join.alias.as_deref().unwrap_or(&join.table).to_string();
+        scope.extend(&right_qual, Some(&join.table), right.schema());
+        let mut joined = Vec::new();
+        for l in &rows {
+            for r in right.iter() {
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                let lv = eval_value(&join.on_left, &scope, &combined)?;
+                let rv = eval_value(&join.on_right, &scope, &combined)?;
+                if lv.compare(&rv) == Some(Ordering::Equal) {
+                    joined.push(combined);
+                }
+            }
+        }
+        rows = joined;
+    }
+
+    if let Some(w) = &stmt.where_clause {
+        let mut kept = Vec::new();
+        for row in rows {
+            if eval_bool(w, &scope, &row)? == Some(true) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let has_aggregate = stmt.projections.iter().any(|p| match p {
+        Projection::Expr(e, _) => e.has_aggregate(),
+        Projection::Star => false,
+    });
+
+    // Output column labels.
+    let mut columns = Vec::new();
+    for p in &stmt.projections {
+        match p {
+            Projection::Star => columns.extend(scope.names()),
+            Projection::Expr(e, alias) => {
+                columns.push(alias.clone().unwrap_or_else(|| e.default_label()));
+            }
+        }
+    }
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    if has_aggregate || !stmt.group_by.is_empty() {
+        // Group rows.
+        let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+        for row in rows {
+            let key: Vec<Value> = stmt
+                .group_by
+                .iter()
+                .map(|e| eval_value(e, &scope, &row))
+                .collect::<Result<_, _>>()?;
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(row),
+                None => groups.push((key, vec![row])),
+            }
+        }
+        if groups.is_empty() && stmt.group_by.is_empty() {
+            // Aggregates over an empty input still produce one row.
+            groups.push((Vec::new(), Vec::new()));
+        }
+        for (_, members) in &groups {
+            let mut out = Vec::new();
+            for p in &stmt.projections {
+                match p {
+                    Projection::Star => {
+                        return Err(DbError::Execution(
+                            "SELECT * cannot be combined with aggregates".into(),
+                        ))
+                    }
+                    Projection::Expr(e, _) => {
+                        out.push(eval_aggregated(e, &scope, members)?);
+                    }
+                }
+            }
+            out_rows.push(out);
+        }
+    } else {
+        for row in &rows {
+            let mut out = Vec::new();
+            for p in &stmt.projections {
+                match p {
+                    Projection::Star => out.extend(row.iter().cloned()),
+                    Projection::Expr(e, _) => out.push(eval_value(e, &scope, row)?),
+                }
+            }
+            out_rows.push(out);
+        }
+    }
+
+    // SELECT DISTINCT: drop duplicate output rows, keeping first
+    // occurrences (before ORDER BY, as SQL does).
+    if stmt.distinct {
+        let mut unique: Vec<Row> = Vec::with_capacity(out_rows.len());
+        for row in out_rows {
+            if !unique.contains(&row) {
+                unique.push(row);
+            }
+        }
+        out_rows = unique;
+    }
+
+    // ORDER BY output columns.
+    for (name, desc) in stmt.order_by.iter().rev() {
+        let idx = columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| DbError::NoSuchColumn(format!("ORDER BY {name}")))?;
+        out_rows.sort_by(|a, b| {
+            let o = a[idx].order_key(&b[idx]);
+            if *desc {
+                o.reverse()
+            } else {
+                o
+            }
+        });
+    }
+    if let Some(limit) = stmt.limit {
+        out_rows.truncate(limit);
+    }
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scopes and evaluation.
+
+/// Column-name resolution scope over (possibly joined) rows.
+struct Scope {
+    /// (qualifier, real table name, column name) per row slot.
+    cols: Vec<(String, Option<String>, String)>,
+}
+
+impl Scope {
+    fn for_table(qualifier: &str, real: Option<&str>, schema: &crate::TableSchema) -> Scope {
+        let mut s = Scope { cols: Vec::new() };
+        s.extend(qualifier, real, schema);
+        s
+    }
+
+    fn extend(&mut self, qualifier: &str, real: Option<&str>, schema: &crate::TableSchema) {
+        for c in &schema.columns {
+            self.cols.push((
+                qualifier.to_string(),
+                real.map(str::to_string),
+                c.name.clone(),
+            ));
+        }
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.cols.iter().map(|(_, _, n)| n.clone()).collect()
+    }
+
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, DbError> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (qual, real, col))| {
+                col == name
+                    && table.is_none_or(|t| qual == t || real.as_deref() == Some(t))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(DbError::NoSuchColumn(match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_string(),
+            })),
+            _ => Err(DbError::Execution(format!("ambiguous column `{name}`"))),
+        }
+    }
+}
+
+fn eval_literal(expr: &Expr) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        other => Err(DbError::Execution(format!(
+            "expected a literal value, found {other:?}"
+        ))),
+    }
+}
+
+fn eval_value(expr: &Expr, scope: &Scope, row: &Row) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let idx = scope.resolve(table.as_deref(), name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Aggregate { .. } => Err(DbError::Execution(
+            "aggregate used outside of an aggregating SELECT".into(),
+        )),
+        // Boolean-valued expressions materialise as 0/1/NULL.
+        other => Ok(match eval_bool(other, scope, row)? {
+            Some(b) => Value::Int(b as i64),
+            None => Value::Null,
+        }),
+    }
+}
+
+/// Three-valued boolean evaluation (`None` = SQL UNKNOWN).
+fn eval_bool(expr: &Expr, scope: &Scope, row: &Row) -> Result<Option<bool>, DbError> {
+    match expr {
+        Expr::Binary { op, left, right } => match op {
+            BinOp::And => {
+                let l = eval_bool(left, scope, row)?;
+                let r = eval_bool(right, scope, row)?;
+                Ok(match (l, r) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                })
+            }
+            BinOp::Or => {
+                let l = eval_bool(left, scope, row)?;
+                let r = eval_bool(right, scope, row)?;
+                Ok(match (l, r) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            cmp => {
+                let l = eval_value(left, scope, row)?;
+                let r = eval_value(right, scope, row)?;
+                Ok(l.compare(&r).map(|o| match cmp {
+                    BinOp::Eq => o == Ordering::Equal,
+                    BinOp::Ne => o != Ordering::Equal,
+                    BinOp::Lt => o == Ordering::Less,
+                    BinOp::Le => o != Ordering::Greater,
+                    BinOp::Gt => o == Ordering::Greater,
+                    BinOp::Ge => o != Ordering::Less,
+                    BinOp::And | BinOp::Or => unreachable!(),
+                }))
+            }
+        },
+        Expr::Not(inner) => Ok(eval_bool(inner, scope, row)?.map(|b| !b)),
+        Expr::IsNull { expr, negated } => {
+            let v = eval_value(expr, scope, row)?;
+            Ok(Some(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list } => {
+            let v = eval_value(expr, scope, row)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            let mut unknown = false;
+            for candidate in list {
+                let c = eval_value(candidate, scope, row)?;
+                match v.compare(&c) {
+                    Some(Ordering::Equal) => return Ok(Some(true)),
+                    Some(_) => {}
+                    None => unknown = true,
+                }
+            }
+            Ok(if unknown { None } else { Some(false) })
+        }
+        Expr::Between { expr, low, high } => {
+            let v = eval_value(expr, scope, row)?;
+            let lo = eval_value(low, scope, row)?;
+            let hi = eval_value(high, scope, row)?;
+            match (v.compare(&lo), v.compare(&hi)) {
+                (Some(a), Some(b)) => Ok(Some(a != Ordering::Less && b != Ordering::Greater)),
+                _ => Ok(None),
+            }
+        }
+        Expr::Like { expr, pattern } => {
+            let v = eval_value(expr, scope, row)?;
+            match v {
+                Value::Null => Ok(None),
+                Value::Text(s) => Ok(Some(like_match(pattern, &s))),
+                other => Err(DbError::Execution(format!(
+                    "LIKE needs TEXT, got {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        // A bare value in boolean position: nonzero numbers are true.
+        other => {
+            let v = eval_value(other, scope, row)?;
+            Ok(match v {
+                Value::Null => None,
+                Value::Int(i) => Some(i != 0),
+                Value::Real(r) => Some(r != 0.0),
+                Value::Text(_) => Some(false),
+            })
+        }
+    }
+}
+
+/// Evaluates a projection expression over a whole group.
+fn eval_aggregated(expr: &Expr, scope: &Scope, group: &[Row]) -> Result<Value, DbError> {
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            let values: Vec<Value> = match arg {
+                None => return Ok(Value::Int(group.len() as i64)),
+                Some(a) => group
+                    .iter()
+                    .map(|r| eval_value(a, scope, r))
+                    .collect::<Result<_, _>>()?,
+            };
+            let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+            match func {
+                AggFunc::Count => Ok(Value::Int(non_null.len() as i64)),
+                AggFunc::Sum | AggFunc::Avg => {
+                    if non_null.is_empty() {
+                        return Ok(Value::Null);
+                    }
+                    let all_int = non_null.iter().all(|v| matches!(v, Value::Int(_)));
+                    let sum: f64 = non_null
+                        .iter()
+                        .map(|v| {
+                            v.as_real().ok_or_else(|| {
+                                DbError::Execution(format!(
+                                    "{} over non-numeric value",
+                                    func.name()
+                                ))
+                            })
+                        })
+                        .sum::<Result<f64, _>>()?;
+                    if *func == AggFunc::Avg {
+                        Ok(Value::Real(sum / non_null.len() as f64))
+                    } else if all_int {
+                        Ok(Value::Int(sum as i64))
+                    } else {
+                        Ok(Value::Real(sum))
+                    }
+                }
+                AggFunc::Min | AggFunc::Max => Ok(non_null
+                    .into_iter()
+                    .cloned()
+                    .reduce(|a, b| {
+                        let keep_a = match a.order_key(&b) {
+                            Ordering::Less | Ordering::Equal => *func == AggFunc::Min,
+                            Ordering::Greater => *func == AggFunc::Max,
+                        };
+                        if keep_a {
+                            a
+                        } else {
+                            b
+                        }
+                    })
+                    .unwrap_or(Value::Null)),
+            }
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        // Non-aggregate projections take their value from the first group
+        // member (they should appear in GROUP BY).
+        other => match group.first() {
+            Some(row) => eval_value(other, scope, row),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+/// SQL `LIKE`: `%` matches any run, `_` any single character.
+fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => (0..=t.len()).any(|i| rec(rest, &t[i..])),
+            Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
+            Some((c, rest)) => t.first() == Some(c) && rec(rest, &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("exp%", "exp_001"));
+        assert!(like_match("%001", "exp_001"));
+        assert!(like_match("e_p%1", "exp_001"));
+        assert!(!like_match("exp", "exp_001"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+    }
+}

@@ -1,0 +1,213 @@
+//! SQL tokenizer.
+
+use crate::DbError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Real(f64),
+    /// Single-quoted string literal ('' escapes a quote).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semicolon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Whether the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes SQL text.
+///
+/// # Errors
+///
+/// Returns a parse error on unterminated strings or stray characters.
+pub fn lex(sql: &str) -> Result<Vec<Token>, DbError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Sym(Sym::Dot));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Sym(Sym::Semicolon));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym(Sym::Ne));
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Sym(Sym::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Sym(Sym::Ne));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DbError::Parse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let (tok, next) = lex_number(&bytes, i + 1, true)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&bytes, i, false)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(bytes: &[char], mut i: usize, negative: bool) -> Result<(Token, usize), DbError> {
+    let start = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_real = false;
+    if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        is_real = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text: String = bytes[start..i].iter().collect();
+    let tok = if is_real {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| DbError::Parse(format!("bad number `{text}`")))?;
+        Token::Real(if negative { -v } else { v })
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| DbError::Parse(format!("bad number `{text}`")))?;
+        Token::Int(if negative { -v } else { v })
+    };
+    Ok((tok, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT a.b, -3, 2.5, 'it''s' FROM t WHERE x >= 1;").unwrap();
+        assert!(toks.contains(&Token::Int(-3)));
+        assert!(toks.contains(&Token::Real(2.5)));
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::Sym(Sym::Ge)));
+        assert!(toks[0].is_kw("select"));
+    }
+
+    #[test]
+    fn ne_forms() {
+        assert!(lex("a != b").unwrap().contains(&Token::Sym(Sym::Ne)));
+        assert!(lex("a <> b").unwrap().contains(&Token::Sym(Sym::Ne)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("a ? b").is_err());
+    }
+}

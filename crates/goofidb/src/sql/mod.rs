@@ -1,0 +1,57 @@
+//! The SQL dialect: lexer, parser and executor.
+//!
+//! Supported statements (keywords are case-insensitive):
+//!
+//! ```sql
+//! CREATE TABLE t (id INTEGER PRIMARY KEY, x REAL, name TEXT,
+//!                 FOREIGN KEY (name) REFERENCES other(name));
+//! INSERT INTO t (id, x, name) VALUES (1, 2.5, 'a'), (2, NULL, 'b');
+//! SELECT a.id, COUNT(*) AS n FROM t AS a JOIN u ON a.name = u.name
+//!   WHERE x >= 2 AND name LIKE 'exp%' GROUP BY a.id
+//!   ORDER BY n DESC LIMIT 10;
+//! UPDATE t SET x = 3.5 WHERE id = 1;
+//! DELETE FROM t WHERE name = 'b';
+//! DROP TABLE t;
+//! ```
+//!
+//! Aggregates: `COUNT(*)`, `COUNT(col)`, `SUM`, `AVG`, `MIN`, `MAX`.
+//! `ORDER BY` references output columns (by name or alias).
+
+mod ast;
+mod exec;
+mod lexer;
+mod parser;
+
+pub use ast::{AggFunc, BinOp, Expr, Projection, SelectStmt, Stmt};
+pub use parser::parse;
+
+use crate::{Database, DbError, QueryResult};
+
+/// Parses and executes a non-`SELECT` statement; returns affected rows.
+///
+/// # Errors
+///
+/// Parse errors and any integrity violation raised by the operation.
+pub fn execute(db: &mut Database, sql: &str) -> Result<usize, DbError> {
+    let stmt = parse(sql)?;
+    match stmt {
+        Stmt::Select(_) => Err(DbError::Execution(
+            "use `query` for SELECT statements".into(),
+        )),
+        other => exec::execute(db, other),
+    }
+}
+
+/// Parses and runs a `SELECT`.
+///
+/// # Errors
+///
+/// Parse errors, unknown tables/columns.
+pub fn query(db: &Database, sql: &str) -> Result<QueryResult, DbError> {
+    match parse(sql)? {
+        Stmt::Select(s) => exec::select(db, &s),
+        _ => Err(DbError::Execution(
+            "use `execute` for non-SELECT statements".into(),
+        )),
+    }
+}

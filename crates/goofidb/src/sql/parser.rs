@@ -1,0 +1,598 @@
+//! Recursive-descent parser for the SQL dialect.
+
+use super::ast::*;
+use super::lexer::{lex, Sym, Token};
+use crate::schema::{ColumnDef, ColumnType, ForeignKey, TableSchema};
+use crate::value::Value;
+use crate::DbError;
+
+/// Parses one SQL statement.
+///
+/// # Errors
+///
+/// Returns [`DbError::Parse`] describing the first syntax problem.
+pub fn parse(sql: &str) -> Result<Stmt, DbError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(Sym::Semicolon); // optional trailing semicolon
+    if !p.at_end() {
+        return Err(DbError::Parse(format!(
+            "unexpected trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.peek() == Some(&Token::Sym(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<(), DbError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected {sym:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, DbError> {
+        if self.kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            return self.create_table();
+        }
+        if self.kw("DROP") {
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::DropTable(self.ident()?));
+        }
+        if self.kw("INSERT") {
+            self.expect_kw("INTO")?;
+            return self.insert();
+        }
+        if self.kw("SELECT") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        if self.kw("UPDATE") {
+            return self.update();
+        }
+        if self.kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let where_clause = if self.kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Delete {
+                table,
+                where_clause,
+            });
+        }
+        Err(DbError::Parse(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn create_table(&mut self) -> Result<Stmt, DbError> {
+        let name = self.ident()?;
+        self.expect_sym(Sym::LParen)?;
+        let mut columns = Vec::new();
+        let mut fks = Vec::new();
+        loop {
+            if self.kw("FOREIGN") {
+                self.expect_kw("KEY")?;
+                self.expect_sym(Sym::LParen)?;
+                let column = self.ident()?;
+                self.expect_sym(Sym::RParen)?;
+                self.expect_kw("REFERENCES")?;
+                let ref_table = self.ident()?;
+                self.expect_sym(Sym::LParen)?;
+                let ref_column = self.ident()?;
+                self.expect_sym(Sym::RParen)?;
+                fks.push(ForeignKey {
+                    column,
+                    ref_table,
+                    ref_column,
+                });
+            } else {
+                let col_name = self.ident()?;
+                let ty_name = self.ident()?;
+                let ty = ColumnType::parse(&ty_name)
+                    .ok_or_else(|| DbError::Parse(format!("unknown type `{ty_name}`")))?;
+                let mut primary = false;
+                if self.kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    primary = true;
+                }
+                columns.push(ColumnDef {
+                    name: col_name,
+                    ty,
+                    primary_key: primary,
+                });
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        Ok(Stmt::CreateTable(TableSchema::new(name, columns, fks)?))
+    }
+
+    fn insert(&mut self) -> Result<Stmt, DbError> {
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_sym(Sym::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut values = Vec::new();
+        loop {
+            self.expect_sym(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            values.push(row);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, DbError> {
+        let distinct = self.kw("DISTINCT");
+        let mut projections = Vec::new();
+        loop {
+            if self.eat_sym(Sym::Star) {
+                projections.push(Projection::Star);
+            } else {
+                let e = self.expr()?;
+                let alias = if self.kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                projections.push(Projection::Expr(e, alias));
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+        let from_alias = if self.kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let join = if self.kw("JOIN") {
+            let table = self.ident()?;
+            let alias = if self.kw("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            self.expect_kw("ON")?;
+            let on_left = self.primary()?;
+            self.expect_sym(Sym::Eq)?;
+            let on_right = self.primary()?;
+            Some(JoinClause {
+                table,
+                alias,
+                on_left,
+                on_right,
+            })
+        } else {
+            None
+        };
+        let where_clause = if self.kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.primary()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let name = self.ident()?;
+                let desc = if self.kw("DESC") {
+                    true
+                } else {
+                    self.kw("ASC");
+                    false
+                };
+                order_by.push((name, desc));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(DbError::Parse(format!("bad LIMIT {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            from_alias,
+            join,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn update(&mut self) -> Result<Stmt, DbError> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_sym(Sym::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    // expr := and_expr (OR and_expr)*
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.and_expr()?;
+        while self.kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    // and_expr := not_expr (AND not_expr)*
+    fn and_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.not_expr()?;
+        while self.kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, DbError> {
+        if self.kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    // comparison := primary [(op primary) | IS [NOT] NULL | LIKE 'pat']
+    fn comparison(&mut self) -> Result<Expr, DbError> {
+        let left = self.primary()?;
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Sym(Sym::Ne)) => Some(BinOp::Ne),
+            Some(Token::Sym(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(BinOp::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.primary()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        if self.kw("IS") {
+            let negated = self.kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        if self.kw("LIKE") {
+            match self.next() {
+                Some(Token::Str(pattern)) => {
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                    })
+                }
+                other => return Err(DbError::Parse(format!("bad LIKE pattern {other:?}"))),
+            }
+        }
+        if self.kw("IN") {
+            self.expect_sym(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.primary()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+            });
+        }
+        if self.kw("BETWEEN") {
+            let low = self.primary()?;
+            self.expect_kw("AND")?;
+            let high = self.primary()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        Ok(left)
+    }
+
+    // primary := literal | agg(expr|*) | [table.]column | ( expr )
+    fn primary(&mut self) -> Result<Expr, DbError> {
+        if self.eat_sym(Sym::LParen) {
+            let e = self.expr()?;
+            self.expect_sym(Sym::RParen)?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token::Real(r)) => Ok(Expr::Literal(Value::Real(r))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("NULL") => {
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Ident(id)) => {
+                // Aggregate call?
+                if let Some(func) = AggFunc::parse(&id) {
+                    if self.eat_sym(Sym::LParen) {
+                        let arg = if self.eat_sym(Sym::Star) {
+                            None
+                        } else {
+                            Some(Box::new(self.primary()?))
+                        };
+                        self.expect_sym(Sym::RParen)?;
+                        return Ok(Expr::Aggregate { func, arg });
+                    }
+                }
+                // Qualified column?
+                if self.eat_sym(Sym::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(id),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    table: None,
+                    name: id,
+                })
+            }
+            other => Err(DbError::Parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_with_fk() {
+        let s = parse(
+            "CREATE TABLE c (id INTEGER PRIMARY KEY, t TEXT,
+             FOREIGN KEY (t) REFERENCES targets(name))",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateTable(sch) => {
+                assert_eq!(sch.name, "c");
+                assert_eq!(sch.columns.len(), 2);
+                assert!(sch.columns[0].primary_key);
+                assert_eq!(sch.foreign_keys.len(), 1);
+                assert_eq!(sch.foreign_keys[0].ref_table, "targets");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Stmt::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(values.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn full_select() {
+        let s = parse(
+            "SELECT a.x, COUNT(*) AS n FROM t AS a JOIN u ON a.id = u.id
+             WHERE x >= 2 AND name LIKE 'e%' GROUP BY a.x
+             ORDER BY n DESC LIMIT 5;",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.projections.len(), 2);
+                assert_eq!(sel.from, "t");
+                assert_eq!(sel.from_alias.as_deref(), Some("a"));
+                assert!(sel.join.is_some());
+                assert!(sel.where_clause.is_some());
+                assert_eq!(sel.group_by.len(), 1);
+                assert_eq!(sel.order_by, vec![("n".to_string(), true)]);
+                assert_eq!(sel.limit, Some(5));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn where_precedence() {
+        // a = 1 OR b = 2 AND c = 3  parses as  a=1 OR (b=2 AND c=3)
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match s {
+            Stmt::Select(sel) => match sel.where_clause.unwrap() {
+                Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                    Expr::Binary { op: BinOp::And, .. } => {}
+                    _ => panic!("AND should bind tighter"),
+                },
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let s = parse("SELECT * FROM t WHERE NOT a IS NULL AND b IS NOT NULL").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert!(sel.where_clause.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        assert!(matches!(
+            parse("UPDATE t SET a = 1, b = 'x' WHERE id = 3").unwrap(),
+            Stmt::Update { .. }
+        ));
+        assert!(matches!(
+            parse("DELETE FROM t").unwrap(),
+            Stmt::Delete { where_clause: None, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse("INSERT t VALUES (1)").is_err());
+        assert!(parse("SELECT * FROM t WHERE a LIKE 5").is_err());
+        assert!(parse("SELECT * FROM t; garbage").is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end SQL tests: the exact query shapes the GOOFI analysis phase
+//! runs over `LoggedSystemState`.
+
+use goofidb::{Database, DbError, Value};
+
+fn campaign_db() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE campaigns (name TEXT PRIMARY KEY, target TEXT, experiments INTEGER)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE logged (experiment TEXT PRIMARY KEY, campaign TEXT,
+         outcome TEXT, mechanism TEXT, cycles INTEGER, score REAL,
+         FOREIGN KEY (campaign) REFERENCES campaigns(name))",
+    )
+    .unwrap();
+    db.execute("INSERT INTO campaigns (name, target, experiments) VALUES ('c1', 'thor', 6)")
+        .unwrap();
+    db.execute("INSERT INTO campaigns (name, target, experiments) VALUES ('c2', 'thor', 2)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO logged (experiment, campaign, outcome, mechanism, cycles, score) VALUES
+         ('e1', 'c1', 'detected', 'parity_icache', 100, 0.5),
+         ('e2', 'c1', 'detected', 'parity_dcache', 150, 0.25),
+         ('e3', 'c1', 'escaped',  NULL,            900, 0.0),
+         ('e4', 'c1', 'latent',   NULL,            500, NULL),
+         ('e5', 'c1', 'overwritten', NULL,         400, 1.0),
+         ('e6', 'c1', 'detected', 'parity_icache', 120, 0.75),
+         ('e7', 'c2', 'overwritten', NULL,         300, 0.5),
+         ('e8', 'c2', 'escaped',  NULL,            800, 0.5)",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn outcome_distribution_group_by() {
+    let db = campaign_db();
+    let r = db
+        .query(
+            "SELECT outcome, COUNT(*) AS n FROM logged
+             WHERE campaign = 'c1' GROUP BY outcome ORDER BY n DESC, outcome",
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["outcome", "n"]);
+    assert_eq!(r.rows[0], vec![Value::text("detected"), Value::Int(3)]);
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn per_mechanism_breakdown() {
+    let db = campaign_db();
+    let r = db
+        .query(
+            "SELECT mechanism, COUNT(*) AS n FROM logged
+             WHERE outcome = 'detected' GROUP BY mechanism ORDER BY n DESC",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::text("parity_icache"));
+    assert_eq!(r.rows[0][1], Value::Int(2));
+}
+
+#[test]
+fn join_campaigns_to_logs() {
+    let db = campaign_db();
+    let r = db
+        .query(
+            "SELECT campaigns.target, logged.experiment FROM logged
+             JOIN campaigns ON logged.campaign = campaigns.name
+             WHERE campaigns.name = 'c2' ORDER BY experiment",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0], vec![Value::text("thor"), Value::text("e7")]);
+}
+
+#[test]
+fn aliased_join() {
+    let db = campaign_db();
+    let r = db
+        .query(
+            "SELECT c.experiments AS total, COUNT(*) AS logged_n
+             FROM logged AS l JOIN campaigns AS c ON l.campaign = c.name
+             WHERE c.name = 'c1'",
+        )
+        .unwrap();
+    assert_eq!(r.get(0, "total"), Some(&Value::Int(6)));
+    assert_eq!(r.get(0, "logged_n"), Some(&Value::Int(6)));
+}
+
+#[test]
+fn aggregates_sum_avg_min_max() {
+    let db = campaign_db();
+    let r = db
+        .query(
+            "SELECT SUM(cycles) AS s, AVG(cycles) AS a, MIN(cycles) AS lo, MAX(cycles) AS hi
+             FROM logged WHERE campaign = 'c2'",
+        )
+        .unwrap();
+    assert_eq!(r.get(0, "s"), Some(&Value::Int(1100)));
+    assert_eq!(r.get(0, "a"), Some(&Value::Real(550.0)));
+    assert_eq!(r.get(0, "lo"), Some(&Value::Int(300)));
+    assert_eq!(r.get(0, "hi"), Some(&Value::Int(800)));
+}
+
+#[test]
+fn count_column_skips_nulls() {
+    let db = campaign_db();
+    let r = db
+        .query("SELECT COUNT(mechanism) AS m, COUNT(*) AS n FROM logged")
+        .unwrap();
+    assert_eq!(r.get(0, "m"), Some(&Value::Int(3)));
+    assert_eq!(r.get(0, "n"), Some(&Value::Int(8)));
+}
+
+#[test]
+fn aggregate_over_empty_input() {
+    let db = campaign_db();
+    let r = db
+        .query("SELECT COUNT(*) AS n, SUM(cycles) AS s FROM logged WHERE outcome = 'nope'")
+        .unwrap();
+    assert_eq!(r.get(0, "n"), Some(&Value::Int(0)));
+    assert_eq!(r.get(0, "s"), Some(&Value::Null));
+}
+
+#[test]
+fn like_and_is_null_filters() {
+    let db = campaign_db();
+    let r = db
+        .query("SELECT experiment FROM logged WHERE experiment LIKE 'e_' AND mechanism IS NULL ORDER BY experiment")
+        .unwrap();
+    assert_eq!(r.len(), 5);
+    let r = db
+        .query("SELECT experiment FROM logged WHERE mechanism IS NOT NULL ORDER BY experiment")
+        .unwrap();
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn null_comparisons_filter_rows_out() {
+    let db = campaign_db();
+    // score = 0.5 must not match NULL scores.
+    let r = db
+        .query("SELECT experiment FROM logged WHERE score = 0.5 ORDER BY experiment")
+        .unwrap();
+    assert_eq!(r.len(), 3);
+    // NOT (score = 0.5) also excludes NULLs (three-valued logic).
+    let r = db
+        .query("SELECT experiment FROM logged WHERE NOT score = 0.5")
+        .unwrap();
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = campaign_db();
+    let r = db
+        .query("SELECT experiment, cycles FROM logged ORDER BY cycles DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::text("e3"));
+    assert_eq!(r.rows[1][0], Value::text("e8"));
+}
+
+#[test]
+fn select_star() {
+    let db = campaign_db();
+    let r = db.query("SELECT * FROM campaigns ORDER BY name").unwrap();
+    assert_eq!(r.columns, vec!["name", "target", "experiments"]);
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn update_via_sql() {
+    let mut db = campaign_db();
+    let n = db
+        .execute("UPDATE logged SET outcome = 'effective' WHERE outcome = 'escaped'")
+        .unwrap();
+    assert_eq!(n, 2);
+    let r = db
+        .query("SELECT COUNT(*) AS n FROM logged WHERE outcome = 'effective'")
+        .unwrap();
+    assert_eq!(r.get(0, "n"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn update_can_reference_row_values() {
+    let mut db = campaign_db();
+    db.execute("UPDATE logged SET cycles = mechanism WHERE experiment = 'e1'")
+        .unwrap_err(); // type mismatch rolls back
+    let r = db
+        .query("SELECT cycles FROM logged WHERE experiment = 'e1'")
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(100)));
+}
+
+#[test]
+fn delete_via_sql_respects_fk() {
+    let mut db = campaign_db();
+    let e = db.execute("DELETE FROM campaigns WHERE name = 'c1'").unwrap_err();
+    assert!(matches!(e, DbError::ForeignKeyViolation { .. }));
+    let n = db.execute("DELETE FROM logged WHERE campaign = 'c1'").unwrap();
+    assert_eq!(n, 6);
+    let n = db.execute("DELETE FROM campaigns WHERE name = 'c1'").unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn insert_via_sql_respects_fk() {
+    let mut db = campaign_db();
+    let e = db
+        .execute(
+            "INSERT INTO logged (experiment, campaign, outcome, mechanism, cycles, score)
+             VALUES ('e9', 'missing', 'latent', NULL, 1, NULL)",
+        )
+        .unwrap_err();
+    assert!(matches!(e, DbError::ForeignKeyViolation { .. }));
+}
+
+#[test]
+fn select_statement_routing() {
+    let mut db = campaign_db();
+    assert!(db.execute("SELECT * FROM campaigns").is_err());
+    assert!(db.query("DELETE FROM logged").is_err());
+}
+
+#[test]
+fn ambiguous_column_reported() {
+    let db = campaign_db();
+    // `campaign` exists only in logged, `name` only in campaigns — ok.
+    db.query("SELECT name FROM logged JOIN campaigns ON campaign = name")
+        .unwrap();
+    // But a column present in both sides without a qualifier must error
+    // (construct one by self-joining).
+    let e = db
+        .query("SELECT outcome FROM logged AS a JOIN logged AS b ON a.experiment = b.experiment")
+        .unwrap_err();
+    assert!(matches!(e, DbError::Execution(_)));
+}
+
+#[test]
+fn unknown_entities_reported() {
+    let db = campaign_db();
+    assert!(matches!(
+        db.query("SELECT x FROM nope").unwrap_err(),
+        DbError::NoSuchTable(_)
+    ));
+    assert!(matches!(
+        db.query("SELECT nope FROM logged").unwrap_err(),
+        DbError::NoSuchColumn(_)
+    ));
+    assert!(matches!(
+        db.query("SELECT outcome FROM logged ORDER BY nope").unwrap_err(),
+        DbError::NoSuchColumn(_)
+    ));
+}
+
+#[test]
+fn persistence_roundtrip_of_campaign_db() {
+    let db = campaign_db();
+    let restored = Database::load_from_string(&db.save_to_string()).unwrap();
+    let a = restored
+        .query("SELECT outcome, COUNT(*) AS n FROM logged GROUP BY outcome ORDER BY outcome")
+        .unwrap();
+    let b = db
+        .query("SELECT outcome, COUNT(*) AS n FROM logged GROUP BY outcome ORDER BY outcome")
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn select_distinct_removes_duplicates() {
+    let db = campaign_db();
+    let r = db.query("SELECT DISTINCT outcome FROM logged ORDER BY outcome").unwrap();
+    assert_eq!(r.len(), 4);
+    let all = db.query("SELECT outcome FROM logged").unwrap();
+    assert_eq!(all.len(), 8);
+}
+
+#[test]
+fn in_list_filter() {
+    let db = campaign_db();
+    let r = db
+        .query("SELECT experiment FROM logged WHERE outcome IN ('escaped', 'latent') ORDER BY experiment")
+        .unwrap();
+    assert_eq!(r.len(), 3); // e3, e4, e8
+    // NULL never matches an IN list.
+    let r = db
+        .query("SELECT experiment FROM logged WHERE mechanism IN ('parity_icache')")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn between_is_inclusive() {
+    let db = campaign_db();
+    let r = db
+        .query("SELECT experiment, cycles FROM logged WHERE cycles BETWEEN 100 AND 400 ORDER BY cycles")
+        .unwrap();
+    // Inclusive on both ends: 100, 120, 150, 300, 400.
+    assert_eq!(r.len(), 5);
+    assert_eq!(r.rows[0][1], Value::Int(100));
+    assert_eq!(r.rows[4][1], Value::Int(400));
+}
+
+#[test]
+fn distinct_with_aggregate_groups() {
+    let db = campaign_db();
+    // DISTINCT over an already-grouped result is a no-op but must parse.
+    let r = db
+        .query("SELECT DISTINCT campaign FROM logged ORDER BY campaign")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+}

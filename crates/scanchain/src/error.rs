@@ -1,0 +1,66 @@
+//! Error type for scan-chain operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by scan-chain and test-card operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The named chain does not exist on the target.
+    UnknownChain(String),
+    /// The named cell does not exist in the chain layout.
+    UnknownCell(String),
+    /// An update tried to modify a read-only cell.
+    ReadOnlyCell {
+        /// Cell whose bits were modified.
+        cell: String,
+        /// Chain containing the cell.
+        chain: String,
+    },
+    /// A shifted vector did not match the chain length.
+    LengthMismatch {
+        /// Bits expected by the chain.
+        expected: usize,
+        /// Bits supplied by the caller.
+        got: usize,
+    },
+    /// A value did not fit in the cell width.
+    ValueTooWide {
+        /// Target cell.
+        cell: String,
+        /// Width of the cell in bits.
+        width: usize,
+        /// Value that did not fit.
+        value: u64,
+    },
+    /// The TAP controller was in the wrong state for the requested operation.
+    BadTapState {
+        /// State the controller was in.
+        state: &'static str,
+        /// Operation that was attempted.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::UnknownChain(name) => write!(f, "unknown scan chain `{name}`"),
+            ScanError::UnknownCell(name) => write!(f, "unknown scan cell `{name}`"),
+            ScanError::ReadOnlyCell { cell, chain } => {
+                write!(f, "cell `{cell}` in chain `{chain}` is read-only")
+            }
+            ScanError::LengthMismatch { expected, got } => {
+                write!(f, "chain length mismatch: expected {expected} bits, got {got}")
+            }
+            ScanError::ValueTooWide { cell, width, value } => {
+                write!(f, "value {value:#x} does not fit in {width}-bit cell `{cell}`")
+            }
+            ScanError::BadTapState { state, operation } => {
+                write!(f, "TAP controller in state {state} cannot perform {operation}")
+            }
+        }
+    }
+}
+
+impl Error for ScanError {}

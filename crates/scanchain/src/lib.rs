@@ -1,0 +1,46 @@
+//! Scan-chain infrastructure for scan-chain implemented fault injection (SCIFI).
+//!
+//! This crate models the built-in test logic that the GOOFI paper (DSN 2003)
+//! uses to inject faults into the Thor RD microprocessor: IEEE 1149.1-style
+//! boundary and internal scan chains, the TAP controller state machine, a
+//! debug-event unit programmed through the scan chains, and the host-side
+//! *test card* that shifts bits in and out of a target device.
+//!
+//! The central abstraction is [`ScanTarget`]: any device (for this
+//! reproduction, the `thor` CPU simulator) that exposes named scan chains can
+//! be driven by a [`TestCard`], which in turn is what the GOOFI framework's
+//! SCIFI algorithm talks to.
+//!
+//! # Example
+//!
+//! ```
+//! use scanchain::{BitVec, ChainLayout, CellAccess};
+//!
+//! // Describe a tiny chain with a writable 8-bit register and a read-only flag.
+//! let layout = ChainLayout::builder("demo")
+//!     .cell("REG", 8, CellAccess::ReadWrite)
+//!     .cell("FLAG", 1, CellAccess::ReadOnly)
+//!     .build();
+//! assert_eq!(layout.total_bits(), 9);
+//!
+//! let mut bits = BitVec::zeros(layout.total_bits());
+//! layout.write_cell(&mut bits, "REG", 0xA5).unwrap();
+//! assert_eq!(layout.read_cell(&bits, "REG").unwrap(), 0xA5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod chain;
+mod debug;
+mod error;
+mod tap;
+mod testcard;
+
+pub use bitvec::BitVec;
+pub use chain::{CellAccess, CellDef, ChainLayout, ChainLayoutBuilder};
+pub use debug::{BusEvent, DebugCondition, DebugEvent, DebugUnit, DEBUG_SLOTS};
+pub use error::ScanError;
+pub use tap::{TapController, TapInstruction, TapState};
+pub use testcard::{ScanTarget, TestCard, TestCardStats};

@@ -1,0 +1,432 @@
+//! IEEE 1149.1 TAP (Test Access Port) controller state machine.
+//!
+//! The Thor RD exposes its scan chains through "built-in test logic …
+//! conforming to the IEEE standard for boundary scan" (paper §3.1). This
+//! module implements the standard 16-state controller driven by the TMS
+//! signal, plus the instruction register commands the test card uses to
+//! select and shift chains.
+
+use std::fmt;
+
+/// The sixteen states of the IEEE 1149.1 TAP controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TapState {
+    TestLogicReset,
+    RunTestIdle,
+    SelectDrScan,
+    CaptureDr,
+    ShiftDr,
+    Exit1Dr,
+    PauseDr,
+    Exit2Dr,
+    UpdateDr,
+    SelectIrScan,
+    CaptureIr,
+    ShiftIr,
+    Exit1Ir,
+    PauseIr,
+    Exit2Ir,
+    UpdateIr,
+}
+
+impl TapState {
+    /// The state reached from `self` when TCK rises with TMS at `tms`.
+    ///
+    /// This is the transition table straight from the standard.
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, false) => RunTestIdle,
+            (TestLogicReset, true) => TestLogicReset,
+            (RunTestIdle, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (SelectDrScan, true) => SelectIrScan,
+            (CaptureDr, false) => ShiftDr,
+            (CaptureDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (Exit1Dr, false) => PauseDr,
+            (Exit1Dr, true) => UpdateDr,
+            (PauseDr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (Exit2Dr, false) => ShiftDr,
+            (Exit2Dr, true) => UpdateDr,
+            (UpdateDr, false) => RunTestIdle,
+            (UpdateDr, true) => SelectDrScan,
+            (SelectIrScan, false) => CaptureIr,
+            (SelectIrScan, true) => TestLogicReset,
+            (CaptureIr, false) => ShiftIr,
+            (CaptureIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (Exit1Ir, false) => PauseIr,
+            (Exit1Ir, true) => UpdateIr,
+            (PauseIr, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (Exit2Ir, false) => ShiftIr,
+            (Exit2Ir, true) => UpdateIr,
+            (UpdateIr, false) => RunTestIdle,
+            (UpdateIr, true) => SelectDrScan,
+        }
+    }
+
+    /// Short name used in error messages.
+    pub fn name(self) -> &'static str {
+        use TapState::*;
+        match self {
+            TestLogicReset => "Test-Logic-Reset",
+            RunTestIdle => "Run-Test/Idle",
+            SelectDrScan => "Select-DR-Scan",
+            CaptureDr => "Capture-DR",
+            ShiftDr => "Shift-DR",
+            Exit1Dr => "Exit1-DR",
+            PauseDr => "Pause-DR",
+            Exit2Dr => "Exit2-DR",
+            UpdateDr => "Update-DR",
+            SelectIrScan => "Select-IR-Scan",
+            CaptureIr => "Capture-IR",
+            ShiftIr => "Shift-IR",
+            Exit1Ir => "Exit1-IR",
+            PauseIr => "Pause-IR",
+            Exit2Ir => "Exit2-IR",
+            UpdateIr => "Update-IR",
+        }
+    }
+}
+
+impl fmt::Display for TapState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Instructions loadable into the TAP instruction register.
+///
+/// The chain-selecting `ScanN` instruction mirrors the SCAN_N mechanism used
+/// by cores with multiple internal chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TapInstruction {
+    /// Single-bit bypass register (the standard's mandatory instruction).
+    #[default]
+    Bypass,
+    /// Capture the 32-bit device identification code.
+    IdCode,
+    /// Sample the boundary chain without disturbing the core.
+    SamplePreload,
+    /// Drive/observe pins through the boundary chain.
+    Extest,
+    /// Access the internal core state through the selected internal chain.
+    Intest,
+    /// Select internal scan chain `n` for subsequent Intest accesses.
+    ScanN(u8),
+    /// Access the debug-event unit configuration chain.
+    Debug,
+}
+
+impl TapInstruction {
+    /// Encodes the instruction to its 8-bit opcode as shifted through the IR.
+    pub fn encode(self) -> u8 {
+        match self {
+            TapInstruction::Bypass => 0xFF,
+            TapInstruction::IdCode => 0x01,
+            TapInstruction::SamplePreload => 0x02,
+            TapInstruction::Extest => 0x00,
+            TapInstruction::Intest => 0x04,
+            TapInstruction::ScanN(n) => 0x20 | (n & 0x0F),
+            TapInstruction::Debug => 0x08,
+        }
+    }
+
+    /// Decodes an 8-bit IR value; unknown opcodes decode to `Bypass`, as the
+    /// standard requires.
+    pub fn decode(code: u8) -> TapInstruction {
+        match code {
+            0xFF => TapInstruction::Bypass,
+            0x01 => TapInstruction::IdCode,
+            0x02 => TapInstruction::SamplePreload,
+            0x00 => TapInstruction::Extest,
+            0x04 => TapInstruction::Intest,
+            0x08 => TapInstruction::Debug,
+            c if c & 0xF0 == 0x20 => TapInstruction::ScanN(c & 0x0F),
+            _ => TapInstruction::Bypass,
+        }
+    }
+}
+
+/// A software model of the TAP controller: the state register, the
+/// instruction register and the currently selected data register.
+///
+/// The [`TestCard`](crate::TestCard) drives this controller with TMS/TDI
+/// sequences exactly as a hardware test card would; higher layers never
+/// manipulate TAP state directly.
+#[derive(Debug, Clone)]
+pub struct TapController {
+    state: TapState,
+    ir_shift: u8,
+    instruction: TapInstruction,
+    idcode: u32,
+    tck_count: u64,
+}
+
+impl Default for TapController {
+    fn default() -> Self {
+        Self::new(0x0000_1DEA)
+    }
+}
+
+impl TapController {
+    /// Creates a controller in Test-Logic-Reset with the given IDCODE.
+    pub fn new(idcode: u32) -> Self {
+        TapController {
+            state: TapState::TestLogicReset,
+            ir_shift: 0,
+            instruction: TapInstruction::IdCode,
+            idcode,
+            tck_count: 0,
+        }
+    }
+
+    /// Current controller state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Currently latched instruction.
+    pub fn instruction(&self) -> TapInstruction {
+        self.instruction
+    }
+
+    /// Device identification code.
+    pub fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    /// Total TCK cycles applied, used for test-card timing statistics.
+    pub fn tck_count(&self) -> u64 {
+        self.tck_count
+    }
+
+    /// Applies one TCK cycle with the given TMS level.
+    pub fn clock(&mut self, tms: bool) {
+        self.tck_count += 1;
+        let next = self.state.next(tms);
+        match next {
+            TapState::TestLogicReset => {
+                // The standard resets the instruction to IDCODE (or BYPASS).
+                self.instruction = TapInstruction::IdCode;
+            }
+            TapState::CaptureIr => {
+                // Capture the fixed pattern 0b01 in the low bits (standard).
+                self.ir_shift = 0b0000_0001;
+            }
+            TapState::UpdateIr => {
+                self.instruction = TapInstruction::decode(self.ir_shift);
+            }
+            _ => {}
+        }
+        self.state = next;
+    }
+
+    /// Clocks the controller through a TMS sequence.
+    pub fn clock_seq(&mut self, tms_bits: &[bool]) {
+        for &b in tms_bits {
+            self.clock(b);
+        }
+    }
+
+    /// Shifts one bit through the instruction register while in Shift-IR.
+    ///
+    /// Returns the bit shifted out of TDO. The caller must hold TMS low
+    /// (handled by [`TapController::clock`]); this helper performs the shift
+    /// and the clock together.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the controller is not in Shift-IR.
+    pub fn shift_ir_bit(&mut self, tdi: bool) -> Result<bool, crate::ScanError> {
+        if self.state != TapState::ShiftIr {
+            return Err(crate::ScanError::BadTapState {
+                state: self.state.name(),
+                operation: "Shift-IR",
+            });
+        }
+        let tdo = self.ir_shift & 1 == 1;
+        self.ir_shift >>= 1;
+        if tdi {
+            self.ir_shift |= 0x80;
+        }
+        // Remain in Shift-IR (TMS low).
+        self.clock(false);
+        Ok(tdo)
+    }
+
+    /// Navigates from any stable state to Run-Test/Idle via Test-Logic-Reset.
+    pub fn reset_to_idle(&mut self) {
+        // Five TMS-high clocks reach Test-Logic-Reset from any state.
+        self.clock_seq(&[true, true, true, true, true]);
+        self.clock(false);
+        debug_assert_eq!(self.state, TapState::RunTestIdle);
+    }
+
+    /// Loads `instruction` by walking the IR path from Run-Test/Idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the controller is not in Run-Test/Idle.
+    pub fn load_instruction(
+        &mut self,
+        instruction: TapInstruction,
+    ) -> Result<(), crate::ScanError> {
+        if self.state != TapState::RunTestIdle {
+            return Err(crate::ScanError::BadTapState {
+                state: self.state.name(),
+                operation: "Load-IR",
+            });
+        }
+        // Idle -> Select-DR -> Select-IR -> Capture-IR -> Shift-IR
+        self.clock_seq(&[true, true, false, false]);
+        let code = instruction.encode();
+        for i in 0..8 {
+            // The final bit is shifted on the Exit1-IR transition.
+            if i == 7 {
+                let tdi = (code >> i) & 1 == 1;
+                self.ir_shift >>= 1;
+                if tdi {
+                    self.ir_shift |= 0x80;
+                }
+                self.clock(true); // Exit1-IR
+            } else {
+                self.shift_ir_bit((code >> i) & 1 == 1)?;
+            }
+        }
+        // Exit1-IR -> Update-IR -> Run-Test/Idle
+        self.clock(true);
+        self.clock(false);
+        debug_assert_eq!(self.state, TapState::RunTestIdle);
+        debug_assert_eq!(self.instruction, instruction);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_tms_highs_reach_reset_from_anywhere() {
+        use TapState::*;
+        for start in [
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+        ] {
+            let mut s = start;
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            assert_eq!(s, TestLogicReset, "from {start:?}");
+        }
+    }
+
+    #[test]
+    fn dr_path_walk() {
+        use TapState::*;
+        let mut s = RunTestIdle;
+        for (tms, expect) in [
+            (true, SelectDrScan),
+            (false, CaptureDr),
+            (false, ShiftDr),
+            (false, ShiftDr),
+            (true, Exit1Dr),
+            (false, PauseDr),
+            (true, Exit2Dr),
+            (false, ShiftDr),
+            (true, Exit1Dr),
+            (true, UpdateDr),
+            (false, RunTestIdle),
+        ] {
+            s = s.next(tms);
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn instruction_encode_decode_roundtrip() {
+        for instr in [
+            TapInstruction::Bypass,
+            TapInstruction::IdCode,
+            TapInstruction::SamplePreload,
+            TapInstruction::Extest,
+            TapInstruction::Intest,
+            TapInstruction::Debug,
+            TapInstruction::ScanN(0),
+            TapInstruction::ScanN(7),
+            TapInstruction::ScanN(15),
+        ] {
+            assert_eq!(TapInstruction::decode(instr.encode()), instr);
+        }
+        // Unknown opcodes decode to bypass per the standard.
+        assert_eq!(TapInstruction::decode(0x99), TapInstruction::Bypass);
+    }
+
+    #[test]
+    fn reset_to_idle_from_mid_shift() {
+        let mut tap = TapController::default();
+        tap.reset_to_idle();
+        tap.clock_seq(&[true, false, false]); // into Shift-DR
+        assert_eq!(tap.state(), TapState::ShiftDr);
+        tap.reset_to_idle();
+        assert_eq!(tap.state(), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn load_instruction_updates_ir() {
+        let mut tap = TapController::default();
+        tap.reset_to_idle();
+        tap.load_instruction(TapInstruction::ScanN(3)).unwrap();
+        assert_eq!(tap.instruction(), TapInstruction::ScanN(3));
+        assert_eq!(tap.state(), TapState::RunTestIdle);
+        tap.load_instruction(TapInstruction::Intest).unwrap();
+        assert_eq!(tap.instruction(), TapInstruction::Intest);
+    }
+
+    #[test]
+    fn load_instruction_requires_idle() {
+        let mut tap = TapController::default();
+        // Still in Test-Logic-Reset.
+        let err = tap.load_instruction(TapInstruction::Bypass).unwrap_err();
+        assert!(matches!(err, crate::ScanError::BadTapState { .. }));
+    }
+
+    #[test]
+    fn tlr_resets_instruction_to_idcode() {
+        let mut tap = TapController::default();
+        tap.reset_to_idle();
+        tap.load_instruction(TapInstruction::Debug).unwrap();
+        tap.clock_seq(&[true, true, true, true, true]);
+        assert_eq!(tap.instruction(), TapInstruction::IdCode);
+    }
+
+    #[test]
+    fn tck_cycles_are_counted() {
+        let mut tap = TapController::default();
+        let before = tap.tck_count();
+        tap.reset_to_idle();
+        assert_eq!(tap.tck_count(), before + 6);
+    }
+}

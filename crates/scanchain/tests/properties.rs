@@ -1,0 +1,123 @@
+//! Property-based tests for the scan-chain substrate.
+
+use proptest::prelude::*;
+use scanchain::{BitVec, CellAccess, ChainLayout, TapController, TapState};
+
+proptest! {
+    #[test]
+    fn bitvec_push_pop_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let mut bv = BitVec::from_bits(bits.iter().copied());
+        prop_assert_eq!(bv.len(), bits.len());
+        for expected in bits.iter().rev() {
+            prop_assert_eq!(bv.pop(), Some(*expected));
+        }
+        prop_assert_eq!(bv.pop(), None);
+    }
+
+    #[test]
+    fn bitvec_range_roundtrip(
+        len in 1usize..200,
+        offset_frac in 0.0f64..1.0,
+        width in 1usize..64,
+        value: u64,
+    ) {
+        let width = width.min(len);
+        let offset = ((len - width) as f64 * offset_frac) as usize;
+        let mut bv = BitVec::zeros(len);
+        bv.write_range(offset, width, value);
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        prop_assert_eq!(bv.read_range(offset, width), value & mask);
+        // Everything outside the range stays zero.
+        for i in (0..offset).chain(offset + width..len) {
+            prop_assert!(!bv.get(i));
+        }
+    }
+
+    #[test]
+    fn bitvec_diff_indices_matches_flips(
+        len in 1usize..300,
+        flips in proptest::collection::btree_set(any::<usize>(), 0..20),
+    ) {
+        let a = BitVec::zeros(len);
+        let mut b = a.clone();
+        let applied: Vec<usize> = flips.into_iter().map(|f| f % len).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        for &f in &applied {
+            b.flip(f);
+        }
+        prop_assert_eq!(a.diff_indices(&b), applied);
+    }
+
+    #[test]
+    fn bitvec_string_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let bv = BitVec::from_bits(bits);
+        prop_assert_eq!(BitVec::from_bit_string(&bv.to_bit_string()), Some(bv));
+    }
+
+    #[test]
+    fn bitvec_parity_equals_ones_mod_2(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let bv = BitVec::from_bits(bits.iter().copied());
+        prop_assert_eq!(bv.parity(), bits.iter().filter(|b| **b).count() % 2 == 1);
+    }
+
+    #[test]
+    fn five_tms_ones_always_reset(tms in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let mut tap = TapController::default();
+        tap.clock_seq(&tms);
+        tap.clock_seq(&[true; 5]);
+        prop_assert_eq!(tap.state(), TapState::TestLogicReset);
+    }
+
+    #[test]
+    fn masked_update_respects_access(
+        widths in proptest::collection::vec((1usize..16, any::<bool>()), 1..10),
+        seed: u64,
+    ) {
+        let mut builder = ChainLayout::builder("p");
+        for (i, (w, rw)) in widths.iter().enumerate() {
+            builder = builder.cell(
+                format!("C{i}"),
+                *w,
+                if *rw { CellAccess::ReadWrite } else { CellAccess::ReadOnly },
+            );
+        }
+        let layout = builder.build();
+        // Deterministic pseudo-random captured/shifted images.
+        let mut x = seed | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let captured = BitVec::from_bits((0..layout.total_bits()).map(|_| next() & 1 == 1));
+        let shifted = BitVec::from_bits((0..layout.total_bits()).map(|_| next() & 1 == 1));
+        let merged = layout.masked_update(&captured, &shifted).unwrap();
+        for cell in layout.cells() {
+            for bit in cell.bit_range() {
+                let expected = match cell.access {
+                    CellAccess::ReadWrite => shifted.get(bit),
+                    CellAccess::ReadOnly => captured.get(bit),
+                };
+                prop_assert_eq!(merged.get(bit), expected, "cell {} bit {}", &cell.name, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_read_write_roundtrip(
+        width in 1usize..=64,
+        value: u64,
+    ) {
+        let layout = ChainLayout::builder("p")
+            .cell("PRE", 7, CellAccess::ReadWrite)
+            .cell("X", width, CellAccess::ReadWrite)
+            .cell("POST", 5, CellAccess::ReadOnly)
+            .build();
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mut bits = BitVec::zeros(layout.total_bits());
+        layout.write_cell(&mut bits, "X", value & mask).unwrap();
+        prop_assert_eq!(layout.read_cell(&bits, "X").unwrap(), value & mask);
+        prop_assert_eq!(layout.read_cell(&bits, "PRE").unwrap(), 0);
+        prop_assert_eq!(layout.read_cell(&bits, "POST").unwrap(), 0);
+    }
+}

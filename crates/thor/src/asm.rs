@@ -1,0 +1,845 @@
+//! Two-pass assembler and disassembler for the Thor-like ISA.
+//!
+//! GOOFI downloads "the workload and initial input data" to the target at
+//! the start of every experiment; workloads for this target are written in
+//! the small assembly language defined here.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also #)
+//! label:  add  r1, r2, r3
+//!         ldi  r4, -7
+//!         li   r5, 0x12345678   ; pseudo: expands to lui+ori when needed
+//!         beq  label            ; branches are pc-relative, assembled from labels
+//!         call subroutine       ; absolute
+//! .equ    SIZE, 32
+//! .entry  main                  ; optional entry point (default 0)
+//! .data                         ; code/data boundary (write protection)
+//! arr:    .word 5, 2, SIZE
+//! buf:    .space 10
+//! ```
+//!
+//! Registers are `r0`..`r15` with aliases `sp` (r14) and `lr` (r15).
+
+use crate::isa::{decode, encode, Instr, Opcode, Reg};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembled program: a flat word image plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// The memory image, loaded at word address 0.
+    pub words: Vec<u32>,
+    /// Number of leading words belonging to the (write-protected) code
+    /// segment; everything after is initialised data.
+    pub code_words: u32,
+    /// Entry-point word address.
+    pub entry: u32,
+    /// Label addresses, for breakpoint planning ("the breakpoint is obtained
+    /// by analysing the workload code", paper §3.3).
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl Image {
+    /// Address of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Assembles a source string into an [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/labels, out-of-range immediates, and misuse of
+/// directives.
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    let lines = parse_lines(source)?;
+
+    // Pass 1: assign addresses to labels, record sizes. The width chosen
+    // for each `li` is remembered so pass 2 emits exactly the same layout
+    // even when a forward reference resolved to a small value.
+    let mut symbols: BTreeMap<String, i64> = BTreeMap::new();
+    let mut loc: u32 = 0;
+    let mut code_words: Option<u32> = None;
+    let mut li_sizes: Vec<u32> = Vec::new();
+    for line in &lines {
+        for label in &line.labels {
+            if symbols.contains_key(label) {
+                return err(line.number, format!("duplicate label `{label}`"));
+            }
+            symbols.insert(label.clone(), loc as i64);
+        }
+        match &line.body {
+            Body::None => {}
+            Body::Directive(d, args) => match d.as_str() {
+                "equ" => {
+                    if args.len() != 2 {
+                        return err(line.number, ".equ needs NAME, VALUE");
+                    }
+                    let v = eval(&args[1], &symbols, line.number)?;
+                    symbols.insert(args[0].clone(), v);
+                }
+                "org" => {
+                    if args.len() != 1 {
+                        return err(line.number, ".org needs one operand");
+                    }
+                    let v = eval(&args[0], &symbols, line.number)?;
+                    if v < loc as i64 {
+                        return err(line.number, ".org may not move backwards");
+                    }
+                    loc = v as u32;
+                }
+                "word" => loc += args.len() as u32,
+                "space" => {
+                    if args.len() != 1 {
+                        return err(line.number, ".space needs one operand");
+                    }
+                    loc += eval(&args[0], &symbols, line.number)? as u32;
+                }
+                "data" => code_words = Some(loc),
+                "entry" => {}
+                other => return err(line.number, format!("unknown directive .{other}")),
+            },
+            Body::Instr(mnemonic, args) => {
+                let size = instr_size(mnemonic, args, &symbols, line.number)?;
+                if mnemonic == "li" {
+                    li_sizes.push(size);
+                }
+                loc += size;
+            }
+        }
+    }
+
+    // Pass 2: emit words.
+    let mut words: Vec<u32> = Vec::new();
+    let mut entry: u32 = 0;
+    let emit = |loc: &mut u32, words: &mut Vec<u32>, w: u32| {
+        let at = *loc as usize;
+        if words.len() <= at {
+            words.resize(at + 1, 0);
+        }
+        words[at] = w;
+        *loc += 1;
+    };
+    loc = 0;
+    let mut li_index = 0usize;
+    for line in &lines {
+        match &line.body {
+            Body::None => {}
+            Body::Directive(d, args) => match d.as_str() {
+                "equ" => {}
+                "org" => {
+                    loc = eval(&args[0], &symbols, line.number)? as u32;
+                }
+                "word" => {
+                    for a in args {
+                        let v = eval(a, &symbols, line.number)?;
+                        emit(&mut loc, &mut words, v as u32);
+                    }
+                }
+                "space" => {
+                    let n = eval(&args[0], &symbols, line.number)? as u32;
+                    for _ in 0..n {
+                        emit(&mut loc, &mut words, 0);
+                    }
+                }
+                "data" => {}
+                "entry" => {
+                    if args.len() != 1 {
+                        return err(line.number, ".entry needs one operand");
+                    }
+                    entry = eval(&args[0], &symbols, line.number)? as u32;
+                }
+                _ => unreachable!("validated in pass 1"),
+            },
+            Body::Instr(mnemonic, args) => {
+                let force_wide = if mnemonic == "li" {
+                    li_index += 1;
+                    li_sizes.get(li_index - 1) == Some(&2)
+                } else {
+                    false
+                };
+                for word in encode_instr(mnemonic, args, &symbols, loc, line.number, force_wide)? {
+                    emit(&mut loc, &mut words, word);
+                }
+            }
+        }
+    }
+
+    let labels = symbols
+        .into_iter()
+        .filter(|&(_, v)| v >= 0 && v <= u32::MAX as i64)
+        .map(|(k, v)| (k, v as u32))
+        .collect();
+    Ok(Image {
+        code_words: code_words.unwrap_or(words.len() as u32),
+        words,
+        entry,
+        labels,
+    })
+}
+
+/// Disassembles a word, or formats it as data when it does not decode.
+pub fn disassemble(word: u32) -> String {
+    match decode(word) {
+        Ok(i) => i.to_string(),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+#[derive(Debug)]
+enum Body {
+    None,
+    Directive(String, Vec<String>),
+    Instr(String, Vec<String>),
+}
+
+#[derive(Debug)]
+struct Line {
+    number: usize,
+    labels: Vec<String>,
+    body: Body,
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let text = raw
+            .split([';', '#'])
+            .next()
+            .unwrap_or("")
+            .trim();
+        let mut labels = Vec::new();
+        let mut rest = text;
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let label = head.trim();
+            if label.is_empty() || !is_ident(label) {
+                return err(number, format!("bad label `{label}`"));
+            }
+            labels.push(label.to_string());
+            rest = tail[1..].trim();
+        }
+        let body = if rest.is_empty() {
+            Body::None
+        } else if let Some(dir) = rest.strip_prefix('.') {
+            let (name, args) = split_mnemonic(dir);
+            Body::Directive(name.to_ascii_lowercase(), args)
+        } else {
+            let (name, args) = split_mnemonic(rest);
+            Body::Instr(name.to_ascii_lowercase(), args)
+        };
+        out.push(Line {
+            number,
+            labels,
+            body,
+        });
+    }
+    Ok(out)
+}
+
+fn split_mnemonic(text: &str) -> (String, Vec<String>) {
+    match text.split_once(char::is_whitespace) {
+        Some((m, rest)) => (
+            m.to_string(),
+            rest.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        ),
+        None => (text.to_string(), Vec::new()),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+fn eval(expr: &str, symbols: &BTreeMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+    let expr = expr.trim();
+    // label+N / label-N
+    if let Some(pos) = expr.rfind(['+', '-']).filter(|&p| p > 0) {
+        let (head, tail) = expr.split_at(pos);
+        if is_ident(head.trim()) {
+            let base = eval(head, symbols, line)?;
+            let off = eval(&tail[1..], symbols, line)?;
+            return Ok(if tail.starts_with('+') {
+                base + off
+            } else {
+                base - off
+            });
+        }
+    }
+    if let Some(rest) = expr.strip_prefix('-') {
+        return Ok(-eval(rest, symbols, line)?);
+    }
+    if let Some(hex) = expr.strip_prefix("0x").or_else(|| expr.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .map(|v| v as i64)
+            .or_else(|_| err(line, format!("bad hex literal `{expr}`")));
+    }
+    if expr.chars().all(|c| c.is_ascii_digit()) && !expr.is_empty() {
+        return expr
+            .parse::<i64>()
+            .or_else(|_| err(line, format!("bad number `{expr}`")));
+    }
+    if is_ident(expr) {
+        return symbols
+            .get(expr)
+            .copied()
+            .ok_or(())
+            .or_else(|_| err(line, format!("unknown symbol `{expr}`")));
+    }
+    err(line, format!("cannot parse expression `{expr}`"))
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let lower = s.to_ascii_lowercase();
+    match lower.as_str() {
+        "sp" => return Ok(Reg::SP),
+        "lr" => return Ok(Reg::LR),
+        _ => {}
+    }
+    if let Some(n) = lower.strip_prefix('r') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 16 {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    err(line, format!("bad register `{s}`"))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+fn mnemonic_opcode(m: &str) -> Option<Opcode> {
+    Opcode::all().iter().copied().find(|op| op.mnemonic() == m)
+}
+
+/// Size of one instruction in words (pass 1). Only `li` can expand.
+fn instr_size(
+    mnemonic: &str,
+    args: &[String],
+    symbols: &BTreeMap<String, i64>,
+    line: usize,
+) -> Result<u32, AsmError> {
+    if mnemonic == "li" {
+        if args.len() != 2 {
+            return err(line, "li needs rd, value");
+        }
+        // Labels are not yet all known in pass 1: a reference to a not-yet
+        // defined symbol conservatively takes the 2-word form.
+        return Ok(match eval(&args[1], symbols, line) {
+            Ok(v) if (-32768..=32767).contains(&v) => 1,
+            _ => 2,
+        });
+    }
+    if mnemonic_opcode(mnemonic).is_none() {
+        return err(line, format!("unknown mnemonic `{mnemonic}`"));
+    }
+    Ok(1)
+}
+
+fn check_i16(v: i64, line: usize, what: &str) -> Result<i16, AsmError> {
+    i16::try_from(v).or_else(|_| err(line, format!("{what} {v} out of 16-bit signed range")))
+}
+
+fn check_u16(v: i64, line: usize, what: &str) -> Result<i16, AsmError> {
+    if (0..=0xFFFF).contains(&v) {
+        Ok(v as u16 as i16)
+    } else {
+        err(line, format!("{what} {v} out of 16-bit unsigned range"))
+    }
+}
+
+fn encode_instr(
+    mnemonic: &str,
+    args: &[String],
+    symbols: &BTreeMap<String, i64>,
+    loc: u32,
+    line: usize,
+    force_wide_li: bool,
+) -> Result<Vec<u32>, AsmError> {
+    use Opcode::*;
+    let r0 = Reg::new(0);
+
+    if mnemonic == "li" {
+        let rd = parse_reg(&args[0], line)?;
+        let v = eval(&args[1], symbols, line)?;
+        if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+            return err(line, format!("li value {v} out of 32-bit range"));
+        }
+        let v32 = v as u32;
+        return Ok(if !force_wide_li && (-32768..=32767).contains(&v) {
+            vec![encode(Instr::i(Ldi, rd, r0, v as i16))]
+        } else {
+            vec![
+                encode(Instr::i(Lui, rd, r0, (v32 >> 16) as u16 as i16)),
+                encode(Instr::i(Ori, rd, rd, (v32 & 0xFFFF) as u16 as i16)),
+            ]
+        });
+    }
+
+    let op = mnemonic_opcode(mnemonic)
+        .ok_or(())
+        .or_else(|_| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("{mnemonic} expects {n} operands, got {}", args.len()),
+            )
+        }
+    };
+
+    let instr = match op {
+        Nop | Halt | Ret => {
+            need(0)?;
+            Instr::r(op, r0, r0, r0)
+        }
+        Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Asr => {
+            need(3)?;
+            Instr::r(
+                op,
+                parse_reg(&args[0], line)?,
+                parse_reg(&args[1], line)?,
+                parse_reg(&args[2], line)?,
+            )
+        }
+        Cmp => {
+            need(2)?;
+            Instr::r(op, r0, parse_reg(&args[0], line)?, parse_reg(&args[1], line)?)
+        }
+        Mov => {
+            need(2)?;
+            Instr::r(op, parse_reg(&args[0], line)?, parse_reg(&args[1], line)?, r0)
+        }
+        Ldx => {
+            need(3)?;
+            Instr::r(
+                op,
+                parse_reg(&args[0], line)?,
+                parse_reg(&args[1], line)?,
+                parse_reg(&args[2], line)?,
+            )
+        }
+        Stx => {
+            need(3)?;
+            // stx base, idx, src
+            Instr::r(
+                op,
+                parse_reg(&args[2], line)?,
+                parse_reg(&args[0], line)?,
+                parse_reg(&args[1], line)?,
+            )
+        }
+        Push => {
+            need(1)?;
+            Instr::r(op, r0, parse_reg(&args[0], line)?, r0)
+        }
+        Pop => {
+            need(1)?;
+            Instr::r(op, parse_reg(&args[0], line)?, r0, r0)
+        }
+        Jr => {
+            need(1)?;
+            Instr::r(op, r0, parse_reg(&args[0], line)?, r0)
+        }
+        Addi | Subi | Muli | Andi | Ori | Xori | Shli | Shri => {
+            need(3)?;
+            let rd = parse_reg(&args[0], line)?;
+            let rs1 = parse_reg(&args[1], line)?;
+            let v = eval(&args[2], symbols, line)?;
+            let imm = if matches!(op, Andi | Ori | Xori | Shli | Shri) {
+                check_u16(v, line, "immediate")?
+            } else {
+                check_i16(v, line, "immediate")?
+            };
+            Instr::i(op, rd, rs1, imm)
+        }
+        Cmpi => {
+            need(2)?;
+            Instr::i(
+                op,
+                r0,
+                parse_reg(&args[0], line)?,
+                check_i16(eval(&args[1], symbols, line)?, line, "immediate")?,
+            )
+        }
+        Ldi => {
+            need(2)?;
+            Instr::i(
+                op,
+                parse_reg(&args[0], line)?,
+                r0,
+                check_i16(eval(&args[1], symbols, line)?, line, "immediate")?,
+            )
+        }
+        Lui => {
+            need(2)?;
+            Instr::i(
+                op,
+                parse_reg(&args[0], line)?,
+                r0,
+                check_u16(eval(&args[1], symbols, line)?, line, "immediate")?,
+            )
+        }
+        Ld => {
+            need(3)?;
+            // ld rd, base, offset
+            Instr::i(
+                op,
+                parse_reg(&args[0], line)?,
+                parse_reg(&args[1], line)?,
+                check_i16(eval(&args[2], symbols, line)?, line, "offset")?,
+            )
+        }
+        St => {
+            need(3)?;
+            // st base, src, offset  =>  mem[base+offset] = src
+            Instr::i(
+                op,
+                parse_reg(&args[1], line)?,
+                parse_reg(&args[0], line)?,
+                check_i16(eval(&args[2], symbols, line)?, line, "offset")?,
+            )
+        }
+        Br | Beq | Bne | Blt | Bge | Bgt | Ble => {
+            need(1)?;
+            let target = eval(&args[0], symbols, line)?;
+            let rel = target - loc as i64;
+            Instr::i(op, r0, r0, check_i16(rel, line, "branch displacement")?)
+        }
+        Call => {
+            need(1)?;
+            Instr::i(
+                op,
+                r0,
+                r0,
+                check_u16(eval(&args[0], symbols, line)?, line, "call target")?,
+            )
+        }
+        In => {
+            need(2)?;
+            Instr::i(
+                op,
+                parse_reg(&args[0], line)?,
+                r0,
+                check_u16(eval(&args[1], symbols, line)?, line, "port")?,
+            )
+        }
+        Out => {
+            need(2)?;
+            Instr::i(
+                op,
+                r0,
+                parse_reg(&args[1], line)?,
+                check_u16(eval(&args[0], symbols, line)?, line, "port")?,
+            )
+        }
+        Sync | Trap => {
+            let v = if args.is_empty() {
+                0
+            } else {
+                need(1)?;
+                eval(&args[0], symbols, line)?
+            };
+            Instr::i(op, r0, r0, check_u16(v, line, "tag")?)
+        }
+    };
+    Ok(vec![encode(instr)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program_assembles() {
+        let img = assemble(
+            r"
+            ldi r1, 5
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.words.len(), 2);
+        assert_eq!(img.code_words, 2);
+        assert_eq!(img.entry, 0);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let img = assemble(
+            r"
+        start:
+            ldi r1, 1
+        loop:
+            subi r1, r1, 1
+            bne loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.label("start"), Some(0));
+        assert_eq!(img.label("loop"), Some(1));
+        // bne at word 2 targets word 1 -> displacement -1.
+        let i = decode(img.words[2]).unwrap();
+        match i {
+            Instr::I { op, imm, .. } => {
+                assert_eq!(op, Opcode::Bne);
+                assert_eq!(imm, -1);
+            }
+            _ => panic!("expected I form"),
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let img = assemble(
+            r"
+            br end
+            nop
+        end:
+            halt
+        ",
+        )
+        .unwrap();
+        match decode(img.words[0]).unwrap() {
+            Instr::I { op, imm, .. } => {
+                assert_eq!(op, Opcode::Br);
+                assert_eq!(imm, 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn data_section_and_directives() {
+        let img = assemble(
+            r"
+            ld r1, r0, table
+            halt
+        .data
+        table:
+            .word 10, 20, 0x30
+        buf:
+            .space 3
+        tail:
+            .word 99
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.code_words, 2);
+        let t = img.label("table").unwrap();
+        assert_eq!(img.words[t as usize..t as usize + 3], [10, 20, 0x30]);
+        assert_eq!(img.label("tail").unwrap(), t + 6);
+        assert_eq!(img.words[img.label("tail").unwrap() as usize], 99);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let img = assemble(
+            r"
+        .equ SIZE, 8
+            ldi r1, SIZE
+            halt
+        .data
+            .space SIZE
+        ",
+        )
+        .unwrap();
+        match decode(img.words[0]).unwrap() {
+            Instr::I { imm, .. } => assert_eq!(imm, 8),
+            _ => panic!(),
+        }
+        assert_eq!(img.words.len(), 2 + 8);
+    }
+
+    #[test]
+    fn li_expands_when_needed() {
+        let small = assemble("li r1, 100\nhalt").unwrap();
+        assert_eq!(small.words.len(), 2);
+        let big = assemble("li r1, 0x12345678\nhalt").unwrap();
+        assert_eq!(big.words.len(), 3);
+        // lui r1, 0x1234 ; ori r1, r1, 0x5678
+        match decode(big.words[0]).unwrap() {
+            Instr::I { op, imm, .. } => {
+                assert_eq!(op, Opcode::Lui);
+                assert_eq!(imm as u16, 0x1234);
+            }
+            _ => panic!(),
+        }
+        match decode(big.words[1]).unwrap() {
+            Instr::I { op, imm, .. } => {
+                assert_eq!(op, Opcode::Ori);
+                assert_eq!(imm as u16, 0x5678);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn li_forward_reference_keeps_pass1_layout() {
+        // `result` is a forward reference: pass 1 must reserve 2 words and
+        // pass 2 must emit 2 words even though the value fits in 16 bits,
+        // or every later label would shift.
+        let img = assemble(
+            r"
+            li r1, result
+        here:
+            br here
+        result:
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.label("here"), Some(2));
+        assert_eq!(img.label("result"), Some(3));
+        // `br here` must sit exactly at `here` with displacement 0.
+        match decode(img.words[2]).unwrap() {
+            Instr::I { op, imm, .. } => {
+                assert_eq!(op, Opcode::Br);
+                assert_eq!(imm, 0);
+            }
+            _ => panic!(),
+        }
+        match decode(img.words[3]).unwrap() {
+            Instr::R { op, .. } => assert_eq!(op, Opcode::Halt),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn entry_directive() {
+        let img = assemble(
+            r"
+        .entry main
+            nop
+        main:
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.entry, 1);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let img = assemble("mov sp, lr\nhalt").unwrap();
+        match decode(img.words[0]).unwrap() {
+            Instr::R { rd, rs1, .. } => {
+                assert_eq!(rd, Reg::SP);
+                assert_eq!(rs1, Reg::LR);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn label_arithmetic() {
+        let img = assemble(
+            r"
+            ld r1, r0, table+1
+            halt
+        .data
+        table: .word 1, 2, 3
+        ",
+        )
+        .unwrap();
+        match decode(img.words[0]).unwrap() {
+            Instr::I { imm, .. } => assert_eq!(imm as u32, img.label("table").unwrap() + 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\nnop").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("ldi r1, 99999").unwrap_err();
+        assert!(e.message.contains("out of 16-bit"));
+
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+
+        let e = assemble("br nowhere").unwrap_err();
+        assert!(e.message.contains("unknown symbol"));
+
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn disassemble_roundtrips_mnemonics() {
+        let img = assemble(
+            r"
+            add r1, r2, r3
+            ldi r4, -9
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(disassemble(img.words[0]), "add r1, r2, r3");
+        assert_eq!(disassemble(img.words[1]), "ldi r4, -9");
+        assert_eq!(disassemble(img.words[2]), "halt");
+        assert!(disassemble(0xEE00_0000).starts_with(".word"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble(
+            r"
+            ; full-line comment
+            # hash comment
+            nop   ; trailing
+            halt  # trailing hash
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.words.len(), 2);
+    }
+}

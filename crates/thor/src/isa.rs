@@ -1,0 +1,481 @@
+//! Instruction set architecture: opcodes, registers, encode/decode.
+//!
+//! Instructions are 32-bit words:
+//!
+//! ```text
+//!  31      24 23  20 19  16 15  12 11           0
+//! +----------+------+------+------+--------------+
+//! |  opcode  |  rd  | rs1  | rs2  |   (unused)   |   register form
+//! +----------+------+------+------+--------------+
+//! |  opcode  |  rd  | rs1  |      imm16          |   immediate form
+//! +----------+------+------+---------------------+
+//! ```
+//!
+//! Immediate-form instructions carry a signed 16-bit immediate in the low 16
+//! bits (so `rs2` is not available to them). The encoding is deliberately
+//! sparse: most opcode bytes are unassigned, so that a bit flip in the opcode
+//! field of a latched instruction frequently produces an *illegal opcode*
+//! detection — matching the behaviour fault-injection studies observe on
+//! real instruction sets.
+
+use std::fmt;
+
+/// A general-purpose register, `r0`..`r15`.
+///
+/// By software convention `r14` is the stack pointer and `r15` the link
+/// register; the hardware treats all sixteen identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 16;
+    /// Stack pointer alias (`r14`).
+    pub const SP: Reg = Reg(14);
+    /// Link register alias (`r15`).
+    pub const LR: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index, 0..16.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Operation codes. The discriminant is the encoded opcode byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    Nop = 0x00,
+    Halt = 0x01,
+    // Register ALU.
+    Add = 0x10,
+    Sub = 0x11,
+    Mul = 0x12,
+    Div = 0x13,
+    And = 0x14,
+    Or = 0x15,
+    Xor = 0x16,
+    Shl = 0x17,
+    Shr = 0x18,
+    Asr = 0x19,
+    Cmp = 0x1A,
+    Mov = 0x1B,
+    // Immediate ALU.
+    Addi = 0x20,
+    Subi = 0x21,
+    Muli = 0x22,
+    Andi = 0x23,
+    Ori = 0x24,
+    Xori = 0x25,
+    Shli = 0x26,
+    Shri = 0x27,
+    Cmpi = 0x28,
+    Ldi = 0x29,
+    Lui = 0x2A,
+    // Memory.
+    Ld = 0x30,
+    St = 0x31,
+    Ldx = 0x32,
+    Stx = 0x33,
+    Push = 0x34,
+    Pop = 0x35,
+    // Control flow.
+    Br = 0x40,
+    Beq = 0x41,
+    Bne = 0x42,
+    Blt = 0x43,
+    Bge = 0x44,
+    Bgt = 0x45,
+    Ble = 0x46,
+    Call = 0x47,
+    Ret = 0x48,
+    Jr = 0x49,
+    // I/O and system.
+    In = 0x50,
+    Out = 0x51,
+    Sync = 0x52,
+    Trap = 0x53,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x00 => Nop,
+            0x01 => Halt,
+            0x10 => Add,
+            0x11 => Sub,
+            0x12 => Mul,
+            0x13 => Div,
+            0x14 => And,
+            0x15 => Or,
+            0x16 => Xor,
+            0x17 => Shl,
+            0x18 => Shr,
+            0x19 => Asr,
+            0x1A => Cmp,
+            0x1B => Mov,
+            0x20 => Addi,
+            0x21 => Subi,
+            0x22 => Muli,
+            0x23 => Andi,
+            0x24 => Ori,
+            0x25 => Xori,
+            0x26 => Shli,
+            0x27 => Shri,
+            0x28 => Cmpi,
+            0x29 => Ldi,
+            0x2A => Lui,
+            0x30 => Ld,
+            0x31 => St,
+            0x32 => Ldx,
+            0x33 => Stx,
+            0x34 => Push,
+            0x35 => Pop,
+            0x40 => Br,
+            0x41 => Beq,
+            0x42 => Bne,
+            0x43 => Blt,
+            0x44 => Bge,
+            0x45 => Bgt,
+            0x46 => Ble,
+            0x47 => Call,
+            0x48 => Ret,
+            0x49 => Jr,
+            0x50 => In,
+            0x51 => Out,
+            0x52 => Sync,
+            0x53 => Trap,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic in lower case, as accepted by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Nop => "nop",
+            Halt => "halt",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Asr => "asr",
+            Cmp => "cmp",
+            Mov => "mov",
+            Addi => "addi",
+            Subi => "subi",
+            Muli => "muli",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Shli => "shli",
+            Shri => "shri",
+            Cmpi => "cmpi",
+            Ldi => "ldi",
+            Lui => "lui",
+            Ld => "ld",
+            St => "st",
+            Ldx => "ldx",
+            Stx => "stx",
+            Push => "push",
+            Pop => "pop",
+            Br => "br",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bgt => "bgt",
+            Ble => "ble",
+            Call => "call",
+            Ret => "ret",
+            Jr => "jr",
+            In => "in",
+            Out => "out",
+            Sync => "sync",
+            Trap => "trap",
+        }
+    }
+
+    /// All defined opcodes.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Nop, Halt, Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Asr, Cmp, Mov, Addi, Subi,
+            Muli, Andi, Ori, Xori, Shli, Shri, Cmpi, Ldi, Lui, Ld, St, Ldx, Stx, Push, Pop, Br,
+            Beq, Bne, Blt, Bge, Bgt, Ble, Call, Ret, Jr, In, Out, Sync, Trap,
+        ]
+    }
+}
+
+/// A decoded instruction.
+///
+/// `R`-form carries `rd, rs1, rs2`; `I`-form carries `rd, rs1, imm16`.
+/// Semantics of the fields depend on the opcode — see [`Instr`] helper
+/// constructors and the CPU's execute step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Register-register form.
+    R {
+        /// Operation.
+        op: Opcode,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// Immediate form.
+    I {
+        /// Operation.
+        op: Opcode,
+        /// Destination register.
+        rd: Reg,
+        /// Source register (base address for loads/stores).
+        rs1: Reg,
+        /// Signed 16-bit immediate.
+        imm: i16,
+    },
+}
+
+impl Instr {
+    /// The instruction's opcode.
+    pub fn opcode(self) -> Opcode {
+        match self {
+            Instr::R { op, .. } | Instr::I { op, .. } => op,
+        }
+    }
+
+    /// Builds a register-form instruction.
+    pub fn r(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
+        Instr::R { op, rd, rs1, rs2 }
+    }
+
+    /// Builds an immediate-form instruction.
+    pub fn i(op: Opcode, rd: Reg, rs1: Reg, imm: i16) -> Instr {
+        Instr::I { op, rd, rs1, imm }
+    }
+
+    /// Whether the opcode uses the immediate form.
+    pub fn uses_imm(op: Opcode) -> bool {
+        use Opcode::*;
+        matches!(
+            op,
+            Addi | Subi
+                | Muli
+                | Andi
+                | Ori
+                | Xori
+                | Shli
+                | Shri
+                | Cmpi
+                | Ldi
+                | Lui
+                | Ld
+                | St
+                | Br
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | Bgt
+                | Ble
+                | Call
+                | In
+                | Out
+                | Sync
+                | Trap
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        match *self {
+            Instr::R { op, rd, rs1, rs2 } => match op {
+                Nop | Halt | Ret => write!(f, "{}", op.mnemonic()),
+                Mov => write!(f, "mov {rd}, {rs1}"),
+                Cmp => write!(f, "cmp {rs1}, {rs2}"),
+                Push => write!(f, "push {rs1}"),
+                Pop => write!(f, "pop {rd}"),
+                Jr => write!(f, "jr {rs1}"),
+                Ldx => write!(f, "ldx {rd}, {rs1}, {rs2}"),
+                Stx => write!(f, "stx {rs1}, {rs2}, {rd}"),
+                _ => write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+            },
+            Instr::I { op, rd, rs1, imm } => match op {
+                Ldi | Lui => write!(f, "{} {rd}, {imm}", op.mnemonic()),
+                Cmpi => write!(f, "cmpi {rs1}, {imm}"),
+                Ld => write!(f, "ld {rd}, {rs1}, {imm}"),
+                St => write!(f, "st {rs1}, {rd}, {imm}"),
+                Br | Call => write!(f, "{} {imm}", op.mnemonic()),
+                Beq | Bne | Blt | Bge | Bgt | Ble => write!(f, "{} {imm}", op.mnemonic()),
+                In => write!(f, "in {rd}, {imm}"),
+                Out => write!(f, "out {imm}, {rs1}"),
+                Sync | Trap => write!(f, "{} {imm}", op.mnemonic()),
+                _ => write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic()),
+            },
+        }
+    }
+}
+
+/// Failure to decode an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an instruction to its 32-bit word.
+pub fn encode(instr: Instr) -> u32 {
+    match instr {
+        Instr::R { op, rd, rs1, rs2 } => {
+            ((op as u32) << 24)
+                | ((rd.index() as u32) << 20)
+                | ((rs1.index() as u32) << 16)
+                | ((rs2.index() as u32) << 12)
+        }
+        Instr::I { op, rd, rs1, imm } => {
+            ((op as u32) << 24)
+                | ((rd.index() as u32) << 20)
+                | ((rs1.index() as u32) << 16)
+                | (imm as u16 as u32)
+        }
+    }
+}
+
+/// Decodes a 32-bit word to an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode byte is unassigned — the hardware
+/// *illegal opcode* detection.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let op = Opcode::from_byte((word >> 24) as u8).ok_or(DecodeError { word })?;
+    let rd = Reg::new(((word >> 20) & 0xF) as u8);
+    let rs1 = Reg::new(((word >> 16) & 0xF) as u8);
+    if Instr::uses_imm(op) {
+        Ok(Instr::I {
+            op,
+            rd,
+            rs1,
+            imm: (word & 0xFFFF) as u16 as i16,
+        })
+    } else {
+        let rs2 = Reg::new(((word >> 12) & 0xF) as u8);
+        Ok(Instr::R { op, rd, rs1, rs2 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_byte_roundtrip() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_byte(op as u8), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn unassigned_opcodes_do_not_decode() {
+        for b in [0x02u8, 0x0F, 0x1C, 0x2B, 0x36, 0x4A, 0x54, 0x80, 0xFF] {
+            assert_eq!(Opcode::from_byte(b), None, "{b:#x}");
+            assert!(decode((b as u32) << 24).is_err());
+        }
+    }
+
+    #[test]
+    fn encode_decode_r_form() {
+        let i = Instr::r(Opcode::Add, Reg::new(3), Reg::new(7), Reg::new(12));
+        assert_eq!(decode(encode(i)).unwrap(), i);
+    }
+
+    #[test]
+    fn encode_decode_i_form_negative_imm() {
+        let i = Instr::i(Opcode::Ldi, Reg::new(5), Reg::new(0), -123);
+        let w = encode(i);
+        assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip_both_forms() {
+        for &op in Opcode::all() {
+            let i = if Instr::uses_imm(op) {
+                Instr::i(op, Reg::new(1), Reg::new(2), -42)
+            } else {
+                Instr::r(op, Reg::new(1), Reg::new(2), Reg::new(3))
+            };
+            assert_eq!(decode(encode(i)).unwrap(), i, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn reg_aliases() {
+        assert_eq!(Reg::SP.index(), 14);
+        assert_eq!(Reg::LR.index(), 15);
+        assert_eq!(Reg::all().count(), 16);
+        assert_eq!(Reg::new(9).to_string(), "r9");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_validated() {
+        Reg::new(16);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Instr::r(Opcode::Add, Reg::new(1), Reg::new(2), Reg::new(3)).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Instr::i(Opcode::Ldi, Reg::new(4), Reg::new(0), 7).to_string(),
+            "ldi r4, 7"
+        );
+        assert_eq!(
+            Instr::r(Opcode::Halt, Reg::new(0), Reg::new(0), Reg::new(0)).to_string(),
+            "halt"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Word-addressed main memory with code-segment write protection.
+//!
+//! GOOFI's pre-runtime SWIFI technique injects faults "into the program and
+//! data areas of the target system before it starts to execute"; the
+//! framework reaches memory through the test card's `writeMemory()` /
+//! `readMemory()` building blocks, which map to the raw accessors here
+//! (protection applies to the *running program*, not the tool).
+
+use std::error::Error;
+use std::fmt;
+
+/// Default memory size in 32-bit words (64 Ki words = 256 KiB).
+pub const DEFAULT_WORDS: usize = 65_536;
+
+/// Errors raised by program-initiated memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Address beyond the end of memory.
+    OutOfRange {
+        /// Offending word address.
+        addr: u32,
+    },
+    /// Write into the protected code segment.
+    WriteProtected {
+        /// Offending word address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfRange { addr } => write!(f, "address {addr:#x} out of range"),
+            MemoryError::WriteProtected { addr } => {
+                write!(f, "write to protected code segment at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+/// Main memory: a flat array of 32-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    words: Vec<u32>,
+    code_words: u32,
+    protect_code: bool,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new(DEFAULT_WORDS)
+    }
+}
+
+impl Memory {
+    /// Creates zeroed memory of `words` 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds `u32::MAX`.
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0 && words <= u32::MAX as usize, "bad memory size");
+        Memory {
+            words: vec![0; words],
+            code_words: 0,
+            protect_code: true,
+        }
+    }
+
+    /// Size in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero words (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Marks `[0, code_words)` as the (write-protected) code segment.
+    pub fn set_code_segment(&mut self, code_words: u32) {
+        self.code_words = code_words;
+    }
+
+    /// Size of the code segment in words.
+    pub fn code_segment(&self) -> u32 {
+        self.code_words
+    }
+
+    /// Enables or disables code-segment write protection.
+    pub fn set_protection(&mut self, on: bool) {
+        self.protect_code = on;
+    }
+
+    /// Whether code-segment write protection is enabled.
+    pub fn protection(&self) -> bool {
+        self.protect_code
+    }
+
+    /// Program-initiated read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    pub fn read(&self, addr: u32) -> Result<u32, MemoryError> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(MemoryError::OutOfRange { addr })
+    }
+
+    /// Program-initiated write, subject to code-segment protection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory and
+    /// [`MemoryError::WriteProtected`] for stores into a protected code
+    /// segment.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), MemoryError> {
+        if self.protect_code && addr < self.code_words {
+            return Err(MemoryError::WriteProtected { addr });
+        }
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(MemoryError::OutOfRange { addr }),
+        }
+    }
+
+    /// Tool-initiated read (`readMemory()` building block): no protection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    pub fn read_raw(&self, addr: u32) -> Result<u32, MemoryError> {
+        self.read(addr)
+    }
+
+    /// Tool-initiated write (`writeMemory()` building block): bypasses
+    /// protection, so pre-runtime SWIFI can corrupt the program area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    pub fn write_raw(&mut self, addr: u32, value: u32) -> Result<(), MemoryError> {
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(MemoryError::OutOfRange { addr }),
+        }
+    }
+
+    /// Flips one bit of one word — the SWIFI fault primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> Result<(), MemoryError> {
+        assert!(bit < 32, "bit index {bit} out of range");
+        let v = self.read_raw(addr)?;
+        self.write_raw(addr, v ^ (1 << bit))
+    }
+
+    /// Copies a block into memory starting at `addr` (workload download).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the block does not fit.
+    pub fn load_block(&mut self, addr: u32, data: &[u32]) -> Result<(), MemoryError> {
+        let start = addr as usize;
+        let end = start
+            .checked_add(data.len())
+            .filter(|&e| e <= self.words.len())
+            .ok_or(MemoryError::OutOfRange {
+                addr: addr.saturating_add(data.len() as u32),
+            })?;
+        self.words[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a block of `len` words starting at `addr` (state logging).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the block does not fit.
+    pub fn read_block(&self, addr: u32, len: usize) -> Result<Vec<u32>, MemoryError> {
+        let start = addr as usize;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.words.len())
+            .ok_or(MemoryError::OutOfRange {
+                addr: addr.saturating_add(len as u32),
+            })?;
+        Ok(self.words[start..end].to_vec())
+    }
+
+    /// Zeroes all of memory and forgets the code segment.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.code_words = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new(128);
+        m.write(100, 0xCAFEBABE).unwrap();
+        assert_eq!(m.read(100).unwrap(), 0xCAFEBABE);
+        assert_eq!(m.read(99).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut m = Memory::new(16);
+        assert_eq!(m.read(16).unwrap_err(), MemoryError::OutOfRange { addr: 16 });
+        assert_eq!(
+            m.write(999, 1).unwrap_err(),
+            MemoryError::OutOfRange { addr: 999 }
+        );
+    }
+
+    #[test]
+    fn code_protection_blocks_program_writes_only() {
+        let mut m = Memory::new(64);
+        m.set_code_segment(8);
+        assert_eq!(
+            m.write(3, 1).unwrap_err(),
+            MemoryError::WriteProtected { addr: 3 }
+        );
+        // Tool access bypasses protection (pre-runtime SWIFI needs this).
+        m.write_raw(3, 7).unwrap();
+        assert_eq!(m.read(3).unwrap(), 7);
+        // Data area writable by the program.
+        m.write(8, 9).unwrap();
+        // Protection can be switched off.
+        m.set_protection(false);
+        m.write(3, 2).unwrap();
+    }
+
+    #[test]
+    fn flip_bit_flips_one_bit() {
+        let mut m = Memory::new(8);
+        m.write_raw(2, 0b1000).unwrap();
+        m.flip_bit(2, 3).unwrap();
+        assert_eq!(m.read(2).unwrap(), 0);
+        m.flip_bit(2, 31).unwrap();
+        assert_eq!(m.read(2).unwrap(), 1 << 31);
+    }
+
+    #[test]
+    fn block_load_and_read() {
+        let mut m = Memory::new(32);
+        m.load_block(4, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_block(4, 3).unwrap(), vec![1, 2, 3]);
+        assert!(m.load_block(30, &[1, 2, 3]).is_err());
+        assert!(m.read_block(31, 2).is_err());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = Memory::new(8);
+        m.set_code_segment(4);
+        m.write_raw(1, 5).unwrap();
+        m.clear();
+        assert_eq!(m.read(1).unwrap(), 0);
+        assert_eq!(m.code_segment(), 0);
+    }
+}

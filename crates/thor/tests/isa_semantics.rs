@@ -1,0 +1,294 @@
+//! Detailed ISA semantics: condition flags, signed comparisons across
+//! overflow boundaries, masked-EDM fallback behaviour and cycle accounting.
+
+use thor::{asm::assemble, Cpu, CpuConfig, Detection, EdmSet, Reg, StopReason};
+
+fn run(src: &str) -> Cpu {
+    run_with(src, CpuConfig::default())
+}
+
+fn run_with(src: &str, config: CpuConfig) -> Cpu {
+    let image = assemble(src).expect("assemble");
+    let mut cpu = Cpu::new(config);
+    cpu.load_image(&image).unwrap();
+    let stop = cpu.run(1_000_000);
+    assert!(
+        matches!(stop, StopReason::Halted | StopReason::Detected(_)),
+        "unexpected stop {stop:?}"
+    );
+    cpu
+}
+
+fn no_overflow() -> CpuConfig {
+    CpuConfig {
+        edm: EdmSet {
+            overflow: false,
+            ..EdmSet::all_on()
+        },
+        ..CpuConfig::default()
+    }
+}
+
+#[test]
+fn signed_comparison_across_magnitudes() {
+    // For each (a, b, expected_less) check blt takes the right arm.
+    let cases: [(i32, i32, bool); 8] = [
+        (1, 2, true),
+        (2, 1, false),
+        (-1, 1, true),
+        (1, -1, false),
+        (-5, -3, true),
+        (i32::MIN + 1, i32::MAX, true),
+        (i32::MAX, i32::MIN + 1, false),
+        (0, 0, false),
+    ];
+    for (a, b, less) in cases {
+        let src = format!(
+            r"
+            li r1, {a}
+            li r2, {b}
+            cmp r1, r2
+            blt yes
+            ldi r3, 0
+            halt
+        yes:
+            ldi r3, 1
+            halt
+        ",
+        );
+        let cpu = run_with(&src, no_overflow());
+        assert_eq!(cpu.reg(Reg::new(3)), less as u32, "{a} < {b}");
+    }
+}
+
+#[test]
+fn bgt_ble_bge_cover_equalities() {
+    let triples = [(3, 3), (4, 3), (3, 4), (-2, 2)];
+    for (a, b) in triples {
+        let src = format!(
+            r"
+            li r1, {a}
+            li r2, {b}
+            ldi r4, 0
+            cmp r1, r2
+            ble le_label
+            br after1
+        le_label:
+            ori r4, r4, 1
+        after1:
+            cmp r1, r2
+            bge ge_label
+            br after2
+        ge_label:
+            ori r4, r4, 2
+        after2:
+            cmp r1, r2
+            bgt gt_label
+            br done
+        gt_label:
+            ori r4, r4, 4
+        done:
+            halt
+        ",
+        );
+        let cpu = run_with(&src, no_overflow());
+        let flags = cpu.reg(Reg::new(4));
+        assert_eq!(flags & 1 != 0, a <= b, "le for {a},{b}");
+        assert_eq!(flags & 2 != 0, a >= b, "ge for {a},{b}");
+        assert_eq!(flags & 4 != 0, a > b, "gt for {a},{b}");
+    }
+}
+
+#[test]
+fn zero_and_negative_flags_on_logic_ops() {
+    let cpu = run(
+        r"
+        ldi r1, 5
+        xor r2, r1, r1     ; zero result
+        beq was_zero
+        trap 1
+    was_zero:
+        li  r3, 0x80000000
+        or  r4, r3, r3     ; negative result
+        blt was_negative
+        trap 2
+    was_negative:
+        halt
+    ",
+    );
+    assert!(cpu.detection().is_none());
+}
+
+#[test]
+fn asr_vs_shr_semantics() {
+    let cpu = run_with(
+        r"
+        li  r1, -8
+        ldi r2, 2
+        asr r3, r1, r2     ; arithmetic: -2
+        shr r4, r1, r2     ; logical: large positive
+        halt
+    ",
+        no_overflow(),
+    );
+    assert_eq!(cpu.reg(Reg::new(3)) as i32, -2);
+    assert_eq!(cpu.reg(Reg::new(4)), 0xFFFF_FFF8u32 >> 2);
+}
+
+#[test]
+fn division_semantics_signed() {
+    let cpu = run(
+        r"
+        li  r1, -7
+        ldi r2, 2
+        div r3, r1, r2
+        ldi r4, 7
+        li  r5, -2
+        div r6, r4, r5
+        halt
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::new(3)) as i32, -3); // trunc toward zero
+    assert_eq!(cpu.reg(Reg::new(6)) as i32, -3);
+}
+
+#[test]
+fn sub_overflow_detected_only_when_signed_overflow() {
+    // i32::MIN - 1 overflows.
+    let cpu = run(
+        r"
+        li  r1, 0x80000000
+        subi r2, r1, 1
+        halt
+    ",
+    );
+    assert_eq!(cpu.detection(), Some(Detection::Overflow));
+    // Unsigned borrow alone (0 - 1) is not signed overflow.
+    let cpu = run(
+        r"
+        ldi r1, 0
+        subi r2, r1, 1
+        halt
+    ",
+    );
+    assert_eq!(cpu.detection(), None);
+    assert_eq!(cpu.reg(Reg::new(2)) as i32, -1);
+}
+
+#[test]
+fn masked_illegal_opcode_executes_as_nop() {
+    let image = assemble("nop\nnop\nhalt").unwrap();
+    let mut cfg = CpuConfig::default();
+    cfg.edm.illegal_opcode = false;
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_image(&image).unwrap();
+    cpu.memory_mut().write_raw(1, 0xEE00_0000).unwrap(); // unassigned opcode
+    assert_eq!(cpu.run(100), StopReason::Halted);
+    assert_eq!(cpu.instructions(), 3);
+}
+
+#[test]
+fn masked_access_violation_reads_zero_and_drops_stores() {
+    let mut cfg = CpuConfig::default();
+    cfg.edm.access_violation = false;
+    let cpu = run_with(
+        r"
+        li  r1, 0x7FFFFFFF     ; far out of range
+        ldx r2, r1, r0         ; read -> 0
+        ldi r3, 9
+        stx r1, r0, r3         ; dropped store
+        halt
+    ",
+        cfg,
+    );
+    assert_eq!(cpu.reg(Reg::new(2)), 0);
+    assert!(cpu.detection().is_none());
+}
+
+#[test]
+fn masked_control_flow_lets_execution_fall_into_data() {
+    // With CFC off, a jump into the data segment executes data words; the
+    // data word below decodes as an unassigned opcode, so the illegal
+    // opcode mechanism catches it instead — a realistic EDM interplay.
+    let mut cfg = CpuConfig::default();
+    cfg.edm.control_flow = false;
+    let cpu = run_with(
+        r"
+        li r1, data
+        jr r1
+        halt
+    .data
+    data:
+        .word 0xEE000000
+    ",
+        cfg,
+    );
+    assert_eq!(cpu.detection(), Some(Detection::IllegalOpcode));
+}
+
+#[test]
+fn cycle_accounting_distinguishes_hits_and_misses() {
+    // A tight loop: first iteration misses the I-cache, later ones hit.
+    let image = assemble(
+        r"
+        ldi r1, 100
+    loop:
+        subi r1, r1, 1
+        cmpi r1, 0
+        bgt loop
+        halt
+    ",
+    )
+    .unwrap();
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.load_image(&image).unwrap();
+    assert_eq!(cpu.run(1_000_000), StopReason::Halted);
+    let stats = cpu.icache_stats();
+    assert!(stats.misses <= 5, "misses {}", stats.misses);
+    assert!(stats.hits > 250, "hits {}", stats.hits);
+    // Cycles: roughly 1/instr + branch penalties, far below the
+    // all-miss bound of ~4/instr.
+    assert!(cpu.cycles() < cpu.instructions() * 3);
+    assert!(cpu.cycles() > cpu.instructions());
+}
+
+#[test]
+fn lui_ori_builds_full_constants() {
+    let cpu = run(
+        r"
+        lui r1, 0xDEAD
+        ori r1, r1, 0xBEEF
+        halt
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::new(1)), 0xDEAD_BEEF);
+}
+
+#[test]
+fn nested_calls_preserve_lr_through_stack() {
+    let cpu = run(
+        r"
+        call outer
+        halt
+    outer:
+        push lr
+        call inner
+        pop lr
+        addi r1, r1, 100
+        ret
+    inner:
+        addi r1, r1, 1
+        ret
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::new(1)), 101);
+}
+
+#[test]
+fn stack_pointer_starts_at_top_of_memory() {
+    let cpu = Cpu::new(CpuConfig {
+        mem_words: 4096,
+        ..CpuConfig::default()
+    });
+    assert_eq!(cpu.reg(Reg::SP), 4095);
+}

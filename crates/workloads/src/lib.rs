@@ -1,0 +1,143 @@
+//! Workload program library for the GOOFI target system.
+//!
+//! A fault-injection campaign runs a *workload* on the target: "the workload
+//! may consist of a program that either terminates by itself or is executed
+//! as an infinite loop" exchanging data with an environment simulator each
+//! iteration (paper §3.2). This crate packages six workloads of both kinds,
+//! written in the target's assembly language:
+//!
+//! | name         | kind        | exercises                                   |
+//! |--------------|-------------|---------------------------------------------|
+//! | `bubblesort` | terminating | data-dependent branches, memory traffic     |
+//! | `matmul`     | terminating | nested loops, multiplier                     |
+//! | `crc32`      | terminating | bit manipulation, long dependency chains     |
+//! | `primes`     | terminating | division unit                                |
+//! | `fibonacci`  | terminating | recursion, call/ret, stack                   |
+//! | `pi-control` | control loop| I/O ports, executable assertions, `sync`     |
+//! | `pi-control-ber` | control loop| assertions + best-effort recovery \[12\]  |
+//!
+//! `pi-control` reproduces the control application of the paper's reference
+//! \[12\] ("Reducing Critical Failures for Control Algorithms Using
+//! Executable Assertions and Best Effort Recovery"): a fixed-point PI
+//! controller with executable assertions on its input and output, closed
+//! over a plant from the `envsim` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use thor::{Cpu, StopReason};
+//!
+//! let wl = workloads::by_name("bubblesort").unwrap();
+//! let mut cpu = Cpu::new(Default::default());
+//! cpu.load_image(&wl.image).unwrap();
+//! assert_eq!(cpu.run(1_000_000), StopReason::Halted);
+//! let out = wl.read_output(&cpu).unwrap();
+//! assert!(out.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod programs;
+
+pub use programs::{
+    bubblesort, crc32, fibonacci, matmul, pi_control, pi_control_ber, primes,
+    ASSERT_INPUT_RANGE, ASSERT_OUTPUT_RANGE, CONTROL_SETPOINT, CRC_LEN, FIB_N, MAT_N,
+    PRIMES_LIMIT, SORT_LEN,
+};
+
+use thor::asm::Image;
+use thor::{Cpu, MemoryError};
+
+/// Whether a workload terminates by itself or loops forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Runs to a `halt` instruction.
+    Terminating,
+    /// An infinite control loop with a `sync` at each iteration boundary;
+    /// the campaign bounds the number of iterations (paper §3.2).
+    ControlLoop,
+}
+
+/// Where a workload's result lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputSpec {
+    /// A block of data memory: `[addr, addr+len)`.
+    Memory {
+        /// First word address.
+        addr: u32,
+        /// Number of words.
+        len: u32,
+    },
+    /// The output-port latches (control workloads).
+    Ports,
+}
+
+/// A runnable workload: source, assembled image and result location.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (campaign key).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Assembly source text.
+    pub source: String,
+    /// Assembled image.
+    pub image: Image,
+    /// Terminating or control loop.
+    pub kind: WorkloadKind,
+    /// Result location.
+    pub output: OutputSpec,
+}
+
+impl Workload {
+    /// Reads the workload's output from a CPU that has run it.
+    ///
+    /// For [`OutputSpec::Ports`] the four output-port latches are returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemoryError`] if the output region is out of range
+    /// (possible after an injected fault corrupts a pointer).
+    pub fn read_output(&self, cpu: &Cpu) -> Result<Vec<u32>, MemoryError> {
+        match self.output {
+            OutputSpec::Memory { addr, len } => cpu.memory().read_block(addr, len as usize),
+            OutputSpec::Ports => Ok((0..thor::PORT_COUNT).map(|p| cpu.out_port(p)).collect()),
+        }
+    }
+}
+
+/// All workloads in the library.
+pub fn all() -> Vec<Workload> {
+    vec![
+        bubblesort(),
+        matmul(),
+        crc32(),
+        primes(),
+        fibonacci(),
+        pi_control(),
+        pi_control_ber(),
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let ws = all();
+        assert_eq!(ws.len(), 7);
+        for w in &ws {
+            assert!(by_name(&w.name).is_some(), "{}", w.name);
+            assert!(!w.image.words.is_empty(), "{}", w.name);
+            assert!(w.image.code_words > 0, "{}", w.name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Porting GOOFI to a new target system — the paper's Figure 3 workflow.
+//!
+//! The paper's `Framework` class is a template whose methods all read
+//! "Write your code here!". This example plays the role of the porting
+//! programmer: it defines a brand-new target system (a tiny 8-bit
+//! accumulator machine, nothing like Thor) and implements just enough of
+//! the `TargetAccess` building blocks for the SWIFI algorithm to run —
+//! demonstrating the paper's claim that the algorithms are reusable across
+//! target systems unchanged.
+//!
+//! ```sh
+//! cargo run --example port_a_target
+//! ```
+
+use goofi::analysis::{classify_campaign, report, stats::CampaignStats};
+use goofi::core::algorithms;
+use goofi::core::campaign::{Campaign, OutputRegion, Termination, WorkloadImage};
+use goofi::core::fault::{FaultLocation, FaultSpec};
+use goofi::core::monitor::ProgressMonitor;
+use goofi::core::preinject::StepAccess;
+use goofi::core::trigger::Trigger;
+use goofi::core::{DetectionInfo, GoofiError, RunBudget, RunEvent, TargetAccess};
+use goofi::envsim::NullEnvironment;
+use goofi::scanchain::{BitVec, ChainLayout};
+
+/// A deliberately tiny target: an 8-bit accumulator machine with 256 words
+/// of memory and a single "illegal opcode" detection mechanism.
+///
+/// Instruction encoding (one 32-bit word each, low byte = opcode):
+/// 0 = halt, 1 = load acc from mem\[op\], 2 = add mem\[op\] to acc,
+/// 3 = store acc to mem\[op\]. The operand lives in byte 1.
+struct AccumulatorMachine {
+    mem: Vec<u32>,
+    acc: u8,
+    pc: u8,
+    halted: bool,
+    detected: bool,
+    instructions: u64,
+}
+
+impl AccumulatorMachine {
+    fn new() -> Self {
+        AccumulatorMachine {
+            mem: vec![0; 256],
+            acc: 0,
+            pc: 0,
+            halted: false,
+            detected: false,
+            instructions: 0,
+        }
+    }
+
+    fn step_once(&mut self) -> Option<RunEvent> {
+        if self.halted {
+            return Some(RunEvent::Halted);
+        }
+        if self.detected {
+            return Some(RunEvent::Detected(DetectionInfo {
+                mechanism: "illegal_opcode".into(),
+                code: 1,
+            }));
+        }
+        let word = self.mem[self.pc as usize];
+        let (op, operand) = ((word & 0xFF) as u8, ((word >> 8) & 0xFF) as usize);
+        self.pc = self.pc.wrapping_add(1);
+        self.instructions += 1;
+        match op {
+            0 => {
+                self.halted = true;
+                return Some(RunEvent::Halted);
+            }
+            1 => self.acc = self.mem[operand] as u8,
+            2 => self.acc = self.acc.wrapping_add(self.mem[operand] as u8),
+            3 => self.mem[operand] = self.acc as u32,
+            _ => {
+                self.detected = true;
+                return Some(RunEvent::Detected(DetectionInfo {
+                    mechanism: "illegal_opcode".into(),
+                    code: 1,
+                }));
+            }
+        }
+        None
+    }
+}
+
+// The porting step: implement the building blocks the SWIFI algorithm
+// needs. Scan-chain methods stay "Write your code here!" (Unimplemented) —
+// this target has no test logic, so only SWIFI campaigns can run, exactly
+// like a real port that starts with one technique.
+impl TargetAccess for AccumulatorMachine {
+    fn target_name(&self) -> &str {
+        "accumulator-8"
+    }
+
+    fn init_test_card(&mut self) -> goofi::core::Result<()> {
+        Ok(()) // no test card on this target
+    }
+
+    fn load_workload(&mut self, image: &WorkloadImage) -> goofi::core::Result<()> {
+        self.mem.fill(0);
+        self.mem[..image.words.len()].copy_from_slice(&image.words);
+        self.acc = 0;
+        self.pc = image.entry as u8;
+        self.halted = false;
+        self.detected = false;
+        self.instructions = 0;
+        Ok(())
+    }
+
+    fn reset_target(&mut self) -> goofi::core::Result<()> {
+        self.acc = 0;
+        self.pc = 0;
+        self.halted = false;
+        self.detected = false;
+        self.instructions = 0;
+        Ok(())
+    }
+
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> goofi::core::Result<()> {
+        let start = addr as usize;
+        self.mem[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_memory(&mut self, addr: u32, len: usize) -> goofi::core::Result<Vec<u32>> {
+        Ok(self.mem[addr as usize..addr as usize + len].to_vec())
+    }
+
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> goofi::core::Result<()> {
+        self.mem[addr as usize] ^= 1 << bit;
+        Ok(())
+    }
+
+    fn memory_size(&self) -> u32 {
+        self.mem.len() as u32
+    }
+
+    fn set_breakpoint(&mut self, _trigger: Trigger) -> goofi::core::Result<()> {
+        Err(GoofiError::Unimplemented("set_breakpoint")) // Write your code here!
+    }
+
+    fn clear_breakpoints(&mut self) -> goofi::core::Result<()> {
+        Ok(()) // nothing to clear
+    }
+
+    fn run_workload(&mut self, budget: RunBudget) -> goofi::core::Result<RunEvent> {
+        for _ in 0..budget.max_instructions {
+            if let Some(ev) = self.step_once() {
+                return Ok(ev);
+            }
+        }
+        Ok(RunEvent::BudgetExhausted)
+    }
+
+    fn step_instruction(&mut self) -> goofi::core::Result<Option<RunEvent>> {
+        Ok(self.step_once())
+    }
+
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        Vec::new() // no scan chains
+    }
+
+    fn read_scan_chain(&mut self, _chain: &str) -> goofi::core::Result<BitVec> {
+        Err(GoofiError::Unimplemented("read_scan_chain")) // Write your code here!
+    }
+
+    fn write_scan_chain(&mut self, _chain: &str, _bits: &BitVec) -> goofi::core::Result<()> {
+        Err(GoofiError::Unimplemented("write_scan_chain")) // Write your code here!
+    }
+
+    fn write_input_ports(&mut self, _inputs: &[u32]) -> goofi::core::Result<()> {
+        Ok(()) // no ports
+    }
+
+    fn read_output_ports(&mut self) -> goofi::core::Result<Vec<u32>> {
+        Ok(Vec::new())
+    }
+
+    fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+
+    fn cycles_executed(&self) -> u64 {
+        self.instructions // one cycle per instruction
+    }
+
+    fn iterations_completed(&self) -> u64 {
+        0
+    }
+
+    fn step_traced(&mut self) -> goofi::core::Result<(Option<RunEvent>, StepAccess)> {
+        Err(GoofiError::Unimplemented("step_traced")) // Write your code here!
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A workload for the new target: sum mem[16..20] into mem[32].
+    let instr = |op: u32, operand: u32| op | (operand << 8);
+    let mut words = vec![
+        instr(1, 16), // load  acc, [16]
+        instr(2, 17), // add   acc, [17]
+        instr(2, 18),
+        instr(2, 19),
+        instr(3, 32), // store [32], acc
+        instr(0, 0),  // halt
+    ];
+    words.resize(16, 0);
+    words.extend([11, 22, 33, 44]); // addresses 16..20
+    let workload = WorkloadImage {
+        name: "sum4".into(),
+        words,
+        code_words: 6,
+        entry: 0,
+    };
+
+    // A pre-runtime SWIFI campaign over the whole image, one flip per bit
+    // of the first eight words.
+    let mut faults = Vec::new();
+    for addr in 0..8u32 {
+        for bit in 0..16u8 {
+            faults.push(FaultSpec::single(
+                FaultLocation::Memory { addr, bit },
+                Trigger::PreRuntime,
+            ));
+        }
+    }
+    let n = faults.len();
+    let campaign = Campaign::builder("port-demo")
+        .target_system("accumulator-8")
+        .technique(goofi::core::campaign::Technique::SwifiPreRuntime)
+        .workload(workload)
+        .output(OutputRegion::Memory { addr: 32, len: 1 })
+        .termination(Termination {
+            max_instructions: 1_000,
+            max_iterations: None,
+        })
+        .faults(faults)
+        .build()?;
+
+    // The *same* faultinjector_swifi that drives the Thor target drives the
+    // new machine — no algorithm changes, just the port above.
+    let mut target = AccumulatorMachine::new();
+    let monitor = ProgressMonitor::new(n);
+    let result =
+        algorithms::faultinjector_swifi(&mut target, &campaign, &monitor, &mut NullEnvironment)?;
+
+    let classified = classify_campaign(&result.reference, &result.records);
+    let stats = CampaignStats::from_classified(&classified);
+    println!(
+        "{}",
+        report::full_report("exhaustive SWIFI on the freshly ported target", &stats)
+    );
+    println!(
+        "reference output: {:?} (11+22+33+44 = 110)",
+        result.reference.state.outputs
+    );
+    Ok(())
+}

@@ -1,0 +1,373 @@
+//! `goofi` — the command-line front end of the tool.
+//!
+//! The original GOOFI drove campaigns from a Java Swing GUI (paper Figures
+//! 5–7); this binary is the equivalent operator interface: it walks the
+//! same four phases against a campaign database file.
+//!
+//! ```text
+//! goofi targets                         # configuration phase: show the target system
+//! goofi workloads                       # available workloads
+//! goofi new <db> --name c1 --workload bubblesort --experiments 200
+//!                                       # set-up phase: store campaign in <db>
+//! goofi run <db> --name c1              # fault-injection phase
+//! goofi report <db> --name c1           # analysis phase
+//! goofi sql <db> "SELECT ..."           # ad-hoc analysis queries
+//! ```
+
+use goofi::analysis::{queries, report};
+use goofi::core::algorithms;
+use goofi::core::campaign::{Campaign, OutputRegion, TargetSystemData, Technique, Termination};
+use goofi::core::logging::LoggingMode;
+use goofi::core::monitor::ProgressMonitor;
+use goofi::core::{dbio, runner};
+use goofi::envsim::{DcMotor, Environment, JetEngine, NullEnvironment, WaterTank};
+use goofi::goofi_thor::ThorTarget;
+use goofi::goofidb::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("goofi: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match command.as_str() {
+        "targets" => cmd_targets(),
+        "workloads" => cmd_workloads(),
+        "new" => cmd_new(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "sql" => cmd_sql(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `goofi help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "GOOFI - generic object-oriented fault injection tool\n\n\
+         usage:\n  \
+         goofi targets\n  \
+         goofi workloads\n  \
+         goofi new <db> --name <campaign> --workload <name> [--experiments N]\n        \
+            [--seed S] [--technique scifi|swifi-pre|swifi-run|pin] [--time-window A:B]\n        \
+            [--max-instr N] [--max-iterations N] [--detail] [--with-caches]\n  \
+         goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n  \
+         goofi report <db> --name <campaign>\n  \
+         goofi sql <db> \"<SELECT ...>\""
+    );
+}
+
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags have no value; detect by peeking.
+            let boolean = matches!(name, "detail" | "with-caches");
+            if boolean {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn load_db(path: &str) -> Result<Database, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Database::load_from_string(&text).map_err(|e| format!("loading {path}: {e}")),
+        Err(_) => {
+            let mut db = Database::new();
+            dbio::init_schema(&mut db).map_err(|e| e.to_string())?;
+            Ok(db)
+        }
+    }
+}
+
+fn save_db(path: &str, db: &Database) -> Result<(), String> {
+    std::fs::write(path, db.save_to_string()).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_targets() -> Result<(), String> {
+    let target = ThorTarget::default();
+    let data = TargetSystemData::from_target(&target, "Thor-RD-like CPU simulator");
+    println!("target system: {}", data.name);
+    println!("memory: {} words", data.memory_words);
+    let mut per_chain: HashMap<&str, (usize, usize)> = HashMap::new();
+    for (chain, _, width, rw) in &data.locations {
+        let entry = per_chain.entry(chain.as_str()).or_insert((0, 0));
+        entry.0 += width;
+        if *rw {
+            entry.1 += width;
+        }
+    }
+    let mut chains: Vec<_> = per_chain.into_iter().collect();
+    chains.sort();
+    println!("\n{:<12} {:>10} {:>16}", "chain", "bits", "writable bits");
+    for (chain, (bits, writable)) in chains {
+        println!("{chain:<12} {bits:>10} {writable:>16}");
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!("{:<12} {:<12} description", "name", "kind");
+    for w in workloads::all() {
+        println!(
+            "{:<12} {:<12} {}",
+            w.name,
+            match w.kind {
+                workloads::WorkloadKind::Terminating => "terminating",
+                workloads::WorkloadKind::ControlLoop => "control-loop",
+            },
+            w.description,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_new(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let db_path = positional.first().ok_or("new: missing <db> path")?;
+    let name = flags.get("name").ok_or("new: --name is required")?;
+    let workload_name = flags.get("workload").ok_or("new: --workload is required")?;
+    let wl = workloads::by_name(workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}` (see `goofi workloads`)"))?;
+    let experiments: usize = flags
+        .get("experiments")
+        .map_or(Ok(100), |v| v.parse().map_err(|_| "bad --experiments"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(2003), |v| v.parse().map_err(|_| "bad --seed"))?;
+    let technique = match flags.get("technique").map(String::as_str) {
+        None | Some("scifi") => Technique::Scifi,
+        Some("swifi-pre") => Technique::SwifiPreRuntime,
+        Some("swifi-run") => Technique::SwifiRuntime,
+        Some("pin") => Technique::PinLevel,
+        Some(other) => return Err(format!("unknown technique `{other}`")),
+    };
+    let max_instructions: u64 = flags
+        .get("max-instr")
+        .map_or(Ok(1_000_000), |v| v.parse().map_err(|_| "bad --max-instr"))?;
+    let max_iterations: Option<u64> = match flags.get("max-iterations") {
+        Some(v) => Some(v.parse().map_err(|_| "bad --max-iterations")?),
+        None => match wl.kind {
+            workloads::WorkloadKind::ControlLoop => Some(200),
+            workloads::WorkloadKind::Terminating => None,
+        },
+    };
+
+    let target = ThorTarget::default();
+    let data = TargetSystemData::from_target(&target, "Thor-RD-like CPU simulator");
+    let time_window = match flags.get("time-window") {
+        Some(v) => {
+            let (a, b) = v.split_once(':').ok_or("bad --time-window, use A:B")?;
+            let a: u64 = a.parse().map_err(|_| "bad --time-window start")?;
+            let b: u64 = b.parse().map_err(|_| "bad --time-window end")?;
+            a..b
+        }
+        None => 0..10_000,
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let faults = match technique {
+        Technique::Scifi => {
+            let mut space = data.fault_space(None, time_window);
+            if !flags.contains_key("with-caches") {
+                space.scan_cells.retain(|(chain, _, _)| chain == "internal");
+            } else {
+                space.scan_cells.retain(|(chain, _, _)| {
+                    matches!(chain.as_str(), "internal" | "icache" | "dcache")
+                });
+            }
+            space.sample_campaign(experiments, &mut rng)
+        }
+        Technique::PinLevel => {
+            // Pins reached through the boundary chain (the writable cells
+            // are the input pins).
+            let mut space = data.fault_space(None, time_window);
+            space.scan_cells.retain(|(chain, _, _)| chain == "boundary");
+            space.sample_campaign(experiments, &mut rng)
+        }
+        Technique::SwifiRuntime => {
+            let space = goofi::core::fault::FaultSpace {
+                scan_cells: vec![],
+                memory: Some(0..wl.image.words.len() as u32),
+                time_window,
+            };
+            space.sample_campaign(experiments, &mut rng)
+        }
+        Technique::SwifiPreRuntime => {
+            let space = goofi::core::fault::FaultSpace {
+                scan_cells: vec![],
+                memory: Some(0..wl.image.words.len() as u32),
+                time_window: 0..1,
+            };
+            space
+                .sample_campaign(experiments, &mut rng)
+                .into_iter()
+                .map(|mut f| {
+                    f.trigger = goofi::core::trigger::Trigger::PreRuntime;
+                    f
+                })
+                .collect()
+        }
+    };
+
+    let campaign = Campaign::builder(name.clone())
+        .target_system(&data.name)
+        .technique(technique)
+        .workload(goofi::core::campaign::WorkloadImage {
+            name: wl.name.clone(),
+            words: wl.image.words.clone(),
+            code_words: wl.image.code_words,
+            entry: wl.image.entry,
+        })
+        .observe_chains(["internal"])
+        .output(match wl.output {
+            workloads::OutputSpec::Memory { addr, len } => OutputRegion::Memory { addr, len },
+            workloads::OutputSpec::Ports => OutputRegion::Ports,
+        })
+        .termination(Termination {
+            max_instructions,
+            max_iterations,
+        })
+        .logging(if flags.contains_key("detail") {
+            LoggingMode::Detail
+        } else {
+            LoggingMode::Normal
+        })
+        .faults(faults)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let mut db = load_db(db_path)?;
+    dbio::store_target_system(&mut db, &data).map_err(|e| e.to_string())?;
+    dbio::store_campaign(&mut db, &campaign).map_err(|e| e.to_string())?;
+    save_db(db_path, &db)?;
+    println!(
+        "campaign `{name}`: {} experiments on `{}` stored in {db_path}",
+        campaign.experiment_count(),
+        workload_name,
+    );
+    Ok(())
+}
+
+fn make_env(kind: Option<&str>) -> Result<Box<dyn Environment>, String> {
+    Ok(match kind {
+        None | Some("none") => Box::new(NullEnvironment),
+        Some("motor") => Box::new(DcMotor::new()),
+        Some("tank") => Box::new(WaterTank::new()),
+        Some("jet") => Box::new(JetEngine::new()),
+        Some(other) => return Err(format!("unknown environment `{other}`")),
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let db_path = positional.first().ok_or("run: missing <db> path")?;
+    let name = flags.get("name").ok_or("run: --name is required")?;
+    let workers: usize = flags
+        .get("workers")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| "bad --workers"))?;
+
+    let mut db = load_db(db_path)?;
+    // The paper's readCampaignData step.
+    let campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
+    let monitor = ProgressMonitor::new(campaign.experiment_count());
+    println!(
+        "running campaign `{name}`: {} experiments ({}, {:?} logging)",
+        campaign.experiment_count(),
+        campaign.technique.encode(),
+        campaign.logging,
+    );
+
+    let env_kind = flags.get("env").cloned();
+    let started = std::time::Instant::now();
+    let result = if workers <= 1 {
+        let mut target = ThorTarget::default();
+        let mut env = make_env(env_kind.as_deref())?;
+        algorithms::run_campaign(&mut target, &campaign, &monitor, env.as_mut())
+            .map_err(|e| e.to_string())?
+    } else {
+        let env_kind2 = env_kind.clone();
+        runner::run_campaign_parallel(
+            ThorTarget::default,
+            Some(move || make_env(env_kind2.as_deref()).expect("validated above")),
+            &campaign,
+            &monitor,
+            workers,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    let elapsed = started.elapsed();
+
+    dbio::store_result(&mut db, &result).map_err(|e| e.to_string())?;
+    save_db(db_path, &db)?;
+    let progress = monitor.snapshot();
+    println!(
+        "done in {elapsed:?}: {} experiments logged ({:.1} exp/s)",
+        progress.completed,
+        progress.completed as f64 / elapsed.as_secs_f64(),
+    );
+    for (cause, n) in &progress.by_termination {
+        println!("  terminated by {cause}: {n}");
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let db_path = positional.first().ok_or("report: missing <db> path")?;
+    let name = flags.get("name").ok_or("report: --name is required")?;
+    let mut db = load_db(db_path)?;
+    let classified = queries::analyse_campaign(&mut db, name).map_err(|e| e.to_string())?;
+    let stats = goofi::analysis::stats::CampaignStats::from_classified(&classified);
+    println!("{}", report::full_report(&format!("campaign `{name}`"), &stats));
+    let escaped = queries::escaped_experiments(&db, name).map_err(|e| e.to_string())?;
+    if !escaped.is_empty() {
+        println!("candidates for detail-mode re-run (escaped errors):");
+        for row in &escaped.rows {
+            println!("  {}", row[0]);
+        }
+    }
+    save_db(db_path, &db)?;
+    Ok(())
+}
+
+fn cmd_sql(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or("sql: missing <db> path")?;
+    let query = args.get(1).ok_or("sql: missing query string")?;
+    let db = load_db(db_path)?;
+    let result = db.query(query).map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! GOOFI — Generic Object-Oriented Fault Injection tool, umbrella crate.
+//!
+//! Re-exports the whole workspace behind one dependency. See the individual
+//! crates for detail:
+//!
+//! - [`core`] (`goofi-core`): the fault-injection framework — campaigns,
+//!   fault models, triggers, the SCIFI/SWIFI algorithms and the
+//!   target-system interface trait.
+//! - [`analysis`] (`goofi-analysis`): the analysis phase — outcome
+//!   classification, coverage statistics and report tables.
+//! - [`thor`]: the Thor-RD-like CPU simulator target system.
+//! - [`scanchain`]: IEEE 1149.1-style scan-chain/test-card infrastructure.
+//! - [`goofidb`]: the embedded SQL campaign database.
+//! - [`workloads`]: assembler and workload program library.
+//! - [`envsim`]: environment (plant) simulators that close the loop around
+//!   control workloads.
+
+#![forbid(unsafe_code)]
+
+pub use envsim;
+pub use goofi_analysis as analysis;
+pub use goofi_core as core;
+pub use goofi_thor;
+pub use goofidb;
+pub use scanchain;
+pub use thor;
+pub use workloads;

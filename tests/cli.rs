@@ -1,0 +1,145 @@
+//! Integration tests of the `goofi` CLI — the operator workflow the
+//! paper's GUI provided, driven end to end through a database file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn goofi(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_goofi"))
+        .args(args)
+        .output()
+        .expect("spawn goofi")
+}
+
+fn tmp_db(name: &str) -> (tempdir::TempDirGuard, String) {
+    let dir = tempdir::create(name);
+    let path = dir.path.join("campaign.gdb").to_string_lossy().into_owned();
+    (dir, path)
+}
+
+/// Minimal self-cleaning temp dir (std-only).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDirGuard {
+        pub path: PathBuf,
+    }
+
+    impl Drop for TempDirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
+    pub fn create(name: &str) -> TempDirGuard {
+        let path = std::env::temp_dir().join(format!("goofi-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("mkdir");
+        TempDirGuard { path }
+    }
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_and_listings() {
+    let out = stdout(&goofi(&["help"]));
+    assert!(out.contains("usage:"));
+
+    let out = stdout(&goofi(&["workloads"]));
+    for name in ["bubblesort", "matmul", "crc32", "primes", "fibonacci", "pi-control"] {
+        assert!(out.contains(name), "{out}");
+    }
+
+    let out = stdout(&goofi(&["targets"]));
+    assert!(out.contains("thor-rd"));
+    assert!(out.contains("internal"));
+    assert!(out.contains("icache"));
+}
+
+#[test]
+fn full_campaign_workflow() {
+    let (_guard, db) = tmp_db("flow");
+    // Set-up phase.
+    let out = stdout(&goofi(&[
+        "new", &db, "--name", "c1", "--workload", "bubblesort", "--experiments", "25",
+        "--seed", "9", "--time-window", "0:2000",
+    ]));
+    assert!(out.contains("25 experiments"), "{out}");
+
+    // Fault-injection phase.
+    let out = stdout(&goofi(&["run", &db, "--name", "c1"]));
+    assert!(out.contains("25 experiments logged"), "{out}");
+
+    // Analysis phase.
+    let out = stdout(&goofi(&["report", &db, "--name", "c1"]));
+    assert!(out.contains("outcome"), "{out}");
+    assert!(out.contains("error detection coverage"), "{out}");
+
+    // Ad-hoc SQL over the analysis results.
+    let out = stdout(&goofi(&[
+        "sql",
+        &db,
+        "SELECT COUNT(*) AS n FROM LoggedSystemState WHERE campaignName = 'c1'",
+    ]));
+    assert!(out.contains("26"), "reference + 25 experiments: {out}"); // 25 + reference
+}
+
+#[test]
+fn swifi_campaign_via_cli() {
+    let (_guard, db) = tmp_db("swifi");
+    stdout(&goofi(&[
+        "new", &db, "--name", "s1", "--workload", "primes", "--experiments", "10",
+        "--technique", "swifi-pre",
+    ]));
+    let out = stdout(&goofi(&["run", &db, "--name", "s1"]));
+    assert!(out.contains("10 experiments logged"), "{out}");
+    let out = stdout(&goofi(&["report", &db, "--name", "s1"]));
+    assert!(out.contains("effectiveness"), "{out}");
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_guard, db) = tmp_db("errs");
+    let out = goofi(&["new", &db, "--name", "x", "--workload", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+
+    let out = goofi(&["run", &db, "--name", "missing"]);
+    assert!(!out.status.success());
+
+    let out = goofi(&["bogus"]);
+    assert!(!out.status.success());
+
+    let out = goofi(&["sql", &db, "SELEKT"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn db_file_is_portable_across_invocations() {
+    let (_guard, db) = tmp_db("portable");
+    stdout(&goofi(&[
+        "new", &db, "--name", "p1", "--workload", "fibonacci", "--experiments", "5",
+    ]));
+    stdout(&goofi(&["run", &db, "--name", "p1"]));
+    // A second campaign lands in the same file.
+    stdout(&goofi(&[
+        "new", &db, "--name", "p2", "--workload", "crc32", "--experiments", "5",
+    ]));
+    stdout(&goofi(&["run", &db, "--name", "p2"]));
+    let out = stdout(&goofi(&[
+        "sql",
+        &db,
+        "SELECT campaignName, COUNT(*) AS n FROM LoggedSystemState GROUP BY campaignName ORDER BY campaignName",
+    ]));
+    assert!(out.contains("p1"), "{out}");
+    assert!(out.contains("p2"), "{out}");
+    let _ = PathBuf::from(&db);
+}
