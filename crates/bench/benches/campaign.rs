@@ -1,10 +1,11 @@
-//! B4–B5: campaign-level benchmarks — experiment throughput per technique
-//! and parallel-runner scaling.
+//! B4–B6: campaign-level benchmarks — experiment throughput per technique,
+//! parallel-runner scaling, and journaling overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use goofi_core::algorithms;
 use goofi_core::campaign::{Campaign, Technique};
 use goofi_core::fault::{FaultLocation, FaultSpec, FaultSpace};
+use goofi_core::journal::ExperimentJournal;
 use goofi_core::monitor::ProgressMonitor;
 use goofi_core::preinject;
 use goofi_core::runner;
@@ -104,6 +105,62 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_journal_overhead(c: &mut Criterion) {
+    // B6: cost of crash-safe checkpointing — the same campaign with and
+    // without the append-only experiment journal enabled.
+    let mut group = c.benchmark_group("journal-overhead");
+    let n = 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    let campaign = scifi_campaign(n);
+
+    group.bench_function("serial_plain", |b| {
+        b.iter(|| {
+            let mut target = ThorTarget::default();
+            algorithms::run_campaign(
+                &mut target,
+                &campaign,
+                &ProgressMonitor::new(n),
+                &mut envsim::NullEnvironment,
+            )
+            .unwrap()
+        });
+    });
+
+    let journal_path = std::env::temp_dir().join(format!("goofi-bench-{}.journal", std::process::id()));
+    group.bench_function("serial_journaled", |b| {
+        b.iter(|| {
+            let mut journal = ExperimentJournal::create(&journal_path, &campaign.name).unwrap();
+            let mut target = ThorTarget::default();
+            algorithms::run_campaign_journaled(
+                &mut target,
+                &campaign,
+                &ProgressMonitor::new(n),
+                &mut envsim::NullEnvironment,
+                Some(&mut journal),
+            )
+            .unwrap()
+        });
+    });
+
+    group.bench_function("parallel4_journaled", |b| {
+        b.iter(|| {
+            let mut journal = ExperimentJournal::create(&journal_path, &campaign.name).unwrap();
+            runner::run_campaign_parallel_journaled(
+                ThorTarget::default,
+                None::<fn() -> Box<dyn envsim::Environment>>,
+                &campaign,
+                &ProgressMonitor::new(n),
+                4,
+                Some(&mut journal),
+            )
+            .unwrap()
+        });
+    });
+    let _ = std::fs::remove_file(&journal_path);
+    group.finish();
+}
+
 fn bench_fault_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault-primitives");
     group.bench_function("inject_scan_fault", |b| {
@@ -132,6 +189,6 @@ fn bench_fault_primitives(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_techniques, bench_parallel_scaling, bench_fault_primitives
+    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives
 }
 criterion_main!(benches);

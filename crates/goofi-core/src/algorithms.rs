@@ -24,7 +24,9 @@ use crate::fault::{FaultLocation, FaultModel, FaultSpec};
 use crate::logging::{
     digest_words, ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause,
 };
+use crate::journal::ExperimentJournal;
 use crate::monitor::ProgressMonitor;
+use crate::policy::{ExperimentFailure, Watchdog};
 use crate::target::{RunBudget, RunEvent, TargetAccess};
 use crate::{GoofiError, Result};
 use envsim::Environment;
@@ -37,6 +39,10 @@ pub struct CampaignResult {
     pub reference: ExperimentRecord,
     /// One record per executed experiment.
     pub records: Vec<ExperimentRecord>,
+    /// Experiments that failed despite the campaign's
+    /// [`ExperimentPolicy`](crate::policy::ExperimentPolicy) (empty unless
+    /// the policy skips failures), in index order.
+    pub failures: Vec<ExperimentFailure>,
 }
 
 /// Runs a SCIFI campaign (the paper's `faultInjectorSCIFI`).
@@ -103,27 +109,162 @@ pub fn faultinjector_pinlevel<T: TargetAccess + ?Sized>(
 }
 
 /// Technique-dispatching campaign driver: reference run, then every
-/// experiment, honouring the progress monitor between experiments.
+/// experiment, honouring the progress monitor between experiments and the
+/// campaign's [`ExperimentPolicy`](crate::policy::ExperimentPolicy) on
+/// experiment failures.
 ///
 /// # Errors
 ///
-/// Target errors, configuration errors, or [`GoofiError::Stopped`].
+/// Target errors, configuration errors, [`GoofiError::Stopped`], or — when
+/// the policy aborts on a failing experiment —
+/// [`GoofiError::ExperimentFailed`] carrying every completed record.
 pub fn run_campaign<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
     monitor: &ProgressMonitor,
     env: &mut dyn Environment,
 ) -> Result<CampaignResult> {
+    run_campaign_journaled(target, campaign, monitor, env, None)
+}
+
+/// [`run_campaign`] with an optional crash-safe journal: each finished
+/// experiment is appended (and synced) before the next one starts, so a
+/// process crash loses at most the experiment in flight — see
+/// [`crate::runner::resume_campaign`].
+///
+/// # Errors
+///
+/// As [`run_campaign`], plus journal I/O errors.
+pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+    mut journal: Option<&mut ExperimentJournal>,
+) -> Result<CampaignResult> {
     campaign.validate()?;
     let reference = make_reference_run(target, campaign, &mut *env)?;
+    if let Some(j) = journal.as_deref_mut() {
+        j.append_record(None, &reference)?;
+    }
     let mut records = Vec::with_capacity(campaign.faults.len());
+    let mut failures = Vec::new();
     for index in 0..campaign.faults.len() {
         monitor.checkpoint()?;
-        let record = run_experiment(target, campaign, index, &mut *env)?;
-        monitor.record(&record.termination);
-        records.push(record);
+        match run_experiment_with_policy(target, campaign, index, monitor, &mut *env)? {
+            Ok(record) => {
+                monitor.record(&record.termination);
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append_record(Some(index), &record)?;
+                }
+                records.push(record);
+            }
+            Err(failure) => {
+                monitor.record_failed();
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append_failure(&failure)?;
+                }
+                if campaign.policy.fails_campaign() {
+                    return Err(GoofiError::ExperimentFailed {
+                        failure,
+                        partial: Box::new(CampaignResult {
+                            reference,
+                            records,
+                            failures,
+                        }),
+                    });
+                }
+                failures.push(failure);
+            }
+        }
     }
-    Ok(CampaignResult { reference, records })
+    Ok(CampaignResult {
+        reference,
+        records,
+        failures,
+    })
+}
+
+/// Runs one experiment under the campaign's retry policy. `Ok(Ok(_))` is a
+/// completed record; `Ok(Err(_))` is an experiment that kept failing after
+/// every allowed retry (the caller applies the policy's skip/fail choice);
+/// `Err(_)` is reserved for [`GoofiError::Stopped`].
+///
+/// # Errors
+///
+/// [`GoofiError::Stopped`] when the monitor ends the campaign mid-retry.
+pub fn run_experiment_with_policy<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    index: usize,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+) -> Result<std::result::Result<ExperimentRecord, ExperimentFailure>> {
+    run_linked_experiment_with_policy(target, campaign, index, None, monitor, env)
+}
+
+/// [`run_experiment_with_policy`] for a re-run: the produced record is
+/// renamed to `name` and linked to `parent` via `parentExperiment` — the
+/// paper's §2.3 re-run workflow, used by campaign resume to re-run
+/// previously failed experiments as fresh, linked experiments.
+///
+/// # Errors
+///
+/// [`GoofiError::Stopped`] when the monitor ends the campaign mid-retry.
+pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    index: usize,
+    link: Option<(String, String)>,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+) -> Result<std::result::Result<ExperimentRecord, ExperimentFailure>> {
+    let retries = campaign.policy.retries();
+    let mut attempt: u32 = 0;
+    loop {
+        let result = match &link {
+            None => run_experiment(target, campaign, index, &mut *env),
+            Some((name, parent)) => run_experiment_inner(
+                target,
+                campaign,
+                index,
+                &mut *env,
+                Some(parent.clone()),
+                campaign.logging,
+            )
+            .map(|mut record| {
+                record.name = name.clone();
+                record
+            }),
+        };
+        match result {
+            Ok(record) => return Ok(Ok(record)),
+            // A user stop is not an experiment failure: propagate it.
+            Err(GoofiError::Stopped) => return Err(GoofiError::Stopped),
+            Err(e) => {
+                if attempt < retries {
+                    monitor.record_retry();
+                    let delay = campaign.policy.backoff.delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                    // Honour pause/stop between retries as well.
+                    monitor.checkpoint()?;
+                    continue;
+                }
+                return Ok(Err(ExperimentFailure {
+                    index,
+                    name: match &link {
+                        Some((name, _)) => name.clone(),
+                        None => campaign.experiment_name(index),
+                    },
+                    attempts: attempt + 1,
+                    error: e.to_string(),
+                }));
+            }
+        }
+    }
 }
 
 /// Executes the fault-free reference run, "logging the fault-free system
@@ -142,10 +283,11 @@ pub fn make_reference_run<T: TargetAccess + ?Sized>(
     env.reset();
     target.write_input_ports(&campaign.initial_inputs)?;
     target.clear_breakpoints()?;
+    let mut wd = Watchdog::start(&campaign.policy.watchdog, target.cycles_executed());
     let (termination, trace) = if campaign.logging == LoggingMode::Detail {
-        continue_stepping(target, campaign, env, None, true)?
+        continue_stepping(target, campaign, env, None, true, &mut wd)?
     } else {
-        continue_to_termination(target, campaign, env, None)?
+        continue_to_termination(target, campaign, env, &mut wd)?
     };
     let state = snapshot(target, campaign, true)?;
     Ok(ExperimentRecord {
@@ -221,12 +363,13 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
     env.reset();
     target.write_input_ports(&campaign.initial_inputs)?;
     target.clear_breakpoints()?;
+    let mut wd = Watchdog::start(&campaign.policy.watchdog, target.cycles_executed());
 
     let trace: Vec<StateSnapshot>;
     let termination = if spec.trigger.is_pre_runtime() {
         // Pre-runtime SWIFI: corrupt the image, then just run.
         apply_fault(target, spec)?;
-        let (t, tr) = continue_with_model(target, campaign, spec, env, logging)?;
+        let (t, tr) = continue_with_model(target, campaign, spec, env, logging, &mut wd)?;
         trace = tr;
         t
     } else {
@@ -236,9 +379,12 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
         target.set_breakpoint(spec.trigger)?;
         let detail = logging == LoggingMode::Detail;
         let (outcome, mut pre_trace) = if detail {
-            wait_for_breakpoint_detailed(target, campaign, &mut *env)?
+            wait_for_breakpoint_detailed(target, campaign, &mut *env, &mut wd)?
         } else {
-            (wait_for_breakpoint(target, campaign, &mut *env)?, Vec::new())
+            (
+                wait_for_breakpoint(target, campaign, &mut *env, &mut wd)?,
+                Vec::new(),
+            )
         };
         match outcome {
             WaitOutcome::Breakpoint => {
@@ -246,7 +392,8 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
                 // readScanChain(); injectFault(); writeScanChain();
                 apply_fault(target, spec)?;
                 // waitForTermination();
-                let (t, tr) = continue_with_model(target, campaign, spec, env, logging)?;
+                let (t, tr) =
+                    continue_with_model(target, campaign, spec, env, logging, &mut wd)?;
                 pre_trace.extend(tr);
                 trace = pre_trace;
                 t
@@ -391,10 +538,11 @@ fn wait_for_breakpoint_detailed<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
     env: &mut dyn Environment,
+    wd: &mut Watchdog,
 ) -> Result<(WaitOutcome, Vec<StateSnapshot>)> {
     let mut trace = Vec::new();
     loop {
-        if remaining_budget(target, campaign) == 0 {
+        if remaining_budget(target, campaign) == 0 || wd.expired(target.cycles_executed()) {
             return Ok((WaitOutcome::Terminated(TerminationCause::Timeout), trace));
         }
         let before = target.instructions_executed();
@@ -445,14 +593,19 @@ fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
     env: &mut dyn Environment,
+    wd: &mut Watchdog,
 ) -> Result<WaitOutcome> {
     loop {
         let remaining = remaining_budget(target, campaign);
-        if remaining == 0 {
+        if remaining == 0
+            || wd.expired(target.cycles_executed())
+            || wd.check_wall_now()
+        {
             return Ok(WaitOutcome::Terminated(TerminationCause::Timeout));
         }
+        let slice = wd.clamp_slice(remaining);
         match target.run_workload(RunBudget {
-            max_instructions: remaining,
+            max_instructions: slice,
         })? {
             RunEvent::Breakpoint { .. } => return Ok(WaitOutcome::Breakpoint),
             RunEvent::Halted => {
@@ -461,8 +614,15 @@ fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
             RunEvent::Detected(d) => {
                 return Ok(WaitOutcome::Terminated(TerminationCause::Detected(d)))
             }
-            RunEvent::Timeout | RunEvent::BudgetExhausted => {
+            RunEvent::Timeout => {
                 return Ok(WaitOutcome::Terminated(TerminationCause::Timeout))
+            }
+            RunEvent::BudgetExhausted => {
+                // Only a real timeout when the whole remaining budget was
+                // offered; a clamped watchdog slice just loops to re-check.
+                if slice == remaining {
+                    return Ok(WaitOutcome::Terminated(TerminationCause::Timeout));
+                }
             }
             RunEvent::IterationBoundary { iteration } => {
                 if campaign
@@ -487,37 +647,46 @@ fn continue_with_model<T: TargetAccess + ?Sized>(
     spec: &FaultSpec,
     env: &mut dyn Environment,
     logging: LoggingMode,
+    wd: &mut Watchdog,
 ) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
     let detail = logging == LoggingMode::Detail;
     match spec.model {
         FaultModel::TransientBitFlip if !detail => {
-            continue_to_termination(target, campaign, env, None)
+            continue_to_termination(target, campaign, env, wd)
         }
-        FaultModel::TransientBitFlip => continue_stepping(target, campaign, env, None, true),
+        FaultModel::TransientBitFlip => continue_stepping(target, campaign, env, None, true, wd),
         // Persistent models need per-instruction control.
-        model => continue_stepping(target, campaign, env, Some((spec, model)), detail),
+        model => continue_stepping(target, campaign, env, Some((spec, model)), detail, wd),
     }
 }
 
-/// Coarse-grained continuation: whole `run_workload` slices (normal mode).
+/// Coarse-grained continuation: whole `run_workload` slices (normal mode),
+/// clamped to short slices while a watchdog is armed.
 fn continue_to_termination<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
     env: &mut dyn Environment,
-    _unused: Option<()>,
+    wd: &mut Watchdog,
 ) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
     loop {
         let remaining = remaining_budget(target, campaign);
-        if remaining == 0 {
+        if remaining == 0
+            || wd.expired(target.cycles_executed())
+            || wd.check_wall_now()
+        {
             return Ok((TerminationCause::Timeout, Vec::new()));
         }
+        let slice = wd.clamp_slice(remaining);
         match target.run_workload(RunBudget {
-            max_instructions: remaining,
+            max_instructions: slice,
         })? {
             RunEvent::Halted => return Ok((TerminationCause::WorkloadEnd, Vec::new())),
             RunEvent::Detected(d) => return Ok((TerminationCause::Detected(d), Vec::new())),
-            RunEvent::Timeout | RunEvent::BudgetExhausted => {
-                return Ok((TerminationCause::Timeout, Vec::new()))
+            RunEvent::Timeout => return Ok((TerminationCause::Timeout, Vec::new())),
+            RunEvent::BudgetExhausted => {
+                if slice == remaining {
+                    return Ok((TerminationCause::Timeout, Vec::new()));
+                }
             }
             RunEvent::Breakpoint { .. } => {
                 // A stray breakpoint (should not happen: cleared before).
@@ -547,13 +716,14 @@ fn continue_stepping<T: TargetAccess + ?Sized>(
     env: &mut dyn Environment,
     persistent: Option<(&FaultSpec, FaultModel)>,
     detail: bool,
+    wd: &mut Watchdog,
 ) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
     let mut trace = Vec::new();
     let inject_instr = target.instructions_executed();
     let mut bursts_done: u32 = 1; // the initial injection counts as burst 1
 
     loop {
-        if remaining_budget(target, campaign) == 0 {
+        if remaining_budget(target, campaign) == 0 || wd.expired(target.cycles_executed()) {
             return Ok((TerminationCause::Timeout, trace));
         }
         let before = target.instructions_executed();

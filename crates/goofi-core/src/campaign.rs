@@ -229,6 +229,8 @@ pub struct Campaign {
     pub initial_inputs: Vec<u32>,
     /// How environment data is exchanged at iteration boundaries.
     pub env_exchange: EnvExchange,
+    /// How the campaign driver reacts to failing or hung experiments.
+    pub policy: crate::policy::ExperimentPolicy,
 }
 
 impl Campaign {
@@ -402,6 +404,7 @@ pub struct CampaignBuilder {
     output: OutputRegion,
     initial_inputs: Vec<u32>,
     env_exchange: EnvExchange,
+    policy: crate::policy::ExperimentPolicy,
 }
 
 impl CampaignBuilder {
@@ -418,6 +421,7 @@ impl CampaignBuilder {
             output: OutputRegion::Ports,
             initial_inputs: Vec::new(),
             env_exchange: EnvExchange::Ports,
+            policy: crate::policy::ExperimentPolicy::default(),
         }
     }
 
@@ -488,6 +492,12 @@ impl CampaignBuilder {
         self
     }
 
+    /// Sets the experiment resilience policy (fail-fast by default).
+    pub fn policy(mut self, policy: crate::policy::ExperimentPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Finishes and validates the campaign.
     ///
     /// # Errors
@@ -512,6 +522,7 @@ impl CampaignBuilder {
             },
             initial_inputs: self.initial_inputs,
             env_exchange: self.env_exchange,
+            policy: self.policy,
         };
         campaign.validate()?;
         Ok(campaign)

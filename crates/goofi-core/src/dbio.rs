@@ -53,6 +53,7 @@ pub fn init_schema(db: &mut Database) -> Result<()> {
             initialInputs TEXT,
             envExchange TEXT,
             faults TEXT,
+            policy TEXT,
             FOREIGN KEY (targetSystem) REFERENCES TargetSystemData(name))",
         "CREATE TABLE LoggedSystemState (
             experimentName TEXT PRIMARY KEY,
@@ -197,6 +198,7 @@ pub fn store_campaign(db: &mut Database, campaign: &Campaign) -> Result<()> {
             Value::text(inputs),
             Value::text(campaign.env_exchange.encode()),
             Value::text(faults),
+            Value::text(campaign.policy.encode()),
         ],
     )?;
     Ok(())
@@ -298,6 +300,14 @@ pub fn load_campaign(db: &Database, name: &str) -> Result<Campaign> {
         initial_inputs,
         env_exchange: EnvExchange::decode(row[14].as_text().unwrap_or_default())
             .ok_or_else(|| bad("envExchange"))?,
+        // Databases saved before the policy column existed load with the
+        // default (fail-fast) policy.
+        policy: match row.get(16).and_then(|v| v.as_text()) {
+            Some(text) => {
+                crate::policy::ExperimentPolicy::decode(text).ok_or_else(|| bad("policy"))?
+            }
+            None => crate::policy::ExperimentPolicy::default(),
+        },
     })
 }
 
@@ -340,16 +350,56 @@ pub fn log_experiment(db: &mut Database, record: &ExperimentRecord) -> Result<()
 }
 
 /// Stores a full campaign result: the reference run plus all experiments.
+/// Idempotent by experiment name, so a result assembled after a resume can
+/// be stored over records already salvaged from a partial run or imported
+/// from a journal.
 ///
 /// # Errors
 ///
 /// Database errors (the campaign row must already exist).
 pub fn store_result(db: &mut Database, result: &CampaignResult) -> Result<()> {
-    log_experiment(db, &result.reference)?;
-    for record in &result.records {
-        log_experiment(db, record)?;
+    let existing = |db: &Database, name: &str| {
+        db.table(LOG_TABLE)
+            .is_some_and(|t| t.contains_key(&Value::text(name)))
+    };
+    for record in std::iter::once(&result.reference).chain(result.records.iter()) {
+        if !existing(db, &record.name) {
+            log_experiment(db, record)?;
+        }
     }
     Ok(())
+}
+
+/// Imports the records of a crash-safe experiment journal (see
+/// [`crate::journal`]) into `LoggedSystemState`, skipping experiments
+/// already present — so a journal can be folded into the database after a
+/// crash, idempotently. Returns how many records were inserted.
+///
+/// # Errors
+///
+/// Journal read errors and database errors (the campaign row must exist).
+pub fn import_journal(
+    db: &mut Database,
+    path: impl AsRef<std::path::Path>,
+    campaign: &str,
+) -> Result<usize> {
+    let state = crate::journal::ExperimentJournal::load(path, campaign)?;
+    let mut inserted = 0;
+    let existing = |db: &Database, name: &str| {
+        db.table(LOG_TABLE)
+            .is_some_and(|t| t.contains_key(&Value::text(name)))
+    };
+    for record in state
+        .reference
+        .iter()
+        .chain(state.completed.values())
+    {
+        if !existing(db, &record.name) {
+            log_experiment(db, record)?;
+            inserted += 1;
+        }
+    }
+    Ok(inserted)
 }
 
 /// Loads one experiment record by name.
@@ -495,6 +545,58 @@ mod tests {
         store_campaign(&mut db, &c).unwrap();
         assert_eq!(load_campaign(&db, "c1").unwrap(), c);
         assert!(load_campaign(&db, "nope").is_err());
+    }
+
+    #[test]
+    fn campaign_policy_roundtrips() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let mut c = demo_campaign();
+        c.policy = crate::policy::ExperimentPolicy::retry_then_skip(3)
+            .with_backoff(crate::policy::Backoff::exponential(5, 50))
+            .with_watchdog(crate::policy::WatchdogBudget {
+                max_cycles: Some(50_000),
+                max_wall_ms: Some(1_000),
+            });
+        store_campaign(&mut db, &c).unwrap();
+        assert_eq!(load_campaign(&db, "c1").unwrap(), c);
+    }
+
+    #[test]
+    fn import_journal_is_idempotent() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("goofi-dbio-import-{}.gjl", std::process::id()));
+        let mut journal = crate::journal::ExperimentJournal::create(&path, "c1").unwrap();
+        let reference = ExperimentRecord {
+            name: "c1/reference".into(),
+            parent: None,
+            campaign: "c1".into(),
+            fault: None,
+            termination: TerminationCause::WorkloadEnd,
+            state: StateSnapshot::default(),
+            trace: vec![],
+        };
+        let exp = ExperimentRecord {
+            name: "c1/exp00000".into(),
+            fault: Some(c.faults[0].clone()),
+            ..reference.clone()
+        };
+        journal.append_record(None, &reference).unwrap();
+        journal.append_record(Some(0), &exp).unwrap();
+        drop(journal);
+
+        assert_eq!(import_journal(&mut db, &path, "c1").unwrap(), 2);
+        // Importing again inserts nothing new.
+        assert_eq!(import_journal(&mut db, &path, "c1").unwrap(), 0);
+        assert_eq!(load_experiments(&db, "c1").unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -19,6 +19,20 @@ pub enum GoofiError {
     Unimplemented(&'static str),
     /// The campaign was stopped from the progress monitor.
     Stopped,
+    /// An experiment journal could not be written or read.
+    Journal(String),
+    /// An experiment failed despite the campaign's
+    /// [`ExperimentPolicy`](crate::policy::ExperimentPolicy) and the policy
+    /// aborts the campaign. Unlike a bare error, this carries every record
+    /// completed before the failure — a failing experiment no longer
+    /// discards finished work.
+    ExperimentFailed {
+        /// The failing experiment (lowest index when several workers
+        /// failed concurrently).
+        failure: crate::policy::ExperimentFailure,
+        /// Reference run plus all records completed before the abort.
+        partial: Box<crate::algorithms::CampaignResult>,
+    },
 }
 
 impl fmt::Display for GoofiError {
@@ -32,6 +46,12 @@ impl fmt::Display for GoofiError {
                 write!(f, "abstract method `{method}` not implemented for this target system")
             }
             GoofiError::Stopped => f.write_str("campaign stopped by the user"),
+            GoofiError::Journal(msg) => write!(f, "experiment journal error: {msg}"),
+            GoofiError::ExperimentFailed { failure, partial } => write!(
+                f,
+                "{failure}; {} completed record(s) preserved",
+                partial.records.len()
+            ),
         }
     }
 }

@@ -1,0 +1,489 @@
+//! Crash-safe experiment journal: append-only campaign checkpointing.
+//!
+//! `goofidb` persistence is a whole-file rewrite — atomic (see
+//! `Database::save_to_path`) but only written when someone asks. A
+//! campaign that dies 4 000 experiments into 5 000 would lose everything
+//! since the last save. The journal closes that gap: the campaign driver
+//! appends one entry per finished experiment, each entry flushed and
+//! `fsync`ed, so after a crash [`crate::runner::resume_campaign`] can
+//! reload exactly the completed set, skip it, and re-run only what is
+//! missing or failed.
+//!
+//! ## Format
+//!
+//! A journal is a line-oriented text file:
+//!
+//! ```text
+//! #goofi-journal v1
+//! C <campaign-name>
+//! R <index|-> <name> <parent|-> <fault|-> <termination> <state> <trace|-> #<fnv>
+//! F <index> <attempts> <error> #<fnv>
+//! ```
+//!
+//! Fields are tab-separated and escaped (`\t`, `\n`, `\\`); `R` entries
+//! are completed experiment records (`-` in the index column marks the
+//! reference run), `F` entries are experiments that failed despite the
+//! policy's retries. Every entry line ends with an FNV-1a checksum of its
+//! payload. Loading stops at the first torn or corrupt line — precisely
+//! the tail a crash mid-append can leave — so a damaged tail never
+//! poisons the records before it.
+
+use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause};
+use crate::policy::ExperimentFailure;
+use crate::{fault::FaultSpec, GoofiError, Result};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const HEADER: &str = "#goofi-journal v1";
+
+/// What a journal file says about a partially-run campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalState {
+    /// Campaign name recorded in the journal header.
+    pub campaign: String,
+    /// The reference run, when it completed before the crash.
+    pub reference: Option<ExperimentRecord>,
+    /// Completed experiment records by campaign index.
+    pub completed: BTreeMap<usize, ExperimentRecord>,
+    /// Experiments that failed (index → failure), unless a later `R`
+    /// entry for the same index superseded the failure.
+    pub failed: BTreeMap<usize, ExperimentFailure>,
+    /// How many `F` entries each index has accumulated across runs —
+    /// superseded or not. Resume derives unique `…/rerun<k>` names from
+    /// this, so an experiment that fails on every resume still gets a
+    /// fresh child name each time.
+    pub failed_rounds: BTreeMap<usize, u32>,
+}
+
+impl JournalState {
+    /// Total entries that survived loading.
+    pub fn len(&self) -> usize {
+        self.completed.len() + self.failed.len() + usize::from(self.reference.is_some())
+    }
+
+    /// Whether nothing was journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.reference.is_none() && self.completed.is_empty() && self.failed.is_empty()
+    }
+}
+
+/// An open, append-only experiment journal.
+///
+/// Each append is written as one line, flushed, and synced to disk before
+/// returning, so an entry either fully exists or is a recognisable torn
+/// tail.
+#[derive(Debug)]
+pub struct ExperimentJournal {
+    file: File,
+    path: PathBuf,
+}
+
+impl ExperimentJournal {
+    /// Creates a fresh journal for `campaign`, truncating any existing
+    /// file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, surfaced as [`GoofiError::Journal`].
+    pub fn create(path: impl AsRef<Path>, campaign: &str) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path).map_err(|e| io_err(&path, "creating", &e))?;
+        let header = format!("{HEADER}\nC\t{}\n", escape(campaign));
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err(&path, "writing header to", &e))?;
+        Ok(ExperimentJournal { file, path })
+    }
+
+    /// Opens an existing journal for appending (after [`load`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, surfaced as [`GoofiError::Journal`].
+    ///
+    /// [`load`]: ExperimentJournal::load
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, "opening", &e))?;
+        Ok(ExperimentJournal { file, path })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a completed experiment record. `index` is the experiment's
+    /// campaign index; `None` marks the reference run.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, surfaced as [`GoofiError::Journal`].
+    pub fn append_record(&mut self, index: Option<usize>, record: &ExperimentRecord) -> Result<()> {
+        let payload = format!(
+            "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            index.map_or_else(|| "-".to_string(), |i| i.to_string()),
+            escape(&record.name),
+            record.parent.as_deref().map_or_else(|| "-".into(), escape),
+            record
+                .fault
+                .as_ref()
+                .map_or_else(|| "-".into(), |f| escape(&f.encode())),
+            escape(&record.termination.encode()),
+            escape(&record.state.encode()),
+            if record.trace.is_empty() {
+                "-".to_string()
+            } else {
+                escape(
+                    &record
+                        .trace
+                        .iter()
+                        .map(StateSnapshot::encode)
+                        .collect::<Vec<_>>()
+                        .join("---\n"),
+                )
+            },
+        );
+        self.append_line(&payload)
+    }
+
+    /// Appends an experiment failure.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, surfaced as [`GoofiError::Journal`].
+    pub fn append_failure(&mut self, failure: &ExperimentFailure) -> Result<()> {
+        let payload = format!(
+            "F\t{}\t{}\t{}",
+            failure.index,
+            failure.attempts,
+            escape(&failure.error)
+        );
+        self.append_line(&payload)
+    }
+
+    fn append_line(&mut self, payload: &str) -> Result<()> {
+        let line = format!("{payload}\t#{:08x}\n", fnv1a(payload.as_bytes()));
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err(&self.path, "appending to", &e))
+    }
+
+    /// Loads a journal, tolerating a torn tail: parsing stops at the first
+    /// incomplete, checksum-mismatched or malformed entry line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and a missing/mismatched header — a damaged *tail* is
+    /// expected after a crash, a damaged *head* means this is not a
+    /// journal.
+    pub fn load(path: impl AsRef<Path>, campaign_name: &str) -> Result<JournalState> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| io_err(path, "reading", &e))?;
+        let complete = text.ends_with('\n');
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(GoofiError::Journal(format!(
+                "{}: not a goofi journal (bad header)",
+                path.display()
+            )));
+        }
+        let mut state = JournalState::default();
+        match lines.next().and_then(|l| l.strip_prefix("C\t")) {
+            Some(name) => state.campaign = unescape(name),
+            None => {
+                return Err(GoofiError::Journal(format!(
+                    "{}: missing campaign line",
+                    path.display()
+                )))
+            }
+        }
+        if state.campaign != campaign_name {
+            return Err(GoofiError::Journal(format!(
+                "{}: journal belongs to campaign `{}`, not `{campaign_name}`",
+                path.display(),
+                state.campaign
+            )));
+        }
+        let mut rest = lines.peekable();
+        while let Some(line) = rest.next() {
+            // The final line is torn if the file lacks a trailing newline.
+            if rest.peek().is_none() && !complete {
+                break;
+            }
+            match parse_entry(line, campaign_name) {
+                Some(Entry::Reference(record)) => state.reference = Some(record),
+                Some(Entry::Completed(index, record)) => {
+                    state.failed.remove(&index);
+                    state.completed.insert(index, record);
+                }
+                Some(Entry::Failed(failure)) => {
+                    *state.failed_rounds.entry(failure.index).or_insert(0) += 1;
+                    if !state.completed.contains_key(&failure.index) {
+                        state.failed.insert(failure.index, failure);
+                    }
+                }
+                // Corrupt line: everything after it is suspect too.
+                None => break,
+            }
+        }
+        Ok(state)
+    }
+}
+
+enum Entry {
+    Reference(ExperimentRecord),
+    Completed(usize, ExperimentRecord),
+    Failed(ExperimentFailure),
+}
+
+fn parse_entry(line: &str, campaign: &str) -> Option<Entry> {
+    let (payload, checksum) = line.rsplit_once("\t#")?;
+    if u32::from_str_radix(checksum, 16).ok()? != fnv1a(payload.as_bytes()) {
+        return None;
+    }
+    let fields: Vec<&str> = payload.split('\t').collect();
+    match fields.as_slice() {
+        ["R", index, name, parent, fault, termination, state, trace] => {
+            let record = ExperimentRecord {
+                name: unescape(name),
+                parent: (*parent != "-").then(|| unescape(parent)),
+                campaign: campaign.to_string(),
+                fault: if *fault == "-" {
+                    None
+                } else {
+                    Some(FaultSpec::decode(&unescape(fault))?)
+                },
+                termination: TerminationCause::decode(&unescape(termination))?,
+                state: StateSnapshot::decode(&unescape(state))?,
+                trace: if *trace == "-" {
+                    Vec::new()
+                } else {
+                    unescape(trace)
+                        .split("---\n")
+                        .map(StateSnapshot::decode)
+                        .collect::<Option<Vec<_>>>()?
+                },
+            };
+            if *index == "-" {
+                Some(Entry::Reference(record))
+            } else {
+                Some(Entry::Completed(index.parse().ok()?, record))
+            }
+        }
+        ["F", index, attempts, error] => {
+            let index = index.parse().ok()?;
+            Some(Entry::Failed(ExperimentFailure {
+                index,
+                name: format!("{campaign}/exp{index:05}"),
+                attempts: attempts.parse().ok()?,
+                error: unescape(error),
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn io_err(path: &Path, verb: &str, e: &std::io::Error) -> GoofiError {
+    GoofiError::Journal(format!("{verb} {}: {e}", path.display()))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("goofi-journal-test-{}-{name}.gjl", std::process::id()));
+        p
+    }
+
+    fn record(name: &str, parent: Option<&str>) -> ExperimentRecord {
+        let mut state = StateSnapshot {
+            memory_digest: 7,
+            outputs: vec![1, 2, 3],
+            iterations: 1,
+            instructions: 100,
+            cycles: 150,
+            ..StateSnapshot::default()
+        };
+        state.scan.insert("internal".into(), "0101".into());
+        ExperimentRecord {
+            name: name.into(),
+            parent: parent.map(str::to_string),
+            campaign: "c1".into(),
+            fault: None,
+            termination: TerminationCause::WorkloadEnd,
+            state,
+            trace: vec![StateSnapshot::default()],
+        }
+    }
+
+    #[test]
+    fn roundtrips_records_and_failures() {
+        let path = temp_journal("roundtrip");
+        let mut j = ExperimentJournal::create(&path, "c1").unwrap();
+        let reference = record("c1/reference", None);
+        let exp0 = record("c1/exp00000", None);
+        let rerun = record("c1/exp00002/rerun1", Some("c1/exp00002"));
+        j.append_record(None, &reference).unwrap();
+        j.append_record(Some(0), &exp0).unwrap();
+        j.append_failure(&ExperimentFailure {
+            index: 1,
+            name: "c1/exp00001".into(),
+            attempts: 3,
+            error: "target system error: tab\there".into(),
+        })
+        .unwrap();
+        j.append_record(Some(2), &rerun).unwrap();
+        drop(j);
+
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert_eq!(state.campaign, "c1");
+        assert_eq!(state.reference.as_ref(), Some(&reference));
+        assert_eq!(state.completed.len(), 2);
+        assert_eq!(state.completed[&0], exp0);
+        assert_eq!(state.completed[&2], rerun);
+        assert_eq!(state.failed.len(), 1);
+        assert_eq!(state.failed[&1].attempts, 3);
+        assert_eq!(state.failed_rounds[&1], 1);
+        assert!(state.failed[&1].error.contains("tab\there"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn later_record_supersedes_failure() {
+        let path = temp_journal("supersede");
+        let mut j = ExperimentJournal::create(&path, "c1").unwrap();
+        j.append_failure(&ExperimentFailure {
+            index: 0,
+            name: "c1/exp00000".into(),
+            attempts: 1,
+            error: "flaky".into(),
+        })
+        .unwrap();
+        j.append_record(Some(0), &record("c1/exp00000/rerun1", Some("c1/exp00000")))
+            .unwrap();
+        drop(j);
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert!(state.failed.is_empty());
+        // The F entry still counts a round, keeping future rerun names
+        // unique.
+        assert_eq!(state.failed_rounds[&0], 1);
+        assert_eq!(state.completed.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = temp_journal("torn");
+        let mut j = ExperimentJournal::create(&path, "c1").unwrap();
+        j.append_record(Some(0), &record("c1/exp00000", None)).unwrap();
+        j.append_record(Some(1), &record("c1/exp00001", None)).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: truncate the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains_key(&0));
+
+        // A corrupted middle line cuts the journal there.
+        let corrupt = text.replace("exp00000", "exp0?¿00");
+        std::fs::write(&path, corrupt).unwrap();
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert!(state.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_load_continues_the_journal() {
+        let path = temp_journal("append");
+        let mut j = ExperimentJournal::create(&path, "c1").unwrap();
+        j.append_record(Some(0), &record("c1/exp00000", None)).unwrap();
+        drop(j);
+        let mut j = ExperimentJournal::open_append(&path).unwrap();
+        j.append_record(Some(1), &record("c1/exp00001", None)).unwrap();
+        drop(j);
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert_eq!(state.completed.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_campaign_is_rejected() {
+        let path = temp_journal("wrong");
+        ExperimentJournal::create(&path, "c1").unwrap();
+        assert!(matches!(
+            ExperimentJournal::load(&path, "other"),
+            Err(GoofiError::Journal(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected() {
+        let path = temp_journal("notjournal");
+        std::fs::write(&path, "hello\n").unwrap();
+        assert!(ExperimentJournal::load(&path, "c1").is_err());
+        std::fs::remove_file(&path).unwrap();
+        assert!(ExperimentJournal::load(&path, "c1").is_err()); // missing file
+    }
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in ["plain", "tab\tnl\ncr\rback\\slash", "", "trailing\\"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+}

@@ -38,8 +38,10 @@ pub mod dbio;
 mod error;
 pub mod fault;
 pub mod framework;
+pub mod journal;
 pub mod logging;
 pub mod monitor;
+pub mod policy;
 pub mod preinject;
 pub mod runner;
 mod target;

@@ -30,6 +30,10 @@ pub struct Progress {
     pub completed: usize,
     /// Experiments skipped (e.g. pruned by pre-injection analysis).
     pub skipped: usize,
+    /// Experiments that failed despite the campaign's retry policy.
+    pub failed: usize,
+    /// Experiment retries attempted so far.
+    pub retried: usize,
     /// Completed experiments per termination cause (encoded form).
     pub by_termination: BTreeMap<String, usize>,
 }
@@ -40,7 +44,7 @@ impl Progress {
         if self.total == 0 {
             1.0
         } else {
-            (self.completed + self.skipped) as f64 / self.total as f64
+            (self.completed + self.skipped + self.failed) as f64 / self.total as f64
         }
     }
 }
@@ -134,6 +138,24 @@ impl ProgressMonitor {
         self.inner.progress.lock().skipped += 1;
     }
 
+    /// Records an experiment that failed despite the campaign's policy.
+    pub fn record_failed(&self) {
+        self.inner.progress.lock().failed += 1;
+    }
+
+    /// Records one retry attempt of a failing experiment.
+    pub fn record_retry(&self) {
+        self.inner.progress.lock().retried += 1;
+    }
+
+    /// Marks previously-journaled work as done when a campaign resumes:
+    /// bumps the completed/failed counters without re-running anything.
+    pub fn record_resumed(&self, completed: usize, failed: usize) {
+        let mut p = self.inner.progress.lock();
+        p.completed += completed;
+        p.failed += failed;
+    }
+
     /// Adjusts the expected experiment count (e.g. when campaigns merge).
     pub fn set_total(&self, total: usize) {
         self.inner.progress.lock().total = total;
@@ -166,6 +188,21 @@ mod tests {
         assert_eq!(p.skipped, 1);
         assert_eq!(p.fraction(), 0.75);
         assert_eq!(p.by_termination.get("end"), Some(&1));
+    }
+
+    #[test]
+    fn failed_experiments_count_toward_progress() {
+        let m = ProgressMonitor::new(4);
+        m.record(&TerminationCause::WorkloadEnd);
+        m.record_retry();
+        m.record_retry();
+        m.record_failed();
+        m.record_resumed(1, 1);
+        let p = m.snapshot();
+        assert_eq!(p.completed, 2);
+        assert_eq!(p.failed, 2);
+        assert_eq!(p.retried, 2);
+        assert_eq!(p.fraction(), 1.0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Parallel campaign execution.
+//! Parallel campaign execution, with crash-safe journaling and resume.
 //!
 //! Fault-injection experiments are independent: each one reloads the
 //! workload and resets the target, so a campaign shards perfectly across
@@ -7,14 +7,51 @@
 //! reproduction can go beyond the paper's single-target hardware setup).
 //! Results are identical to the serial runner's, which the integration
 //! tests assert.
+//!
+//! Resilience guarantees of this module:
+//!
+//! - A failing experiment never discards completed records: the error is
+//!   [`GoofiError::ExperimentFailed`] carrying the partial
+//!   [`CampaignResult`], and when several workers fail concurrently the
+//!   *lowest-index* failure is reported, deterministically.
+//! - With a journal attached, every finished experiment is fsynced to an
+//!   append-only log before the campaign moves on, and
+//!   [`resume_campaign`] restarts an interrupted campaign by re-running
+//!   only what is missing — previously *failed* experiments are re-run as
+//!   new experiments linked to the original via `parentExperiment`
+//!   (paper §2.3).
 
 use crate::algorithms::{self, CampaignResult};
 use crate::campaign::Campaign;
+use crate::journal::ExperimentJournal;
 use crate::logging::ExperimentRecord;
 use crate::monitor::ProgressMonitor;
+use crate::policy::ExperimentFailure;
 use crate::target::TargetAccess;
 use crate::{GoofiError, Result};
 use envsim::Environment;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One unit of parallel work: a campaign experiment index plus, for
+/// re-runs of previously failed experiments, the `(name, parent)` link of
+/// the record to produce.
+#[derive(Debug, Clone)]
+struct WorkItem {
+    index: usize,
+    link: Option<(String, String)>,
+}
+
+/// What one worker left in a work item's slot.
+enum Outcome {
+    Completed(ExperimentRecord),
+    /// Failed, policy says continue.
+    Skipped(ExperimentFailure),
+    /// Failed, policy says abort the campaign.
+    Fatal(ExperimentFailure),
+    /// Infrastructure error (journal I/O), aborts the campaign.
+    Error(GoofiError),
+}
 
 /// Runs a campaign across `workers` threads.
 ///
@@ -25,14 +62,40 @@ use envsim::Environment;
 ///
 /// # Errors
 ///
-/// The first worker error is returned; [`GoofiError::Stopped`] when the
-/// monitor ends the campaign early.
+/// [`GoofiError::Stopped`] when the monitor ends the campaign early;
+/// [`GoofiError::ExperimentFailed`] (lowest failing index, completed
+/// records preserved) when an experiment fails and the campaign's
+/// [`ExperimentPolicy`](crate::policy::ExperimentPolicy) aborts on
+/// failure.
 pub fn run_campaign_parallel<T, FT, FE>(
     make_target: FT,
     make_env: Option<FE>,
     campaign: &Campaign,
     monitor: &ProgressMonitor,
     workers: usize,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
+    run_campaign_parallel_journaled(make_target, make_env, campaign, monitor, workers, None)
+}
+
+/// [`run_campaign_parallel`] with an optional crash-safe journal: the
+/// reference run and every finished experiment are appended (and synced)
+/// as they complete, so a crash loses at most the experiments in flight.
+///
+/// # Errors
+///
+/// As [`run_campaign_parallel`], plus journal I/O errors.
+pub fn run_campaign_parallel_journaled<T, FT, FE>(
+    make_target: FT,
+    make_env: Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+    journal: Option<&mut ExperimentJournal>,
 ) -> Result<CampaignResult>
 where
     T: TargetAccess,
@@ -50,22 +113,154 @@ where
         Some(f) => f(),
         None => Box::new(envsim::NullEnvironment),
     };
-    let reference =
-        algorithms::make_reference_run(&mut ref_target, campaign, ref_env.as_mut())?;
+    let reference = algorithms::make_reference_run(&mut ref_target, campaign, ref_env.as_mut())?;
+    // Workers share the journal through a mutex.
+    let journal = journal.map(parking_lot::Mutex::new);
+    if let Some(j) = &journal {
+        j.lock().append_record(None, &reference)?;
+    }
 
-    let n = campaign.faults.len();
-    let workers = workers.min(n.max(1));
-    let mut slots: Vec<Option<Result<ExperimentRecord>>> = Vec::new();
-    slots.resize_with(n, || None);
+    let items: Vec<WorkItem> = (0..campaign.faults.len())
+        .map(|index| WorkItem { index, link: None })
+        .collect();
+    execute_items(
+        &make_target,
+        &make_env,
+        campaign,
+        monitor,
+        workers,
+        &items,
+        &BTreeMap::new(),
+        reference,
+        journal.as_ref(),
+    )
+}
+
+/// Resumes (or starts) a journaled campaign.
+///
+/// When `journal_path` does not exist yet, this is exactly
+/// [`run_campaign_parallel_journaled`] with a fresh journal. Otherwise the
+/// journal is loaded and the campaign completed: journaled experiments are
+/// skipped (their records are reused verbatim), missing experiments run
+/// normally, and journaled *failures* are re-run as new experiments named
+/// `<original>/rerun<k>` with `parentExperiment` linking them to the
+/// original experiment — the paper's §2.3 re-run tracking. An uninterrupted
+/// run and a crash-then-resume run of the same campaign produce identical
+/// [`CampaignResult`]s (absent failures).
+///
+/// # Errors
+///
+/// As [`run_campaign_parallel`], plus journal I/O and header-mismatch
+/// errors.
+pub fn resume_campaign<T, FT, FE>(
+    make_target: FT,
+    make_env: Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+    journal_path: impl AsRef<Path>,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
+    let path = journal_path.as_ref();
+    if !path.exists() {
+        let mut journal = ExperimentJournal::create(path, &campaign.name)?;
+        return run_campaign_parallel_journaled(
+            make_target,
+            make_env,
+            campaign,
+            monitor,
+            workers,
+            Some(&mut journal),
+        );
+    }
+    if workers == 0 {
+        return Err(GoofiError::Config("worker count must be at least 1".into()));
+    }
+    campaign.validate()?;
+    let state = ExperimentJournal::load(path, &campaign.name)?;
+    let mut journal_file = ExperimentJournal::open_append(path)?;
+    let journal = parking_lot::Mutex::new(&mut journal_file);
+
+    // Reuse the journaled reference run, or make (and journal) one now.
+    let reference = match state.reference {
+        Some(reference) => reference,
+        None => {
+            let mut ref_target = make_target();
+            let mut ref_env: Box<dyn Environment> = match &make_env {
+                Some(f) => f(),
+                None => Box::new(envsim::NullEnvironment),
+            };
+            let reference =
+                algorithms::make_reference_run(&mut ref_target, campaign, ref_env.as_mut())?;
+            journal.lock().append_record(None, &reference)?;
+            reference
+        }
+    };
+
+    // Journaled completions count as progress without re-running.
+    for record in state.completed.values() {
+        monitor.record(&record.termination);
+    }
+
+    let items: Vec<WorkItem> = (0..campaign.faults.len())
+        .filter(|index| !state.completed.contains_key(index))
+        .map(|index| {
+            let link = state.failed.get(&index).map(|_| {
+                let original = campaign.experiment_name(index);
+                let round = state.failed_rounds.get(&index).copied().unwrap_or(1);
+                (format!("{original}/rerun{round}"), original)
+            });
+            WorkItem { index, link }
+        })
+        .collect();
+
+    execute_items(
+        &make_target,
+        &make_env,
+        campaign,
+        monitor,
+        workers,
+        &items,
+        &state.completed,
+        reference,
+        Some(&journal),
+    )
+}
+
+/// Shared parallel executor: runs `items` across `workers` threads,
+/// merges the outcomes with `preloaded` records (from a resumed journal)
+/// and assembles the campaign result.
+#[allow(clippy::too_many_arguments)]
+fn execute_items<T, FT, FE>(
+    make_target: &FT,
+    make_env: &Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+    items: &[WorkItem],
+    preloaded: &BTreeMap<usize, ExperimentRecord>,
+    reference: ExperimentRecord,
+    journal: Option<&parking_lot::Mutex<&mut ExperimentJournal>>,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
+    let workers = workers.min(items.len().max(1));
+    let mut slots: Vec<parking_lot::Mutex<Option<Outcome>>> = Vec::new();
+    slots.resize_with(items.len(), || parking_lot::Mutex::new(None));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slot_cells: Vec<parking_lot::Mutex<Option<Result<ExperimentRecord>>>> =
-        slots.into_iter().map(parking_lot::Mutex::new).collect();
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut target = make_target();
-                let mut env: Box<dyn Environment> = match &make_env {
+                let mut env: Box<dyn Environment> = match make_env {
                     Some(f) => f(),
                     None => Box::new(envsim::NullEnvironment),
                 };
@@ -73,18 +268,45 @@ where
                     if monitor.checkpoint().is_err() {
                         return;
                     }
-                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if index >= n {
-                        return;
-                    }
-                    let result =
-                        algorithms::run_experiment(&mut target, campaign, index, env.as_mut());
-                    if let Ok(record) = &result {
-                        monitor.record(&record.termination);
-                    }
-                    let failed = result.is_err();
-                    *slot_cells[index].lock() = Some(result);
-                    if failed {
+                    let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(item) = items.get(slot) else { return };
+                    let outcome = match algorithms::run_linked_experiment_with_policy(
+                        &mut target,
+                        campaign,
+                        item.index,
+                        item.link.clone(),
+                        monitor,
+                        env.as_mut(),
+                    ) {
+                        Ok(Ok(record)) => {
+                            monitor.record(&record.termination);
+                            match journal
+                                .map(|j| j.lock().append_record(Some(item.index), &record))
+                                .unwrap_or(Ok(()))
+                            {
+                                Ok(()) => Outcome::Completed(record),
+                                Err(e) => Outcome::Error(e),
+                            }
+                        }
+                        Ok(Err(failure)) => {
+                            monitor.record_failed();
+                            match journal
+                                .map(|j| j.lock().append_failure(&failure))
+                                .unwrap_or(Ok(()))
+                            {
+                                Ok(()) if campaign.policy.fails_campaign() => {
+                                    Outcome::Fatal(failure)
+                                }
+                                Ok(()) => Outcome::Skipped(failure),
+                                Err(e) => Outcome::Error(e),
+                            }
+                        }
+                        // User stop mid-experiment: claim no more work.
+                        Err(_) => return,
+                    };
+                    let abort = matches!(outcome, Outcome::Fatal(_) | Outcome::Error(_));
+                    *slots[slot].lock() = Some(outcome);
+                    if abort {
                         // Let other workers finish their current item, but
                         // claim no more work.
                         monitor.stop();
@@ -96,25 +318,47 @@ where
     })
     .expect("campaign worker panicked");
 
-    if monitor.is_stopped() {
-        // Distinguish user stop from worker failure: surface the first
-        // worker error if any.
-        for cell in &slot_cells {
-            if let Some(Err(_)) = &*cell.lock() {
-                let err = cell.lock().take().expect("checked Some");
-                return Err(err.expect_err("checked Err"));
-            }
-        }
-        return Err(GoofiError::Stopped);
-    }
-
-    let mut records = Vec::with_capacity(n);
-    for cell in slot_cells {
+    // Assemble in campaign-index order. `items` is index-sorted, so the
+    // first Fatal/Error outcome is the lowest-index one — the error
+    // reported is deterministic no matter which worker failed first.
+    let mut completed: BTreeMap<usize, ExperimentRecord> = preloaded.clone();
+    let mut failures: Vec<ExperimentFailure> = Vec::new();
+    let mut first_abort: Option<Outcome> = None;
+    for (item, cell) in items.iter().zip(slots) {
         match cell.into_inner() {
-            Some(Ok(record)) => records.push(record),
-            Some(Err(e)) => return Err(e),
-            None => return Err(GoofiError::Stopped),
+            Some(Outcome::Completed(record)) => {
+                completed.insert(item.index, record);
+            }
+            Some(Outcome::Skipped(failure)) => failures.push(failure),
+            Some(outcome @ (Outcome::Fatal(_) | Outcome::Error(_))) => {
+                if first_abort.is_none() {
+                    first_abort = Some(outcome);
+                }
+            }
+            // Unclaimed slot: the campaign stopped before this item ran.
+            None => {}
         }
     }
-    Ok(CampaignResult { reference, records })
+    failures.sort_by_key(|f| f.index);
+    let partial = CampaignResult {
+        reference,
+        records: completed.into_values().collect(),
+        failures,
+    };
+    match first_abort {
+        Some(Outcome::Fatal(failure)) => Err(GoofiError::ExperimentFailed {
+            failure,
+            partial: Box::new(partial),
+        }),
+        Some(Outcome::Error(e)) => Err(e),
+        _ if monitor.is_stopped() => Err(GoofiError::Stopped),
+        _ if partial.records.len() + partial.failures.len()
+            < preloaded.len() + items.len() =>
+        {
+            // Unclaimed slots without a stop request should be impossible;
+            // report rather than fabricate a partial result silently.
+            Err(GoofiError::Stopped)
+        }
+        _ => Ok(partial),
+    }
 }

@@ -53,6 +53,11 @@ pub enum DbError {
     Parse(String),
     /// Any other execution failure.
     Execution(String),
+    /// A filesystem operation failed while loading or saving a database.
+    ///
+    /// Carries the rendered [`std::io::Error`] (which is neither `Clone` nor
+    /// `PartialEq`) together with the path involved.
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -80,6 +85,7 @@ impl fmt::Display for DbError {
             }
             DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
             DbError::Execution(msg) => write!(f, "execution error: {msg}"),
+            DbError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }

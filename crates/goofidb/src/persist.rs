@@ -14,7 +14,11 @@ use crate::{Database, DbError};
 pub(crate) fn save(db: &Database) -> String {
     let mut out = String::from("#goofidb v1\n");
     for name in topo_order(db) {
-        let table = db.table(&name).expect("table listed");
+        // `topo_order` only yields names from `db.table_names()`, but stay
+        // panic-free regardless: a missing table is simply skipped.
+        let Some(table) = db.table(&name) else {
+            continue;
+        };
         out.push_str(&format!("TABLE {name}\n"));
         for c in &table.schema().columns {
             out.push_str(&format!(

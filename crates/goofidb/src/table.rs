@@ -46,8 +46,9 @@ impl Table {
         self.rows.iter()
     }
 
-    /// Validates a row against the schema (arity, types, PK key-ability).
-    fn validate(&self, row: &Row) -> Result<Option<KeyValue>, DbError> {
+    /// Validates a row against the schema (arity, types, PK key-ability);
+    /// returns the primary-key column index and key for indexed tables.
+    fn validate(&self, row: &Row) -> Result<Option<(usize, KeyValue)>, DbError> {
         if row.len() != self.schema.columns.len() {
             return Err(DbError::ArityMismatch {
                 expected: self.schema.columns.len(),
@@ -69,7 +70,7 @@ impl Table {
                     table: self.schema.name.clone(),
                     reason: format!("key value {} is not indexable", row[pk]),
                 })?;
-                Ok(Some(key))
+                Ok(Some((pk, key)))
             }
             None => Ok(None),
         }
@@ -83,10 +84,8 @@ impl Table {
     /// primary keys. Foreign keys are checked by the
     /// [`Database`](crate::Database), which can see the referenced tables.
     pub fn insert(&mut self, row: Row) -> Result<(), DbError> {
-        let key = self.validate(&row)?;
-        if let Some(key) = key {
+        if let Some((pk, key)) = self.validate(&row)? {
             if self.pk_index.contains_key(&key) {
-                let pk = self.schema.primary_key_index().expect("pk exists");
                 return Err(DbError::DuplicateKey {
                     table: self.schema.name.clone(),
                     key: row[pk].to_string(),
@@ -145,9 +144,8 @@ impl Table {
     pub(crate) fn revalidate(&self) -> Result<(), DbError> {
         let mut seen = HashMap::new();
         for row in &self.rows {
-            if let Some(key) = self.validate(row)? {
+            if let Some((pk, key)) = self.validate(row)? {
                 if seen.insert(key, ()).is_some() {
-                    let pk = self.schema.primary_key_index().expect("pk exists");
                     return Err(DbError::DuplicateKey {
                         table: self.schema.name.clone(),
                         key: row[pk].to_string(),

@@ -17,8 +17,11 @@
 use goofi::analysis::{queries, report};
 use goofi::core::algorithms;
 use goofi::core::campaign::{Campaign, OutputRegion, TargetSystemData, Technique, Termination};
+use goofi::core::journal::ExperimentJournal;
 use goofi::core::logging::LoggingMode;
 use goofi::core::monitor::ProgressMonitor;
+use goofi::core::policy::{Backoff, ExperimentPolicy, WatchdogBudget};
+use goofi::core::GoofiError;
 use goofi::core::{dbio, runner};
 use goofi::envsim::{DcMotor, Environment, JetEngine, NullEnvironment, WaterTank};
 use goofi::goofi_thor::ThorTarget;
@@ -49,6 +52,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "workloads" => cmd_workloads(),
         "new" => cmd_new(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "resume" => cmd_resume(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "sql" => cmd_sql(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -67,8 +71,13 @@ fn print_usage() {
          goofi workloads\n  \
          goofi new <db> --name <campaign> --workload <name> [--experiments N]\n        \
             [--seed S] [--technique scifi|swifi-pre|swifi-run|pin] [--time-window A:B]\n        \
-            [--max-instr N] [--max-iterations N] [--detail] [--with-caches]\n  \
-         goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n  \
+            [--max-instr N] [--max-iterations N] [--detail] [--with-caches]\n        \
+            [--on-error failfast|skip|retry-skip|retry-fail] [--retries N]\n        \
+            [--backoff-ms A:B] [--watchdog-cycles N] [--watchdog-ms N]\n  \
+         goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n        \
+            [--journal <file>]\n  \
+         goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
+            [--env none|motor|tank|jet]\n  \
          goofi report <db> --name <campaign>\n  \
          goofi sql <db> \"<SELECT ...>\""
     );
@@ -113,7 +122,55 @@ fn load_db(path: &str) -> Result<Database, String> {
 }
 
 fn save_db(path: &str, db: &Database) -> Result<(), String> {
-    std::fs::write(path, db.save_to_string()).map_err(|e| format!("writing {path}: {e}"))
+    // Atomic: a crash mid-save never leaves a torn database file.
+    db.save_to_path(path).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Builds the campaign's resilience policy from command-line flags.
+fn policy_from_flags(flags: &HashMap<String, String>) -> Result<ExperimentPolicy, String> {
+    let mut policy = match flags.get("on-error").map(String::as_str) {
+        None | Some("failfast") => ExperimentPolicy::fail_fast(),
+        Some("skip") => ExperimentPolicy::skip_and_continue(),
+        Some("retry-skip") => ExperimentPolicy::retry_then_skip(3),
+        Some("retry-fail") => ExperimentPolicy::retry_then_fail(3),
+        Some(other) => return Err(format!("unknown --on-error `{other}`")),
+    };
+    if let Some(v) = flags.get("retries") {
+        policy.max_retries = v.parse().map_err(|_| "bad --retries")?;
+    }
+    if let Some(v) = flags.get("backoff-ms") {
+        let (a, b) = v.split_once(':').ok_or("bad --backoff-ms, use A:B")?;
+        policy.backoff = Backoff::exponential(
+            a.parse().map_err(|_| "bad --backoff-ms start")?,
+            b.parse().map_err(|_| "bad --backoff-ms cap")?,
+        );
+    }
+    let mut watchdog = WatchdogBudget::default();
+    if let Some(v) = flags.get("watchdog-cycles") {
+        watchdog.max_cycles = Some(v.parse().map_err(|_| "bad --watchdog-cycles")?);
+    }
+    if let Some(v) = flags.get("watchdog-ms") {
+        watchdog.max_wall_ms = Some(v.parse().map_err(|_| "bad --watchdog-ms")?);
+    }
+    Ok(policy.with_watchdog(watchdog))
+}
+
+/// Stores whatever a failed campaign completed before erroring out, so an
+/// aborted run never throws away finished experiments.
+fn salvage_partial(db: &mut Database, db_path: &str, err: GoofiError) -> String {
+    match err {
+        GoofiError::ExperimentFailed { failure, partial } => {
+            let salvaged = partial.records.len();
+            let stored = dbio::store_result(db, &partial)
+                .map_err(|e| e.to_string())
+                .and_then(|()| save_db(db_path, db));
+            match stored {
+                Ok(()) => format!("{failure}; salvaged {salvaged} completed record(s) to {db_path}"),
+                Err(e) => format!("{failure}; salvaging partial results also failed: {e}"),
+            }
+        }
+        other => other.to_string(),
+    }
 }
 
 fn cmd_targets() -> Result<(), String> {
@@ -265,6 +322,7 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
         } else {
             LoggingMode::Normal
         })
+        .policy(policy_from_flags(&flags)?)
         .faults(faults)
         .build()
         .map_err(|e| e.to_string())?;
@@ -311,27 +369,83 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
 
     let env_kind = flags.get("env").cloned();
+    make_env(env_kind.as_deref())?; // validate before the workers clone it
+    let journal_path = flags.get("journal").cloned();
     let started = std::time::Instant::now();
     let result = if workers <= 1 {
         let mut target = ThorTarget::default();
         let mut env = make_env(env_kind.as_deref())?;
-        algorithms::run_campaign(&mut target, &campaign, &monitor, env.as_mut())
-            .map_err(|e| e.to_string())?
+        let mut journal = match &journal_path {
+            Some(p) => Some(ExperimentJournal::create(p, &campaign.name).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        algorithms::run_campaign_journaled(
+            &mut target,
+            &campaign,
+            &monitor,
+            env.as_mut(),
+            journal.as_mut(),
+        )
     } else {
         let env_kind2 = env_kind.clone();
-        runner::run_campaign_parallel(
+        let mut journal = match &journal_path {
+            Some(p) => Some(ExperimentJournal::create(p, &campaign.name).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        runner::run_campaign_parallel_journaled(
             ThorTarget::default,
             Some(move || make_env(env_kind2.as_deref()).expect("validated above")),
             &campaign,
             &monitor,
             workers,
+            journal.as_mut(),
         )
-        .map_err(|e| e.to_string())?
     };
-    let elapsed = started.elapsed();
+    let result = result.map_err(|e| salvage_partial(&mut db, db_path, e))?;
+    finish_run(&mut db, db_path, &monitor, &result, started.elapsed())
+}
 
-    dbio::store_result(&mut db, &result).map_err(|e| e.to_string())?;
-    save_db(db_path, &db)?;
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let db_path = positional.first().ok_or("resume: missing <db> path")?;
+    let name = flags.get("name").ok_or("resume: --name is required")?;
+    let journal_path = flags.get("journal").ok_or("resume: --journal is required")?;
+    let workers: usize = flags
+        .get("workers")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| "bad --workers"))?;
+
+    let mut db = load_db(db_path)?;
+    let campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
+    let monitor = ProgressMonitor::new(campaign.experiment_count());
+    let env_kind = flags.get("env").cloned();
+    make_env(env_kind.as_deref())?; // validate before the workers clone it
+    println!(
+        "resuming campaign `{name}` from {journal_path}: {} experiments total",
+        campaign.experiment_count(),
+    );
+
+    let started = std::time::Instant::now();
+    let result = runner::resume_campaign(
+        ThorTarget::default,
+        Some(move || make_env(env_kind.as_deref()).expect("validated above")),
+        &campaign,
+        &monitor,
+        workers,
+        journal_path,
+    )
+    .map_err(|e| salvage_partial(&mut db, db_path, e))?;
+    finish_run(&mut db, db_path, &monitor, &result, started.elapsed())
+}
+
+fn finish_run(
+    db: &mut Database,
+    db_path: &str,
+    monitor: &ProgressMonitor,
+    result: &algorithms::CampaignResult,
+    elapsed: std::time::Duration,
+) -> Result<(), String> {
+    dbio::store_result(db, result).map_err(|e| e.to_string())?;
+    save_db(db_path, db)?;
     let progress = monitor.snapshot();
     println!(
         "done in {elapsed:?}: {} experiments logged ({:.1} exp/s)",
@@ -340,6 +454,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     for (cause, n) in &progress.by_termination {
         println!("  terminated by {cause}: {n}");
+    }
+    if !result.failures.is_empty() {
+        println!("failed experiments (skipped by policy):");
+        for failure in &result.failures {
+            println!("  {failure}");
+        }
     }
     Ok(())
 }

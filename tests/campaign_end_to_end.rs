@@ -305,6 +305,57 @@ fn parallel_runner_matches_serial() {
 }
 
 #[test]
+fn journaled_campaign_resumes_to_identical_results() {
+    use goofi::core::journal::ExperimentJournal;
+
+    let wl = workloads::by_name("crc32").unwrap();
+    let target_data = TargetSystemData::from_target(&ThorTarget::default(), "thor sim");
+    let space = target_data.fault_space(None, 0..2_000);
+    let faults = space.sample_campaign(8, &mut StdRng::seed_from_u64(5));
+    let campaign = base_campaign("journal-e2e", &wl).faults(faults).build().unwrap();
+
+    let path = std::env::temp_dir().join(format!("goofi-e2e-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut journal = ExperimentJournal::create(&path, &campaign.name).unwrap();
+    let full = runner::run_campaign_parallel_journaled(
+        ThorTarget::default,
+        None::<fn() -> Box<dyn goofi::envsim::Environment>>,
+        &campaign,
+        &ProgressMonitor::new(8),
+        3,
+        Some(&mut journal),
+    )
+    .unwrap();
+    drop(journal);
+
+    // Simulate a crash partway through: keep the header, campaign line,
+    // reference record and the first two experiment records.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: String = text.lines().take(5).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, keep).unwrap();
+
+    let monitor = ProgressMonitor::new(8);
+    let resumed = runner::resume_campaign(
+        ThorTarget::default,
+        None::<fn() -> Box<dyn goofi::envsim::Environment>>,
+        &campaign,
+        &monitor,
+        3,
+        &path,
+    )
+    .unwrap();
+    assert_eq!(resumed, full, "resume must reproduce the uninterrupted run");
+    assert_eq!(monitor.snapshot().fraction(), 1.0);
+
+    // The journal is whole again and a second resume re-runs nothing.
+    let state = ExperimentJournal::load(&path, &campaign.name).unwrap();
+    assert_eq!(state.completed.len(), 8);
+    assert!(state.failed.is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn detail_rerun_links_parent_and_shows_propagation() {
     let wl = workloads::by_name("crc32").unwrap();
     // A fault in the CRC accumulator register (r1) mid-computation escapes

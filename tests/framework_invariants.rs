@@ -233,11 +233,15 @@ fn readonly_scan_cells_are_rejected_as_fault_locations() {
         &mut NullEnvironment,
     )
     .unwrap_err();
-    assert!(
-        matches!(
-            err,
-            GoofiError::Scan(goofi::scanchain::ScanError::ReadOnlyCell { .. })
-        ),
-        "{err}"
-    );
+    // The default fail-fast policy wraps the experiment error, preserving
+    // whatever completed before it (here: nothing but the reference run).
+    match err {
+        GoofiError::ExperimentFailed { failure, partial } => {
+            assert_eq!(failure.index, 0);
+            assert_eq!(failure.attempts, 1);
+            assert!(failure.error.contains("read-only"), "{failure}");
+            assert!(partial.records.is_empty());
+        }
+        other => panic!("expected ExperimentFailed, got {other}"),
+    }
 }
