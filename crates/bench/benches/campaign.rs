@@ -1,11 +1,12 @@
-//! B4–B6: campaign-level benchmarks — experiment throughput per technique,
-//! parallel-runner scaling, and journaling overhead.
+//! B4–B7: campaign-level benchmarks — experiment throughput per technique,
+//! parallel-runner scaling, journaling overhead, and verified-link overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use goofi_core::algorithms;
 use goofi_core::campaign::{Campaign, Technique};
-use goofi_core::fault::{FaultLocation, FaultSpec, FaultSpace};
+use goofi_core::fault::{FaultLocation, FaultSpace, FaultSpec};
 use goofi_core::journal::ExperimentJournal;
+use goofi_core::link::{UnreliableTarget, VerifiedTarget, VerifyConfig};
 use goofi_core::monitor::ProgressMonitor;
 use goofi_core::preinject;
 use goofi_core::runner;
@@ -13,6 +14,7 @@ use goofi_core::trigger::Trigger;
 use goofi_thor::ThorTarget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use scanchain::LinkFaultConfig;
 
 fn scifi_campaign(n: usize) -> Campaign {
     let wl = workloads::by_name("bubblesort").unwrap();
@@ -127,7 +129,8 @@ fn bench_journal_overhead(c: &mut Criterion) {
         });
     });
 
-    let journal_path = std::env::temp_dir().join(format!("goofi-bench-{}.journal", std::process::id()));
+    let journal_path =
+        std::env::temp_dir().join(format!("goofi-bench-{}.journal", std::process::id()));
     group.bench_function("serial_journaled", |b| {
         b.iter(|| {
             let mut journal = ExperimentJournal::create(&journal_path, &campaign.name).unwrap();
@@ -180,15 +183,73 @@ fn bench_fault_primitives(c: &mut Criterion) {
         let campaign = scifi_campaign(1);
         b.iter(|| {
             let mut target = ThorTarget::default();
-            preinject::collect_trace(&mut target, &campaign, 5_000, &mut envsim::NullEnvironment).unwrap()
+            preinject::collect_trace(&mut target, &campaign, 5_000, &mut envsim::NullEnvironment)
+                .unwrap()
         });
     });
+    group.finish();
+}
+
+fn bench_verified_link_overhead(c: &mut Criterion) {
+    // B7: cost of the verified-transport layer. The baseline is the raw
+    // target; the other cases run the same campaign through
+    // `VerifiedTarget(UnreliableTarget(..))` at increasing transport fault
+    // rates, so the delta decomposes into (a) the fixed double-read /
+    // readback-verify tax and (b) the retry-and-recover cost that scales
+    // with the fault rate.
+    let mut group = c.benchmark_group("verified-link-overhead");
+    let n = 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    let campaign = scifi_campaign(n);
+
+    group.bench_function("raw_target", |b| {
+        b.iter(|| {
+            let mut target = ThorTarget::default();
+            algorithms::run_campaign(
+                &mut target,
+                &campaign,
+                &ProgressMonitor::new(n),
+                &mut envsim::NullEnvironment,
+            )
+            .unwrap()
+        });
+    });
+
+    for (label, rate) in [
+        ("verified_fault_free", 0.0),
+        ("verified_0.1pct_faults", 0.001),
+        ("verified_1pct_faults", 0.01),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let lossy = UnreliableTarget::new(
+                    ThorTarget::default(),
+                    LinkFaultConfig {
+                        seed: 0xB7,
+                        corrupt_rate: rate / 2.0,
+                        drop_rate: rate / 2.0,
+                        ..Default::default()
+                    },
+                );
+                let mut target =
+                    VerifiedTarget::with_config(lossy, VerifyConfig { max_attempts: 5 });
+                algorithms::run_campaign(
+                    &mut target,
+                    &campaign,
+                    &ProgressMonitor::new(n),
+                    &mut envsim::NullEnvironment,
+                )
+                .unwrap()
+            });
+        });
+    }
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives
+    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives, bench_verified_link_overhead
 }
 criterion_main!(benches);

@@ -75,10 +75,8 @@ fn bench_database(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut db = Database::new();
-                db.execute(
-                    "CREATE TABLE t (id INTEGER PRIMARY KEY, outcome TEXT, cycles INTEGER)",
-                )
-                .unwrap();
+                db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, outcome TEXT, cycles INTEGER)")
+                    .unwrap();
                 db
             },
             |mut db| {

@@ -36,31 +36,49 @@ fn main() {
     let len = bench::reference_length(&probe);
     let space = bench::full_scifi_space(&data, 0..len);
     let faults = space.sample_campaign(n, &mut StdRng::seed_from_u64(0xA1));
-    let campaign = bench::campaign_for("a1", &wl).faults(faults).build().unwrap();
+    let campaign = bench::campaign_for("a1", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
 
     let configs: Vec<(&str, EdmSet)> = vec![
         ("all mechanisms", EdmSet::all_on()),
-        ("no cache parity", EdmSet {
-            parity_i: false,
-            parity_d: false,
-            ..EdmSet::all_on()
-        }),
-        ("no control flow", EdmSet {
-            control_flow: false,
-            ..EdmSet::all_on()
-        }),
-        ("no illegal opcode", EdmSet {
-            illegal_opcode: false,
-            ..EdmSet::all_on()
-        }),
-        ("no access violation", EdmSet {
-            access_violation: false,
-            ..EdmSet::all_on()
-        }),
-        ("no overflow trap", EdmSet {
-            overflow: false,
-            ..EdmSet::all_on()
-        }),
+        (
+            "no cache parity",
+            EdmSet {
+                parity_i: false,
+                parity_d: false,
+                ..EdmSet::all_on()
+            },
+        ),
+        (
+            "no control flow",
+            EdmSet {
+                control_flow: false,
+                ..EdmSet::all_on()
+            },
+        ),
+        (
+            "no illegal opcode",
+            EdmSet {
+                illegal_opcode: false,
+                ..EdmSet::all_on()
+            },
+        ),
+        (
+            "no access violation",
+            EdmSet {
+                access_violation: false,
+                ..EdmSet::all_on()
+            },
+        ),
+        (
+            "no overflow trap",
+            EdmSet {
+                overflow: false,
+                ..EdmSet::all_on()
+            },
+        ),
         ("bare CPU (all off)", EdmSet::all_off()),
     ];
 

@@ -54,5 +54,8 @@ fn main() {
     }
 
     let stats = goofi_analysis::stats::CampaignStats::from_classified(&all);
-    println!("{}", report::full_report("E1: all workloads combined", &stats));
+    println!(
+        "{}",
+        report::full_report("E1: all workloads combined", &stats)
+    );
 }

@@ -71,7 +71,10 @@ fn main() {
         image_words,
     );
     println!("{}", report::full_report("E2a: SCIFI", &scifi_stats));
-    println!("{}", report::full_report("E2b: pre-runtime SWIFI", &swifi_stats));
+    println!(
+        "{}",
+        report::full_report("E2b: pre-runtime SWIFI", &swifi_stats)
+    );
 
     println!(
         "summary: SCIFI effectiveness {} vs SWIFI {}; SCIFI coverage {} vs SWIFI {}",

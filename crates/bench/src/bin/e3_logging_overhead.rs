@@ -88,7 +88,13 @@ fn main() {
     );
     println!(
         "\nestimated wall time on 1 MHz TCK hardware: normal {:.2}s, detail {:.2}s per campaign",
-        report_rows[0].2.estimated_seconds(1e6),
-        report_rows[1].2.estimated_seconds(1e6),
+        report_rows[0]
+            .2
+            .estimated_seconds(1e6)
+            .expect("1 MHz is a valid TCK"),
+        report_rows[1]
+            .2
+            .estimated_seconds(1e6)
+            .expect("1 MHz is a valid TCK"),
     );
 }

@@ -38,12 +38,16 @@ fn main() {
     let mut space = bench::internal_fault_space(&data, 0..len);
     space.memory = Some(0..wl.image.words.len() as u32);
     let faults = space.sample_campaign(n, &mut StdRng::seed_from_u64(0xE4));
-    let blind = bench::campaign_for("e4-blind", &wl).faults(faults).build().unwrap();
+    let blind = bench::campaign_for("e4-blind", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
 
     // Liveness map from a traced reference run.
     let mut target = ThorTarget::default();
-    let trace = preinject::collect_trace(&mut target, &blind, 2 * len, &mut envsim::NullEnvironment)
-        .expect("trace");
+    let trace =
+        preinject::collect_trace(&mut target, &blind, 2 * len, &mut envsim::NullEnvironment)
+            .expect("trace");
     let map = preinject::LivenessMap::from_trace(&trace);
     println!(
         "reference trace: {} instructions, {} distinct locations accessed",
@@ -94,7 +98,11 @@ fn main() {
         pruned_stats.total,
         pruned_stats.effective(),
     );
-    assert_eq!(pruned_stats.effective(), 0, "pre-injection analysis unsound!");
+    assert_eq!(
+        pruned_stats.effective(),
+        0,
+        "pre-injection analysis unsound!"
+    );
 
     // Show a few verdict examples.
     println!("\nexample verdicts:");

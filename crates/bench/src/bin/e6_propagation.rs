@@ -33,7 +33,10 @@ fn main() {
     let len = bench::reference_length(&probe);
     let space = bench::internal_fault_space(&data, 100..len);
     let faults = space.sample_campaign(300, &mut StdRng::seed_from_u64(0xE6));
-    let campaign = bench::campaign_for("e6", &wl).faults(faults).build().unwrap();
+    let campaign = bench::campaign_for("e6", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
     let result = bench::run(&campaign);
 
     let escaped: Vec<usize> = result

@@ -18,7 +18,10 @@ fn main() {
     let wl = workloads::by_name("fibonacci").expect("workload exists");
     let space = bench::internal_fault_space(&data, 0..3_000);
     let faults = space.sample_campaign(300, &mut StdRng::seed_from_u64(0xE7));
-    let campaign = bench::campaign_for("e7", &wl).faults(faults).build().unwrap();
+    let campaign = bench::campaign_for("e7", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
     let result = bench::run(&campaign);
 
     let mut db = Database::new();
@@ -59,7 +62,10 @@ fn main() {
     let mech = queries::mechanism_distribution(&db, "e7").expect("query");
     println!("detections per mechanism:\n{mech}");
     let escaped = queries::escaped_experiments(&db, "e7").expect("query");
-    println!("experiments flagged for detail re-run (escaped): {}", escaped.len());
+    println!(
+        "experiments flagged for detail re-run (escaped): {}",
+        escaped.len()
+    );
 
     // Persistence round-trip.
     let started = Instant::now();

@@ -41,7 +41,10 @@ fn main() {
         .iter()
         .map(|(_, t)| FaultSpec::single(location.clone(), *t))
         .collect();
-    let campaign = bench::campaign_for("e8", &wl).faults(faults).build().unwrap();
+    let campaign = bench::campaign_for("e8", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
     let result = bench::run(&campaign);
 
     println!(

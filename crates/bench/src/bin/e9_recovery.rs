@@ -70,9 +70,8 @@ fn main() {
         let mut target = ThorTarget::default();
         let monitor = ProgressMonitor::new(n);
         let mut motor = envsim::DcMotor::new();
-        let result =
-            algorithms::faultinjector_scifi(&mut target, &campaign, &monitor, &mut motor)
-                .expect("campaign failed");
+        let result = algorithms::faultinjector_scifi(&mut target, &campaign, &monitor, &mut motor)
+            .expect("campaign failed");
 
         let reference_out = result.reference.state.outputs[0] as i32 as i64;
         let mut counts = std::collections::BTreeMap::new();
@@ -92,12 +91,7 @@ fn main() {
             // controller stopped early (a fail-stop detection leaves the
             // engine without a controller; there is no backup in this
             // setup) or it kept running far from the set point.
-            let out = record
-                .state
-                .outputs
-                .first()
-                .copied()
-                .unwrap_or_default() as i32 as i64;
+            let out = record.state.outputs.first().copied().unwrap_or_default() as i32 as i64;
             if !completed || (out - reference_out).abs() > CRITICAL_DEVIATION {
                 critical += 1;
             }

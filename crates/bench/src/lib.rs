@@ -56,7 +56,10 @@ pub fn thor_description() -> TargetSystemData {
 
 /// The SCIFI fault space over the core's architectural state (the
 /// `internal` chain), excluding the test infrastructure chains.
-pub fn internal_fault_space(data: &TargetSystemData, time_window: std::ops::Range<u64>) -> FaultSpace {
+pub fn internal_fault_space(
+    data: &TargetSystemData,
+    time_window: std::ops::Range<u64>,
+) -> FaultSpace {
     FaultSpace {
         scan_cells: data
             .locations

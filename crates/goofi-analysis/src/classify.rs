@@ -1,6 +1,6 @@
 //! Outcome classification: reference vs experiment comparison (§3.4).
 
-use goofi_core::logging::{ExperimentRecord, TerminationCause};
+use goofi_core::logging::{ExperimentRecord, TerminationCause, Validity};
 use std::fmt;
 
 /// How an escaped error manifested.
@@ -130,14 +130,17 @@ pub struct ClassifiedExperiment {
 
 /// Classifies a whole campaign: pairs each record with the reference run.
 ///
-/// Records without a fault (the reference itself) are skipped.
+/// Records without a fault (the reference itself) are skipped, as are
+/// records quarantined by golden-run revalidation
+/// ([`Validity::Invalid`]) — those measured a broken link, not the target,
+/// and their `parentExperiment`-linked reruns carry the valid data.
 pub fn classify_campaign(
     reference: &ExperimentRecord,
     records: &[ExperimentRecord],
 ) -> Vec<ClassifiedExperiment> {
     records
         .iter()
-        .filter(|r| !r.is_reference())
+        .filter(|r| !r.is_reference() && r.validity == Validity::Valid)
         .map(|r| ClassifiedExperiment {
             name: r.name.clone(),
             outcome: classify(reference, r),
@@ -177,6 +180,7 @@ mod tests {
                 ..Default::default()
             },
             trace: vec![],
+            validity: Validity::Valid,
         }
     }
 
@@ -298,6 +302,18 @@ mod tests {
                 reason: EscapeReason::Timeliness
             }
         );
+    }
+
+    #[test]
+    fn classify_campaign_skips_quarantined_records() {
+        let reference = reference();
+        let mut bad = record(TerminationCause::Timeout, vec![0], 0, some_fault());
+        bad.validity = Validity::Invalid;
+        let mut rerun = record(TerminationCause::WorkloadEnd, vec![42], 1000, some_fault());
+        rerun.parent = Some("e".into());
+        let classified = classify_campaign(&reference, &[bad, rerun]);
+        assert_eq!(classified.len(), 1, "only the valid rerun is classified");
+        assert_eq!(classified[0].outcome, Outcome::Overwritten);
     }
 
     #[test]

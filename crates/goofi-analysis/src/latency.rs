@@ -114,6 +114,7 @@ mod tests {
                 ..Default::default()
             },
             trace: vec![],
+            validity: goofi_core::logging::Validity::Valid,
         }
     }
 
@@ -127,8 +128,18 @@ mod tests {
     #[test]
     fn latencies_extracted_only_for_detected_with_known_time() {
         let records = vec![
-            record("a", Trigger::AfterInstructions(100), detected("parity_icache"), 150),
-            record("b", Trigger::AfterInstructions(10), TerminationCause::WorkloadEnd, 900),
+            record(
+                "a",
+                Trigger::AfterInstructions(100),
+                detected("parity_icache"),
+                150,
+            ),
+            record(
+                "b",
+                Trigger::AfterInstructions(10),
+                TerminationCause::WorkloadEnd,
+                900,
+            ),
             record("c", Trigger::PreRuntime, detected("illegal_opcode"), 3),
             record("d", Trigger::BranchExecuted, detected("overflow"), 80),
         ];

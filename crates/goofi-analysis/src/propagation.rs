@@ -59,7 +59,10 @@ fn diff_bit_strings(a: &str, b: &str) -> usize {
     }
 }
 
-fn diff_snapshots(reference: &StateSnapshot, faulty: &StateSnapshot) -> (Vec<(String, usize)>, usize) {
+fn diff_snapshots(
+    reference: &StateSnapshot,
+    faulty: &StateSnapshot,
+) -> (Vec<(String, usize)>, usize) {
     let mut per_chain = Vec::new();
     let mut total = 0;
     for (chain, ref_bits) in &reference.scan {

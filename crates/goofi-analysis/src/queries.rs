@@ -59,9 +59,7 @@ pub fn analyse_campaign(db: &mut Database, campaign: &str) -> Result<Vec<Classif
     let classified = classify_campaign(&reference, &records);
     init_analysis_table(db)?;
     // Re-analysis replaces previous results for the campaign.
-    let _ = db.delete_where(ANALYSIS_TABLE, |row| {
-        row[1].as_text() == Some(campaign)
-    })?;
+    let _ = db.delete_where(ANALYSIS_TABLE, |row| row[1].as_text() == Some(campaign))?;
     for c in &classified {
         db.insert(
             ANALYSIS_TABLE,
@@ -69,9 +67,7 @@ pub fn analyse_campaign(db: &mut Database, campaign: &str) -> Result<Vec<Classif
                 Value::text(c.name.clone()),
                 Value::text(campaign),
                 Value::text(c.outcome.category()),
-                c.outcome
-                    .mechanism()
-                    .map_or(Value::Null, Value::text),
+                c.outcome.mechanism().map_or(Value::Null, Value::text),
                 c.location_class.clone().map_or(Value::Null, Value::text),
                 c.trigger.clone().map_or(Value::Null, Value::text),
             ],

@@ -108,7 +108,10 @@ pub fn coverage_summary(stats: &CampaignStats) -> String {
     };
     let mut out = String::new();
     out.push_str(&fmt("error effectiveness:", stats.effectiveness()));
-    out.push_str(&fmt("error detection coverage:", stats.detection_coverage()));
+    out.push_str(&fmt(
+        "error detection coverage:",
+        stats.detection_coverage(),
+    ));
     out
 }
 

@@ -21,10 +21,10 @@
 
 use crate::campaign::{Campaign, EnvExchange, OutputRegion, Technique};
 use crate::fault::{FaultLocation, FaultModel, FaultSpec};
-use crate::logging::{
-    digest_words, ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause,
-};
 use crate::journal::ExperimentJournal;
+use crate::logging::{
+    digest_words, ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause, Validity,
+};
 use crate::monitor::ProgressMonitor;
 use crate::policy::{ExperimentFailure, Watchdog};
 use crate::target::{RunBudget, RunEvent, TargetAccess};
@@ -43,6 +43,12 @@ pub struct CampaignResult {
     /// [`ExperimentPolicy`](crate::policy::ExperimentPolicy) (empty unless
     /// the policy skips failures), in index order.
     pub failures: Vec<ExperimentFailure>,
+    /// Records quarantined by golden-run revalidation: produced while the
+    /// target link was suspected faulty, marked
+    /// [`Validity::Invalid`](crate::logging::Validity) and superseded by
+    /// the `parentExperiment`-linked re-runs in
+    /// [`records`](CampaignResult::records). Kept for audit.
+    pub quarantined: Vec<ExperimentRecord>,
 }
 
 /// Runs a SCIFI campaign (the paper's `faultInjectorSCIFI`).
@@ -149,6 +155,15 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
     }
     let mut records = Vec::with_capacity(campaign.faults.len());
     let mut failures = Vec::new();
+    let mut quarantined = Vec::new();
+    // Golden-run revalidation window: (campaign index, position in
+    // `records`) of every experiment completed since the last clean check.
+    let mut window: Vec<(usize, usize)> = Vec::new();
+    let revalidate_every = campaign
+        .policy
+        .revalidate_every
+        .map(|n| n as usize)
+        .filter(|n| *n > 0);
     for index in 0..campaign.faults.len() {
         monitor.checkpoint()?;
         match run_experiment_with_policy(target, campaign, index, monitor, &mut *env)? {
@@ -157,6 +172,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                 if let Some(j) = journal.as_deref_mut() {
                     j.append_record(Some(index), &record)?;
                 }
+                window.push((index, records.len()));
                 records.push(record);
             }
             Err(failure) => {
@@ -171,18 +187,147 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                             reference,
                             records,
                             failures,
+                            quarantined,
                         }),
                     });
                 }
                 failures.push(failure);
             }
         }
+        if revalidate_every.is_some_and(|n| window.len() >= n) {
+            let fatal = revalidate_window(
+                target,
+                campaign,
+                monitor,
+                &mut *env,
+                &mut journal,
+                &reference,
+                &mut records,
+                &mut failures,
+                &mut quarantined,
+                &mut window,
+            )?;
+            if let Some(failure) = fatal {
+                return Err(GoofiError::ExperimentFailed {
+                    failure,
+                    partial: Box::new(CampaignResult {
+                        reference,
+                        records,
+                        failures,
+                        quarantined,
+                    }),
+                });
+            }
+        }
+    }
+    // A final check covers the tail window of a campaign whose length is
+    // not a multiple of the interval.
+    if revalidate_every.is_some() && !window.is_empty() {
+        let fatal = revalidate_window(
+            target,
+            campaign,
+            monitor,
+            &mut *env,
+            &mut journal,
+            &reference,
+            &mut records,
+            &mut failures,
+            &mut quarantined,
+            &mut window,
+        )?;
+        if let Some(failure) = fatal {
+            return Err(GoofiError::ExperimentFailed {
+                failure,
+                partial: Box::new(CampaignResult {
+                    reference,
+                    records,
+                    failures,
+                    quarantined,
+                }),
+            });
+        }
     }
     Ok(CampaignResult {
         reference,
         records,
         failures,
+        quarantined,
     })
+}
+
+/// Whether a freshly-executed golden run reproduces the stored reference
+/// log: same architectural state, same workload outputs, same termination.
+/// Any drift means the link (or the target) misbehaved at some point since
+/// the last clean check.
+pub fn golden_run_matches(reference: &ExperimentRecord, golden: &ExperimentRecord) -> bool {
+    golden.termination == reference.termination
+        && golden.state.outputs == reference.state.outputs
+        && golden.state.same_state(&reference.state)
+}
+
+/// Re-runs the fault-free reference and, on drift from the stored golden
+/// log, quarantines every record in `window` (marked invalid, re-journaled)
+/// and re-runs each as a fresh `parentExperiment`-linked experiment that
+/// replaces the quarantined original in `records` — the paper's §2.3 re-run
+/// workflow turned into a link-integrity countermeasure.
+///
+/// Returns `Ok(Some(failure))` when a re-run failed and the policy aborts
+/// the campaign; the window is cleared in every non-error case.
+#[allow(clippy::too_many_arguments)]
+fn revalidate_window<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+    journal: &mut Option<&mut ExperimentJournal>,
+    reference: &ExperimentRecord,
+    records: &mut [ExperimentRecord],
+    failures: &mut Vec<ExperimentFailure>,
+    quarantined: &mut Vec<ExperimentRecord>,
+    window: &mut Vec<(usize, usize)>,
+) -> Result<Option<ExperimentFailure>> {
+    let golden = make_reference_run(target, campaign, &mut *env)?;
+    if golden_run_matches(reference, &golden) {
+        window.clear();
+        return Ok(None);
+    }
+    // Mark the whole window first, re-run second: once the quarantine
+    // entries hit the journal, a crash at any later point still re-runs
+    // every suspect experiment on resume.
+    for &(index, pos) in window.iter() {
+        records[pos].validity = Validity::Invalid;
+        if let Some(j) = journal.as_deref_mut() {
+            j.append_record(Some(index), &records[pos])?;
+        }
+        monitor.record_quarantined();
+    }
+    for (index, pos) in window.drain(..) {
+        let original = records[pos].name.clone();
+        let link = Some((format!("{original}/rerun1"), original));
+        // The experiment already counted toward progress when it first
+        // completed, so re-run outcomes update only the quarantine
+        // counter, never `completed`/`failed`.
+        match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env)? {
+            Ok(rerun) => {
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append_record(Some(index), &rerun)?;
+                }
+                quarantined.push(std::mem::replace(&mut records[pos], rerun));
+            }
+            Err(failure) => {
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append_failure(&failure)?;
+                }
+                // The invalid original stays in place (still quarantined);
+                // a later resume re-runs it from the journal.
+                if campaign.policy.fails_campaign() {
+                    return Ok(Some(failure));
+                }
+                failures.push(failure);
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// Runs one experiment under the campaign's retry policy. `Ok(Ok(_))` is a
@@ -298,6 +443,7 @@ pub fn make_reference_run<T: TargetAccess + ?Sized>(
         termination,
         state,
         trace,
+        validity: Validity::Valid,
     })
 }
 
@@ -392,8 +538,7 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
                 // readScanChain(); injectFault(); writeScanChain();
                 apply_fault(target, spec)?;
                 // waitForTermination();
-                let (t, tr) =
-                    continue_with_model(target, campaign, spec, env, logging, &mut wd)?;
+                let (t, tr) = continue_with_model(target, campaign, spec, env, logging, &mut wd)?;
                 pre_trace.extend(tr);
                 trace = pre_trace;
                 t
@@ -417,6 +562,7 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
         termination,
         state,
         trace,
+        validity: Validity::Valid,
     })
 }
 
@@ -552,9 +698,7 @@ fn wait_for_breakpoint_detailed<T: TargetAccess + ?Sized>(
         }
         match event {
             None => {}
-            Some(RunEvent::Breakpoint { .. }) => {
-                return Ok((WaitOutcome::Breakpoint, trace))
-            }
+            Some(RunEvent::Breakpoint { .. }) => return Ok((WaitOutcome::Breakpoint, trace)),
             Some(RunEvent::Halted) => {
                 return Ok((
                     WaitOutcome::Terminated(TerminationCause::WorkloadEnd),
@@ -597,10 +741,7 @@ fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
 ) -> Result<WaitOutcome> {
     loop {
         let remaining = remaining_budget(target, campaign);
-        if remaining == 0
-            || wd.expired(target.cycles_executed())
-            || wd.check_wall_now()
-        {
+        if remaining == 0 || wd.expired(target.cycles_executed()) || wd.check_wall_now() {
             return Ok(WaitOutcome::Terminated(TerminationCause::Timeout));
         }
         let slice = wd.clamp_slice(remaining);
@@ -608,15 +749,11 @@ fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
             max_instructions: slice,
         })? {
             RunEvent::Breakpoint { .. } => return Ok(WaitOutcome::Breakpoint),
-            RunEvent::Halted => {
-                return Ok(WaitOutcome::Terminated(TerminationCause::WorkloadEnd))
-            }
+            RunEvent::Halted => return Ok(WaitOutcome::Terminated(TerminationCause::WorkloadEnd)),
             RunEvent::Detected(d) => {
                 return Ok(WaitOutcome::Terminated(TerminationCause::Detected(d)))
             }
-            RunEvent::Timeout => {
-                return Ok(WaitOutcome::Terminated(TerminationCause::Timeout))
-            }
+            RunEvent::Timeout => return Ok(WaitOutcome::Terminated(TerminationCause::Timeout)),
             RunEvent::BudgetExhausted => {
                 // Only a real timeout when the whole remaining budget was
                 // offered; a clamped watchdog slice just loops to re-check.
@@ -670,10 +807,7 @@ fn continue_to_termination<T: TargetAccess + ?Sized>(
 ) -> Result<(TerminationCause, Vec<StateSnapshot>)> {
     loop {
         let remaining = remaining_budget(target, campaign);
-        if remaining == 0
-            || wd.expired(target.cycles_executed())
-            || wd.check_wall_now()
-        {
+        if remaining == 0 || wd.expired(target.cycles_executed()) || wd.check_wall_now() {
             return Ok((TerminationCause::Timeout, Vec::new()));
         }
         let slice = wd.clamp_slice(remaining);

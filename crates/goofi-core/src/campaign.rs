@@ -107,9 +107,7 @@ impl EnvExchange {
         match self {
             EnvExchange::Ports => "ports".to_string(),
             EnvExchange::Memory { outputs, inputs } => {
-                let fmt = |v: &[u32]| {
-                    v.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
-                };
+                let fmt = |v: &[u32]| v.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
                 format!("mem:{}:{}", fmt(outputs), fmt(inputs))
             }
         }
@@ -260,10 +258,7 @@ impl Campaign {
     /// Returns [`GoofiError::Config`] when no campaigns are given, or when
     /// the campaigns disagree on workload, technique or target system (a
     /// merged campaign must still describe one coherent experiment series).
-    pub fn merge(
-        name: impl Into<String>,
-        campaigns: &[&Campaign],
-    ) -> crate::Result<Campaign> {
+    pub fn merge(name: impl Into<String>, campaigns: &[&Campaign]) -> crate::Result<Campaign> {
         let name = name.into();
         let head = campaigns
             .first()
@@ -310,7 +305,9 @@ impl Campaign {
         }
         for (i, f) in self.faults.iter().enumerate() {
             if f.locations.is_empty() {
-                return Err(GoofiError::Config(format!("experiment {i} has no fault locations")));
+                return Err(GoofiError::Config(format!(
+                    "experiment {i} has no fault locations"
+                )));
             }
             match self.technique {
                 Technique::Scifi => {
@@ -326,7 +323,10 @@ impl Campaign {
                             "experiment {i}: pre-runtime SWIFI requires the PreRuntime trigger"
                         )));
                     }
-                    if f.locations.iter().any(|l| !matches!(l, FaultLocation::Memory { .. })) {
+                    if f.locations
+                        .iter()
+                        .any(|l| !matches!(l, FaultLocation::Memory { .. }))
+                    {
                         return Err(GoofiError::Config(format!(
                             "experiment {i}: pre-runtime SWIFI can only target memory"
                         )));
@@ -338,7 +338,10 @@ impl Campaign {
                             "experiment {i}: runtime SWIFI requires a runtime trigger"
                         )));
                     }
-                    if f.locations.iter().any(|l| !matches!(l, FaultLocation::Memory { .. })) {
+                    if f.locations
+                        .iter()
+                        .any(|l| !matches!(l, FaultLocation::Memory { .. }))
+                    {
                         return Err(GoofiError::Config(format!(
                             "experiment {i}: runtime SWIFI can only target memory"
                         )));
@@ -350,7 +353,10 @@ impl Campaign {
                             "experiment {i}: pin-level injection requires a runtime trigger"
                         )));
                     }
-                    if f.locations.iter().any(|l| !matches!(l, FaultLocation::ScanCell { .. })) {
+                    if f.locations
+                        .iter()
+                        .any(|l| !matches!(l, FaultLocation::ScanCell { .. }))
+                    {
                         return Err(GoofiError::Config(format!(
                             "experiment {i}: pin-level injection targets (boundary) scan cells"
                         )));
@@ -758,7 +764,10 @@ mod tests {
         ] {
             assert_eq!(Technique::decode(t.encode()), Some(t));
         }
-        for o in [OutputRegion::Ports, OutputRegion::Memory { addr: 5, len: 2 }] {
+        for o in [
+            OutputRegion::Ports,
+            OutputRegion::Memory { addr: 5, len: 2 },
+        ] {
             assert_eq!(OutputRegion::decode(&o.encode()), Some(o));
         }
     }

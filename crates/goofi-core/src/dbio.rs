@@ -13,7 +13,7 @@ use crate::campaign::{
     WorkloadImage,
 };
 use crate::fault::FaultSpec;
-use crate::logging::{ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause};
+use crate::logging::{ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause, Validity};
 use crate::{GoofiError, Result};
 use goofidb::{Database, Value};
 
@@ -63,6 +63,7 @@ pub fn init_schema(db: &mut Database) -> Result<()> {
             termination TEXT,
             stateVector TEXT,
             trace TEXT,
+            validity TEXT,
             FOREIGN KEY (campaignName) REFERENCES CampaignData(campaignName))",
     ];
     for stmt in stmts {
@@ -257,7 +258,12 @@ pub fn load_campaign(db: &Database, name: &str) -> Result<Campaign> {
     let words = WorkloadImage::decode_words(row[4].as_text().unwrap_or_default())
         .ok_or_else(|| bad("workload image"))?;
     let mut faults = Vec::new();
-    for f in row[15].as_text().unwrap_or_default().split('|').filter(|f| !f.is_empty()) {
+    for f in row[15]
+        .as_text()
+        .unwrap_or_default()
+        .split('|')
+        .filter(|f| !f.is_empty())
+    {
         faults.push(FaultSpec::decode(f).ok_or_else(|| bad("fault spec"))?);
     }
     let initial_inputs = row[13]
@@ -324,35 +330,38 @@ pub fn log_experiment(db: &mut Database, record: &ExperimentRecord) -> Result<()
         .map(StateSnapshot::encode)
         .collect::<Vec<_>>()
         .join("---\n");
-    db.insert(
-        LOG_TABLE,
-        vec![
-            Value::text(record.name.clone()),
-            record
-                .parent
-                .clone()
-                .map_or(Value::Null, Value::text),
-            Value::text(record.campaign.clone()),
-            record
-                .fault
-                .as_ref()
-                .map_or(Value::Null, |f| Value::text(f.encode())),
-            Value::text(record.termination.encode()),
-            Value::text(record.state.encode()),
-            if trace.is_empty() {
-                Value::Null
-            } else {
-                Value::text(trace)
-            },
-        ],
-    )?;
+    let mut row = vec![
+        Value::text(record.name.clone()),
+        record.parent.clone().map_or(Value::Null, Value::text),
+        Value::text(record.campaign.clone()),
+        record
+            .fault
+            .as_ref()
+            .map_or(Value::Null, |f| Value::text(f.encode())),
+        Value::text(record.termination.encode()),
+        Value::text(record.state.encode()),
+        if trace.is_empty() {
+            Value::Null
+        } else {
+            Value::text(trace)
+        },
+        Value::text(record.validity.encode()),
+    ];
+    // Database files created before the validity column existed have a
+    // seven-column LoggedSystemState; keep logging into them (their records
+    // are all implicitly valid).
+    if let Some(t) = db.table(LOG_TABLE) {
+        row.truncate(t.schema().columns.len());
+    }
+    db.insert(LOG_TABLE, row)?;
     Ok(())
 }
 
-/// Stores a full campaign result: the reference run plus all experiments.
-/// Idempotent by experiment name, so a result assembled after a resume can
-/// be stored over records already salvaged from a partial run or imported
-/// from a journal.
+/// Stores a full campaign result: the reference run, all experiments, and
+/// any quarantined records (kept for audit alongside their authoritative
+/// re-runs). Idempotent by experiment name, so a result assembled after a
+/// resume can be stored over records already salvaged from a partial run or
+/// imported from a journal.
 ///
 /// # Errors
 ///
@@ -362,7 +371,10 @@ pub fn store_result(db: &mut Database, result: &CampaignResult) -> Result<()> {
         db.table(LOG_TABLE)
             .is_some_and(|t| t.contains_key(&Value::text(name)))
     };
-    for record in std::iter::once(&result.reference).chain(result.records.iter()) {
+    for record in std::iter::once(&result.reference)
+        .chain(result.records.iter())
+        .chain(result.quarantined.iter())
+    {
         if !existing(db, &record.name) {
             log_experiment(db, record)?;
         }
@@ -393,6 +405,7 @@ pub fn import_journal(
         .reference
         .iter()
         .chain(state.completed.values())
+        .chain(state.quarantined.iter())
     {
         if !existing(db, &record.name) {
             log_experiment(db, record)?;
@@ -455,6 +468,11 @@ fn decode_log_row(row: &[Value]) -> Result<ExperimentRecord> {
             trace.push(StateSnapshot::decode(part).ok_or_else(|| bad("trace"))?);
         }
     }
+    // Rows written before the validity column existed decode as valid.
+    let validity = match row.get(7).and_then(|v| v.as_text()) {
+        Some(text) => Validity::decode(text).ok_or_else(|| bad("validity"))?,
+        None => Validity::Valid,
+    };
     Ok(ExperimentRecord {
         name: name.clone(),
         parent: row[1].as_text().map(str::to_string),
@@ -463,6 +481,7 @@ fn decode_log_row(row: &[Value]) -> Result<ExperimentRecord> {
         termination,
         state,
         trace,
+        validity,
     })
 }
 
@@ -582,6 +601,7 @@ mod tests {
             termination: TerminationCause::WorkloadEnd,
             state: StateSnapshot::default(),
             trace: vec![],
+            validity: Validity::Valid,
         };
         let exp = ExperimentRecord {
             name: "c1/exp00000".into(),
@@ -640,6 +660,7 @@ mod tests {
                 termination: TerminationCause::WorkloadEnd,
                 state: StateSnapshot::default(),
                 trace: vec![],
+                validity: Validity::Valid,
             },
         )
         .unwrap();
@@ -668,6 +689,7 @@ mod tests {
             termination: TerminationCause::WorkloadEnd,
             state: snap.clone(),
             trace: vec![snap.clone(), snap.clone()],
+            validity: Validity::Valid,
         };
         log_experiment(&mut db, &record).unwrap();
         assert_eq!(load_experiment(&db, "c1/exp00000").unwrap(), record);
@@ -699,6 +721,7 @@ mod tests {
             termination: TerminationCause::WorkloadEnd,
             state: StateSnapshot::default(),
             trace: vec![],
+            validity: Validity::Valid,
         };
         log_experiment(&mut db, &make("c1/exp00001", Some(c.faults[0].clone()))).unwrap();
         log_experiment(&mut db, &make("c1/reference", None)).unwrap();
@@ -713,6 +736,99 @@ mod tests {
     }
 
     #[test]
+    fn validity_roundtrips_and_legacy_tables_still_log() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+
+        let mut record = ExperimentRecord {
+            name: "c1/exp00000".into(),
+            parent: None,
+            campaign: "c1".into(),
+            fault: Some(c.faults[0].clone()),
+            termination: TerminationCause::WorkloadEnd,
+            state: StateSnapshot::default(),
+            trace: vec![],
+            validity: Validity::Invalid,
+        };
+        log_experiment(&mut db, &record).unwrap();
+        assert_eq!(
+            load_experiment(&db, "c1/exp00000").unwrap().validity,
+            Validity::Invalid
+        );
+
+        // A database created before the validity column existed keeps
+        // accepting logs; its records load as valid.
+        let mut old = Database::new();
+        old.execute(
+            "CREATE TABLE LoggedSystemState (
+                experimentName TEXT PRIMARY KEY,
+                parentExperiment TEXT,
+                campaignName TEXT,
+                experimentData TEXT,
+                termination TEXT,
+                stateVector TEXT,
+                trace TEXT)",
+        )
+        .unwrap();
+        record.campaign = String::new();
+        record.fault = None;
+        log_experiment(&mut old, &record).unwrap();
+        assert_eq!(
+            load_experiment(&old, "c1/exp00000").unwrap().validity,
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn store_result_includes_quarantined_records() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        let c = demo_campaign();
+        store_campaign(&mut db, &c).unwrap();
+
+        let reference = ExperimentRecord {
+            name: "c1/reference".into(),
+            parent: None,
+            campaign: "c1".into(),
+            fault: None,
+            termination: TerminationCause::WorkloadEnd,
+            state: StateSnapshot::default(),
+            trace: vec![],
+            validity: Validity::Valid,
+        };
+        let quarantined = ExperimentRecord {
+            name: "c1/exp00000".into(),
+            fault: Some(c.faults[0].clone()),
+            validity: Validity::Invalid,
+            ..reference.clone()
+        };
+        let rerun = ExperimentRecord {
+            name: "c1/exp00000/rerun1".into(),
+            parent: Some("c1/exp00000".into()),
+            fault: Some(c.faults[0].clone()),
+            ..reference.clone()
+        };
+        let result = CampaignResult {
+            reference,
+            records: vec![rerun],
+            failures: vec![],
+            quarantined: vec![quarantined],
+        };
+        store_result(&mut db, &result).unwrap();
+        let records = load_experiments(&db, "c1").unwrap();
+        assert_eq!(records.len(), 3);
+        let stored = load_experiment(&db, "c1/exp00000").unwrap();
+        assert_eq!(stored.validity, Validity::Invalid);
+        let stored = load_experiment(&db, "c1/exp00000/rerun1").unwrap();
+        assert_eq!(stored.parent.as_deref(), Some("c1/exp00000"));
+        assert_eq!(stored.validity, Validity::Valid);
+    }
+
+    #[test]
     fn experiment_fk_requires_campaign() {
         let mut db = Database::new();
         init_schema(&mut db).unwrap();
@@ -724,6 +840,7 @@ mod tests {
             termination: TerminationCause::Timeout,
             state: StateSnapshot::default(),
             trace: vec![],
+            validity: Validity::Valid,
         };
         assert!(log_experiment(&mut db, &record).is_err());
     }

@@ -19,6 +19,17 @@ pub enum GoofiError {
     Unimplemented(&'static str),
     /// The campaign was stopped from the progress monitor.
     Stopped,
+    /// The link to the target kept failing: a transport operation could not
+    /// be completed (or verified) within the recovery budget of a
+    /// [`VerifiedTarget`](crate::link::VerifiedTarget).
+    LinkFault {
+        /// The operation that failed, e.g. `read_scan_chain(internal)`.
+        operation: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// What the last attempt observed.
+        detail: String,
+    },
     /// An experiment journal could not be written or read.
     Journal(String),
     /// An experiment failed despite the campaign's
@@ -43,9 +54,20 @@ impl fmt::Display for GoofiError {
             GoofiError::Target(msg) => write!(f, "target system error: {msg}"),
             GoofiError::Config(msg) => write!(f, "campaign configuration error: {msg}"),
             GoofiError::Unimplemented(method) => {
-                write!(f, "abstract method `{method}` not implemented for this target system")
+                write!(
+                    f,
+                    "abstract method `{method}` not implemented for this target system"
+                )
             }
             GoofiError::Stopped => f.write_str("campaign stopped by the user"),
+            GoofiError::LinkFault {
+                operation,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "unrecovered link fault in {operation} after {attempts} attempt(s): {detail}"
+            ),
             GoofiError::Journal(msg) => write!(f, "experiment journal error: {msg}"),
             GoofiError::ExperimentFailed { failure, partial } => write!(
                 f,

@@ -421,7 +421,11 @@ mod tests {
             },
         ];
         for spec in specs {
-            assert_eq!(FaultSpec::decode(&spec.encode()), Some(spec.clone()), "{spec}");
+            assert_eq!(
+                FaultSpec::decode(&spec.encode()),
+                Some(spec.clone()),
+                "{spec}"
+            );
         }
         assert_eq!(FaultSpec::decode("garbage"), None);
     }
@@ -453,6 +457,10 @@ mod tests {
     fn persistence_flags() {
         assert!(!FaultModel::TransientBitFlip.is_persistent());
         assert!(FaultModel::StuckAtZero.is_persistent());
-        assert!(FaultModel::Intermittent { period: 1, bursts: 2 }.is_persistent());
+        assert!(FaultModel::Intermittent {
+            period: 1,
+            bursts: 2
+        }
+        .is_persistent());
     }
 }

@@ -121,11 +121,9 @@ mod tests {
     #[test]
     fn every_method_names_itself() {
         let mut t = NullTarget::new();
-        let err = |e: GoofiError, name: &str| {
-            match e {
-                GoofiError::Unimplemented(m) => assert_eq!(m, name),
-                other => panic!("expected Unimplemented, got {other}"),
-            }
+        let err = |e: GoofiError, name: &str| match e {
+            GoofiError::Unimplemented(m) => assert_eq!(m, name),
+            other => panic!("expected Unimplemented, got {other}"),
         };
         err(t.init_test_card().unwrap_err(), "init_test_card");
         err(
@@ -187,8 +185,9 @@ mod tests {
             .build()
             .unwrap();
         let monitor = crate::monitor::ProgressMonitor::new(1);
-        let e = crate::algorithms::make_reference_run(&mut t, &campaign, &mut envsim::NullEnvironment)
-            .unwrap_err();
+        let e =
+            crate::algorithms::make_reference_run(&mut t, &campaign, &mut envsim::NullEnvironment)
+                .unwrap_err();
         assert!(matches!(e, GoofiError::Unimplemented("init_test_card")));
         let _ = monitor;
     }

@@ -16,7 +16,7 @@
 //! ```text
 //! #goofi-journal v1
 //! C <campaign-name>
-//! R <index|-> <name> <parent|-> <fault|-> <termination> <state> <trace|-> #<fnv>
+//! R <index|-> <name> <parent|-> <fault|-> <termination> <state> <trace|-> <validity> #<fnv>
 //! F <index> <attempts> <error> #<fnv>
 //! ```
 //!
@@ -28,7 +28,7 @@
 //! the tail a crash mid-append can leave — so a damaged tail never
 //! poisons the records before it.
 
-use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause};
+use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause, Validity};
 use crate::policy::ExperimentFailure;
 use crate::{fault::FaultSpec, GoofiError, Result};
 use std::collections::BTreeMap;
@@ -51,10 +51,16 @@ pub struct JournalState {
     /// entry for the same index superseded the failure.
     pub failed: BTreeMap<usize, ExperimentFailure>,
     /// How many `F` entries each index has accumulated across runs —
-    /// superseded or not. Resume derives unique `…/rerun<k>` names from
-    /// this, so an experiment that fails on every resume still gets a
-    /// fresh child name each time.
+    /// superseded or not (quarantined `R` entries count a round too).
+    /// Resume derives unique `…/rerun<k>` names from this, so an
+    /// experiment that fails on every resume still gets a fresh child name
+    /// each time.
     pub failed_rounds: BTreeMap<usize, u32>,
+    /// Records quarantined by golden-run revalidation (validity
+    /// `invalid`), unless a later valid `R` entry superseded them. Their
+    /// indices appear in [`JournalState::failed`] so resume re-runs them;
+    /// the records themselves are kept for database import.
+    pub quarantined: Vec<ExperimentRecord>,
 }
 
 impl JournalState {
@@ -126,7 +132,7 @@ impl ExperimentJournal {
     /// I/O errors, surfaced as [`GoofiError::Journal`].
     pub fn append_record(&mut self, index: Option<usize>, record: &ExperimentRecord) -> Result<()> {
         let payload = format!(
-            "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             index.map_or_else(|| "-".to_string(), |i| i.to_string()),
             escape(&record.name),
             record.parent.as_deref().map_or_else(|| "-".into(), escape),
@@ -148,6 +154,7 @@ impl ExperimentJournal {
                         .join("---\n"),
                 )
             },
+            record.validity.encode(),
         );
         self.append_line(&payload)
     }
@@ -185,8 +192,7 @@ impl ExperimentJournal {
     /// journal.
     pub fn load(path: impl AsRef<Path>, campaign_name: &str) -> Result<JournalState> {
         let path = path.as_ref();
-        let text =
-            std::fs::read_to_string(path).map_err(|e| io_err(path, "reading", &e))?;
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, "reading", &e))?;
         let complete = text.ends_with('\n');
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
@@ -221,8 +227,26 @@ impl ExperimentJournal {
             match parse_entry(line, campaign_name) {
                 Some(Entry::Reference(record)) => state.reference = Some(record),
                 Some(Entry::Completed(index, record)) => {
-                    state.failed.remove(&index);
-                    state.completed.insert(index, record);
+                    if record.validity == Validity::Invalid {
+                        // Quarantined: drop any completed record so resume
+                        // re-runs the experiment; the round keeps the
+                        // rerun name unique.
+                        state.completed.remove(&index);
+                        *state.failed_rounds.entry(index).or_insert(0) += 1;
+                        state.failed.insert(
+                            index,
+                            ExperimentFailure {
+                                index,
+                                name: record.name.clone(),
+                                attempts: 1,
+                                error: "quarantined by golden-run revalidation".into(),
+                            },
+                        );
+                        state.quarantined.push(record);
+                    } else {
+                        state.failed.remove(&index);
+                        state.completed.insert(index, record);
+                    }
                 }
                 Some(Entry::Failed(failure)) => {
                     *state.failed_rounds.entry(failure.index).or_insert(0) += 1;
@@ -251,7 +275,14 @@ fn parse_entry(line: &str, campaign: &str) -> Option<Entry> {
     }
     let fields: Vec<&str> = payload.split('\t').collect();
     match fields.as_slice() {
-        ["R", index, name, parent, fault, termination, state, trace] => {
+        // The validity column was added later; 8-field entries written by
+        // older versions load as valid records.
+        ["R", index, name, parent, fault, termination, state, trace]
+        | ["R", index, name, parent, fault, termination, state, trace, _] => {
+            let validity = match fields.get(8) {
+                Some(v) => Validity::decode(v)?,
+                None => Validity::Valid,
+            };
             let record = ExperimentRecord {
                 name: unescape(name),
                 parent: (*parent != "-").then(|| unescape(parent)),
@@ -271,6 +302,7 @@ fn parse_entry(line: &str, campaign: &str) -> Option<Entry> {
                         .map(StateSnapshot::decode)
                         .collect::<Option<Vec<_>>>()?
                 },
+                validity,
             };
             if *index == "-" {
                 Some(Entry::Reference(record))
@@ -344,7 +376,10 @@ mod tests {
 
     fn temp_journal(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("goofi-journal-test-{}-{name}.gjl", std::process::id()));
+        p.push(format!(
+            "goofi-journal-test-{}-{name}.gjl",
+            std::process::id()
+        ));
         p
     }
 
@@ -366,7 +401,52 @@ mod tests {
             termination: TerminationCause::WorkloadEnd,
             state,
             trace: vec![StateSnapshot::default()],
+            validity: Validity::Valid,
         }
+    }
+
+    #[test]
+    fn validity_roundtrips_and_supersedes() {
+        let path = temp_journal("validity");
+        let mut j = ExperimentJournal::create(&path, "c1").unwrap();
+        let good = record("c1/exp00000", None);
+        let mut bad = good.clone();
+        bad.validity = Validity::Invalid;
+        j.append_record(Some(0), &good).unwrap();
+        // Quarantine re-journals the same index with validity=invalid: the
+        // record leaves `completed` (so resume re-runs it as a linked
+        // rerun) and is kept aside for database import.
+        j.append_record(Some(0), &bad).unwrap();
+        drop(j);
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert!(!state.completed.contains_key(&0));
+        assert_eq!(
+            state.failed[&0].error,
+            "quarantined by golden-run revalidation"
+        );
+        assert_eq!(state.failed_rounds[&0], 1);
+        assert_eq!(state.quarantined.len(), 1);
+        assert_eq!(state.quarantined[0].validity, Validity::Invalid);
+
+        // … and an eight-field entry from an older version loads as valid.
+        let mut jv = ExperimentJournal::create(&path, "c1").unwrap();
+        jv.append_record(Some(1), &good).unwrap();
+        drop(jv);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let legacy: String = text
+            .lines()
+            .map(|line| match line.split_once("\t#") {
+                Some((payload, _)) if payload.starts_with("R\t") => {
+                    let stripped = payload.rsplit_once('\t').unwrap().0;
+                    format!("{stripped}\t#{:08x}\n", fnv1a(stripped.as_bytes()))
+                }
+                _ => format!("{line}\n"),
+            })
+            .collect();
+        std::fs::write(&path, legacy).unwrap();
+        let state = ExperimentJournal::load(&path, "c1").unwrap();
+        assert_eq!(state.completed[&1].validity, Validity::Valid);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -428,8 +508,10 @@ mod tests {
     fn torn_tail_is_tolerated() {
         let path = temp_journal("torn");
         let mut j = ExperimentJournal::create(&path, "c1").unwrap();
-        j.append_record(Some(0), &record("c1/exp00000", None)).unwrap();
-        j.append_record(Some(1), &record("c1/exp00001", None)).unwrap();
+        j.append_record(Some(0), &record("c1/exp00000", None))
+            .unwrap();
+        j.append_record(Some(1), &record("c1/exp00001", None))
+            .unwrap();
         drop(j);
         // Simulate a crash mid-append: truncate the last line.
         let text = std::fs::read_to_string(&path).unwrap();
@@ -450,10 +532,12 @@ mod tests {
     fn append_after_load_continues_the_journal() {
         let path = temp_journal("append");
         let mut j = ExperimentJournal::create(&path, "c1").unwrap();
-        j.append_record(Some(0), &record("c1/exp00000", None)).unwrap();
+        j.append_record(Some(0), &record("c1/exp00000", None))
+            .unwrap();
         drop(j);
         let mut j = ExperimentJournal::open_append(&path).unwrap();
-        j.append_record(Some(1), &record("c1/exp00001", None)).unwrap();
+        j.append_record(Some(1), &record("c1/exp00001", None))
+            .unwrap();
         drop(j);
         let state = ExperimentJournal::load(&path, "c1").unwrap();
         assert_eq!(state.completed.len(), 2);

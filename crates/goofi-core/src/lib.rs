@@ -39,6 +39,7 @@ mod error;
 pub mod fault;
 pub mod framework;
 pub mod journal;
+pub mod link;
 pub mod logging;
 pub mod monitor;
 pub mod policy;

@@ -182,6 +182,41 @@ pub fn digest_words(words: &[u32]) -> u64 {
     hash
 }
 
+/// Whether a logged experiment's results can be trusted.
+///
+/// Records produced while the target link was misbehaving are *quarantined*:
+/// kept in the database for audit, marked [`Validity::Invalid`], excluded
+/// from analysis, and re-run as fresh `parentExperiment`-linked experiments
+/// (see the golden-run revalidation in [`crate::algorithms`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Validity {
+    /// The record is trusted (the default).
+    #[default]
+    Valid,
+    /// The record was produced under suspected link faults and has been
+    /// quarantined; a linked re-run supersedes it.
+    Invalid,
+}
+
+impl Validity {
+    /// Database string form.
+    pub fn encode(self) -> &'static str {
+        match self {
+            Validity::Valid => "valid",
+            Validity::Invalid => "invalid",
+        }
+    }
+
+    /// Parses [`Validity::encode`] output.
+    pub fn decode(s: &str) -> Option<Validity> {
+        match s {
+            "valid" => Some(Validity::Valid),
+            "invalid" => Some(Validity::Invalid),
+            _ => None,
+        }
+    }
+}
+
 /// The complete log of one fault-injection experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
@@ -200,6 +235,9 @@ pub struct ExperimentRecord {
     pub state: StateSnapshot,
     /// Detail-mode per-instruction trace (empty in normal mode).
     pub trace: Vec<StateSnapshot>,
+    /// Whether the record survived golden-run revalidation (quarantined
+    /// records are kept but excluded from analysis).
+    pub validity: Validity,
 }
 
 impl ExperimentRecord {
@@ -235,7 +273,11 @@ mod tests {
                 code: 1,
             }),
         ] {
-            assert_eq!(TerminationCause::decode(&t.encode()), Some(t.clone()), "{t}");
+            assert_eq!(
+                TerminationCause::decode(&t.encode()),
+                Some(t.clone()),
+                "{t}"
+            );
         }
         assert_eq!(TerminationCause::decode("nope"), None);
     }
@@ -276,6 +318,15 @@ mod tests {
         b.memory_digest = 1;
         a.scan.insert("internal".into(), "1".into());
         assert!(!a.same_state(&b));
+    }
+
+    #[test]
+    fn validity_roundtrip() {
+        for v in [Validity::Valid, Validity::Invalid] {
+            assert_eq!(Validity::decode(v.encode()), Some(v));
+        }
+        assert_eq!(Validity::decode("x"), None);
+        assert_eq!(Validity::default(), Validity::Valid);
     }
 
     #[test]

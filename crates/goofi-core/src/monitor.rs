@@ -34,6 +34,13 @@ pub struct Progress {
     pub failed: usize,
     /// Experiment retries attempted so far.
     pub retried: usize,
+    /// Link faults detected and recovered by a
+    /// [`VerifiedTarget`](crate::link::VerifiedTarget).
+    pub link_recovered: usize,
+    /// Link faults that exhausted the recovery budget.
+    pub link_unrecovered: usize,
+    /// Records quarantined by golden-run revalidation.
+    pub quarantined: usize,
     /// Completed experiments per termination cause (encoded form).
     pub by_termination: BTreeMap<String, usize>,
 }
@@ -148,6 +155,22 @@ impl ProgressMonitor {
         self.inner.progress.lock().retried += 1;
     }
 
+    /// Records a link fault that was detected and recovered.
+    pub fn record_link_recovered(&self) {
+        self.inner.progress.lock().link_recovered += 1;
+    }
+
+    /// Records a link fault that exhausted the recovery budget.
+    pub fn record_link_unrecovered(&self) {
+        self.inner.progress.lock().link_unrecovered += 1;
+    }
+
+    /// Records one experiment record quarantined by golden-run
+    /// revalidation.
+    pub fn record_quarantined(&self) {
+        self.inner.progress.lock().quarantined += 1;
+    }
+
     /// Marks previously-journaled work as done when a campaign resumes:
     /// bumps the completed/failed counters without re-running anything.
     pub fn record_resumed(&self, completed: usize, failed: usize) {
@@ -203,6 +226,21 @@ mod tests {
         assert_eq!(p.failed, 2);
         assert_eq!(p.retried, 2);
         assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn link_and_quarantine_counters_accumulate() {
+        let m = ProgressMonitor::new(2);
+        m.record_link_recovered();
+        m.record_link_recovered();
+        m.record_link_unrecovered();
+        m.record_quarantined();
+        let p = m.snapshot();
+        assert_eq!(p.link_recovered, 2);
+        assert_eq!(p.link_unrecovered, 1);
+        assert_eq!(p.quarantined, 1);
+        // Link events are not experiment progress.
+        assert_eq!(p.completed, 0);
     }
 
     #[test]

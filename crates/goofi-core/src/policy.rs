@@ -120,6 +120,11 @@ pub struct ExperimentPolicy {
     pub backoff: Backoff,
     /// Per-experiment hang detection.
     pub watchdog: WatchdogBudget,
+    /// Golden-run revalidation interval: every `n` completed experiments
+    /// the driver re-runs the fault-free reference and compares it to the
+    /// stored golden log; on a mismatch the window of records since the
+    /// last check is quarantined and re-run (`None` disables the check).
+    pub revalidate_every: Option<u32>,
 }
 
 impl ExperimentPolicy {
@@ -166,6 +171,12 @@ impl ExperimentPolicy {
         self
     }
 
+    /// Sets the golden-run revalidation interval (`0` disables it).
+    pub fn with_revalidation(mut self, every: u32) -> Self {
+        self.revalidate_every = (every > 0).then_some(every);
+        self
+    }
+
     /// Retries the driver should attempt for one experiment.
     pub fn retries(&self) -> u32 {
         match self.on_error {
@@ -183,17 +194,18 @@ impl ExperimentPolicy {
     }
 
     /// Encodes the policy for database storage
-    /// (`onerr=<action>;retries=<n>;backoff=<initial>:<max>;wd=<cycles|->:<ms|->`).
+    /// (`onerr=<action>;retries=<n>;backoff=<initial>:<max>;wd=<cycles|->:<ms|->;reval=<n|->`).
     pub fn encode(&self) -> String {
         let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
         format!(
-            "onerr={};retries={};backoff={}:{};wd={}:{}",
+            "onerr={};retries={};backoff={}:{};wd={}:{};reval={}",
             self.on_error.encode(),
             self.max_retries,
             self.backoff.initial_ms,
             self.backoff.max_ms,
             opt(self.watchdog.max_cycles),
             opt(self.watchdog.max_wall_ms),
+            opt(self.revalidate_every.map(u64::from)),
         )
     }
 
@@ -227,6 +239,9 @@ impl ExperimentPolicy {
                         max_cycles: opt(c)?,
                         max_wall_ms: opt(w)?,
                     };
+                }
+                "reval" => {
+                    policy.revalidate_every = opt(value)?.map(|v| v as u32);
                 }
                 _ => {}
             }
@@ -396,16 +411,25 @@ mod tests {
                 max_cycles: None,
                 max_wall_ms: Some(250),
             }),
+            ExperimentPolicy::retry_then_skip(2).with_revalidation(25),
         ];
         for p in policies {
-            assert_eq!(ExperimentPolicy::decode(&p.encode()), Some(p), "{}", p.encode());
+            assert_eq!(
+                ExperimentPolicy::decode(&p.encode()),
+                Some(p),
+                "{}",
+                p.encode()
+            );
         }
         // Missing keys keep defaults; unknown keys are ignored.
         assert_eq!(
             ExperimentPolicy::decode("onerr=skip;future=1"),
             Some(ExperimentPolicy::skip_and_continue())
         );
-        assert_eq!(ExperimentPolicy::decode(""), Some(ExperimentPolicy::default()));
+        assert_eq!(
+            ExperimentPolicy::decode(""),
+            Some(ExperimentPolicy::default())
+        );
         assert_eq!(ExperimentPolicy::decode("onerr=nope"), None);
     }
 

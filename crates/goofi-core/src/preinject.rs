@@ -70,10 +70,16 @@ impl LivenessMap {
         for (t, step) in trace.iter().enumerate() {
             // Reads precede writes within one instruction.
             for r in &step.reads {
-                timelines.entry(r.clone()).or_default().push((t as u64, Access::Read));
+                timelines
+                    .entry(r.clone())
+                    .or_default()
+                    .push((t as u64, Access::Read));
             }
             for w in &step.writes {
-                timelines.entry(w.clone()).or_default().push((t as u64, Access::Write));
+                timelines
+                    .entry(w.clone())
+                    .or_default()
+                    .push((t as u64, Access::Write));
             }
         }
         LivenessMap {
@@ -193,7 +199,8 @@ pub fn filter_campaign(
     let mut pruned = Vec::new();
     for spec in &campaign.faults {
         let verdict = map.spec_liveness(spec);
-        let prune = verdict == Liveness::Dead || (prune_never_used && verdict == Liveness::NeverUsed);
+        let prune =
+            verdict == Liveness::Dead || (prune_never_used && verdict == Liveness::NeverUsed);
         if prune {
             pruned.push(spec.clone());
         } else {

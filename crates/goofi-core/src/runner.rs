@@ -24,7 +24,7 @@
 use crate::algorithms::{self, CampaignResult};
 use crate::campaign::Campaign;
 use crate::journal::ExperimentJournal;
-use crate::logging::ExperimentRecord;
+use crate::logging::{ExperimentRecord, Validity};
 use crate::monitor::ProgressMonitor;
 use crate::policy::ExperimentFailure;
 use crate::target::TargetAccess;
@@ -324,10 +324,12 @@ where
     let mut completed: BTreeMap<usize, ExperimentRecord> = preloaded.clone();
     let mut failures: Vec<ExperimentFailure> = Vec::new();
     let mut first_abort: Option<Outcome> = None;
+    let mut fresh: Vec<usize> = Vec::new();
     for (item, cell) in items.iter().zip(slots) {
         match cell.into_inner() {
             Some(Outcome::Completed(record)) => {
                 completed.insert(item.index, record);
+                fresh.push(item.index);
             }
             Some(Outcome::Skipped(failure)) => failures.push(failure),
             Some(outcome @ (Outcome::Fatal(_) | Outcome::Error(_))) => {
@@ -339,11 +341,77 @@ where
             None => {}
         }
     }
+
+    // End-of-run golden revalidation. The serial runner revalidates every
+    // `revalidate_every` experiments; with workers interleaving, the
+    // parallel runner makes one coarser check after the fan-in: re-run the
+    // fault-free reference and, on drift, quarantine every experiment
+    // completed *this run* (preloaded journal records were validated by the
+    // run that produced them) and re-run each as a `parentExperiment`-linked
+    // rerun on a fresh target.
+    let mut quarantined: Vec<ExperimentRecord> = Vec::new();
+    let revalidate = campaign.policy.revalidate_every.is_some_and(|n| n > 0);
+    if revalidate && first_abort.is_none() && !monitor.is_stopped() && !fresh.is_empty() {
+        let mut target = make_target();
+        let mut env: Box<dyn Environment> = match make_env {
+            Some(f) => f(),
+            None => Box::new(envsim::NullEnvironment),
+        };
+        let golden = algorithms::make_reference_run(&mut target, campaign, env.as_mut())?;
+        if !algorithms::golden_run_matches(&reference, &golden) {
+            // Mark-first across the whole batch: every quarantine entry
+            // reaches the journal before any rerun starts, so a crash at
+            // any later point still reruns all suspects on resume.
+            for &index in &fresh {
+                let slot = completed.get_mut(&index).expect("fresh index is completed");
+                slot.validity = Validity::Invalid;
+                if let Some(j) = journal {
+                    j.lock().append_record(Some(index), slot)?;
+                }
+                monitor.record_quarantined();
+            }
+            for index in fresh {
+                let original = completed[&index].name.clone();
+                let link = Some((format!("{original}/rerun1"), original));
+                match algorithms::run_linked_experiment_with_policy(
+                    &mut target,
+                    campaign,
+                    index,
+                    link,
+                    monitor,
+                    env.as_mut(),
+                ) {
+                    // Reruns replace the quarantined record; they are not
+                    // re-counted as completed progress (the original was).
+                    Ok(Ok(rerun)) => {
+                        if let Some(j) = journal {
+                            j.lock().append_record(Some(index), &rerun)?;
+                        }
+                        let slot = completed.get_mut(&index).expect("fresh index is completed");
+                        quarantined.push(std::mem::replace(slot, rerun));
+                    }
+                    Ok(Err(failure)) => {
+                        if let Some(j) = journal {
+                            j.lock().append_failure(&failure)?;
+                        }
+                        if campaign.policy.fails_campaign() {
+                            first_abort = Some(Outcome::Fatal(failure));
+                            break;
+                        }
+                        failures.push(failure);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
     failures.sort_by_key(|f| f.index);
     let partial = CampaignResult {
         reference,
         records: completed.into_values().collect(),
         failures,
+        quarantined,
     };
     match first_abort {
         Some(Outcome::Fatal(failure)) => Err(GoofiError::ExperimentFailed {
@@ -352,9 +420,7 @@ where
         }),
         Some(Outcome::Error(e)) => Err(e),
         _ if monitor.is_stopped() => Err(GoofiError::Stopped),
-        _ if partial.records.len() + partial.failures.len()
-            < preloaded.len() + items.len() =>
-        {
+        _ if partial.records.len() + partial.failures.len() < preloaded.len() + items.len() => {
             // Unclaimed slots without a stop request should be impossible;
             // report rather than fabricate a partial result silently.
             Err(GoofiError::Stopped)

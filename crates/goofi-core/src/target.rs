@@ -155,3 +155,94 @@ pub trait TargetAccess {
     /// `Err(GoofiError::Unimplemented)`, which disables the optimisation.
     fn step_traced(&mut self) -> Result<(Option<RunEvent>, crate::preinject::StepAccess)>;
 }
+
+/// Boxed targets are targets too, so callers can assemble decorator stacks
+/// (e.g. [`crate::link::VerifiedTarget`] over
+/// [`crate::link::UnreliableTarget`]) behind a single `Box<dyn
+/// TargetAccess>` and still use the generic algorithms and the parallel
+/// runner.
+impl<T: TargetAccess + ?Sized> TargetAccess for Box<T> {
+    fn target_name(&self) -> &str {
+        (**self).target_name()
+    }
+
+    fn init_test_card(&mut self) -> Result<()> {
+        (**self).init_test_card()
+    }
+
+    fn load_workload(&mut self, image: &WorkloadImage) -> Result<()> {
+        (**self).load_workload(image)
+    }
+
+    fn reset_target(&mut self) -> Result<()> {
+        (**self).reset_target()
+    }
+
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
+        (**self).write_memory(addr, data)
+    }
+
+    fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
+        (**self).read_memory(addr, len)
+    }
+
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<()> {
+        (**self).flip_memory_bit(addr, bit)
+    }
+
+    fn memory_size(&self) -> u32 {
+        (**self).memory_size()
+    }
+
+    fn set_breakpoint(&mut self, trigger: Trigger) -> Result<()> {
+        (**self).set_breakpoint(trigger)
+    }
+
+    fn clear_breakpoints(&mut self) -> Result<()> {
+        (**self).clear_breakpoints()
+    }
+
+    fn run_workload(&mut self, budget: RunBudget) -> Result<RunEvent> {
+        (**self).run_workload(budget)
+    }
+
+    fn step_instruction(&mut self) -> Result<Option<RunEvent>> {
+        (**self).step_instruction()
+    }
+
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        (**self).chain_layouts()
+    }
+
+    fn read_scan_chain(&mut self, chain: &str) -> Result<BitVec> {
+        (**self).read_scan_chain(chain)
+    }
+
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> Result<()> {
+        (**self).write_scan_chain(chain, bits)
+    }
+
+    fn write_input_ports(&mut self, inputs: &[u32]) -> Result<()> {
+        (**self).write_input_ports(inputs)
+    }
+
+    fn read_output_ports(&mut self) -> Result<Vec<u32>> {
+        (**self).read_output_ports()
+    }
+
+    fn instructions_executed(&self) -> u64 {
+        (**self).instructions_executed()
+    }
+
+    fn cycles_executed(&self) -> u64 {
+        (**self).cycles_executed()
+    }
+
+    fn iterations_completed(&self) -> u64 {
+        (**self).iterations_completed()
+    }
+
+    fn step_traced(&mut self) -> Result<(Option<RunEvent>, crate::preinject::StepAccess)> {
+        (**self).step_traced()
+    }
+}

@@ -23,9 +23,8 @@ fn arb_trigger() -> impl Strategy<Value = Trigger> {
 
 fn arb_location() -> impl Strategy<Value = FaultLocation> {
     prop_oneof![
-        ("[a-z]{1,8}", "[A-Z][A-Z0-9.]{0,8}", 0usize..64).prop_map(|(chain, cell, bit)| {
-            FaultLocation::ScanCell { chain, cell, bit }
-        }),
+        ("[a-z]{1,8}", "[A-Z][A-Z0-9.]{0,8}", 0usize..64)
+            .prop_map(|(chain, cell, bit)| { FaultLocation::ScanCell { chain, cell, bit } }),
         (any::<u32>(), 0u8..32).prop_map(|(addr, bit)| FaultLocation::Memory { addr, bit }),
     ]
 }

@@ -242,7 +242,11 @@ fn campaign_n(n: usize, policy: ExperimentPolicy) -> Campaign {
         .unwrap()
 }
 
-fn run_serial(target: &mut FlakyTarget, c: &Campaign, monitor: &ProgressMonitor) -> goofi_core::Result<CampaignResult> {
+fn run_serial(
+    target: &mut FlakyTarget,
+    c: &Campaign,
+    monitor: &ProgressMonitor,
+) -> goofi_core::Result<CampaignResult> {
     algorithms::run_campaign(target, c, monitor, &mut envsim::NullEnvironment)
 }
 
@@ -321,10 +325,13 @@ fn retry_then_fail_aborts_after_exhausting_retries() {
 fn cycle_watchdog_classifies_a_hung_workload_as_timeout() {
     let mut target = FlakyTarget::new(200);
     target.hang_cycles.insert(trigger_of(1));
-    let c = campaign_n(3, ExperimentPolicy::default().with_watchdog(WatchdogBudget {
-        max_cycles: Some(5_000),
-        max_wall_ms: None,
-    }));
+    let c = campaign_n(
+        3,
+        ExperimentPolicy::default().with_watchdog(WatchdogBudget {
+            max_cycles: Some(5_000),
+            max_wall_ms: None,
+        }),
+    );
     let result = run_serial(&mut target, &c, &ProgressMonitor::new(3)).unwrap();
     assert_eq!(result.reference.termination, TerminationCause::WorkloadEnd);
     assert_eq!(result.records[0].termination, TerminationCause::WorkloadEnd);
@@ -336,10 +343,13 @@ fn cycle_watchdog_classifies_a_hung_workload_as_timeout() {
 fn wall_clock_watchdog_classifies_a_dead_target_as_timeout() {
     let mut target = FlakyTarget::new(200);
     target.hang_wall.insert(trigger_of(0));
-    let c = campaign_n(2, ExperimentPolicy::default().with_watchdog(WatchdogBudget {
-        max_cycles: None,
-        max_wall_ms: Some(50),
-    }));
+    let c = campaign_n(
+        2,
+        ExperimentPolicy::default().with_watchdog(WatchdogBudget {
+            max_cycles: None,
+            max_wall_ms: Some(50),
+        }),
+    );
     let result = run_serial(&mut target, &c, &ProgressMonitor::new(2)).unwrap();
     assert_eq!(result.records[0].termination, TerminationCause::Timeout);
     assert_eq!(result.records[1].termination, TerminationCause::WorkloadEnd);

@@ -26,8 +26,8 @@
 use goofi_core::campaign::WorkloadImage;
 use goofi_core::preinject::StepAccess;
 use goofi_core::trigger::Trigger;
-use goofi_core::{GoofiError, Result, RunBudget, RunEvent, TargetAccess};
 use goofi_core::DetectionInfo;
+use goofi_core::{GoofiError, Result, RunBudget, RunEvent, TargetAccess};
 use scanchain::{BitVec, ChainLayout, TestCard, TestCardStats};
 use thor::{AccessLog, Cpu, CpuConfig, StopReason, PORT_COUNT};
 
@@ -160,9 +160,9 @@ impl TargetAccess for ThorTarget {
     }
 
     fn set_breakpoint(&mut self, trigger: Trigger) -> Result<()> {
-        let condition = trigger.to_debug_condition().ok_or_else(|| {
-            GoofiError::Config("pre-runtime triggers need no breakpoint".into())
-        })?;
+        let condition = trigger
+            .to_debug_condition()
+            .ok_or_else(|| GoofiError::Config("pre-runtime triggers need no breakpoint".into()))?;
         self.card.target_mut().debug_unit_mut().arm(condition);
         Ok(())
     }
@@ -194,7 +194,10 @@ impl TargetAccess for ThorTarget {
     }
 
     fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> Result<()> {
-        self.card.write_chain(chain, bits).map(|_| ()).map_err(scan_err)
+        self.card
+            .write_chain(chain, bits)
+            .map(|_| ())
+            .map_err(scan_err)
     }
 
     fn write_input_ports(&mut self, inputs: &[u32]) -> Result<()> {
@@ -318,7 +321,10 @@ mod tests {
     fn budget_exhaustion_maps() {
         let mut t = ready("loop: br loop");
         assert_eq!(
-            t.run_workload(RunBudget { max_instructions: 5 }).unwrap(),
+            t.run_workload(RunBudget {
+                max_instructions: 5
+            })
+            .unwrap(),
             RunEvent::BudgetExhausted
         );
     }

@@ -518,11 +518,7 @@ mod tests {
         db.insert("campaigns", vec![Value::Int(1), Value::text("thor")])
             .unwrap();
         let e = db
-            .update_where(
-                "campaigns",
-                |_| true,
-                |r| r[1] = Value::text("missing"),
-            )
+            .update_where("campaigns", |_| true, |r| r[1] = Value::text("missing"))
             .unwrap_err();
         assert!(matches!(e, DbError::ForeignKeyViolation { .. }));
         // Rolled back.

@@ -244,19 +244,13 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert(
-            "campaigns",
-            vec![Value::Int(2), Value::Null, Value::Null],
-        )
-        .unwrap();
+        db.insert("campaigns", vec![Value::Int(2), Value::Null, Value::Null])
+            .unwrap();
         // Text with tabs/newlines/backslashes survives.
         db.execute("CREATE TABLE notes (id INTEGER PRIMARY KEY, body TEXT)")
             .unwrap();
-        db.insert(
-            "notes",
-            vec![Value::Int(1), Value::text("a\tb\nc\\d")],
-        )
-        .unwrap();
+        db.insert("notes", vec![Value::Int(1), Value::text("a\tb\nc\\d")])
+            .unwrap();
 
         let text = db.save_to_string();
         let restored = Database::load_from_string(&text).unwrap();
@@ -266,11 +260,19 @@ mod tests {
             db.table("campaigns").unwrap().len()
         );
         assert_eq!(
-            restored.table("campaigns").unwrap().find_by_key(&Value::Int(1)).unwrap()[2],
+            restored
+                .table("campaigns")
+                .unwrap()
+                .find_by_key(&Value::Int(1))
+                .unwrap()[2],
             Value::Real(0.1 + 0.2)
         );
         assert_eq!(
-            restored.table("notes").unwrap().find_by_key(&Value::Int(1)).unwrap()[1],
+            restored
+                .table("notes")
+                .unwrap()
+                .find_by_key(&Value::Int(1))
+                .unwrap()[1],
             Value::text("a\tb\nc\\d")
         );
         restored.check_integrity().unwrap();

@@ -100,7 +100,11 @@ pub struct ForeignKey {
 
 impl fmt::Display for ForeignKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {}.{}", self.column, self.ref_table, self.ref_column)
+        write!(
+            f,
+            "{} -> {}.{}",
+            self.column, self.ref_table, self.ref_column
+        )
     }
 }
 
@@ -235,11 +239,8 @@ mod tests {
         );
         assert!(two_pks.is_err());
 
-        let real_pk = TableSchema::new(
-            "t",
-            vec![ColumnDef::primary("a", ColumnType::Real)],
-            vec![],
-        );
+        let real_pk =
+            TableSchema::new("t", vec![ColumnDef::primary("a", ColumnType::Real)], vec![]);
         assert!(matches!(real_pk, Err(DbError::BadPrimaryKey { .. })));
 
         let bad_fk = TableSchema::new(

@@ -103,8 +103,7 @@ pub(super) fn execute(db: &mut Database, stmt: Stmt) -> Result<usize, DbError> {
                 },
                 {
                     let applied = Cell::new(0usize);
-                    let updates: Vec<Vec<(usize, Value)>> =
-                        plan.into_iter().flatten().collect();
+                    let updates: Vec<Vec<(usize, Value)>> = plan.into_iter().flatten().collect();
                     move |row: &mut Row| {
                         let i = applied.get();
                         applied.set(i + 1);
@@ -319,8 +318,7 @@ impl Scope {
             .iter()
             .enumerate()
             .filter(|(_, (qual, real, col))| {
-                col == name
-                    && table.is_none_or(|t| qual == t || real.as_deref() == Some(t))
+                col == name && table.is_none_or(|t| qual == t || real.as_deref() == Some(t))
             })
             .map(|(i, _)| i)
             .collect();

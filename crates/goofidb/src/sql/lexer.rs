@@ -125,9 +125,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, DbError> {
                             s.push(c);
                             i += 1;
                         }
-                        None => {
-                            return Err(DbError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(Token::Str(s));

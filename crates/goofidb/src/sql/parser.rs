@@ -90,7 +90,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, DbError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -480,7 +482,9 @@ impl Parser {
                     name: id,
                 })
             }
-            other => Err(DbError::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 }
@@ -554,7 +558,11 @@ mod tests {
         let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         match s {
             Stmt::Select(sel) => match sel.where_clause.unwrap() {
-                Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary {
+                    op: BinOp::Or,
+                    right,
+                    ..
+                } => match *right {
                     Expr::Binary { op: BinOp::And, .. } => {}
                     _ => panic!("AND should bind tighter"),
                 },
@@ -583,7 +591,10 @@ mod tests {
         ));
         assert!(matches!(
             parse("DELETE FROM t").unwrap(),
-            Stmt::Delete { where_clause: None, .. }
+            Stmt::Delete {
+                where_clause: None,
+                ..
+            }
         ));
     }
 

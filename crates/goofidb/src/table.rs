@@ -193,10 +193,7 @@ mod tests {
         t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
         t.insert(vec![Value::Int(2), Value::text("b")]).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(
-            t.find_by_key(&Value::Int(2)).unwrap()[1],
-            Value::text("b")
-        );
+        assert_eq!(t.find_by_key(&Value::Int(2)).unwrap()[1], Value::text("b"));
         assert!(t.find_by_key(&Value::Int(3)).is_none());
     }
 
@@ -227,7 +224,13 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = table();
         let e = t.insert(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(e, DbError::ArityMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            e,
+            DbError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -247,10 +250,7 @@ mod tests {
     fn update_rebuilds_index() {
         let mut t = table();
         t.insert(vec![Value::Int(1), Value::text("a")]).unwrap();
-        let n = t.update_where(
-            |r| r[0] == Value::Int(1),
-            |r| r[0] = Value::Int(99),
-        );
+        let n = t.update_where(|r| r[0] == Value::Int(1), |r| r[0] = Value::Int(99));
         assert_eq!(n, 1);
         assert!(t.find_by_key(&Value::Int(99)).is_some());
         assert!(t.find_by_key(&Value::Int(1)).is_none());

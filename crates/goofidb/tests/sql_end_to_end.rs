@@ -5,10 +5,8 @@ use goofidb::{Database, DbError, Value};
 
 fn campaign_db() -> Database {
     let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE campaigns (name TEXT PRIMARY KEY, target TEXT, experiments INTEGER)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE campaigns (name TEXT PRIMARY KEY, target TEXT, experiments INTEGER)")
+        .unwrap();
     db.execute(
         "CREATE TABLE logged (experiment TEXT PRIMARY KEY, campaign TEXT,
          outcome TEXT, mechanism TEXT, cycles INTEGER, score REAL,
@@ -197,11 +195,17 @@ fn update_can_reference_row_values() {
 #[test]
 fn delete_via_sql_respects_fk() {
     let mut db = campaign_db();
-    let e = db.execute("DELETE FROM campaigns WHERE name = 'c1'").unwrap_err();
+    let e = db
+        .execute("DELETE FROM campaigns WHERE name = 'c1'")
+        .unwrap_err();
     assert!(matches!(e, DbError::ForeignKeyViolation { .. }));
-    let n = db.execute("DELETE FROM logged WHERE campaign = 'c1'").unwrap();
+    let n = db
+        .execute("DELETE FROM logged WHERE campaign = 'c1'")
+        .unwrap();
     assert_eq!(n, 6);
-    let n = db.execute("DELETE FROM campaigns WHERE name = 'c1'").unwrap();
+    let n = db
+        .execute("DELETE FROM campaigns WHERE name = 'c1'")
+        .unwrap();
     assert_eq!(n, 1);
 }
 
@@ -250,7 +254,8 @@ fn unknown_entities_reported() {
         DbError::NoSuchColumn(_)
     ));
     assert!(matches!(
-        db.query("SELECT outcome FROM logged ORDER BY nope").unwrap_err(),
+        db.query("SELECT outcome FROM logged ORDER BY nope")
+            .unwrap_err(),
         DbError::NoSuchColumn(_)
     ));
 }
@@ -271,7 +276,9 @@ fn persistence_roundtrip_of_campaign_db() {
 #[test]
 fn select_distinct_removes_duplicates() {
     let db = campaign_db();
-    let r = db.query("SELECT DISTINCT outcome FROM logged ORDER BY outcome").unwrap();
+    let r = db
+        .query("SELECT DISTINCT outcome FROM logged ORDER BY outcome")
+        .unwrap();
     assert_eq!(r.len(), 4);
     let all = db.query("SELECT outcome FROM logged").unwrap();
     assert_eq!(all.len(), 8);
@@ -284,7 +291,7 @@ fn in_list_filter() {
         .query("SELECT experiment FROM logged WHERE outcome IN ('escaped', 'latent') ORDER BY experiment")
         .unwrap();
     assert_eq!(r.len(), 3); // e3, e4, e8
-    // NULL never matches an IN list.
+                            // NULL never matches an IN list.
     let r = db
         .query("SELECT experiment FROM logged WHERE mechanism IN ('parity_icache')")
         .unwrap();

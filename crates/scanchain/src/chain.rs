@@ -191,7 +191,11 @@ impl ChainLayout {
     ) -> Result<(), ScanError> {
         self.check_len(captured)?;
         self.check_len(shifted)?;
-        for cell in self.cells.iter().filter(|c| c.access == CellAccess::ReadOnly) {
+        for cell in self
+            .cells
+            .iter()
+            .filter(|c| c.access == CellAccess::ReadOnly)
+        {
             for bit in cell.bit_range() {
                 if captured.get(bit) != shifted.get(bit) {
                     return Err(ScanError::ReadOnlyCell {
@@ -230,14 +234,42 @@ impl ChainLayoutBuilder {
     ///
     /// Panics if `width` is 0 or exceeds 64, or if the name repeats an
     /// earlier cell. Layouts are built by target-system porting code, so
-    /// mistakes are programming errors rather than runtime conditions.
-    pub fn cell(mut self, name: impl Into<String>, width: usize, access: CellAccess) -> Self {
+    /// mistakes are programming errors rather than runtime conditions;
+    /// use [`ChainLayoutBuilder::try_cell`] when layouts come from
+    /// configuration data instead.
+    pub fn cell(self, name: impl Into<String>, width: usize, access: CellAccess) -> Self {
+        match self.try_cell(name, width, access) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible version of [`ChainLayoutBuilder::cell`] for layouts built
+    /// from untrusted configuration data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::InvalidCellDef`] when `width` is outside
+    /// `1..=64` or the name repeats an earlier cell.
+    pub fn try_cell(
+        mut self,
+        name: impl Into<String>,
+        width: usize,
+        access: CellAccess,
+    ) -> Result<Self, ScanError> {
         let name = name.into();
-        assert!((1..=64).contains(&width), "cell `{name}` width {width} not in 1..=64");
-        assert!(
-            !self.cells.iter().any(|c| c.name == name),
-            "duplicate cell name `{name}`"
-        );
+        if !(1..=64).contains(&width) {
+            return Err(ScanError::InvalidCellDef {
+                detail: format!("width {width} not in 1..=64"),
+                cell: name,
+            });
+        }
+        if self.cells.iter().any(|c| c.name == name) {
+            return Err(ScanError::InvalidCellDef {
+                detail: "duplicate cell name".to_string(),
+                cell: name,
+            });
+        }
         self.cells.push(CellDef {
             name,
             offset: self.offset,
@@ -245,7 +277,7 @@ impl ChainLayoutBuilder {
             access,
         });
         self.offset += width;
-        self
+        Ok(self)
     }
 
     /// Appends a family of identically shaped cells, e.g. `R0..R15`.
@@ -390,5 +422,29 @@ mod tests {
         let _ = ChainLayout::builder("x")
             .cell("A", 1, CellAccess::ReadWrite)
             .cell("A", 1, CellAccess::ReadWrite);
+    }
+
+    #[test]
+    fn try_cell_reports_typed_errors() {
+        let err = ChainLayout::builder("x")
+            .try_cell("A", 0, CellAccess::ReadWrite)
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidCellDef { .. }));
+        let err = ChainLayout::builder("x")
+            .try_cell("A", 65, CellAccess::ReadWrite)
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidCellDef { .. }));
+        let err = ChainLayout::builder("x")
+            .try_cell("A", 1, CellAccess::ReadWrite)
+            .unwrap()
+            .try_cell("A", 1, CellAccess::ReadWrite)
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidCellDef { cell, .. } if cell == "A"));
+        // The happy path still builds a usable layout.
+        let layout = ChainLayout::builder("x")
+            .try_cell("A", 4, CellAccess::ReadWrite)
+            .unwrap()
+            .build();
+        assert_eq!(layout.total_bits(), 4);
     }
 }

@@ -227,52 +227,49 @@ impl DebugUnit {
     }
 
     /// Captures the unit's registers into a scan image.
-    pub fn capture(&self) -> BitVec {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ScanError`] from cell access; cannot fail for
+    /// the layout this unit builds itself, but kept fallible so callers in
+    /// scan transport paths never have to panic.
+    pub fn capture(&self) -> Result<BitVec, crate::ScanError> {
         let layout = Self::chain_layout();
         let mut bits = BitVec::zeros(layout.total_bits());
         for (i, c) in self.conditions.iter().enumerate() {
             let (kind, operand) = encode_condition(*c);
-            layout
-                .write_cell(&mut bits, &format!("COND{i}.KIND"), kind as u64)
-                .expect("layout cell");
-            layout
-                .write_cell(&mut bits, &format!("COND{i}.OPERAND"), operand)
-                .expect("layout cell");
+            layout.write_cell(&mut bits, &format!("COND{i}.KIND"), kind as u64)?;
+            layout.write_cell(&mut bits, &format!("COND{i}.OPERAND"), operand)?;
         }
         let hit_slot = self
             .pending
             .and_then(|ev| self.conditions.iter().position(|&c| c == ev.condition))
             .unwrap_or(0);
-        layout
-            .write_cell(&mut bits, "HIT", self.pending.is_some() as u64)
-            .expect("layout cell");
-        layout
-            .write_cell(&mut bits, "HIT_SLOT", hit_slot as u64)
-            .expect("layout cell");
-        layout
-            .write_cell(&mut bits, "ICOUNT", self.instructions)
-            .expect("layout cell");
-        layout
-            .write_cell(&mut bits, "CCOUNT", self.cycles)
-            .expect("layout cell");
-        bits
+        layout.write_cell(&mut bits, "HIT", self.pending.is_some() as u64)?;
+        layout.write_cell(&mut bits, "HIT_SLOT", hit_slot as u64)?;
+        layout.write_cell(&mut bits, "ICOUNT", self.instructions)?;
+        layout.write_cell(&mut bits, "CCOUNT", self.cycles)?;
+        Ok(bits)
     }
 
     /// Applies an update image to the unit's writable registers.
-    pub fn update(&mut self, bits: &BitVec) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ScanError::LengthMismatch`] (via cell access) when
+    /// `bits` is not a full debug-chain image.
+    pub fn update(&mut self, bits: &BitVec) -> Result<(), crate::ScanError> {
         let layout = Self::chain_layout();
-        self.conditions.clear();
+        let mut decoded = Vec::new();
         for i in 0..DEBUG_SLOTS {
-            let kind = layout
-                .read_cell(bits, &format!("COND{i}.KIND"))
-                .expect("layout cell") as u8;
-            let operand = layout
-                .read_cell(bits, &format!("COND{i}.OPERAND"))
-                .expect("layout cell");
+            let kind = layout.read_cell(bits, &format!("COND{i}.KIND"))? as u8;
+            let operand = layout.read_cell(bits, &format!("COND{i}.OPERAND"))?;
             if let Some(c) = decode_condition(kind, operand) {
-                self.conditions.push(c);
+                decoded.push(c);
             }
         }
+        self.conditions = decoded;
+        Ok(())
     }
 }
 
@@ -386,11 +383,13 @@ mod tests {
         du.arm(DebugCondition::PcEquals(0xABCD));
         du.arm(DebugCondition::InstructionCount(42));
         du.arm(DebugCondition::CycleCount(9999));
-        let image = du.capture();
+        let image = du.capture().unwrap();
 
         let mut other = DebugUnit::new();
-        other.update(&image);
+        other.update(&image).unwrap();
         assert_eq!(other.conditions(), du.conditions());
+        // A wrong-size image is a typed error, not a panic.
+        assert!(other.update(&BitVec::zeros(3)).is_err());
     }
 
     #[test]
@@ -399,7 +398,7 @@ mod tests {
         du.arm(DebugCondition::PcEquals(4));
         du.observe(BusEvent::Fetch { pc: 4 });
         let layout = DebugUnit::chain_layout();
-        let image = du.capture();
+        let image = du.capture().unwrap();
         assert_eq!(layout.read_cell(&image, "HIT").unwrap(), 1);
         assert_eq!(layout.cell("HIT").unwrap().access, CellAccess::ReadOnly);
         // The breakpoint fires on fetch, before the instruction completes.

@@ -40,6 +40,25 @@ pub enum ScanError {
         /// Operation that was attempted.
         operation: &'static str,
     },
+    /// A shift never completed: the transport stalled mid-transaction.
+    ShiftStall {
+        /// Operation (chain access) that stalled.
+        operation: String,
+    },
+    /// The scan link is (transiently) disconnected.
+    LinkDown {
+        /// Operation attempted while the link was down.
+        operation: String,
+    },
+    /// A non-positive TCK frequency was supplied to a timing estimate.
+    BadFrequency,
+    /// A cell definition was rejected while building a chain layout.
+    InvalidCellDef {
+        /// Offending cell name.
+        cell: String,
+        /// Why the definition was rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ScanError {
@@ -51,13 +70,32 @@ impl fmt::Display for ScanError {
                 write!(f, "cell `{cell}` in chain `{chain}` is read-only")
             }
             ScanError::LengthMismatch { expected, got } => {
-                write!(f, "chain length mismatch: expected {expected} bits, got {got}")
+                write!(
+                    f,
+                    "chain length mismatch: expected {expected} bits, got {got}"
+                )
             }
             ScanError::ValueTooWide { cell, width, value } => {
-                write!(f, "value {value:#x} does not fit in {width}-bit cell `{cell}`")
+                write!(
+                    f,
+                    "value {value:#x} does not fit in {width}-bit cell `{cell}`"
+                )
             }
             ScanError::BadTapState { state, operation } => {
-                write!(f, "TAP controller in state {state} cannot perform {operation}")
+                write!(
+                    f,
+                    "TAP controller in state {state} cannot perform {operation}"
+                )
+            }
+            ScanError::ShiftStall { operation } => {
+                write!(f, "scan shift stalled during {operation}")
+            }
+            ScanError::LinkDown { operation } => {
+                write!(f, "scan link disconnected during {operation}")
+            }
+            ScanError::BadFrequency => f.write_str("TCK frequency must be positive"),
+            ScanError::InvalidCellDef { cell, detail } => {
+                write!(f, "invalid cell definition `{cell}`: {detail}")
             }
         }
     }

@@ -35,6 +35,7 @@ mod bitvec;
 mod chain;
 mod debug;
 mod error;
+mod link;
 mod tap;
 mod testcard;
 
@@ -42,5 +43,6 @@ pub use bitvec::BitVec;
 pub use chain::{CellAccess, CellDef, ChainLayout, ChainLayoutBuilder};
 pub use debug::{BusEvent, DebugCondition, DebugEvent, DebugUnit, DEBUG_SLOTS};
 pub use error::ScanError;
+pub use link::{FaultyScanTarget, LinkFault, LinkFaultConfig, LinkFaultCounts, LinkFaultModel};
 pub use tap::{TapController, TapInstruction, TapState};
 pub use testcard::{ScanTarget, TestCard, TestCardStats};

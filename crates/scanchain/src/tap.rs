@@ -262,10 +262,20 @@ impl TapController {
         Ok(tdo)
     }
 
-    /// Navigates from any stable state to Run-Test/Idle via Test-Logic-Reset.
+    /// Navigates from any state — including mid-shift — to Run-Test/Idle
+    /// via Test-Logic-Reset, discarding any partially-shifted IR contents.
+    ///
+    /// This is the recovery primitive the link-resilience layer relies on:
+    /// after an interrupted transaction the controller must come back with
+    /// no residue of the aborted shift, so the next `load_instruction`
+    /// starts from a clean register.
     pub fn reset_to_idle(&mut self) {
         // Five TMS-high clocks reach Test-Logic-Reset from any state.
         self.clock_seq(&[true, true, true, true, true]);
+        // An aborted Shift-IR leaves half-shifted bits in the shift
+        // register; Test-Logic-Reset discards them along with resetting
+        // the latched instruction.
+        self.ir_shift = 0;
         self.clock(false);
         debug_assert_eq!(self.state, TapState::RunTestIdle);
     }
@@ -392,6 +402,31 @@ mod tests {
         assert_eq!(tap.state(), TapState::ShiftDr);
         tap.reset_to_idle();
         assert_eq!(tap.state(), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn interrupted_ir_shift_recovers_cleanly() {
+        // Regression test for link recovery: abort an IR shift halfway,
+        // reset, and check the next instruction load is unaffected by the
+        // partially-shifted bits.
+        let mut tap = TapController::default();
+        tap.reset_to_idle();
+        // Walk into Shift-IR and shift only half the DEBUG opcode.
+        tap.clock_seq(&[true, true, false, false]);
+        assert_eq!(tap.state(), TapState::ShiftIr);
+        let code = TapInstruction::Debug.encode();
+        for i in 0..4 {
+            tap.shift_ir_bit((code >> i) & 1 == 1).unwrap();
+        }
+        // Simulated link fault: the transaction is abandoned mid-shift.
+        tap.reset_to_idle();
+        assert_eq!(tap.state(), TapState::RunTestIdle);
+        assert_eq!(tap.instruction(), TapInstruction::IdCode);
+        // A fresh load must latch exactly the requested instruction.
+        tap.load_instruction(TapInstruction::ScanN(5)).unwrap();
+        assert_eq!(tap.instruction(), TapInstruction::ScanN(5));
+        tap.load_instruction(TapInstruction::Intest).unwrap();
+        assert_eq!(tap.instruction(), TapInstruction::Intest);
     }
 
     #[test]

@@ -55,9 +55,16 @@ pub struct TestCardStats {
 
 impl TestCardStats {
     /// Estimated wall-clock time of the scan traffic at `tck_hz` clock rate.
-    pub fn estimated_seconds(&self, tck_hz: f64) -> f64 {
-        assert!(tck_hz > 0.0, "TCK frequency must be positive");
-        self.tck_cycles as f64 / tck_hz
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::BadFrequency`] for a non-positive (or NaN)
+    /// clock rate.
+    pub fn estimated_seconds(&self, tck_hz: f64) -> Result<f64, ScanError> {
+        if tck_hz.is_nan() || tck_hz <= 0.0 {
+            return Err(ScanError::BadFrequency);
+        }
+        Ok(self.tck_cycles as f64 / tck_hz)
     }
 }
 
@@ -473,7 +480,9 @@ mod tests {
         assert_eq!(after.bits_shifted, before.bits_shifted + 20);
         assert!(after.tck_cycles > before.tck_cycles);
         // Timing model: more bits -> more time.
-        assert!(after.estimated_seconds(1e6) > 0.0);
+        assert!(after.estimated_seconds(1e6).unwrap() > 0.0);
+        assert_eq!(after.estimated_seconds(0.0), Err(ScanError::BadFrequency));
+        assert_eq!(after.estimated_seconds(-5.0), Err(ScanError::BadFrequency));
     }
 
     #[test]

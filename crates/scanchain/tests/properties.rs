@@ -1,7 +1,35 @@
 //! Property-based tests for the scan-chain substrate.
 
 use proptest::prelude::*;
-use scanchain::{BitVec, CellAccess, ChainLayout, TapController, TapState};
+use scanchain::{
+    BitVec, CellAccess, ChainLayout, LinkFaultConfig, LinkFaultModel, TapController, TapState,
+};
+
+/// An arbitrary link-fault configuration with rates low enough that the
+/// healthy path stays reachable.
+fn link_config() -> impl Strategy<Value = LinkFaultConfig> {
+    (
+        any::<u64>(),
+        0.0f64..0.3,
+        0.0f64..0.3,
+        0.0f64..0.2,
+        0.0f64..0.1,
+        0.0f64..0.1,
+        0u64..20,
+    )
+        .prop_map(
+            |(seed, corrupt, drop, duplicate, stall, disconnect, skip)| LinkFaultConfig {
+                seed,
+                corrupt_rate: corrupt,
+                drop_rate: drop,
+                duplicate_rate: duplicate,
+                stall_rate: stall,
+                disconnect_rate: disconnect,
+                skip_ops: skip,
+                ..Default::default()
+            },
+        )
+}
 
 proptest! {
     #[test]
@@ -119,5 +147,86 @@ proptest! {
         prop_assert_eq!(layout.read_cell(&bits, "X").unwrap(), value & mask);
         prop_assert_eq!(layout.read_cell(&bits, "PRE").unwrap(), 0);
         prop_assert_eq!(layout.read_cell(&bits, "POST").unwrap(), 0);
+    }
+
+    #[test]
+    fn link_model_same_seed_same_fault_stream(cfg in link_config(), ops in 1usize..400) {
+        // Two models built from the same configuration replay the same
+        // campaign: identical fault decisions on every transaction,
+        // identical counters afterwards. This is what makes a lossy-link
+        // campaign reproducible from `seed=` alone.
+        let mut a = LinkFaultModel::new(cfg);
+        let mut b = LinkFaultModel::new(cfg);
+        for _ in 0..ops {
+            prop_assert_eq!(a.next_fault(), b.next_fault());
+        }
+        prop_assert_eq!(a.counts(), b.counts());
+        prop_assert_eq!(a.ops_observed(), b.ops_observed());
+    }
+
+    #[test]
+    fn link_model_same_seed_same_disturbed_reads(
+        cfg in link_config(),
+        images in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 1..64), 1..40),
+    ) {
+        // Determinism holds through the image-disturbing path too (which
+        // consumes extra draws for bit positions).
+        let mut a = LinkFaultModel::new(cfg);
+        let mut b = LinkFaultModel::new(cfg);
+        for bits in images {
+            let image = BitVec::from_bits(bits);
+            let ra = a.disturb_read(image.clone(), "capture");
+            let rb = b.disturb_read(image, "capture");
+            match (ra, rb) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+                (x, y) => prop_assert!(false, "streams diverged: {:?} vs {:?}", x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn link_model_counts_match_stream_and_skip_protects_prefix(
+        cfg in link_config(),
+        ops in 1usize..400,
+    ) {
+        let skip = cfg.skip_ops;
+        let mut model = LinkFaultModel::new(cfg);
+        let mut corrupted = 0u64;
+        let mut dropped = 0u64;
+        let mut duplicated = 0u64;
+        let mut stalled = 0u64;
+        let mut disconnected = 0u64;
+        for op in 1..=ops as u64 {
+            use scanchain::LinkFault::*;
+            let fault = model.next_fault();
+            if op <= skip {
+                prop_assert_eq!(fault, None, "skip_ops prefix must be fault-free");
+            }
+            match fault {
+                Some(CorruptBit) => corrupted += 1,
+                Some(Drop) => dropped += 1,
+                Some(Duplicate) => duplicated += 1,
+                Some(Stall) => stalled += 1,
+                Some(Disconnect) => disconnected += 1,
+                None => {}
+            }
+        }
+        let counts = model.counts();
+        prop_assert_eq!(counts.corrupted, corrupted);
+        prop_assert_eq!(counts.dropped, dropped);
+        prop_assert_eq!(counts.duplicated, duplicated);
+        prop_assert_eq!(counts.stalled, stalled);
+        prop_assert_eq!(counts.disconnected, disconnected);
+        prop_assert_eq!(model.ops_observed(), ops as u64);
+    }
+
+    #[test]
+    fn link_config_spec_roundtrip(cfg in link_config()) {
+        // encode() emits only finite-precision decimals, so compare via a
+        // second encode rather than float equality on the config.
+        let decoded = LinkFaultConfig::decode(&cfg.encode());
+        prop_assert!(decoded.is_some());
+        prop_assert_eq!(decoded.unwrap().encode(), cfg.encode());
     }
 }

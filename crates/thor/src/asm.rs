@@ -236,11 +236,7 @@ fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
     let mut out = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let number = idx + 1;
-        let text = raw
-            .split([';', '#'])
-            .next()
-            .unwrap_or("")
-            .trim();
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
         let mut labels = Vec::new();
         let mut rest = text;
         while let Some(colon) = rest.find(':') {
@@ -449,11 +445,21 @@ fn encode_instr(
         }
         Cmp => {
             need(2)?;
-            Instr::r(op, r0, parse_reg(&args[0], line)?, parse_reg(&args[1], line)?)
+            Instr::r(
+                op,
+                r0,
+                parse_reg(&args[0], line)?,
+                parse_reg(&args[1], line)?,
+            )
         }
         Mov => {
             need(2)?;
-            Instr::r(op, parse_reg(&args[0], line)?, parse_reg(&args[1], line)?, r0)
+            Instr::r(
+                op,
+                parse_reg(&args[0], line)?,
+                parse_reg(&args[1], line)?,
+                r0,
+            )
         }
         Ldx => {
             need(3)?;

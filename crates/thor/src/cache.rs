@@ -147,12 +147,11 @@ impl Cache {
         let (idx, tag) = self.index_tag(addr);
         let line = self.lines[idx];
         if line.valid && line.tag == tag {
-            if !line.parity_ok()
-                && self.parity_enabled {
-                    self.stats.parity_errors += 1;
-                    return Lookup::ParityError;
-                }
-                // EDM disabled: corrupted data flows on silently.
+            if !line.parity_ok() && self.parity_enabled {
+                self.stats.parity_errors += 1;
+                return Lookup::ParityError;
+            }
+            // EDM disabled: corrupted data flows on silently.
             self.stats.hits += 1;
             Lookup::Hit(line.data)
         } else {

@@ -169,6 +169,10 @@ pub struct Cpu {
     watchdog: Option<u64>,
     entry: u32,
     initial_sp: u32,
+    /// The configured EDM set, restored by [`Cpu::reset`] — without it an
+    /// injected PSW bit flip would survive reset and contaminate every
+    /// later experiment (and the golden run) of a campaign.
+    config_edm: EdmSet,
     scratch_log: AccessLog,
     pub(crate) chains: crate::scan::ChainSet,
 }
@@ -211,6 +215,7 @@ impl Cpu {
             watchdog: config.watchdog_cycles,
             entry: 0,
             initial_sp,
+            config_edm: config.edm,
             scratch_log: AccessLog::default(),
             chains,
         }
@@ -231,8 +236,9 @@ impl Cpu {
         Ok(())
     }
 
-    /// Resets the core (registers, caches, counters, detection latch) while
-    /// leaving main memory intact. Equivalent to pulsing the reset pin.
+    /// Resets the core (registers, caches, counters, detection latch, PSW
+    /// error-detection mask) while leaving main memory intact. Equivalent
+    /// to pulsing the reset pin.
     pub fn reset(&mut self) {
         self.regs = [0; Reg::COUNT];
         self.regs[Reg::SP.index()] = self.initial_sp;
@@ -241,6 +247,9 @@ impl Cpu {
         self.ir = 0;
         self.mar = 0;
         self.mdr = 0;
+        // The PSW mask reverts to its configured value: a fault injected
+        // into the PSW scan cell must not outlive its own experiment.
+        self.edm = self.config_edm;
         self.icache.reset();
         self.dcache.reset();
         self.icache.set_parity_enabled(self.edm.parity_i);
@@ -560,7 +569,9 @@ impl Cpu {
                     self.cycles += 4;
                     0
                 }
-                Err(MemoryError::WriteProtected { .. }) => unreachable!("read cannot hit protection"),
+                Err(MemoryError::WriteProtected { .. }) => {
+                    unreachable!("read cannot hit protection")
+                }
             },
             Lookup::ParityError => return Err(self.detect(Detection::ParityD)),
         };
@@ -760,8 +771,7 @@ impl Cpu {
                         match op {
                             Addi => {
                                 let (r, c) = a.overflowing_add(simm);
-                                if self.edm.overflow
-                                    && (a as i32).checked_add(imm as i32).is_none()
+                                if self.edm.overflow && (a as i32).checked_add(imm as i32).is_none()
                                 {
                                     return Some(self.detect(Detection::Overflow));
                                 }
@@ -783,8 +793,7 @@ impl Cpu {
                             }
                             Muli => {
                                 cost += 3;
-                                if self.edm.overflow
-                                    && (a as i32).checked_mul(imm as i32).is_none()
+                                if self.edm.overflow && (a as i32).checked_mul(imm as i32).is_none()
                                 {
                                     return Some(self.detect(Detection::Overflow));
                                 }
@@ -1111,10 +1120,7 @@ mod tests {
         // Overwrite the halt with an unassigned opcode; widen the code
         // segment so control-flow checking does not fire first.
         cpu.memory_mut().write_raw(0, 0xEE00_0000).unwrap();
-        assert_eq!(
-            cpu.run(10),
-            StopReason::Detected(Detection::IllegalOpcode)
-        );
+        assert_eq!(cpu.run(10), StopReason::Detected(Detection::IllegalOpcode));
     }
 
     #[test]
@@ -1186,6 +1192,18 @@ mod tests {
         // Re-runs identically after reset.
         assert_eq!(cpu.run(100), StopReason::Halted);
         assert_eq!(cpu.reg(Reg::new(1)), 5);
+    }
+
+    #[test]
+    fn reset_restores_configured_edm_mask() {
+        // A fault injected into the PSW scan cell (here: everything off)
+        // must not survive the next experiment's reset, or it would
+        // contaminate the rest of the campaign and the golden run.
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let configured = cpu.edm();
+        cpu.set_edm(crate::edm::EdmSet::all_off());
+        cpu.reset();
+        assert_eq!(cpu.edm(), configured);
     }
 
     #[test]

@@ -229,9 +229,9 @@ impl Opcode {
     pub fn all() -> &'static [Opcode] {
         use Opcode::*;
         &[
-            Nop, Halt, Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Asr, Cmp, Mov, Addi, Subi,
-            Muli, Andi, Ori, Xori, Shli, Shri, Cmpi, Ldi, Lui, Ld, St, Ldx, Stx, Push, Pop, Br,
-            Beq, Bne, Blt, Bge, Bgt, Ble, Call, Ret, Jr, In, Out, Sync, Trap,
+            Nop, Halt, Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Asr, Cmp, Mov, Addi, Subi, Muli,
+            Andi, Ori, Xori, Shli, Shri, Cmpi, Ldi, Lui, Ld, St, Ldx, Stx, Push, Pop, Br, Beq, Bne,
+            Blt, Bge, Bgt, Ble, Call, Ret, Jr, In, Out, Sync, Trap,
         ]
     }
 }

@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn out_of_range_detected() {
         let mut m = Memory::new(16);
-        assert_eq!(m.read(16).unwrap_err(), MemoryError::OutOfRange { addr: 16 });
+        assert_eq!(
+            m.read(16).unwrap_err(),
+            MemoryError::OutOfRange { addr: 16 }
+        );
         assert_eq!(
             m.write(999, 1).unwrap_err(),
             MemoryError::OutOfRange { addr: 999 }

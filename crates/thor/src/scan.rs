@@ -45,7 +45,12 @@ pub struct ChainSet {
 
 impl ChainSet {
     /// Builds the chain layouts for the given cache geometries.
-    pub fn new(icache_lines: usize, icache_tag_bits: usize, dcache_lines: usize, dcache_tag_bits: usize) -> Self {
+    pub fn new(
+        icache_lines: usize,
+        icache_tag_bits: usize,
+        dcache_lines: usize,
+        dcache_tag_bits: usize,
+    ) -> Self {
         let internal = ChainLayout::builder(INTERNAL)
             .cell("PC", 32, CellAccess::ReadWrite)
             .cell("FLAGS", 4, CellAccess::ReadWrite)
@@ -115,45 +120,46 @@ impl Cpu {
         &self.chains
     }
 
-    fn capture_internal(&self) -> BitVec {
+    fn capture_internal(&self) -> Result<BitVec, ScanError> {
         let l = &self.chains.internal;
         let mut bits = BitVec::zeros(l.total_bits());
-        let w = |bits: &mut BitVec, cell: &str, v: u64| {
-            l.write_cell(bits, cell, v).expect("internal layout cell");
-        };
-        w(&mut bits, "PC", self.pc as u64);
-        w(&mut bits, "FLAGS", self.flags as u64);
-        w(&mut bits, "IR", self.ir as u64);
-        w(&mut bits, "MAR", self.mar as u64);
-        w(&mut bits, "MDR", self.mdr as u64);
+        l.write_cell(&mut bits, "PC", self.pc as u64)?;
+        l.write_cell(&mut bits, "FLAGS", self.flags as u64)?;
+        l.write_cell(&mut bits, "IR", self.ir as u64)?;
+        l.write_cell(&mut bits, "MAR", self.mar as u64)?;
+        l.write_cell(&mut bits, "MDR", self.mdr as u64)?;
         for r in Reg::all() {
-            w(&mut bits, &format!("R{}", r.index()), self.regs[r.index()] as u64);
+            l.write_cell(
+                &mut bits,
+                &format!("R{}", r.index()),
+                self.regs[r.index()] as u64,
+            )?;
         }
-        w(&mut bits, "PSW", self.edm.to_bits() as u64);
-        w(
+        l.write_cell(&mut bits, "PSW", self.edm.to_bits() as u64)?;
+        l.write_cell(
             &mut bits,
             "DETECT",
             self.detection.map_or(0, |d| d.encode()) as u64,
-        );
-        w(&mut bits, "ITER", self.iterations & 0xFFFF_FFFF);
-        w(&mut bits, "HALTED", self.halted as u64);
-        bits
+        )?;
+        l.write_cell(&mut bits, "ITER", self.iterations & 0xFFFF_FFFF)?;
+        l.write_cell(&mut bits, "HALTED", self.halted as u64)?;
+        Ok(bits)
     }
 
-    fn update_internal(&mut self, bits: &BitVec) {
+    fn update_internal(&mut self, bits: &BitVec) -> Result<(), ScanError> {
         let l = self.chains.internal.clone();
-        let r = |cell: &str| l.read_cell(bits, cell).expect("internal layout cell");
-        self.pc = r("PC") as u32;
-        self.flags = r("FLAGS") as u8;
-        self.ir = r("IR") as u32;
-        self.mar = r("MAR") as u32;
-        self.mdr = r("MDR") as u32;
+        self.pc = l.read_cell(bits, "PC")? as u32;
+        self.flags = l.read_cell(bits, "FLAGS")? as u8;
+        self.ir = l.read_cell(bits, "IR")? as u32;
+        self.mar = l.read_cell(bits, "MAR")? as u32;
+        self.mdr = l.read_cell(bits, "MDR")? as u32;
         for i in 0..Reg::COUNT {
-            self.regs[i] = r(&format!("R{i}")) as u32;
+            self.regs[i] = l.read_cell(bits, &format!("R{i}"))? as u32;
         }
-        let edm = EdmSet::from_bits(r("PSW") as u8);
+        let edm = EdmSet::from_bits(l.read_cell(bits, "PSW")? as u8);
         self.set_edm(edm);
         // DETECT / ITER / HALTED are read-only: ignored on update.
+        Ok(())
     }
 
     fn capture_cache(&self, which: &str) -> BitVec {
@@ -176,7 +182,11 @@ impl Cpu {
 
     fn update_cache(&mut self, which: &str, bits: &BitVec) {
         let line_width = {
-            let cache = if which == ICACHE { &self.icache } else { &self.dcache };
+            let cache = if which == ICACHE {
+                &self.icache
+            } else {
+                &self.dcache
+            };
             1 + cache.tag_bits() + 32 + 1
         };
         let cache = if which == ICACHE {
@@ -193,29 +203,24 @@ impl Cpu {
         }
     }
 
-    fn capture_boundary(&self) -> BitVec {
+    fn capture_boundary(&self) -> Result<BitVec, ScanError> {
         let l = &self.chains.boundary;
         let mut bits = BitVec::zeros(l.total_bits());
         for i in 0..PORT_COUNT {
-            l.write_cell(&mut bits, &format!("IN_PORT{i}"), self.in_ports[i] as u64)
-                .expect("boundary cell");
-            l.write_cell(&mut bits, &format!("OUT_PORT{i}"), self.out_ports[i] as u64)
-                .expect("boundary cell");
+            l.write_cell(&mut bits, &format!("IN_PORT{i}"), self.in_ports[i] as u64)?;
+            l.write_cell(&mut bits, &format!("OUT_PORT{i}"), self.out_ports[i] as u64)?;
         }
-        l.write_cell(&mut bits, "ERROR_PIN", self.detection.is_some() as u64)
-            .expect("boundary cell");
-        l.write_cell(&mut bits, "HALT_PIN", self.halted as u64)
-            .expect("boundary cell");
-        bits
+        l.write_cell(&mut bits, "ERROR_PIN", self.detection.is_some() as u64)?;
+        l.write_cell(&mut bits, "HALT_PIN", self.halted as u64)?;
+        Ok(bits)
     }
 
-    fn update_boundary(&mut self, bits: &BitVec) {
+    fn update_boundary(&mut self, bits: &BitVec) -> Result<(), ScanError> {
         let l = self.chains.boundary.clone();
         for i in 0..PORT_COUNT {
-            self.in_ports[i] = l
-                .read_cell(bits, &format!("IN_PORT{i}"))
-                .expect("boundary cell") as u32;
+            self.in_ports[i] = l.read_cell(bits, &format!("IN_PORT{i}"))? as u32;
         }
+        Ok(())
     }
 }
 
@@ -230,10 +235,10 @@ impl ScanTarget for Cpu {
 
     fn capture_chain(&self, chain: &str) -> Result<BitVec, ScanError> {
         match chain {
-            INTERNAL => Ok(self.capture_internal()),
+            INTERNAL => self.capture_internal(),
             ICACHE | DCACHE => Ok(self.capture_cache(chain)),
-            BOUNDARY => Ok(self.capture_boundary()),
-            DEBUG => Ok(self.debug.capture()),
+            BOUNDARY => self.capture_boundary(),
+            DEBUG => self.debug.capture(),
             _ => Err(ScanError::UnknownChain(chain.to_string())),
         }
     }
@@ -251,12 +256,14 @@ impl ScanTarget for Cpu {
         }
         match chain {
             INTERNAL => self.update_internal(bits),
-            ICACHE | DCACHE => self.update_cache(chain, bits),
+            ICACHE | DCACHE => {
+                self.update_cache(chain, bits);
+                Ok(())
+            }
             BOUNDARY => self.update_boundary(bits),
             DEBUG => self.debug.update(bits),
-            _ => unreachable!(),
+            _ => Err(ScanError::UnknownChain(chain.to_string())),
         }
-        Ok(())
     }
 }
 
@@ -337,10 +344,7 @@ mod tests {
         // Flip a data bit of I-cache line 0 (holds the instruction at pc 0).
         card.flip_cell_bit(ICACHE, "L0.DATA", 5).unwrap();
         let mut cpu = card.into_target();
-        assert_eq!(
-            cpu.run(100),
-            StopReason::Detected(Detection::ParityI)
-        );
+        assert_eq!(cpu.run(100), StopReason::Detected(Detection::ParityI));
     }
 
     #[test]
@@ -410,10 +414,7 @@ mod tests {
         // Set PC far outside the 3-word code segment.
         card.write_cell(INTERNAL, "PC", 0x4000).unwrap();
         let mut cpu = card.into_target();
-        assert_eq!(
-            cpu.run(100),
-            StopReason::Detected(Detection::ControlFlow)
-        );
+        assert_eq!(cpu.run(100), StopReason::Detected(Detection::ControlFlow));
     }
 
     #[test]

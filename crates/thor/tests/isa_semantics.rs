@@ -101,8 +101,7 @@ fn bgt_ble_bge_cover_equalities() {
 
 #[test]
 fn zero_and_negative_flags_on_logic_ops() {
-    let cpu = run(
-        r"
+    let cpu = run(r"
         ldi r1, 5
         xor r2, r1, r1     ; zero result
         beq was_zero
@@ -114,8 +113,7 @@ fn zero_and_negative_flags_on_logic_ops() {
         trap 2
     was_negative:
         halt
-    ",
-    );
+    ");
     assert!(cpu.detection().is_none());
 }
 
@@ -137,8 +135,7 @@ fn asr_vs_shr_semantics() {
 
 #[test]
 fn division_semantics_signed() {
-    let cpu = run(
-        r"
+    let cpu = run(r"
         li  r1, -7
         ldi r2, 2
         div r3, r1, r2
@@ -146,8 +143,7 @@ fn division_semantics_signed() {
         li  r5, -2
         div r6, r4, r5
         halt
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::new(3)) as i32, -3); // trunc toward zero
     assert_eq!(cpu.reg(Reg::new(6)) as i32, -3);
 }
@@ -155,22 +151,18 @@ fn division_semantics_signed() {
 #[test]
 fn sub_overflow_detected_only_when_signed_overflow() {
     // i32::MIN - 1 overflows.
-    let cpu = run(
-        r"
+    let cpu = run(r"
         li  r1, 0x80000000
         subi r2, r1, 1
         halt
-    ",
-    );
+    ");
     assert_eq!(cpu.detection(), Some(Detection::Overflow));
     // Unsigned borrow alone (0 - 1) is not signed overflow.
-    let cpu = run(
-        r"
+    let cpu = run(r"
         ldi r1, 0
         subi r2, r1, 1
         halt
-    ",
-    );
+    ");
     assert_eq!(cpu.detection(), None);
     assert_eq!(cpu.reg(Reg::new(2)) as i32, -1);
 }
@@ -254,20 +246,17 @@ fn cycle_accounting_distinguishes_hits_and_misses() {
 
 #[test]
 fn lui_ori_builds_full_constants() {
-    let cpu = run(
-        r"
+    let cpu = run(r"
         lui r1, 0xDEAD
         ori r1, r1, 0xBEEF
         halt
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::new(1)), 0xDEAD_BEEF);
 }
 
 #[test]
 fn nested_calls_preserve_lr_through_stack() {
-    let cpu = run(
-        r"
+    let cpu = run(r"
         call outer
         halt
     outer:
@@ -279,8 +268,7 @@ fn nested_calls_preserve_lr_through_stack() {
     inner:
         addi r1, r1, 1
         ret
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::new(1)), 101);
 }
 

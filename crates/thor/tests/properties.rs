@@ -186,8 +186,8 @@ fn disassembly_of_workloads_reassembles_equivalently() {
             ) {
                 continue; // label-relative syntax differs from display form
             }
-            let reassembled = asm::assemble(&text)
-                .unwrap_or_else(|e| panic!("word {addr} `{text}`: {e}"));
+            let reassembled =
+                asm::assemble(&text).unwrap_or_else(|e| panic!("word {addr} `{text}`: {e}"));
             assert_eq!(reassembled.words[0], word, "word {addr} `{text}`");
         }
     }

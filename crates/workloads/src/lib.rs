@@ -41,9 +41,8 @@
 mod programs;
 
 pub use programs::{
-    bubblesort, crc32, fibonacci, matmul, pi_control, pi_control_ber, primes,
-    ASSERT_INPUT_RANGE, ASSERT_OUTPUT_RANGE, CONTROL_SETPOINT, CRC_LEN, FIB_N, MAT_N,
-    PRIMES_LIMIT, SORT_LEN,
+    bubblesort, crc32, fibonacci, matmul, pi_control, pi_control_ber, primes, ASSERT_INPUT_RANGE,
+    ASSERT_OUTPUT_RANGE, CONTROL_SETPOINT, CRC_LEN, FIB_N, MAT_N, PRIMES_LIMIT, SORT_LEN,
 };
 
 use thor::asm::Image;

@@ -34,10 +34,7 @@ fn build(name: &str, description: &str, source: String, kind: WorkloadKind) -> W
             let addr = image
                 .label("result")
                 .unwrap_or_else(|| panic!("workload `{name}` must define a `result` label"));
-            let len = image
-                .label("result_end")
-                .map(|end| end - addr)
-                .unwrap_or(1);
+            let len = image.label("result_end").map(|end| end - addr).unwrap_or(1);
             OutputSpec::Memory { addr, len }
         }
     };

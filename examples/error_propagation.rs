@@ -71,7 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     detail_campaign.logging = LoggingMode::Detail;
     let reference =
         algorithms::make_reference_run(&mut target, &detail_campaign, &mut NullEnvironment)?;
-    let detailed = algorithms::rerun_detailed(&mut target, &detail_campaign, index, &mut NullEnvironment)?;
+    let detailed =
+        algorithms::rerun_detailed(&mut target, &detail_campaign, index, &mut NullEnvironment)?;
     println!(
         "detail re-run `{}` (parent: {})",
         detailed.name,
@@ -95,7 +96,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "  instr {:>6}: {:>4} bits {}",
                     s.step,
                     s.total_bits,
-                    if s.outputs_differ { "(outputs differ)" } else { "" },
+                    if s.outputs_differ {
+                        "(outputs differ)"
+                    } else {
+                        ""
+                    },
                 );
             }
         }

@@ -18,14 +18,16 @@ use goofi::analysis::{queries, report};
 use goofi::core::algorithms;
 use goofi::core::campaign::{Campaign, OutputRegion, TargetSystemData, Technique, Termination};
 use goofi::core::journal::ExperimentJournal;
+use goofi::core::link::{UnreliableTarget, VerifiedTarget};
 use goofi::core::logging::LoggingMode;
 use goofi::core::monitor::ProgressMonitor;
 use goofi::core::policy::{Backoff, ExperimentPolicy, WatchdogBudget};
-use goofi::core::GoofiError;
 use goofi::core::{dbio, runner};
+use goofi::core::{GoofiError, TargetAccess};
 use goofi::envsim::{DcMotor, Environment, JetEngine, NullEnvironment, WaterTank};
 use goofi::goofi_thor::ThorTarget;
 use goofi::goofidb::Database;
+use goofi::scanchain::LinkFaultConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -73,11 +75,12 @@ fn print_usage() {
             [--seed S] [--technique scifi|swifi-pre|swifi-run|pin] [--time-window A:B]\n        \
             [--max-instr N] [--max-iterations N] [--detail] [--with-caches]\n        \
             [--on-error failfast|skip|retry-skip|retry-fail] [--retries N]\n        \
-            [--backoff-ms A:B] [--watchdog-cycles N] [--watchdog-ms N]\n  \
+            [--backoff-ms A:B] [--watchdog-cycles N] [--watchdog-ms N]\n        \
+            [--revalidate-every N]\n  \
          goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n        \
-            [--journal <file>]\n  \
+            [--journal <file>] [--link-faults <spec>] [--verify-reads]\n  \
          goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
-            [--env none|motor|tank|jet]\n  \
+            [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n  \
          goofi report <db> --name <campaign>\n  \
          goofi sql <db> \"<SELECT ...>\""
     );
@@ -91,7 +94,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags have no value; detect by peeking.
-            let boolean = matches!(name, "detail" | "with-caches");
+            let boolean = matches!(name, "detail" | "with-caches" | "verify-reads");
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -123,7 +126,8 @@ fn load_db(path: &str) -> Result<Database, String> {
 
 fn save_db(path: &str, db: &Database) -> Result<(), String> {
     // Atomic: a crash mid-save never leaves a torn database file.
-    db.save_to_path(path).map_err(|e| format!("writing {path}: {e}"))
+    db.save_to_path(path)
+        .map_err(|e| format!("writing {path}: {e}"))
 }
 
 /// Builds the campaign's resilience policy from command-line flags.
@@ -152,7 +156,48 @@ fn policy_from_flags(flags: &HashMap<String, String>) -> Result<ExperimentPolicy
     if let Some(v) = flags.get("watchdog-ms") {
         watchdog.max_wall_ms = Some(v.parse().map_err(|_| "bad --watchdog-ms")?);
     }
+    if let Some(v) = flags.get("revalidate-every") {
+        policy = policy.with_revalidation(v.parse().map_err(|_| "bad --revalidate-every")?);
+    }
     Ok(policy.with_watchdog(watchdog))
+}
+
+/// Parses the `--link-faults`/`--verify-reads` transport flags shared by
+/// `run` and `resume`.
+fn link_flags(flags: &HashMap<String, String>) -> Result<(Option<LinkFaultConfig>, bool), String> {
+    let link = match flags.get("link-faults") {
+        Some(spec) => Some(
+            LinkFaultConfig::decode(spec)
+                .ok_or_else(|| format!("bad --link-faults spec `{spec}`"))?,
+        ),
+        None => None,
+    };
+    Ok((link, flags.contains_key("verify-reads")))
+}
+
+/// Assembles the target decorator stack: an optional fault-injecting
+/// [`UnreliableTarget`] under an optional [`VerifiedTarget`] recovery layer.
+/// `worker` offsets the link-fault seed so parallel workers draw distinct
+/// (but still deterministic) fault streams.
+fn decorate_target(
+    link: Option<LinkFaultConfig>,
+    verify: bool,
+    monitor: &ProgressMonitor,
+    worker: u64,
+) -> Box<dyn TargetAccess> {
+    let base = ThorTarget::default();
+    let inner: Box<dyn TargetAccess> = match link {
+        Some(mut cfg) => {
+            cfg.seed = cfg.seed.wrapping_add(worker);
+            Box::new(UnreliableTarget::new(base, cfg))
+        }
+        None => Box::new(base),
+    };
+    if verify {
+        Box::new(VerifiedTarget::new(inner).with_monitor(monitor.clone()))
+    } else {
+        inner
+    }
 }
 
 /// Stores whatever a failed campaign completed before erroring out, so an
@@ -165,7 +210,9 @@ fn salvage_partial(db: &mut Database, db_path: &str, err: GoofiError) -> String 
                 .map_err(|e| e.to_string())
                 .and_then(|()| save_db(db_path, db));
             match stored {
-                Ok(()) => format!("{failure}; salvaged {salvaged} completed record(s) to {db_path}"),
+                Ok(()) => {
+                    format!("{failure}; salvaged {salvaged} completed record(s) to {db_path}")
+                }
                 Err(e) => format!("{failure}; salvaging partial results also failed: {e}"),
             }
         }
@@ -370,13 +417,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let env_kind = flags.get("env").cloned();
     make_env(env_kind.as_deref())?; // validate before the workers clone it
+    let (link, verify) = link_flags(&flags)?;
     let journal_path = flags.get("journal").cloned();
     let started = std::time::Instant::now();
     let result = if workers <= 1 {
-        let mut target = ThorTarget::default();
+        let mut target = decorate_target(link, verify, &monitor, 0);
         let mut env = make_env(env_kind.as_deref())?;
         let mut journal = match &journal_path {
-            Some(p) => Some(ExperimentJournal::create(p, &campaign.name).map_err(|e| e.to_string())?),
+            Some(p) => {
+                Some(ExperimentJournal::create(p, &campaign.name).map_err(|e| e.to_string())?)
+            }
             None => None,
         };
         algorithms::run_campaign_journaled(
@@ -389,11 +439,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         let env_kind2 = env_kind.clone();
         let mut journal = match &journal_path {
-            Some(p) => Some(ExperimentJournal::create(p, &campaign.name).map_err(|e| e.to_string())?),
+            Some(p) => {
+                Some(ExperimentJournal::create(p, &campaign.name).map_err(|e| e.to_string())?)
+            }
             None => None,
         };
+        let worker_seq = std::sync::atomic::AtomicU64::new(0);
+        let make_monitor = monitor.clone();
         runner::run_campaign_parallel_journaled(
-            ThorTarget::default,
+            move || {
+                let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                decorate_target(link, verify, &make_monitor, worker)
+            },
             Some(move || make_env(env_kind2.as_deref()).expect("validated above")),
             &campaign,
             &monitor,
@@ -409,7 +466,9 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
     let db_path = positional.first().ok_or("resume: missing <db> path")?;
     let name = flags.get("name").ok_or("resume: --name is required")?;
-    let journal_path = flags.get("journal").ok_or("resume: --journal is required")?;
+    let journal_path = flags
+        .get("journal")
+        .ok_or("resume: --journal is required")?;
     let workers: usize = flags
         .get("workers")
         .map_or(Ok(1), |v| v.parse().map_err(|_| "bad --workers"))?;
@@ -419,14 +478,20 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let monitor = ProgressMonitor::new(campaign.experiment_count());
     let env_kind = flags.get("env").cloned();
     make_env(env_kind.as_deref())?; // validate before the workers clone it
+    let (link, verify) = link_flags(&flags)?;
     println!(
         "resuming campaign `{name}` from {journal_path}: {} experiments total",
         campaign.experiment_count(),
     );
 
     let started = std::time::Instant::now();
+    let worker_seq = std::sync::atomic::AtomicU64::new(0);
+    let make_monitor = monitor.clone();
     let result = runner::resume_campaign(
-        ThorTarget::default,
+        move || {
+            let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            decorate_target(link, verify, &make_monitor, worker)
+        },
         Some(move || make_env(env_kind.as_deref()).expect("validated above")),
         &campaign,
         &monitor,
@@ -455,6 +520,21 @@ fn finish_run(
     for (cause, n) in &progress.by_termination {
         println!("  terminated by {cause}: {n}");
     }
+    if progress.link_recovered > 0 || progress.link_unrecovered > 0 {
+        println!(
+            "link events: {} recovered, {} unrecovered",
+            progress.link_recovered, progress.link_unrecovered,
+        );
+    }
+    if !result.quarantined.is_empty() {
+        println!(
+            "quarantined by golden-run revalidation ({} record(s), kept as invalid, re-run via parentExperiment):",
+            result.quarantined.len(),
+        );
+        for record in &result.quarantined {
+            println!("  {}", record.name);
+        }
+    }
     if !result.failures.is_empty() {
         println!("failed experiments (skipped by policy):");
         for failure in &result.failures {
@@ -471,7 +551,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut db = load_db(db_path)?;
     let classified = queries::analyse_campaign(&mut db, name).map_err(|e| e.to_string())?;
     let stats = goofi::analysis::stats::CampaignStats::from_classified(&classified);
-    println!("{}", report::full_report(&format!("campaign `{name}`"), &stats));
+    println!(
+        "{}",
+        report::full_report(&format!("campaign `{name}`"), &stats)
+    );
     let escaped = queries::escaped_experiments(&db, name).map_err(|e| e.to_string())?;
     if !escaped.is_empty() {
         println!("candidates for detail-mode re-run (escaped errors):");

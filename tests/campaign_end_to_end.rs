@@ -63,11 +63,20 @@ fn crafted_faults_cover_all_outcome_categories() {
     };
     let campaign = base_campaign("crafted", &wl)
         // (0) Overwritten: R1 is overwritten by the first instruction.
-        .fault(FaultSpec::single(scan_loc("R1", 3), Trigger::AfterInstructions(0)))
+        .fault(FaultSpec::single(
+            scan_loc("R1", 3),
+            Trigger::AfterInstructions(0),
+        ))
         // (1) Latent: R11 is never used by the workload.
-        .fault(FaultSpec::single(scan_loc("R11", 7), Trigger::AfterInstructions(10)))
+        .fault(FaultSpec::single(
+            scan_loc("R11", 7),
+            Trigger::AfterInstructions(10),
+        ))
         // (2) Detected: PC forced far outside the code segment.
-        .fault(FaultSpec::single(scan_loc("PC", 14), Trigger::AfterInstructions(20)))
+        .fault(FaultSpec::single(
+            scan_loc("PC", 14),
+            Trigger::AfterInstructions(20),
+        ))
         // (3) Escaped: corrupt a high bit of an array element mid-sort —
         // the sorted output is wrong, and nothing detects data-value errors.
         .fault(FaultSpec::single(
@@ -82,13 +91,9 @@ fn crafted_faults_cover_all_outcome_categories() {
 
     let mut target = ThorTarget::default();
     let monitor = ProgressMonitor::new(campaign.experiment_count());
-    let result = algorithms::faultinjector_scifi(
-        &mut target,
-        &campaign,
-        &monitor,
-        &mut NullEnvironment,
-    )
-    .unwrap();
+    let result =
+        algorithms::faultinjector_scifi(&mut target, &campaign, &monitor, &mut NullEnvironment)
+            .unwrap();
 
     assert_eq!(result.reference.termination, TerminationCause::WorkloadEnd);
     let outcomes: Vec<Outcome> = result
@@ -121,7 +126,10 @@ fn random_scifi_campaign_is_deterministic_and_classifiable() {
     let target_data = TargetSystemData::from_target(&ThorTarget::default(), "thor sim");
     let space = target_data.fault_space(None, 0..2_000);
     let faults = space.sample_campaign(40, &mut StdRng::seed_from_u64(1234));
-    let campaign = base_campaign("rand-scifi", &wl).faults(faults).build().unwrap();
+    let campaign = base_campaign("rand-scifi", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
 
     let run = |campaign: &Campaign| -> CampaignResult {
         let mut target = ThorTarget::default();
@@ -180,18 +188,18 @@ fn swifi_preruntime_campaign_runs() {
 fn technique_dispatch_is_enforced() {
     let wl = workloads::by_name("primes").unwrap();
     let scifi = base_campaign("c-scifi", &wl)
-        .fault(FaultSpec::single(scan_loc("R1", 0), Trigger::AfterInstructions(1)))
+        .fault(FaultSpec::single(
+            scan_loc("R1", 0),
+            Trigger::AfterInstructions(1),
+        ))
         .build()
         .unwrap();
     let mut target = ThorTarget::default();
     let monitor = ProgressMonitor::new(1);
-    assert!(algorithms::faultinjector_swifi(
-        &mut target,
-        &scifi,
-        &monitor,
-        &mut NullEnvironment
-    )
-    .is_err());
+    assert!(
+        algorithms::faultinjector_swifi(&mut target, &scifi, &monitor, &mut NullEnvironment)
+            .is_err()
+    );
 }
 
 #[test]
@@ -202,8 +210,14 @@ fn control_loop_campaign_with_environment() {
             max_instructions: 2_000_000,
             max_iterations: Some(120),
         })
-        .fault(FaultSpec::single(scan_loc("R10", 28), Trigger::AfterInstructions(900)))
-        .fault(FaultSpec::single(scan_loc("R3", 2), Trigger::AfterInstructions(1_500)))
+        .fault(FaultSpec::single(
+            scan_loc("R10", 28),
+            Trigger::AfterInstructions(900),
+        ))
+        .fault(FaultSpec::single(
+            scan_loc("R3", 2),
+            Trigger::AfterInstructions(1_500),
+        ))
         .build()
         .unwrap();
     let mut target = ThorTarget::default();
@@ -212,7 +226,10 @@ fn control_loop_campaign_with_environment() {
     let result =
         algorithms::faultinjector_scifi(&mut target, &campaign, &monitor, &mut motor).unwrap();
     // The reference run completes its 120 iterations.
-    assert_eq!(result.reference.termination, TerminationCause::IterationLimit);
+    assert_eq!(
+        result.reference.termination,
+        TerminationCause::IterationLimit
+    );
     assert_eq!(result.reference.state.iterations, 120);
     // The controller converged to the set point in the reference run.
     let out = result.reference.state.outputs[0] as i32;
@@ -230,7 +247,10 @@ fn database_workflow_and_automatic_analysis() {
     let target_data = TargetSystemData::from_target(&ThorTarget::default(), "thor sim");
     let space = target_data.fault_space(Some(0..wl.image.words.len() as u32), 0..3_000);
     let faults = space.sample_campaign(25, &mut StdRng::seed_from_u64(7));
-    let campaign = base_campaign("db-campaign", &wl).faults(faults).build().unwrap();
+    let campaign = base_campaign("db-campaign", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
 
     let mut target = ThorTarget::default();
     let monitor = ProgressMonitor::new(campaign.experiment_count());
@@ -254,11 +274,7 @@ fn database_workflow_and_automatic_analysis() {
     let classified = queries::analyse_campaign(&mut db, "db-campaign").unwrap();
     assert_eq!(classified.len(), 25);
     let dist = queries::outcome_distribution(&db, "db-campaign").unwrap();
-    let total: i64 = dist
-        .rows
-        .iter()
-        .map(|r| r[1].as_int().unwrap())
-        .sum();
+    let total: i64 = dist.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
     assert_eq!(total, 25);
 
     // Persistence round-trip preserves the analysis results.
@@ -268,10 +284,8 @@ fn database_workflow_and_automatic_analysis() {
 
     // Stats computed from DB match stats computed in memory.
     let from_db = queries::campaign_stats(&db, "db-campaign").unwrap();
-    let in_memory = CampaignStats::from_classified(&classify_campaign(
-        &result.reference,
-        &result.records,
-    ));
+    let in_memory =
+        CampaignStats::from_classified(&classify_campaign(&result.reference, &result.records));
     assert_eq!(from_db, in_memory);
 }
 
@@ -312,7 +326,10 @@ fn journaled_campaign_resumes_to_identical_results() {
     let target_data = TargetSystemData::from_target(&ThorTarget::default(), "thor sim");
     let space = target_data.fault_space(None, 0..2_000);
     let faults = space.sample_campaign(8, &mut StdRng::seed_from_u64(5));
-    let campaign = base_campaign("journal-e2e", &wl).faults(faults).build().unwrap();
+    let campaign = base_campaign("journal-e2e", &wl)
+        .faults(faults)
+        .build()
+        .unwrap();
 
     let path = std::env::temp_dir().join(format!("goofi-e2e-{}.journal", std::process::id()));
     let _ = std::fs::remove_file(&path);
@@ -361,7 +378,10 @@ fn detail_rerun_links_parent_and_shows_propagation() {
     // A fault in the CRC accumulator register (r1) mid-computation escapes
     // as an incorrect result.
     let campaign = base_campaign("detail", &wl)
-        .fault(FaultSpec::single(scan_loc("R1", 13), Trigger::AfterInstructions(400)))
+        .fault(FaultSpec::single(
+            scan_loc("R1", 13),
+            Trigger::AfterInstructions(400),
+        ))
         .build()
         .unwrap();
     let mut target = ThorTarget::default();
@@ -379,8 +399,7 @@ fn detail_rerun_links_parent_and_shows_propagation() {
         algorithms::make_reference_run(&mut target, &detail_campaign, &mut NullEnvironment)
             .unwrap();
     let detailed =
-        algorithms::rerun_detailed(&mut target, &detail_campaign, 0, &mut NullEnvironment)
-            .unwrap();
+        algorithms::rerun_detailed(&mut target, &detail_campaign, 0, &mut NullEnvironment).unwrap();
     assert_eq!(detailed.parent.as_deref(), Some("detail/exp00000"));
     assert!(!detailed.trace.is_empty());
     assert!(!detailed_ref.trace.is_empty());
@@ -522,14 +541,13 @@ fn memory_based_environment_exchange_on_real_target() {
 
     let mut target = ThorTarget::default();
     let mut env = goofi::envsim::ScriptedEnvironment::new(vec![vec![10], vec![20], vec![30]]);
-    let result = algorithms::run_campaign(
-        &mut target,
-        &campaign,
-        &ProgressMonitor::new(1),
-        &mut env,
-    )
-    .unwrap();
-    assert_eq!(result.reference.termination, TerminationCause::IterationLimit);
+    let result =
+        algorithms::run_campaign(&mut target, &campaign, &ProgressMonitor::new(1), &mut env)
+            .unwrap();
+    assert_eq!(
+        result.reference.termination,
+        TerminationCause::IterationLimit
+    );
     // Iterations: out=1 (sensor 0), exchange sets sensor=10; out=11,
     // sensor=20; out=21, sensor=30; out=31 -> iteration limit.
     assert_eq!(result.reference.state.outputs, vec![31]);

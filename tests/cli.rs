@@ -54,7 +54,14 @@ fn help_and_listings() {
     assert!(out.contains("usage:"));
 
     let out = stdout(&goofi(&["workloads"]));
-    for name in ["bubblesort", "matmul", "crc32", "primes", "fibonacci", "pi-control"] {
+    for name in [
+        "bubblesort",
+        "matmul",
+        "crc32",
+        "primes",
+        "fibonacci",
+        "pi-control",
+    ] {
         assert!(out.contains(name), "{out}");
     }
 
@@ -69,8 +76,18 @@ fn full_campaign_workflow() {
     let (_guard, db) = tmp_db("flow");
     // Set-up phase.
     let out = stdout(&goofi(&[
-        "new", &db, "--name", "c1", "--workload", "bubblesort", "--experiments", "25",
-        "--seed", "9", "--time-window", "0:2000",
+        "new",
+        &db,
+        "--name",
+        "c1",
+        "--workload",
+        "bubblesort",
+        "--experiments",
+        "25",
+        "--seed",
+        "9",
+        "--time-window",
+        "0:2000",
     ]));
     assert!(out.contains("25 experiments"), "{out}");
 
@@ -96,8 +113,16 @@ fn full_campaign_workflow() {
 fn swifi_campaign_via_cli() {
     let (_guard, db) = tmp_db("swifi");
     stdout(&goofi(&[
-        "new", &db, "--name", "s1", "--workload", "primes", "--experiments", "10",
-        "--technique", "swifi-pre",
+        "new",
+        &db,
+        "--name",
+        "s1",
+        "--workload",
+        "primes",
+        "--experiments",
+        "10",
+        "--technique",
+        "swifi-pre",
     ]));
     let out = stdout(&goofi(&["run", &db, "--name", "s1"]));
     assert!(out.contains("10 experiments logged"), "{out}");
@@ -126,12 +151,26 @@ fn errors_are_reported() {
 fn db_file_is_portable_across_invocations() {
     let (_guard, db) = tmp_db("portable");
     stdout(&goofi(&[
-        "new", &db, "--name", "p1", "--workload", "fibonacci", "--experiments", "5",
+        "new",
+        &db,
+        "--name",
+        "p1",
+        "--workload",
+        "fibonacci",
+        "--experiments",
+        "5",
     ]));
     stdout(&goofi(&["run", &db, "--name", "p1"]));
     // A second campaign lands in the same file.
     stdout(&goofi(&[
-        "new", &db, "--name", "p2", "--workload", "crc32", "--experiments", "5",
+        "new",
+        &db,
+        "--name",
+        "p2",
+        "--workload",
+        "crc32",
+        "--experiments",
+        "5",
     ]));
     stdout(&goofi(&["run", &db, "--name", "p2"]));
     let out = stdout(&goofi(&[

@@ -101,10 +101,11 @@ fn preinjection_pruning_is_sound_on_random_campaigns() {
             &mut NullEnvironment,
         )
         .unwrap();
-        for (record, classified) in result.records.iter().zip(classify_campaign(
-            &result.reference,
-            &result.records,
-        )) {
+        for (record, classified) in result
+            .records
+            .iter()
+            .zip(classify_campaign(&result.reference, &result.records))
+        {
             assert!(
                 !classified.outcome.is_effective(),
                 "pruned fault was effective: {:?} -> {}",
