@@ -1,5 +1,6 @@
-//! B4–B7: campaign-level benchmarks — experiment throughput per technique,
-//! parallel-runner scaling, journaling overhead, and verified-link overhead.
+//! B4–B8: campaign-level benchmarks — experiment throughput per technique,
+//! parallel-runner scaling, journaling overhead, verified-link overhead,
+//! and health-probe supervision overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use goofi_core::algorithms;
@@ -247,9 +248,44 @@ fn bench_verified_link_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_supervision_overhead(c: &mut Criterion) {
+    // B8: cost of between-experiment health probing on a *healthy* target —
+    // the steady-state tax a cautious campaign pays for hang detection. The
+    // probe suite is dominated by its golden smoke-workload run, so the
+    // expected overhead is roughly one reference run per cadence interval.
+    let mut group = c.benchmark_group("supervision-overhead");
+    let n = 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    let base = scifi_campaign(n);
+
+    for (label, cadence) in [
+        ("probes_off", 0u32),
+        ("probe_every_10", 10),
+        ("probe_every_5", 5),
+        ("probe_every_1", 1),
+    ] {
+        let mut campaign = base.clone();
+        campaign.policy = campaign.policy.clone().with_health_check(cadence);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut target = ThorTarget::default();
+                algorithms::run_campaign(
+                    &mut target,
+                    &campaign,
+                    &ProgressMonitor::new(n),
+                    &mut envsim::NullEnvironment,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives, bench_verified_link_overhead
+    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives, bench_verified_link_overhead, bench_supervision_overhead
 }
 criterion_main!(benches);

@@ -27,6 +27,7 @@ use crate::logging::{
 };
 use crate::monitor::ProgressMonitor;
 use crate::policy::{ExperimentFailure, Watchdog};
+use crate::supervisor::{RecoveryRecord, RecoveryTrigger, Supervisor};
 use crate::target::{RunBudget, RunEvent, TargetAccess};
 use crate::{GoofiError, Result};
 use envsim::Environment;
@@ -49,6 +50,10 @@ pub struct CampaignResult {
     /// the `parentExperiment`-linked re-runs in
     /// [`records`](CampaignResult::records). Kept for audit.
     pub quarantined: Vec<ExperimentRecord>,
+    /// Every recovery episode the target supervisor ran (empty unless the
+    /// campaign's policy enables supervision): which probes failed, which
+    /// ladder stages were applied, and whether the target came back.
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 /// Runs a SCIFI campaign (the paper's `faultInjectorSCIFI`).
@@ -156,6 +161,11 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
     let mut records = Vec::with_capacity(campaign.faults.len());
     let mut failures = Vec::new();
     let mut quarantined = Vec::new();
+    let mut recoveries = Vec::new();
+    // The supervisor borrows the reference for its golden smoke probe; a
+    // clone keeps the original free to move into the result.
+    let probe_reference = reference.clone();
+    let supervisor = Supervisor::from_campaign(campaign, &probe_reference);
     // Golden-run revalidation window: (campaign index, position in
     // `records`) of every experiment completed since the last clean check.
     let mut window: Vec<(usize, usize)> = Vec::new();
@@ -168,12 +178,59 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
         monitor.checkpoint()?;
         match run_experiment_with_policy(target, campaign, index, monitor, &mut *env)? {
             Ok(record) => {
-                monitor.record(&record.termination);
-                if let Some(j) = journal.as_deref_mut() {
-                    j.append_record(Some(index), &record)?;
+                let outcome = resolve_hangs(
+                    target,
+                    campaign,
+                    supervisor.as_ref(),
+                    record,
+                    index,
+                    monitor,
+                    &mut *env,
+                    &mut journal,
+                    &mut quarantined,
+                    &mut recoveries,
+                )?;
+                match outcome {
+                    SuperviseOutcome::Record(record) => {
+                        monitor.record(&record.termination);
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.append_record(Some(index), &record)?;
+                        }
+                        window.push((index, records.len()));
+                        records.push(record);
+                    }
+                    SuperviseOutcome::Failure(failure) => {
+                        monitor.record_failed();
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.append_failure(&failure)?;
+                        }
+                        if campaign.policy.fails_campaign() {
+                            return Err(GoofiError::ExperimentFailed {
+                                failure,
+                                partial: Box::new(CampaignResult {
+                                    reference,
+                                    records,
+                                    failures,
+                                    quarantined,
+                                    recoveries,
+                                }),
+                            });
+                        }
+                        failures.push(failure);
+                    }
+                    SuperviseOutcome::Offline(context) => {
+                        return Err(GoofiError::TargetOffline {
+                            context,
+                            partial: Box::new(CampaignResult {
+                                reference,
+                                records,
+                                failures,
+                                quarantined,
+                                recoveries,
+                            }),
+                        });
+                    }
                 }
-                window.push((index, records.len()));
-                records.push(record);
             }
             Err(failure) => {
                 monitor.record_failed();
@@ -188,10 +245,38 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                             records,
                             failures,
                             quarantined,
+                            recoveries,
                         }),
                     });
                 }
                 failures.push(failure);
+            }
+        }
+        // Scheduled health probes between experiments.
+        if let Some(sup) = &supervisor {
+            if sup.probe_due(index + 1) && !sup.probe(target, &mut *env, monitor).passed() {
+                let context = campaign.experiment_name(index);
+                let recovery = sup.recover(
+                    target,
+                    &mut *env,
+                    monitor,
+                    &context,
+                    RecoveryTrigger::ProbeFailure,
+                );
+                let recovered = recovery.recovered;
+                recoveries.push(recovery);
+                if !recovered {
+                    return Err(GoofiError::TargetOffline {
+                        context,
+                        partial: Box::new(CampaignResult {
+                            reference,
+                            records,
+                            failures,
+                            quarantined,
+                            recoveries,
+                        }),
+                    });
+                }
             }
         }
         if revalidate_every.is_some_and(|n| window.len() >= n) {
@@ -215,6 +300,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                         records,
                         failures,
                         quarantined,
+                        recoveries,
                     }),
                 });
             }
@@ -243,6 +329,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                     records,
                     failures,
                     quarantined,
+                    recoveries,
                 }),
             });
         }
@@ -252,7 +339,91 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
         records,
         failures,
         quarantined,
+        recoveries,
     })
+}
+
+/// What target supervision decided about a freshly-completed record.
+enum SuperviseOutcome {
+    /// The record stands (possibly a `parentExperiment`-linked re-run that
+    /// replaced a quarantined hang).
+    Record(ExperimentRecord),
+    /// The experiment kept hanging (or its re-run failed); handled by the
+    /// campaign's failure policy.
+    Failure(ExperimentFailure),
+    /// The recovery ladder was exhausted: the target is offline.
+    Offline(String),
+}
+
+/// Confirms `Timeout` terminations with the health-probe suite and, for
+/// real target hangs, quarantines the record (termination rewritten to
+/// [`TerminationCause::TargetHang`]), climbs the recovery ladder and
+/// re-runs the experiment as a `parentExperiment`-linked child — looping
+/// (bounded by the ladder's `max_hang_rounds`) in case the re-run wedges
+/// the target again. A `Timeout` whose probes pass is a slow workload and
+/// stands unchanged; without a supervisor every record stands unchanged.
+///
+/// # Errors
+///
+/// [`GoofiError::Stopped`] or journal I/O errors.
+#[allow(clippy::too_many_arguments)]
+fn resolve_hangs<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    supervisor: Option<&Supervisor<'_>>,
+    mut record: ExperimentRecord,
+    index: usize,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+    journal: &mut Option<&mut ExperimentJournal>,
+    quarantined: &mut Vec<ExperimentRecord>,
+    recoveries: &mut Vec<RecoveryRecord>,
+) -> Result<SuperviseOutcome> {
+    let Some(sup) = supervisor else {
+        return Ok(SuperviseOutcome::Record(record));
+    };
+    let mut round: u32 = 0;
+    loop {
+        if record.termination != TerminationCause::Timeout {
+            return Ok(SuperviseOutcome::Record(record));
+        }
+        if sup.probe(target, &mut *env, monitor).passed() {
+            // The target answers its probes: a slow workload, not a wedge.
+            // The Timeout stands.
+            return Ok(SuperviseOutcome::Record(record));
+        }
+        // Confirmed hang: quarantine the record, recover, re-run.
+        round += 1;
+        monitor.record_hang();
+        record.termination = TerminationCause::TargetHang;
+        record.validity = Validity::Invalid;
+        if let Some(j) = journal.as_deref_mut() {
+            j.append_record(Some(index), &record)?;
+        }
+        monitor.record_quarantined();
+        let parent = record.name.clone();
+        quarantined.push(record);
+        let recovery = sup.recover(target, env, monitor, &parent, RecoveryTrigger::TargetHang);
+        let recovered = recovery.recovered;
+        recoveries.push(recovery);
+        if !recovered {
+            return Ok(SuperviseOutcome::Offline(parent));
+        }
+        if round > sup.ladder().max_hang_rounds {
+            return Ok(SuperviseOutcome::Failure(ExperimentFailure {
+                index,
+                name: parent,
+                attempts: round,
+                error: "target hang persisted across recovery re-runs".into(),
+            }));
+        }
+        let original = campaign.experiment_name(index);
+        let link = Some((format!("{original}/rerun{round}"), parent));
+        match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env)? {
+            Ok(rerun) => record = rerun,
+            Err(failure) => return Ok(SuperviseOutcome::Failure(failure)),
+        }
+    }
 }
 
 /// Whether a freshly-executed golden run reproduces the stored reference

@@ -14,6 +14,7 @@ use crate::campaign::{
 };
 use crate::fault::FaultSpec;
 use crate::logging::{ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause, Validity};
+use crate::supervisor::{RecoveryAction, RecoveryRecord, RecoveryStage, RecoveryTrigger};
 use crate::{GoofiError, Result};
 use goofidb::{Database, Value};
 
@@ -23,8 +24,10 @@ pub const TARGET_TABLE: &str = "TargetSystemData";
 pub const CAMPAIGN_TABLE: &str = "CampaignData";
 /// Table name: per-experiment logs.
 pub const LOG_TABLE: &str = "LoggedSystemState";
+/// Table name: recovery-ladder audit log (one row per applied action).
+pub const RECOVERY_TABLE: &str = "RecoveryActions";
 
-/// Creates the three tables (idempotent).
+/// Creates the four tables (idempotent).
 ///
 /// # Errors
 ///
@@ -64,6 +67,17 @@ pub fn init_schema(db: &mut Database) -> Result<()> {
             stateVector TEXT,
             trace TEXT,
             validity TEXT,
+            FOREIGN KEY (campaignName) REFERENCES CampaignData(campaignName))",
+        "CREATE TABLE RecoveryActions (
+            actionName TEXT PRIMARY KEY,
+            campaignName TEXT,
+            experimentName TEXT,
+            trigger TEXT,
+            seq INTEGER,
+            stage TEXT,
+            attempt INTEGER,
+            recovered INTEGER,
+            detail TEXT,
             FOREIGN KEY (campaignName) REFERENCES CampaignData(campaignName))",
     ];
     for stmt in stmts {
@@ -382,6 +396,98 @@ pub fn store_result(db: &mut Database, result: &CampaignResult) -> Result<()> {
     Ok(())
 }
 
+/// Logs every action of the given recovery episodes to `RecoveryActions`,
+/// one row per ladder step, keyed `{experiment}@{trigger}#{seq}` so storing
+/// the same episodes twice (e.g. after a resume) is idempotent. Databases
+/// created before the table existed are upgraded in place by
+/// [`init_schema`]; call that first.
+///
+/// # Errors
+///
+/// Database errors (the campaign row must already exist).
+pub fn log_recovery_actions(
+    db: &mut Database,
+    campaign: &str,
+    recoveries: &[RecoveryRecord],
+) -> Result<()> {
+    let existing = |db: &Database, name: &str| {
+        db.table(RECOVERY_TABLE)
+            .is_some_and(|t| t.contains_key(&Value::text(name)))
+    };
+    for episode in recoveries {
+        for (seq, action) in episode.actions.iter().enumerate() {
+            let key = format!("{}@{}#{seq}", episode.experiment, episode.trigger.encode());
+            if existing(db, &key) {
+                continue;
+            }
+            db.insert(
+                RECOVERY_TABLE,
+                vec![
+                    Value::text(key),
+                    Value::text(campaign.to_string()),
+                    Value::text(episode.experiment.clone()),
+                    Value::text(episode.trigger.encode()),
+                    Value::from(seq as u64),
+                    Value::text(action.stage.encode()),
+                    Value::from(u64::from(action.attempt)),
+                    Value::from(u64::from(action.recovered)),
+                    Value::text(action.detail.clone()),
+                ],
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a campaign's recovery episodes back from `RecoveryActions`,
+/// grouping rows into [`RecoveryRecord`]s. Returns an empty vector when the
+/// table is absent (pre-supervision database).
+///
+/// # Errors
+///
+/// Fails on malformed rows.
+pub fn load_recovery_actions(db: &Database, campaign: &str) -> Result<Vec<RecoveryRecord>> {
+    let Some(table) = db.table(RECOVERY_TABLE) else {
+        return Ok(Vec::new());
+    };
+    let bad = |what: &str| GoofiError::Config(format!("recovery action: bad {what}"));
+    let mut rows = Vec::new();
+    for row in table.iter() {
+        if row[1].as_text() != Some(campaign) {
+            continue;
+        }
+        let experiment = row[2].as_text().unwrap_or_default().to_string();
+        let trigger = RecoveryTrigger::decode(row[3].as_text().unwrap_or_default())
+            .ok_or_else(|| bad("trigger"))?;
+        let seq = row[4].as_int().ok_or_else(|| bad("seq"))?;
+        let action = RecoveryAction {
+            stage: RecoveryStage::decode(row[5].as_text().unwrap_or_default())
+                .ok_or_else(|| bad("stage"))?,
+            attempt: row[6].as_int().ok_or_else(|| bad("attempt"))? as u32,
+            recovered: row[7].as_int().ok_or_else(|| bad("recovered"))? != 0,
+            detail: row[8].as_text().unwrap_or_default().to_string(),
+        };
+        rows.push((experiment, trigger, seq, action));
+    }
+    rows.sort_by(|a, b| (&a.0, a.1.encode(), a.2).cmp(&(&b.0, b.1.encode(), b.2)));
+    let mut episodes: Vec<RecoveryRecord> = Vec::new();
+    for (experiment, trigger, _, action) in rows {
+        match episodes.last_mut() {
+            Some(e) if e.experiment == experiment && e.trigger == trigger => {
+                e.recovered = e.recovered || action.recovered;
+                e.actions.push(action);
+            }
+            _ => episodes.push(RecoveryRecord {
+                experiment,
+                trigger,
+                recovered: action.recovered,
+                actions: vec![action],
+            }),
+        }
+    }
+    Ok(episodes)
+}
+
 /// Imports the records of a crash-safe experiment journal (see
 /// [`crate::journal`]) into `LoggedSystemState`, skipping experiments
 /// already present — so a journal can be folded into the database after a
@@ -537,7 +643,7 @@ mod tests {
         let mut db = Database::new();
         init_schema(&mut db).unwrap();
         init_schema(&mut db).unwrap();
-        assert_eq!(db.table_names().len(), 3);
+        assert_eq!(db.table_names().len(), 4);
     }
 
     #[test]
@@ -817,6 +923,7 @@ mod tests {
             records: vec![rerun],
             failures: vec![],
             quarantined: vec![quarantined],
+            recoveries: vec![],
         };
         store_result(&mut db, &result).unwrap();
         let records = load_experiments(&db, "c1").unwrap();
@@ -826,6 +933,56 @@ mod tests {
         let stored = load_experiment(&db, "c1/exp00000/rerun1").unwrap();
         assert_eq!(stored.parent.as_deref(), Some("c1/exp00000"));
         assert_eq!(stored.validity, Validity::Valid);
+    }
+
+    #[test]
+    fn recovery_actions_roundtrip_and_are_idempotent() {
+        let mut db = Database::new();
+        init_schema(&mut db).unwrap();
+        store_target_system(&mut db, &demo_target()).unwrap();
+        store_campaign(&mut db, &demo_campaign()).unwrap();
+
+        let episodes = vec![
+            RecoveryRecord {
+                experiment: "c1/exp00002".into(),
+                trigger: RecoveryTrigger::TargetHang,
+                actions: vec![
+                    RecoveryAction {
+                        stage: RecoveryStage::SoftReset,
+                        attempt: 1,
+                        recovered: false,
+                        detail: "chain `internal`: two idle captures disagree".into(),
+                    },
+                    RecoveryAction {
+                        stage: RecoveryStage::ReinitTestCard,
+                        attempt: 1,
+                        recovered: true,
+                        detail: String::new(),
+                    },
+                ],
+                recovered: true,
+            },
+            RecoveryRecord {
+                experiment: "c1/exp00005".into(),
+                trigger: RecoveryTrigger::ProbeFailure,
+                actions: vec![RecoveryAction {
+                    stage: RecoveryStage::Offline,
+                    attempt: 1,
+                    recovered: false,
+                    detail: "every recovery stage exhausted".into(),
+                }],
+                recovered: false,
+            },
+        ];
+        log_recovery_actions(&mut db, "c1", &episodes).unwrap();
+        // Logging again inserts nothing new.
+        log_recovery_actions(&mut db, "c1", &episodes).unwrap();
+        assert_eq!(load_recovery_actions(&db, "c1").unwrap(), episodes);
+        assert!(load_recovery_actions(&db, "other").unwrap().is_empty());
+
+        // Pre-supervision databases simply have no episodes.
+        let old = Database::new();
+        assert!(load_recovery_actions(&old, "c1").unwrap().is_empty());
     }
 
     #[test]

@@ -44,6 +44,17 @@ pub enum GoofiError {
         /// Reference run plus all records completed before the abort.
         partial: Box<crate::algorithms::CampaignResult>,
     },
+    /// The target stopped responding and the
+    /// [`RecoveryLadder`](crate::supervisor::RecoveryLadder) exhausted every
+    /// stage: the target is offline. Like [`GoofiError::ExperimentFailed`],
+    /// this preserves all work completed before the target died.
+    TargetOffline {
+        /// Where the target died, e.g. the experiment being recovered.
+        context: String,
+        /// Reference run plus all records completed before the target
+        /// went offline.
+        partial: Box<crate::algorithms::CampaignResult>,
+    },
 }
 
 impl fmt::Display for GoofiError {
@@ -72,6 +83,12 @@ impl fmt::Display for GoofiError {
             GoofiError::ExperimentFailed { failure, partial } => write!(
                 f,
                 "{failure}; {} completed record(s) preserved",
+                partial.records.len()
+            ),
+            GoofiError::TargetOffline { context, partial } => write!(
+                f,
+                "target offline: recovery ladder exhausted during {context}; \
+                 {} completed record(s) preserved",
                 partial.records.len()
             ),
         }

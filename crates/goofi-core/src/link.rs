@@ -129,6 +129,13 @@ impl<T: TargetAccess> TargetAccess for UnreliableTarget<T> {
         self.inner.reset_target()
     }
 
+    // Forwarded explicitly: the trait default would re-implement power
+    // cycling as init+reset *at this layer*, bypassing whatever deeper
+    // cold-reset the wrapped target provides.
+    fn power_cycle(&mut self) -> Result<()> {
+        self.inner.power_cycle()
+    }
+
     fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
         match self.disturb_words(data, "write memory")? {
             None => Ok(()),
@@ -462,6 +469,12 @@ impl<T: TargetAccess> TargetAccess for VerifiedTarget<T> {
 
     fn reset_target(&mut self) -> Result<()> {
         self.inner.reset_target()
+    }
+
+    // Forwarded explicitly so the wrapped target's real cold reset runs
+    // (the trait default would only init+reset this wrapper).
+    fn power_cycle(&mut self) -> Result<()> {
+        self.inner.power_cycle()
     }
 
     fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {

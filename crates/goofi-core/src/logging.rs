@@ -53,6 +53,13 @@ pub enum TerminationCause {
     Timeout,
     /// The configured maximum number of loop iterations completed.
     IterationLimit,
+    /// A [`Timeout`](TerminationCause::Timeout) that the health-probe suite
+    /// confirmed was a wedged target, not a slow workload: the target
+    /// failed its probes after the run and had to climb the
+    /// [`RecoveryLadder`](crate::supervisor::RecoveryLadder). Such records
+    /// are quarantined and superseded by a `parentExperiment`-linked re-run
+    /// after recovery.
+    TargetHang,
 }
 
 impl TerminationCause {
@@ -63,6 +70,7 @@ impl TerminationCause {
             TerminationCause::Detected(d) => format!("detected:{}:{}", d.mechanism, d.code),
             TerminationCause::Timeout => "timeout".to_string(),
             TerminationCause::IterationLimit => "iterations".to_string(),
+            TerminationCause::TargetHang => "hang".to_string(),
         }
     }
 
@@ -72,6 +80,7 @@ impl TerminationCause {
             "end" => return Some(TerminationCause::WorkloadEnd),
             "timeout" => return Some(TerminationCause::Timeout),
             "iterations" => return Some(TerminationCause::IterationLimit),
+            "hang" => return Some(TerminationCause::TargetHang),
             _ => {}
         }
         let rest = s.strip_prefix("detected:")?;
@@ -90,6 +99,7 @@ impl fmt::Display for TerminationCause {
             TerminationCause::Detected(d) => write!(f, "detected by {}", d.mechanism),
             TerminationCause::Timeout => f.write_str("time-out"),
             TerminationCause::IterationLimit => f.write_str("iteration limit"),
+            TerminationCause::TargetHang => f.write_str("target hang"),
         }
     }
 }
@@ -268,6 +278,7 @@ mod tests {
             TerminationCause::WorkloadEnd,
             TerminationCause::Timeout,
             TerminationCause::IterationLimit,
+            TerminationCause::TargetHang,
             TerminationCause::Detected(DetectionInfo {
                 mechanism: "parity_icache".into(),
                 code: 1,

@@ -41,6 +41,23 @@ pub struct Progress {
     pub link_unrecovered: usize,
     /// Records quarantined by golden-run revalidation.
     pub quarantined: usize,
+    /// Health-probe suites run between experiments.
+    pub probes_run: usize,
+    /// Health-probe suites that failed (triggering the recovery ladder).
+    pub probes_failed: usize,
+    /// Watchdog timeouts confirmed as wedged targets
+    /// ([`TerminationCause::TargetHang`]).
+    pub hangs: usize,
+    /// Soft-reset recovery attempts applied.
+    pub soft_resets: usize,
+    /// Test-card re-init recovery attempts applied.
+    pub card_reinits: usize,
+    /// Power-cycle recovery attempts applied.
+    pub power_cycles: usize,
+    /// Targets that exhausted the recovery ladder and went offline
+    /// (the parallel runner retires the worker and redistributes its
+    /// remaining experiments).
+    pub targets_offline: usize,
     /// Completed experiments per termination cause (encoded form).
     pub by_termination: BTreeMap<String, usize>,
 }
@@ -171,6 +188,40 @@ impl ProgressMonitor {
         self.inner.progress.lock().quarantined += 1;
     }
 
+    /// Records one health-probe suite and whether it passed.
+    pub fn record_probe(&self, passed: bool) {
+        let mut p = self.inner.progress.lock();
+        p.probes_run += 1;
+        if !passed {
+            p.probes_failed += 1;
+        }
+    }
+
+    /// Records a watchdog timeout confirmed as a wedged target.
+    pub fn record_hang(&self) {
+        self.inner.progress.lock().hangs += 1;
+    }
+
+    /// Records a soft-reset recovery attempt.
+    pub fn record_soft_reset(&self) {
+        self.inner.progress.lock().soft_resets += 1;
+    }
+
+    /// Records a test-card re-init recovery attempt.
+    pub fn record_card_reinit(&self) {
+        self.inner.progress.lock().card_reinits += 1;
+    }
+
+    /// Records a power-cycle recovery attempt.
+    pub fn record_power_cycle(&self) {
+        self.inner.progress.lock().power_cycles += 1;
+    }
+
+    /// Records a target that exhausted the recovery ladder.
+    pub fn record_target_offline(&self) {
+        self.inner.progress.lock().targets_offline += 1;
+    }
+
     /// Marks previously-journaled work as done when a campaign resumes:
     /// bumps the completed/failed counters without re-running anything.
     pub fn record_resumed(&self, completed: usize, failed: usize) {
@@ -240,6 +291,29 @@ mod tests {
         assert_eq!(p.link_unrecovered, 1);
         assert_eq!(p.quarantined, 1);
         // Link events are not experiment progress.
+        assert_eq!(p.completed, 0);
+    }
+
+    #[test]
+    fn supervision_counters_accumulate() {
+        let m = ProgressMonitor::new(2);
+        m.record_probe(true);
+        m.record_probe(false);
+        m.record_hang();
+        m.record_soft_reset();
+        m.record_soft_reset();
+        m.record_card_reinit();
+        m.record_power_cycle();
+        m.record_target_offline();
+        let p = m.snapshot();
+        assert_eq!(p.probes_run, 2);
+        assert_eq!(p.probes_failed, 1);
+        assert_eq!(p.hangs, 1);
+        assert_eq!(p.soft_resets, 2);
+        assert_eq!(p.card_reinits, 1);
+        assert_eq!(p.power_cycles, 1);
+        assert_eq!(p.targets_offline, 1);
+        // Supervision events are not experiment progress.
         assert_eq!(p.completed, 0);
     }
 

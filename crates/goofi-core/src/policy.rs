@@ -125,6 +125,14 @@ pub struct ExperimentPolicy {
     /// stored golden log; on a mismatch the window of records since the
     /// last check is quarantined and re-run (`None` disables the check).
     pub revalidate_every: Option<u32>,
+    /// Target supervision cadence: every `n` completed experiments the
+    /// driver runs the health-probe suite
+    /// ([`crate::supervisor::Supervisor`]) and climbs the recovery ladder
+    /// on failure. Setting this also enables hang confirmation: a
+    /// `Timeout` termination whose post-run probes fail is reclassified as
+    /// [`crate::logging::TerminationCause::TargetHang`], quarantined and
+    /// re-run after recovery. `None` disables supervision entirely.
+    pub health_check_every: Option<u32>,
 }
 
 impl ExperimentPolicy {
@@ -177,6 +185,13 @@ impl ExperimentPolicy {
         self
     }
 
+    /// Sets the target-supervision (health-probe) cadence (`0` disables
+    /// it).
+    pub fn with_health_check(mut self, every: u32) -> Self {
+        self.health_check_every = (every > 0).then_some(every);
+        self
+    }
+
     /// Retries the driver should attempt for one experiment.
     pub fn retries(&self) -> u32 {
         match self.on_error {
@@ -194,11 +209,11 @@ impl ExperimentPolicy {
     }
 
     /// Encodes the policy for database storage
-    /// (`onerr=<action>;retries=<n>;backoff=<initial>:<max>;wd=<cycles|->:<ms|->;reval=<n|->`).
+    /// (`onerr=<action>;retries=<n>;backoff=<initial>:<max>;wd=<cycles|->:<ms|->;reval=<n|->;hc=<n|->`).
     pub fn encode(&self) -> String {
         let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
         format!(
-            "onerr={};retries={};backoff={}:{};wd={}:{};reval={}",
+            "onerr={};retries={};backoff={}:{};wd={}:{};reval={};hc={}",
             self.on_error.encode(),
             self.max_retries,
             self.backoff.initial_ms,
@@ -206,6 +221,7 @@ impl ExperimentPolicy {
             opt(self.watchdog.max_cycles),
             opt(self.watchdog.max_wall_ms),
             opt(self.revalidate_every.map(u64::from)),
+            opt(self.health_check_every.map(u64::from)),
         )
     }
 
@@ -242,6 +258,9 @@ impl ExperimentPolicy {
                 }
                 "reval" => {
                     policy.revalidate_every = opt(value)?.map(|v| v as u32);
+                }
+                "hc" => {
+                    policy.health_check_every = opt(value)?.map(|v| v as u32);
                 }
                 _ => {}
             }
@@ -412,6 +431,10 @@ mod tests {
                 max_wall_ms: Some(250),
             }),
             ExperimentPolicy::retry_then_skip(2).with_revalidation(25),
+            ExperimentPolicy::skip_and_continue().with_health_check(10),
+            ExperimentPolicy::retry_then_skip(1)
+                .with_revalidation(20)
+                .with_health_check(5),
         ];
         for p in policies {
             assert_eq!(

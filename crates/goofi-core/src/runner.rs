@@ -20,18 +20,27 @@
 //!   only what is missing — previously *failed* experiments are re-run as
 //!   new experiments linked to the original via `parentExperiment`
 //!   (paper §2.3).
+//! - With supervision enabled (see [`crate::supervisor`]), each worker
+//!   health-probes its own target, confirms watchdog timeouts as real
+//!   hangs, and climbs the recovery ladder. A worker whose target
+//!   escalates to offline *retires*: its in-flight experiment goes back on
+//!   the queue for the surviving workers and the campaign degrades
+//!   gracefully instead of failing — it only errors with
+//!   [`GoofiError::TargetOffline`] when every worker's target has died.
 
 use crate::algorithms::{self, CampaignResult};
 use crate::campaign::Campaign;
 use crate::journal::ExperimentJournal;
-use crate::logging::{ExperimentRecord, Validity};
+use crate::logging::{ExperimentRecord, TerminationCause, Validity};
 use crate::monitor::ProgressMonitor;
 use crate::policy::ExperimentFailure;
+use crate::supervisor::{RecoveryRecord, RecoveryTrigger, Supervisor};
 use crate::target::TargetAccess;
 use crate::{GoofiError, Result};
 use envsim::Environment;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One unit of parallel work: a campaign experiment index plus, for
 /// re-runs of previously failed experiments, the `(name, parent)` link of
@@ -254,7 +263,19 @@ where
     let workers = workers.min(items.len().max(1));
     let mut slots: Vec<parking_lot::Mutex<Option<Outcome>>> = Vec::new();
     slots.resize_with(items.len(), || parking_lot::Mutex::new(None));
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    // Graceful-degradation plumbing: a retiring worker (target offline)
+    // hands its in-flight slot back through `requeue`; `in_flight` keeps
+    // idle workers alive while a retirement could still requeue work;
+    // `retired` counts dead targets so the fan-in can tell "campaign
+    // degraded but completed" from "every target died".
+    let requeue: parking_lot::Mutex<Vec<usize>> = parking_lot::Mutex::new(Vec::new());
+    let in_flight = AtomicUsize::new(0);
+    let retired = AtomicUsize::new(0);
+    let supervisor = Supervisor::from_campaign(campaign, &reference);
+    let sup_quarantined: parking_lot::Mutex<Vec<ExperimentRecord>> =
+        parking_lot::Mutex::new(Vec::new());
+    let recoveries: parking_lot::Mutex<Vec<RecoveryRecord>> = parking_lot::Mutex::new(Vec::new());
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
@@ -264,12 +285,30 @@ where
                     Some(f) => f(),
                     None => Box::new(envsim::NullEnvironment),
                 };
+                let mut done_here: usize = 0;
                 loop {
                     if monitor.checkpoint().is_err() {
                         return;
                     }
-                    let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(item) = items.get(slot) else { return };
+                    let slot = match requeue.lock().pop() {
+                        Some(slot) => slot,
+                        None => {
+                            let claim = next.fetch_add(1, Ordering::Relaxed);
+                            if claim >= items.len() {
+                                if in_flight.load(Ordering::Acquire) == 0 {
+                                    return;
+                                }
+                                // A busy worker may yet retire and requeue
+                                // its item; stay alive until all work is
+                                // accounted for.
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                                continue;
+                            }
+                            claim
+                        }
+                    };
+                    let item = &items[slot];
+                    in_flight.fetch_add(1, Ordering::AcqRel);
                     let outcome = match algorithms::run_linked_experiment_with_policy(
                         &mut target,
                         campaign,
@@ -279,12 +318,59 @@ where
                         env.as_mut(),
                     ) {
                         Ok(Ok(record)) => {
-                            monitor.record(&record.termination);
-                            match journal
-                                .map(|j| j.lock().append_record(Some(item.index), &record))
-                                .unwrap_or(Ok(()))
-                            {
-                                Ok(()) => Outcome::Completed(record),
+                            let supervised = match &supervisor {
+                                Some(sup) => supervise_worker_record(
+                                    &mut target,
+                                    campaign,
+                                    sup,
+                                    record,
+                                    item,
+                                    monitor,
+                                    env.as_mut(),
+                                    journal,
+                                    &sup_quarantined,
+                                    &recoveries,
+                                ),
+                                None => Ok(WorkerSupervise::Record(record)),
+                            };
+                            match supervised {
+                                Ok(WorkerSupervise::Record(record)) => {
+                                    monitor.record(&record.termination);
+                                    match journal
+                                        .map(|j| j.lock().append_record(Some(item.index), &record))
+                                        .unwrap_or(Ok(()))
+                                    {
+                                        Ok(()) => Outcome::Completed(record),
+                                        Err(e) => Outcome::Error(e),
+                                    }
+                                }
+                                Ok(WorkerSupervise::Failure(failure)) => {
+                                    monitor.record_failed();
+                                    match journal
+                                        .map(|j| j.lock().append_failure(&failure))
+                                        .unwrap_or(Ok(()))
+                                    {
+                                        Ok(()) if campaign.policy.fails_campaign() => {
+                                            Outcome::Fatal(failure)
+                                        }
+                                        Ok(()) => Outcome::Skipped(failure),
+                                        Err(e) => Outcome::Error(e),
+                                    }
+                                }
+                                Ok(WorkerSupervise::Offline) => {
+                                    // Hand the experiment to the surviving
+                                    // workers, then retire this one. Requeue
+                                    // before the in-flight decrement so idle
+                                    // workers never miss the hand-off.
+                                    requeue.lock().push(slot);
+                                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                                    retired.fetch_add(1, Ordering::AcqRel);
+                                    return;
+                                }
+                                Err(GoofiError::Stopped) => {
+                                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                                    return;
+                                }
                                 Err(e) => Outcome::Error(e),
                             }
                         }
@@ -302,21 +388,57 @@ where
                             }
                         }
                         // User stop mid-experiment: claim no more work.
-                        Err(_) => return,
+                        Err(_) => {
+                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                            return;
+                        }
                     };
                     let abort = matches!(outcome, Outcome::Fatal(_) | Outcome::Error(_));
                     *slots[slot].lock() = Some(outcome);
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
                     if abort {
                         // Let other workers finish their current item, but
                         // claim no more work.
                         monitor.stop();
                         return;
                     }
+                    done_here += 1;
+                    // Scheduled health probes, per worker: each target gets
+                    // probed every `n` experiments it completed.
+                    if let Some(sup) = &supervisor {
+                        if sup.probe_due(done_here)
+                            && !sup.probe(&mut target, env.as_mut(), monitor).passed()
+                        {
+                            let context = campaign.experiment_name(item.index);
+                            let recovery = sup.recover(
+                                &mut target,
+                                env.as_mut(),
+                                monitor,
+                                &context,
+                                RecoveryTrigger::ProbeFailure,
+                            );
+                            let recovered = recovery.recovered;
+                            recoveries.lock().push(recovery);
+                            if !recovered {
+                                // Nothing in flight to requeue: the item
+                                // already completed. Just retire.
+                                retired.fetch_add(1, Ordering::AcqRel);
+                                return;
+                            }
+                        }
+                    }
                 }
             });
         }
     })
     .expect("campaign worker panicked");
+    let retired = retired.into_inner();
+    let mut recoveries = recoveries.into_inner();
+    let mut quarantined = sup_quarantined.into_inner();
+    // Worker interleaving makes the raw push order nondeterministic; sort
+    // for stable results and reports.
+    recoveries.sort_by(|a, b| a.experiment.cmp(&b.experiment));
+    quarantined.sort_by(|a, b| a.name.cmp(&b.name));
 
     // Assemble in campaign-index order. `items` is index-sorted, so the
     // first Fatal/Error outcome is the lowest-index one — the error
@@ -349,7 +471,6 @@ where
     // completed *this run* (preloaded journal records were validated by the
     // run that produced them) and re-run each as a `parentExperiment`-linked
     // rerun on a fresh target.
-    let mut quarantined: Vec<ExperimentRecord> = Vec::new();
     let revalidate = campaign.policy.revalidate_every.is_some_and(|n| n > 0);
     if revalidate && first_abort.is_none() && !monitor.is_stopped() && !fresh.is_empty() {
         let mut target = make_target();
@@ -412,7 +533,9 @@ where
         records: completed.into_values().collect(),
         failures,
         quarantined,
+        recoveries,
     };
+    let incomplete = partial.records.len() + partial.failures.len() < preloaded.len() + items.len();
     match first_abort {
         Some(Outcome::Fatal(failure)) => Err(GoofiError::ExperimentFailed {
             failure,
@@ -420,11 +543,105 @@ where
         }),
         Some(Outcome::Error(e)) => Err(e),
         _ if monitor.is_stopped() => Err(GoofiError::Stopped),
-        _ if partial.records.len() + partial.failures.len() < preloaded.len() + items.len() => {
+        _ if incomplete && retired >= workers => {
+            // Every worker's target died: the campaign could not degrade
+            // any further. The completed shard is preserved.
+            Err(GoofiError::TargetOffline {
+                context: format!("all {workers} worker target(s) retired"),
+                partial: Box::new(partial),
+            })
+        }
+        _ if incomplete => {
             // Unclaimed slots without a stop request should be impossible;
             // report rather than fabricate a partial result silently.
             Err(GoofiError::Stopped)
         }
         _ => Ok(partial),
+    }
+}
+
+/// What worker-side supervision decided about a freshly-completed record.
+enum WorkerSupervise {
+    /// The record stands (possibly a linked re-run replacing a hang).
+    Record(ExperimentRecord),
+    /// The experiment kept hanging (or its re-run failed).
+    Failure(ExperimentFailure),
+    /// The ladder was exhausted: the worker must requeue its item and
+    /// retire.
+    Offline,
+}
+
+/// The worker-side twin of the serial runner's hang resolution: confirms a
+/// `Timeout` with the probe suite, quarantines confirmed hangs (rewritten
+/// to [`TerminationCause::TargetHang`]), climbs the recovery ladder and
+/// re-runs the experiment as a `parentExperiment`-linked child, bounded by
+/// the ladder's `max_hang_rounds`.
+///
+/// # Errors
+///
+/// [`GoofiError::Stopped`] or journal I/O errors.
+#[allow(clippy::too_many_arguments)]
+fn supervise_worker_record<T: TargetAccess>(
+    target: &mut T,
+    campaign: &Campaign,
+    sup: &Supervisor<'_>,
+    mut record: ExperimentRecord,
+    item: &WorkItem,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
+    journal: Option<&parking_lot::Mutex<&mut ExperimentJournal>>,
+    quarantined: &parking_lot::Mutex<Vec<ExperimentRecord>>,
+    recoveries: &parking_lot::Mutex<Vec<RecoveryRecord>>,
+) -> Result<WorkerSupervise> {
+    let mut round: u32 = 0;
+    loop {
+        if record.termination != TerminationCause::Timeout {
+            return Ok(WorkerSupervise::Record(record));
+        }
+        if sup.probe(target, &mut *env, monitor).passed() {
+            // A slow workload, not a wedge: the Timeout stands.
+            return Ok(WorkerSupervise::Record(record));
+        }
+        round += 1;
+        monitor.record_hang();
+        record.termination = TerminationCause::TargetHang;
+        record.validity = Validity::Invalid;
+        if let Some(j) = journal {
+            j.lock().append_record(Some(item.index), &record)?;
+        }
+        monitor.record_quarantined();
+        let parent = record.name.clone();
+        quarantined.lock().push(record);
+        let recovery = sup.recover(
+            target,
+            &mut *env,
+            monitor,
+            &parent,
+            RecoveryTrigger::TargetHang,
+        );
+        let recovered = recovery.recovered;
+        recoveries.lock().push(recovery);
+        if !recovered {
+            return Ok(WorkerSupervise::Offline);
+        }
+        if round > sup.ladder().max_hang_rounds {
+            return Ok(WorkerSupervise::Failure(ExperimentFailure {
+                index: item.index,
+                name: parent,
+                attempts: round,
+                error: "target hang persisted across recovery re-runs".into(),
+            }));
+        }
+        let base = match &item.link {
+            Some((name, _)) => name.clone(),
+            None => campaign.experiment_name(item.index),
+        };
+        let link = Some((format!("{base}/rerun{round}"), parent));
+        match algorithms::run_linked_experiment_with_policy(
+            target, campaign, item.index, link, monitor, env,
+        )? {
+            Ok(rerun) => record = rerun,
+            Err(failure) => return Ok(WorkerSupervise::Failure(failure)),
+        }
     }
 }

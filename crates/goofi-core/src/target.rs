@@ -154,6 +154,20 @@ pub trait TargetAccess {
     /// (liveness) analysis. Targets without trace support may return
     /// `Err(GoofiError::Unimplemented)`, which disables the optimisation.
     fn step_traced(&mut self) -> Result<(Option<RunEvent>, crate::preinject::StepAccess)>;
+
+    /// Cold-restarts the target — the strongest recovery action short of
+    /// taking the target offline (see [`crate::supervisor::RecoveryLadder`]).
+    ///
+    /// The default body re-initialises the test card and resets the core,
+    /// which is the best a port without power control can do. Ports with
+    /// real cold-reset semantics (the Thor simulator, hardware with a
+    /// switchable supply) should override this to wipe *all* target state —
+    /// registers, caches, detection latches — and reload the current
+    /// workload, so that state a warm reset cannot reach is cleared too.
+    fn power_cycle(&mut self) -> Result<()> {
+        self.init_test_card()?;
+        self.reset_target()
+    }
 }
 
 /// Boxed targets are targets too, so callers can assemble decorator stacks
@@ -244,5 +258,12 @@ impl<T: TargetAccess + ?Sized> TargetAccess for Box<T> {
 
     fn step_traced(&mut self) -> Result<(Option<RunEvent>, crate::preinject::StepAccess)> {
         (**self).step_traced()
+    }
+
+    // Must forward explicitly: falling back to the trait default would
+    // re-init through the *box* and silently skip any override the inner
+    // target (or a decorator below it) provides.
+    fn power_cycle(&mut self) -> Result<()> {
+        (**self).power_cycle()
     }
 }

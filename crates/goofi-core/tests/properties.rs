@@ -4,9 +4,11 @@
 use goofi_core::campaign::{OutputRegion, Technique, WorkloadImage};
 use goofi_core::fault::{FaultLocation, FaultModel, FaultSpec};
 use goofi_core::logging::{StateSnapshot, TerminationCause};
+use goofi_core::supervisor::{RecoveryStage, RecoveryTrigger};
 use goofi_core::trigger::Trigger;
 use goofi_core::DetectionInfo;
 use proptest::prelude::*;
+use scanchain::{RecoveryDepth, WedgeConfig, WedgeModel};
 
 fn arb_trigger() -> impl Strategy<Value = Trigger> {
     prop_oneof![
@@ -57,10 +59,41 @@ fn arb_termination() -> impl Strategy<Value = TerminationCause> {
         Just(TerminationCause::WorkloadEnd),
         Just(TerminationCause::Timeout),
         Just(TerminationCause::IterationLimit),
+        Just(TerminationCause::TargetHang),
         ("[a-z_]{1,16}", any::<u32>()).prop_map(|(mechanism, code)| {
             TerminationCause::Detected(DetectionInfo { mechanism, code })
         }),
     ]
+}
+
+fn arb_recovery_depth() -> impl Strategy<Value = RecoveryDepth> {
+    prop_oneof![
+        Just(RecoveryDepth::SoftReset),
+        Just(RecoveryDepth::Reinit),
+        Just(RecoveryDepth::PowerCycle),
+        Just(RecoveryDepth::Never),
+    ]
+}
+
+fn arb_wedge_config() -> impl Strategy<Value = WedgeConfig> {
+    (
+        any::<u64>(),
+        0.0..0.33f64,
+        0.0..0.33f64,
+        0.0..0.33f64,
+        proptest::option::of(0u32..10),
+        arb_recovery_depth(),
+    )
+        .prop_map(
+            |(seed, hang_rate, stuck_tap_rate, garbage_rate, max_events, recovery)| WedgeConfig {
+                seed,
+                hang_rate,
+                stuck_tap_rate,
+                garbage_rate,
+                max_events,
+                recovery,
+            },
+        )
 }
 
 proptest! {
@@ -139,6 +172,86 @@ proptest! {
             cycles,
         };
         prop_assert_eq!(StateSnapshot::decode(&snap.encode()), Some(snap));
+    }
+
+    #[test]
+    fn wedge_config_roundtrip(cfg in arb_wedge_config()) {
+        prop_assert_eq!(WedgeConfig::decode(&cfg.encode()), Some(cfg));
+    }
+
+    #[test]
+    fn recovery_depth_roundtrip(d in arb_recovery_depth()) {
+        prop_assert_eq!(RecoveryDepth::decode(d.encode()), Some(d));
+    }
+
+    #[test]
+    fn recovery_stage_roundtrip(i in 0usize..4) {
+        let s = [
+            RecoveryStage::SoftReset,
+            RecoveryStage::ReinitTestCard,
+            RecoveryStage::PowerCycle,
+            RecoveryStage::Offline,
+        ][i];
+        prop_assert_eq!(RecoveryStage::decode(s.encode()), Some(s));
+    }
+
+    #[test]
+    fn recovery_trigger_roundtrip(hang: bool) {
+        let t = if hang {
+            RecoveryTrigger::TargetHang
+        } else {
+            RecoveryTrigger::ProbeFailure
+        };
+        prop_assert_eq!(RecoveryTrigger::decode(t.encode()), Some(t));
+    }
+
+    /// The whole wedge schedule — which operations wedge, into which kind —
+    /// is a pure function of the configuration.
+    #[test]
+    fn wedge_schedule_is_seed_deterministic(cfg in arb_wedge_config(), ops in 1usize..200) {
+        let mut a = WedgeModel::new(cfg);
+        let mut b = WedgeModel::new(cfg);
+        for _ in 0..ops {
+            prop_assert_eq!(a.advance(), b.advance());
+        }
+        prop_assert_eq!(a.counts(), b.counts());
+        prop_assert_eq!(a.wedged(), b.wedged());
+        if let Some(max) = cfg.max_events {
+            prop_assert!(a.counts().total() <= max);
+        }
+    }
+
+    /// A wedge clears exactly when the recovery action reaches the
+    /// configured depth (and `Never` wedges never clear).
+    #[test]
+    fn wedge_recovery_respects_configured_depth(
+        cfg in arb_wedge_config(),
+        ops in 1usize..200,
+        action in arb_recovery_depth(),
+    ) {
+        let mut model = WedgeModel::new(cfg);
+        for _ in 0..ops {
+            model.advance();
+            if model.wedged().is_some() {
+                break;
+            }
+        }
+        let was_wedged = model.wedged().is_some();
+        let cleared = model.recover(action);
+        let should_clear =
+            was_wedged && cfg.recovery != RecoveryDepth::Never && action >= cfg.recovery;
+        prop_assert_eq!(cleared, should_clear);
+        prop_assert_eq!(model.wedged().is_some(), was_wedged && !should_clear);
+    }
+
+    /// Garbage scan captures are seeded: same model state, same garbage.
+    #[test]
+    fn wedge_garbage_is_deterministic(seed: u64, len in 0usize..256) {
+        let cfg = WedgeConfig { seed, garbage_rate: 1.0, ..WedgeConfig::default() };
+        let mut a = WedgeModel::new(cfg);
+        let mut b = WedgeModel::new(cfg);
+        prop_assert_eq!(a.advance(), b.advance());
+        prop_assert_eq!(a.garbage_bits(len), b.garbage_bits(len));
     }
 
     #[test]

@@ -35,6 +35,11 @@ use thor::{AccessLog, Cpu, CpuConfig, StopReason, PORT_COUNT};
 #[derive(Debug)]
 pub struct ThorTarget {
     card: TestCard<Cpu>,
+    /// Construction config, kept so a power cycle can rebuild the CPU
+    /// from scratch.
+    config: CpuConfig,
+    /// The last downloaded workload, reloaded after a power cycle.
+    last_image: Option<WorkloadImage>,
 }
 
 impl Default for ThorTarget {
@@ -48,6 +53,8 @@ impl ThorTarget {
     pub fn new(config: CpuConfig) -> Self {
         ThorTarget {
             card: TestCard::new(Cpu::new(config)),
+            config,
+            last_image: None,
         }
     }
 
@@ -121,7 +128,9 @@ impl TargetAccess for ThorTarget {
         self.card
             .target_mut()
             .load_image(&thor_image)
-            .map_err(mem_err)
+            .map_err(mem_err)?;
+        self.last_image = Some(image.clone());
+        Ok(())
     }
 
     fn reset_target(&mut self) -> Result<()> {
@@ -249,6 +258,20 @@ impl TargetAccess for ThorTarget {
         }
         Ok((stop.map(|s| self.map_stop(s)), access))
     }
+
+    /// Real cold-reset semantics: the CPU (registers, caches, detection
+    /// latches, debug unit) and the test card's TAP are rebuilt from
+    /// scratch — state a warm [`reset_target`](TargetAccess::reset_target)
+    /// cannot reach, such as a wedged EDM latch, is wiped too — and the
+    /// last workload image is downloaded again.
+    fn power_cycle(&mut self) -> Result<()> {
+        self.card = TestCard::new(Cpu::new(self.config));
+        self.card.init().map_err(scan_err)?;
+        if let Some(image) = self.last_image.clone() {
+            self.load_workload(&image)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +387,38 @@ mod tests {
         t.write_input_ports(&[123]).unwrap();
         t.run_workload(RunBudget::default()).unwrap();
         assert_eq!(t.read_output_ports().unwrap()[1], 123);
+    }
+
+    #[test]
+    fn power_cycle_wipes_state_and_reloads_workload() {
+        let mut t = ready("ldi r1, 9\nhalt");
+        t.run_workload(RunBudget::default()).unwrap();
+        assert!(t.instructions_executed() > 0);
+        let bits = t.read_scan_chain("internal").unwrap();
+        let layout = t
+            .chain_layouts()
+            .into_iter()
+            .find(|l| l.name() == "internal")
+            .unwrap();
+        assert_eq!(layout.read_cell(&bits, "R1").unwrap(), 9);
+        t.power_cycle().unwrap();
+        // Registers and counters are wiped, not just reset.
+        assert_eq!(t.instructions_executed(), 0);
+        let bits = t.read_scan_chain("internal").unwrap();
+        assert_eq!(layout.read_cell(&bits, "R1").unwrap(), 0);
+        // The workload was reloaded: the target runs to completion again.
+        assert_eq!(
+            t.run_workload(RunBudget::default()).unwrap(),
+            RunEvent::Halted
+        );
+    }
+
+    #[test]
+    fn power_cycle_without_workload_is_clean() {
+        let mut t = ThorTarget::default();
+        t.init_test_card().unwrap();
+        t.power_cycle().unwrap();
+        assert_eq!(t.instructions_executed(), 0);
     }
 
     #[test]

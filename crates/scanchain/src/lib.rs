@@ -38,6 +38,7 @@ mod error;
 mod link;
 mod tap;
 mod testcard;
+mod wedge;
 
 pub use bitvec::BitVec;
 pub use chain::{CellAccess, CellDef, ChainLayout, ChainLayoutBuilder};
@@ -46,3 +47,4 @@ pub use error::ScanError;
 pub use link::{FaultyScanTarget, LinkFault, LinkFaultConfig, LinkFaultCounts, LinkFaultModel};
 pub use tap::{TapController, TapInstruction, TapState};
 pub use testcard::{ScanTarget, TestCard, TestCardStats};
+pub use wedge::{RecoveryDepth, WedgeConfig, WedgeCounts, WedgeKind, WedgeModel};

@@ -22,12 +22,13 @@ use goofi::core::link::{UnreliableTarget, VerifiedTarget};
 use goofi::core::logging::LoggingMode;
 use goofi::core::monitor::ProgressMonitor;
 use goofi::core::policy::{Backoff, ExperimentPolicy, WatchdogBudget};
+use goofi::core::supervisor::WedgeableTarget;
 use goofi::core::{dbio, runner};
 use goofi::core::{GoofiError, TargetAccess};
 use goofi::envsim::{DcMotor, Environment, JetEngine, NullEnvironment, WaterTank};
 use goofi::goofi_thor::ThorTarget;
 use goofi::goofidb::Database;
-use goofi::scanchain::LinkFaultConfig;
+use goofi::scanchain::{LinkFaultConfig, WedgeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -76,11 +77,13 @@ fn print_usage() {
             [--max-instr N] [--max-iterations N] [--detail] [--with-caches]\n        \
             [--on-error failfast|skip|retry-skip|retry-fail] [--retries N]\n        \
             [--backoff-ms A:B] [--watchdog-cycles N] [--watchdog-ms N]\n        \
-            [--revalidate-every N]\n  \
+            [--revalidate-every N] [--health-check-every N]\n  \
          goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n        \
-            [--journal <file>] [--link-faults <spec>] [--verify-reads]\n  \
+            [--journal <file>] [--link-faults <spec>] [--verify-reads]\n        \
+            [--health-check-every N] [--wedge <spec>]\n  \
          goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
-            [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n  \
+            [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n        \
+            [--health-check-every N] [--wedge <spec>]\n  \
          goofi report <db> --name <campaign>\n  \
          goofi sql <db> \"<SELECT ...>\""
     );
@@ -159,7 +162,36 @@ fn policy_from_flags(flags: &HashMap<String, String>) -> Result<ExperimentPolicy
     if let Some(v) = flags.get("revalidate-every") {
         policy = policy.with_revalidation(v.parse().map_err(|_| "bad --revalidate-every")?);
     }
+    if let Some(v) = flags.get("health-check-every") {
+        policy = policy.with_health_check(v.parse().map_err(|_| "bad --health-check-every")?);
+    }
     Ok(policy.with_watchdog(watchdog))
+}
+
+/// Applies the `--health-check-every` override to a loaded campaign, so
+/// supervision can be switched on (or its cadence changed) at run time
+/// without re-creating the campaign.
+fn apply_health_check_override(
+    campaign: &mut Campaign,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    if let Some(v) = flags.get("health-check-every") {
+        campaign.policy = campaign
+            .policy
+            .with_health_check(v.parse().map_err(|_| "bad --health-check-every")?);
+    }
+    Ok(())
+}
+
+/// Parses the `--wedge` target-misbehaviour spec shared by `run` and
+/// `resume` (see [`WedgeConfig::decode`] for the `key=value` grammar).
+fn wedge_flag(flags: &HashMap<String, String>) -> Result<Option<WedgeConfig>, String> {
+    match flags.get("wedge") {
+        Some(spec) => Ok(Some(
+            WedgeConfig::decode(spec).ok_or_else(|| format!("bad --wedge spec `{spec}`"))?,
+        )),
+        None => Ok(None),
+    }
 }
 
 /// Parses the `--link-faults`/`--verify-reads` transport flags shared by
@@ -175,23 +207,32 @@ fn link_flags(flags: &HashMap<String, String>) -> Result<(Option<LinkFaultConfig
     Ok((link, flags.contains_key("verify-reads")))
 }
 
-/// Assembles the target decorator stack: an optional fault-injecting
-/// [`UnreliableTarget`] under an optional [`VerifiedTarget`] recovery layer.
-/// `worker` offsets the link-fault seed so parallel workers draw distinct
-/// (but still deterministic) fault streams.
+/// Assembles the target decorator stack: an optional wedge-simulating
+/// [`WedgeableTarget`] closest to the hardware, an optional fault-injecting
+/// [`UnreliableTarget`] above it, and an optional [`VerifiedTarget`]
+/// recovery layer on top. `worker` offsets the wedge and link-fault seeds
+/// so parallel workers draw distinct (but still deterministic) streams.
 fn decorate_target(
+    wedge: Option<WedgeConfig>,
     link: Option<LinkFaultConfig>,
     verify: bool,
     monitor: &ProgressMonitor,
     worker: u64,
 ) -> Box<dyn TargetAccess> {
     let base = ThorTarget::default();
+    let wedged: Box<dyn TargetAccess> = match wedge {
+        Some(mut cfg) => {
+            cfg.seed = cfg.seed.wrapping_add(worker);
+            Box::new(WedgeableTarget::new(base, cfg))
+        }
+        None => Box::new(base),
+    };
     let inner: Box<dyn TargetAccess> = match link {
         Some(mut cfg) => {
             cfg.seed = cfg.seed.wrapping_add(worker);
-            Box::new(UnreliableTarget::new(base, cfg))
+            Box::new(UnreliableTarget::new(wedged, cfg))
         }
-        None => Box::new(base),
+        None => wedged,
     };
     if verify {
         Box::new(VerifiedTarget::new(inner).with_monitor(monitor.clone()))
@@ -214,6 +255,17 @@ fn salvage_partial(db: &mut Database, db_path: &str, err: GoofiError) -> String 
                     format!("{failure}; salvaged {salvaged} completed record(s) to {db_path}")
                 }
                 Err(e) => format!("{failure}; salvaging partial results also failed: {e}"),
+            }
+        }
+        GoofiError::TargetOffline { context, partial } => {
+            let salvaged = partial.records.len();
+            let what = format!("target offline: recovery ladder exhausted during {context}");
+            let stored = dbio::store_result(db, &partial)
+                .map_err(|e| e.to_string())
+                .and_then(|()| save_db(db_path, db));
+            match stored {
+                Ok(()) => format!("{what}; salvaged {salvaged} completed record(s) to {db_path}"),
+                Err(e) => format!("{what}; salvaging partial results also failed: {e}"),
             }
         }
         other => other.to_string(),
@@ -406,7 +458,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let mut db = load_db(db_path)?;
     // The paper's readCampaignData step.
-    let campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
+    let mut campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
+    apply_health_check_override(&mut campaign, &flags)?;
+    let campaign = campaign;
     let monitor = ProgressMonitor::new(campaign.experiment_count());
     println!(
         "running campaign `{name}`: {} experiments ({}, {:?} logging)",
@@ -418,10 +472,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let env_kind = flags.get("env").cloned();
     make_env(env_kind.as_deref())?; // validate before the workers clone it
     let (link, verify) = link_flags(&flags)?;
+    let wedge = wedge_flag(&flags)?;
     let journal_path = flags.get("journal").cloned();
     let started = std::time::Instant::now();
     let result = if workers <= 1 {
-        let mut target = decorate_target(link, verify, &monitor, 0);
+        let mut target = decorate_target(wedge, link, verify, &monitor, 0);
         let mut env = make_env(env_kind.as_deref())?;
         let mut journal = match &journal_path {
             Some(p) => {
@@ -449,7 +504,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         runner::run_campaign_parallel_journaled(
             move || {
                 let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                decorate_target(link, verify, &make_monitor, worker)
+                decorate_target(wedge, link, verify, &make_monitor, worker)
             },
             Some(move || make_env(env_kind2.as_deref()).expect("validated above")),
             &campaign,
@@ -459,7 +514,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         )
     };
     let result = result.map_err(|e| salvage_partial(&mut db, db_path, e))?;
-    finish_run(&mut db, db_path, &monitor, &result, started.elapsed())
+    finish_run(
+        &mut db,
+        db_path,
+        &monitor,
+        &campaign,
+        &result,
+        started.elapsed(),
+    )
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), String> {
@@ -474,11 +536,14 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         .map_or(Ok(1), |v| v.parse().map_err(|_| "bad --workers"))?;
 
     let mut db = load_db(db_path)?;
-    let campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
+    let mut campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
+    apply_health_check_override(&mut campaign, &flags)?;
+    let campaign = campaign;
     let monitor = ProgressMonitor::new(campaign.experiment_count());
     let env_kind = flags.get("env").cloned();
     make_env(env_kind.as_deref())?; // validate before the workers clone it
     let (link, verify) = link_flags(&flags)?;
+    let wedge = wedge_flag(&flags)?;
     println!(
         "resuming campaign `{name}` from {journal_path}: {} experiments total",
         campaign.experiment_count(),
@@ -490,7 +555,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let result = runner::resume_campaign(
         move || {
             let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            decorate_target(link, verify, &make_monitor, worker)
+            decorate_target(wedge, link, verify, &make_monitor, worker)
         },
         Some(move || make_env(env_kind.as_deref()).expect("validated above")),
         &campaign,
@@ -499,17 +564,30 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         journal_path,
     )
     .map_err(|e| salvage_partial(&mut db, db_path, e))?;
-    finish_run(&mut db, db_path, &monitor, &result, started.elapsed())
+    finish_run(
+        &mut db,
+        db_path,
+        &monitor,
+        &campaign,
+        &result,
+        started.elapsed(),
+    )
 }
 
 fn finish_run(
     db: &mut Database,
     db_path: &str,
     monitor: &ProgressMonitor,
+    campaign: &Campaign,
     result: &algorithms::CampaignResult,
     elapsed: std::time::Duration,
 ) -> Result<(), String> {
     dbio::store_result(db, result).map_err(|e| e.to_string())?;
+    // Detail mode keeps the full recovery audit trail in the database.
+    if campaign.logging == LoggingMode::Detail && !result.recoveries.is_empty() {
+        dbio::log_recovery_actions(db, &campaign.name, &result.recoveries)
+            .map_err(|e| e.to_string())?;
+    }
     save_db(db_path, db)?;
     let progress = monitor.snapshot();
     println!(
@@ -525,6 +603,32 @@ fn finish_run(
             "link events: {} recovered, {} unrecovered",
             progress.link_recovered, progress.link_unrecovered,
         );
+    }
+    if progress.probes_run > 0 || progress.hangs > 0 {
+        println!(
+            "supervision: {} probe suite(s) run ({} failed), {} target hang(s)",
+            progress.probes_run, progress.probes_failed, progress.hangs,
+        );
+        println!(
+            "  recovery actions: {} soft reset(s), {} card re-init(s), {} power cycle(s), {} target(s) offline",
+            progress.soft_resets, progress.card_reinits, progress.power_cycles, progress.targets_offline,
+        );
+    }
+    if !result.recoveries.is_empty() {
+        println!("recovery episodes:");
+        for episode in &result.recoveries {
+            println!(
+                "  {} ({}): {} action(s), {}",
+                episode.experiment,
+                episode.trigger,
+                episode.actions.len(),
+                if episode.recovered {
+                    "recovered"
+                } else {
+                    "target offline"
+                },
+            );
+        }
     }
     if !result.quarantined.is_empty() {
         println!(
@@ -560,6 +664,35 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         println!("candidates for detail-mode re-run (escaped errors):");
         for row in &escaped.rows {
             println!("  {}", row[0]);
+        }
+    }
+    let recoveries = dbio::load_recovery_actions(&db, name).map_err(|e| e.to_string())?;
+    if !recoveries.is_empty() {
+        println!("recovery audit trail ({} episode(s)):", recoveries.len());
+        for episode in &recoveries {
+            println!(
+                "  {} ({}): {}",
+                episode.experiment,
+                episode.trigger,
+                if episode.recovered {
+                    "recovered"
+                } else {
+                    "target offline"
+                },
+            );
+            for action in &episode.actions {
+                println!(
+                    "    {} attempt {}: {}{}",
+                    action.stage,
+                    action.attempt,
+                    if action.recovered { "ok" } else { "failed" },
+                    if action.detail.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" — {}", action.detail)
+                    },
+                );
+            }
         }
     }
     save_db(db_path, &db)?;

@@ -206,6 +206,62 @@ fn parallel_runner_surfaces_worker_errors_and_validates_workers() {
 }
 
 #[test]
+fn decorators_and_trait_objects_forward_power_cycle_to_the_real_target() {
+    use goofi::core::link::{UnreliableTarget, VerifiedTarget};
+    use goofi::core::supervisor::WedgeableTarget;
+    use goofi::core::TargetAccess;
+    use goofi::scanchain::{LinkFaultConfig, WedgeConfig};
+
+    // Wedge the target so deeply that only its own cold reset clears it —
+    // if any layer of the stack substituted the trait's default
+    // (init+reset) power cycle, the wedge would survive.
+    let mut cfg = WedgeConfig::hang(7, 1.0);
+    cfg.max_events = Some(1);
+    let wedged = WedgeableTarget::new(ThorTarget::default(), cfg);
+    let unreliable = UnreliableTarget::new(wedged, LinkFaultConfig::default());
+    let boxed: Box<dyn TargetAccess> = Box::new(VerifiedTarget::new(unreliable));
+    let mut stack: Box<dyn TargetAccess> = Box::new(boxed); // Box-in-Box: blanket impl too
+
+    stack.init_test_card().unwrap();
+    let wl = workloads::by_name("primes").unwrap();
+    stack
+        .load_workload(&goofi::core::campaign::WorkloadImage {
+            name: wl.name.clone(),
+            words: wl.image.words.clone(),
+            code_words: wl.image.code_words,
+            entry: wl.image.entry,
+        })
+        .unwrap();
+    // The armed run draws the wedge: the whole budget burns with no
+    // progress.
+    let before = stack.instructions_executed();
+    let event = stack
+        .run_workload(goofi::core::RunBudget {
+            max_instructions: 500,
+        })
+        .unwrap();
+    assert!(
+        matches!(event, goofi::core::RunEvent::BudgetExhausted),
+        "wedged run must time out, got {event:?}"
+    );
+    assert!(
+        stack.instructions_executed() >= before + 500,
+        "hang burns budget"
+    );
+
+    stack.power_cycle().unwrap();
+    // After a forwarded power cycle the workload is reloaded and the wedge
+    // is gone: the run completes for real.
+    let event = stack
+        .run_workload(goofi::core::RunBudget::default())
+        .unwrap();
+    assert!(
+        matches!(event, goofi::core::RunEvent::Halted),
+        "target must run to completion after power cycle, got {event:?}"
+    );
+}
+
+#[test]
 fn readonly_scan_cells_are_rejected_as_fault_locations() {
     let wl = workloads::by_name("primes").unwrap();
     let campaign = Campaign::builder("ro")
