@@ -1,6 +1,6 @@
-//! B4–B8: campaign-level benchmarks — experiment throughput per technique,
+//! B4–B9: campaign-level benchmarks — experiment throughput per technique,
 //! parallel-runner scaling, journaling overhead, verified-link overhead,
-//! and health-probe supervision overhead.
+//! health-probe supervision overhead, and telemetry overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use goofi_core::algorithms;
@@ -11,6 +11,7 @@ use goofi_core::link::{UnreliableTarget, VerifiedTarget, VerifyConfig};
 use goofi_core::monitor::ProgressMonitor;
 use goofi_core::preinject;
 use goofi_core::runner;
+use goofi_core::telemetry::{RingSink, Telemetry, FLIGHT_RECORDER_SPANS};
 use goofi_core::trigger::Trigger;
 use goofi_thor::ThorTarget;
 use rand::rngs::StdRng;
@@ -283,9 +284,47 @@ fn bench_supervision_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // B9: cost of the observability layer on the standard SCIFI campaign.
+    // Disabled telemetry is the tax every campaign pays (one `Option`
+    // branch per instrumentation point, no clock reads); the enabled cases
+    // add the metrics registry alone, then a full in-memory span ring of
+    // flight-recorder size.
+    let mut group = c.benchmark_group("telemetry-overhead");
+    let n = 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    let campaign = scifi_campaign(n);
+
+    let cases: [(&str, fn() -> Telemetry); 3] = [
+        ("telemetry_disabled", Telemetry::disabled),
+        ("metrics_only", Telemetry::enabled),
+        ("metrics_and_ring_trace", || {
+            Telemetry::with_sinks(vec![std::sync::Arc::new(RingSink::new(
+                FLIGHT_RECORDER_SPANS,
+            ))])
+        }),
+    ];
+    for (label, make_tel) in cases {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut target = ThorTarget::default();
+                algorithms::run_campaign(
+                    &mut target,
+                    &campaign,
+                    &ProgressMonitor::with_telemetry(n, make_tel()),
+                    &mut envsim::NullEnvironment,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives, bench_verified_link_overhead, bench_supervision_overhead
+    targets = bench_techniques, bench_parallel_scaling, bench_journal_overhead, bench_fault_primitives, bench_verified_link_overhead, bench_supervision_overhead, bench_telemetry_overhead
 }
 criterion_main!(benches);

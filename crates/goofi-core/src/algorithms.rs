@@ -29,6 +29,7 @@ use crate::monitor::ProgressMonitor;
 use crate::policy::{ExperimentFailure, Watchdog};
 use crate::supervisor::{RecoveryRecord, RecoveryTrigger, Supervisor};
 use crate::target::{RunBudget, RunEvent, TargetAccess};
+use crate::telemetry::{Stage, Telemetry};
 use crate::{GoofiError, Result};
 use envsim::Environment;
 
@@ -154,9 +155,11 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
     mut journal: Option<&mut ExperimentJournal>,
 ) -> Result<CampaignResult> {
     campaign.validate()?;
-    let reference = make_reference_run(target, campaign, &mut *env)?;
+    let tel = monitor.telemetry().clone();
+    let _campaign_span = tel.campaign_span(&campaign.name);
+    let reference = reference_run_traced(target, campaign, &mut *env, &tel)?;
     if let Some(j) = journal.as_deref_mut() {
-        j.append_record(None, &reference)?;
+        tel.time(Stage::DbWrite, || j.append_record(None, &reference))?;
     }
     let mut records = Vec::with_capacity(campaign.faults.len());
     let mut failures = Vec::new();
@@ -194,7 +197,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                     SuperviseOutcome::Record(record) => {
                         monitor.record(&record.termination);
                         if let Some(j) = journal.as_deref_mut() {
-                            j.append_record(Some(index), &record)?;
+                            tel.time(Stage::DbWrite, || j.append_record(Some(index), &record))?;
                         }
                         window.push((index, records.len()));
                         records.push(record);
@@ -202,7 +205,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                     SuperviseOutcome::Failure(failure) => {
                         monitor.record_failed();
                         if let Some(j) = journal.as_deref_mut() {
-                            j.append_failure(&failure)?;
+                            tel.time(Stage::DbWrite, || j.append_failure(&failure))?;
                         }
                         if campaign.policy.fails_campaign() {
                             return Err(GoofiError::ExperimentFailed {
@@ -235,7 +238,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
             Err(failure) => {
                 monitor.record_failed();
                 if let Some(j) = journal.as_deref_mut() {
-                    j.append_failure(&failure)?;
+                    tel.time(Stage::DbWrite, || j.append_failure(&failure))?;
                 }
                 if campaign.policy.fails_campaign() {
                     return Err(GoofiError::ExperimentFailed {
@@ -398,7 +401,9 @@ fn resolve_hangs<T: TargetAccess + ?Sized>(
         record.termination = TerminationCause::TargetHang;
         record.validity = Validity::Invalid;
         if let Some(j) = journal.as_deref_mut() {
-            j.append_record(Some(index), &record)?;
+            monitor
+                .telemetry()
+                .time(Stage::DbWrite, || j.append_record(Some(index), &record))?;
         }
         monitor.record_quarantined();
         let parent = record.name.clone();
@@ -457,7 +462,7 @@ fn revalidate_window<T: TargetAccess + ?Sized>(
     quarantined: &mut Vec<ExperimentRecord>,
     window: &mut Vec<(usize, usize)>,
 ) -> Result<Option<ExperimentFailure>> {
-    let golden = make_reference_run(target, campaign, &mut *env)?;
+    let golden = reference_run_traced(target, campaign, &mut *env, monitor.telemetry())?;
     if golden_run_matches(reference, &golden) {
         window.clear();
         return Ok(None);
@@ -468,7 +473,9 @@ fn revalidate_window<T: TargetAccess + ?Sized>(
     for &(index, pos) in window.iter() {
         records[pos].validity = Validity::Invalid;
         if let Some(j) = journal.as_deref_mut() {
-            j.append_record(Some(index), &records[pos])?;
+            monitor
+                .telemetry()
+                .time(Stage::DbWrite, || j.append_record(Some(index), &records[pos]))?;
         }
         monitor.record_quarantined();
     }
@@ -481,13 +488,17 @@ fn revalidate_window<T: TargetAccess + ?Sized>(
         match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env)? {
             Ok(rerun) => {
                 if let Some(j) = journal.as_deref_mut() {
-                    j.append_record(Some(index), &rerun)?;
+                    monitor
+                        .telemetry()
+                        .time(Stage::DbWrite, || j.append_record(Some(index), &rerun))?;
                 }
                 quarantined.push(std::mem::replace(&mut records[pos], rerun));
             }
             Err(failure) => {
                 if let Some(j) = journal.as_deref_mut() {
-                    j.append_failure(&failure)?;
+                    monitor
+                        .telemetry()
+                        .time(Stage::DbWrite, || j.append_failure(&failure))?;
                 }
                 // The invalid original stays in place (still quarantined);
                 // a later resume re-runs it from the journal.
@@ -536,10 +547,19 @@ pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
     env: &mut dyn Environment,
 ) -> Result<std::result::Result<ExperimentRecord, ExperimentFailure>> {
     let retries = campaign.policy.retries();
+    let tel = monitor.telemetry();
     let mut attempt: u32 = 0;
     loop {
         let result = match &link {
-            None => run_experiment(target, campaign, index, &mut *env),
+            None => run_experiment_inner(
+                target,
+                campaign,
+                index,
+                &mut *env,
+                None,
+                campaign.logging,
+                tel,
+            ),
             Some((name, parent)) => run_experiment_inner(
                 target,
                 campaign,
@@ -547,6 +567,7 @@ pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
                 &mut *env,
                 Some(parent.clone()),
                 campaign.logging,
+                tel,
             )
             .map(|mut record| {
                 record.name = name.clone();
@@ -594,18 +615,41 @@ pub fn make_reference_run<T: TargetAccess + ?Sized>(
     campaign: &Campaign,
     env: &mut dyn Environment,
 ) -> Result<ExperimentRecord> {
-    target.init_test_card()?;
-    target.load_workload(&campaign.workload)?;
-    env.reset();
-    target.write_input_ports(&campaign.initial_inputs)?;
-    target.clear_breakpoints()?;
+    reference_run_traced(target, campaign, env, &Telemetry::disabled())
+}
+
+/// [`make_reference_run`] with load/run/scan stage spans recorded to `tel`
+/// under a reference-run experiment span.
+pub(crate) fn reference_run_traced<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    env: &mut dyn Environment,
+    tel: &Telemetry,
+) -> Result<ExperimentRecord> {
+    let exp_span = tel.experiment_span_with(|| {
+        format!("{}/{}", campaign.name, ExperimentRecord::REFERENCE_NAME)
+    });
+    {
+        let _load = tel.stage_span(Stage::Load, exp_span.id());
+        target.init_test_card()?;
+        target.load_workload(&campaign.workload)?;
+        env.reset();
+        target.write_input_ports(&campaign.initial_inputs)?;
+        target.clear_breakpoints()?;
+    }
     let mut wd = Watchdog::start(&campaign.policy.watchdog, target.cycles_executed());
-    let (termination, trace) = if campaign.logging == LoggingMode::Detail {
-        continue_stepping(target, campaign, env, None, true, &mut wd)?
-    } else {
-        continue_to_termination(target, campaign, env, &mut wd)?
+    let (termination, trace) = {
+        let _run = tel.stage_span(Stage::Run, exp_span.id());
+        if campaign.logging == LoggingMode::Detail {
+            continue_stepping(target, campaign, env, None, true, &mut wd)?
+        } else {
+            continue_to_termination(target, campaign, env, &mut wd)?
+        }
     };
-    let state = snapshot(target, campaign, true)?;
+    let state = {
+        let _scan = tel.stage_span(Stage::Scan, exp_span.id());
+        snapshot(target, campaign, true)?
+    };
     Ok(ExperimentRecord {
         name: format!("{}/{}", campaign.name, ExperimentRecord::REFERENCE_NAME),
         parent: None,
@@ -629,7 +673,15 @@ pub fn run_experiment<T: TargetAccess + ?Sized>(
     index: usize,
     env: &mut dyn Environment,
 ) -> Result<ExperimentRecord> {
-    run_experiment_inner(target, campaign, index, env, None, campaign.logging)
+    run_experiment_inner(
+        target,
+        campaign,
+        index,
+        env,
+        None,
+        campaign.logging,
+        &Telemetry::disabled(),
+    )
 }
 
 /// Re-runs experiment `index` in detail mode, recording `parent` as the
@@ -654,11 +706,13 @@ pub fn rerun_detailed<T: TargetAccess + ?Sized>(
         env,
         Some(parent.clone()),
         LoggingMode::Detail,
+        &Telemetry::disabled(),
     )?;
     record.name = format!("{parent}/detail");
     Ok(record)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_experiment_inner<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
@@ -666,6 +720,7 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
     env: &mut dyn Environment,
     parent: Option<String>,
     logging: LoggingMode,
+    tel: &Telemetry,
 ) -> Result<ExperimentRecord> {
     let spec = campaign.faults.get(index).ok_or_else(|| {
         GoofiError::Config(format!(
@@ -673,20 +728,30 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
             campaign.faults.len()
         ))
     })?;
+    let exp_span = tel.experiment_span_with(|| campaign.experiment_name(index));
 
     // initTestCard(); loadWorkload(); writeMemory();
-    target.init_test_card()?;
-    target.load_workload(&campaign.workload)?;
-    env.reset();
-    target.write_input_ports(&campaign.initial_inputs)?;
-    target.clear_breakpoints()?;
+    {
+        let _load = tel.stage_span(Stage::Load, exp_span.id());
+        target.init_test_card()?;
+        target.load_workload(&campaign.workload)?;
+        env.reset();
+        target.write_input_ports(&campaign.initial_inputs)?;
+        target.clear_breakpoints()?;
+    }
     let mut wd = Watchdog::start(&campaign.policy.watchdog, target.cycles_executed());
 
     let trace: Vec<StateSnapshot>;
     let termination = if spec.trigger.is_pre_runtime() {
         // Pre-runtime SWIFI: corrupt the image, then just run.
-        apply_fault(target, spec)?;
-        let (t, tr) = continue_with_model(target, campaign, spec, env, logging, &mut wd)?;
+        {
+            let _inject = tel.stage_span(Stage::Inject, exp_span.id());
+            apply_fault(target, spec)?;
+        }
+        let (t, tr) = {
+            let _run = tel.stage_span(Stage::Run, exp_span.id());
+            continue_with_model(target, campaign, spec, env, logging, &mut wd)?
+        };
         trace = tr;
         t
     } else {
@@ -695,21 +760,30 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
         // experiment trace aligns with the reference trace.
         target.set_breakpoint(spec.trigger)?;
         let detail = logging == LoggingMode::Detail;
-        let (outcome, mut pre_trace) = if detail {
-            wait_for_breakpoint_detailed(target, campaign, &mut *env, &mut wd)?
-        } else {
-            (
-                wait_for_breakpoint(target, campaign, &mut *env, &mut wd)?,
-                Vec::new(),
-            )
+        let (outcome, mut pre_trace) = {
+            let _run = tel.stage_span(Stage::Run, exp_span.id());
+            if detail {
+                wait_for_breakpoint_detailed(target, campaign, &mut *env, &mut wd)?
+            } else {
+                (
+                    wait_for_breakpoint(target, campaign, &mut *env, &mut wd)?,
+                    Vec::new(),
+                )
+            }
         };
         match outcome {
             WaitOutcome::Breakpoint => {
                 target.clear_breakpoints()?;
                 // readScanChain(); injectFault(); writeScanChain();
-                apply_fault(target, spec)?;
+                {
+                    let _inject = tel.stage_span(Stage::Inject, exp_span.id());
+                    apply_fault(target, spec)?;
+                }
                 // waitForTermination();
-                let (t, tr) = continue_with_model(target, campaign, spec, env, logging, &mut wd)?;
+                let (t, tr) = {
+                    let _run = tel.stage_span(Stage::Run, exp_span.id());
+                    continue_with_model(target, campaign, spec, env, logging, &mut wd)?
+                };
                 pre_trace.extend(tr);
                 trace = pre_trace;
                 t
@@ -724,7 +798,10 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
     };
 
     // readMemory(); readScanChain(); -> log the system state.
-    let state = snapshot(target, campaign, true)?;
+    let state = {
+        let _scan = tel.stage_span(Stage::Scan, exp_span.id());
+        snapshot(target, campaign, true)?
+    };
     Ok(ExperimentRecord {
         name: campaign.experiment_name(index),
         parent,

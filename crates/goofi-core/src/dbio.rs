@@ -381,6 +381,20 @@ pub fn log_experiment(db: &mut Database, record: &ExperimentRecord) -> Result<()
 ///
 /// Database errors (the campaign row must already exist).
 pub fn store_result(db: &mut Database, result: &CampaignResult) -> Result<()> {
+    store_result_traced(db, result, &crate::telemetry::Telemetry::disabled())
+}
+
+/// [`store_result`] with each record's insert timed as a `db-write` span in
+/// the given telemetry handle.
+///
+/// # Errors
+///
+/// Database errors (the campaign row must already exist).
+pub fn store_result_traced(
+    db: &mut Database,
+    result: &CampaignResult,
+    tel: &crate::telemetry::Telemetry,
+) -> Result<()> {
     let existing = |db: &Database, name: &str| {
         db.table(LOG_TABLE)
             .is_some_and(|t| t.contains_key(&Value::text(name)))
@@ -390,7 +404,9 @@ pub fn store_result(db: &mut Database, result: &CampaignResult) -> Result<()> {
         .chain(result.quarantined.iter())
     {
         if !existing(db, &record.name) {
-            log_experiment(db, record)?;
+            tel.time(crate::telemetry::Stage::DbWrite, || {
+                log_experiment(db, record)
+            })?;
         }
     }
     Ok(())

@@ -47,6 +47,7 @@ pub mod preinject;
 pub mod runner;
 pub mod supervisor;
 mod target;
+pub mod telemetry;
 pub mod trigger;
 
 pub use error::GoofiError;

@@ -371,10 +371,11 @@ impl<T: TargetAccess> VerifiedTarget<T> {
         self.stats
     }
 
-    fn note_recovered(&mut self) {
+    fn note_recovered(&mut self, operation: &str) {
         self.stats.recovered += 1;
         if let Some(m) = &self.monitor {
             m.record_link_recovered();
+            m.telemetry().event("link-recovered", operation);
         }
     }
 
@@ -382,6 +383,8 @@ impl<T: TargetAccess> VerifiedTarget<T> {
         self.stats.unrecovered += 1;
         if let Some(m) = &self.monitor {
             m.record_link_unrecovered();
+            m.telemetry()
+                .event("link-unrecovered", &format!("{operation} after {attempts} attempts"));
         }
         GoofiError::LinkFault {
             operation: operation.to_string(),
@@ -412,7 +415,7 @@ impl<T: TargetAccess> VerifiedTarget<T> {
             match round {
                 Ok((first, second)) if first == second => {
                     if attempt > 1 {
-                        self.note_recovered();
+                        self.note_recovered(operation);
                     }
                     return Ok(first);
                 }
@@ -441,7 +444,7 @@ impl<T: TargetAccess> VerifiedTarget<T> {
             match round {
                 Ok(Ok(())) => {
                     if attempt > 1 {
-                        self.note_recovered();
+                        self.note_recovered(operation);
                     }
                     return Ok(());
                 }

@@ -9,6 +9,7 @@
 //! UI, a test) can pause/resume/stop and read the live counters.
 
 use crate::logging::TerminationCause;
+use crate::telemetry::{Metric, Telemetry};
 use crate::{GoofiError, Result};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
@@ -78,6 +79,7 @@ struct Inner {
     command: Mutex<Command>,
     wakeup: Condvar,
     progress: Mutex<Progress>,
+    telemetry: Telemetry,
 }
 
 /// Thread-safe pause/resume/stop control plus progress counters.
@@ -93,8 +95,16 @@ impl Default for ProgressMonitor {
 }
 
 impl ProgressMonitor {
-    /// Creates a monitor for a campaign of `total` experiments.
+    /// Creates a monitor for a campaign of `total` experiments, with
+    /// telemetry disabled.
     pub fn new(total: usize) -> Self {
+        Self::with_telemetry(total, Telemetry::disabled())
+    }
+
+    /// Creates a monitor whose counters are mirrored into `telemetry`'s
+    /// metrics registry, and which carries the handle to every component
+    /// the monitor reaches (runner, algorithms, supervisor, link).
+    pub fn with_telemetry(total: usize, telemetry: Telemetry) -> Self {
         ProgressMonitor {
             inner: Arc::new(Inner {
                 command: Mutex::new(Command::Run),
@@ -103,8 +113,14 @@ impl ProgressMonitor {
                     total,
                     ..Progress::default()
                 }),
+                telemetry,
             }),
         }
+    }
+
+    /// The telemetry handle this monitor carries (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Pauses the campaign after the current experiment.
@@ -154,38 +170,46 @@ impl ProgressMonitor {
         let mut p = self.inner.progress.lock();
         p.completed += 1;
         *p.by_termination.entry(cause.encode()).or_insert(0) += 1;
+        drop(p);
+        self.inner.telemetry.count(Metric::Completed, 1);
     }
 
     /// Records an experiment skipped without running (pre-injection
     /// analysis).
     pub fn record_skipped(&self) {
         self.inner.progress.lock().skipped += 1;
+        self.inner.telemetry.count(Metric::Skipped, 1);
     }
 
     /// Records an experiment that failed despite the campaign's policy.
     pub fn record_failed(&self) {
         self.inner.progress.lock().failed += 1;
+        self.inner.telemetry.count(Metric::Failed, 1);
     }
 
     /// Records one retry attempt of a failing experiment.
     pub fn record_retry(&self) {
         self.inner.progress.lock().retried += 1;
+        self.inner.telemetry.count(Metric::Retried, 1);
     }
 
     /// Records a link fault that was detected and recovered.
     pub fn record_link_recovered(&self) {
         self.inner.progress.lock().link_recovered += 1;
+        self.inner.telemetry.count(Metric::LinkRecovered, 1);
     }
 
     /// Records a link fault that exhausted the recovery budget.
     pub fn record_link_unrecovered(&self) {
         self.inner.progress.lock().link_unrecovered += 1;
+        self.inner.telemetry.count(Metric::LinkUnrecovered, 1);
     }
 
     /// Records one experiment record quarantined by golden-run
     /// revalidation.
     pub fn record_quarantined(&self) {
         self.inner.progress.lock().quarantined += 1;
+        self.inner.telemetry.count(Metric::Quarantined, 1);
     }
 
     /// Records one health-probe suite and whether it passed.
@@ -195,31 +219,41 @@ impl ProgressMonitor {
         if !passed {
             p.probes_failed += 1;
         }
+        drop(p);
+        self.inner.telemetry.count(Metric::ProbesRun, 1);
+        if !passed {
+            self.inner.telemetry.count(Metric::ProbesFailed, 1);
+        }
     }
 
     /// Records a watchdog timeout confirmed as a wedged target.
     pub fn record_hang(&self) {
         self.inner.progress.lock().hangs += 1;
+        self.inner.telemetry.count(Metric::Hangs, 1);
     }
 
     /// Records a soft-reset recovery attempt.
     pub fn record_soft_reset(&self) {
         self.inner.progress.lock().soft_resets += 1;
+        self.inner.telemetry.count(Metric::SoftResets, 1);
     }
 
     /// Records a test-card re-init recovery attempt.
     pub fn record_card_reinit(&self) {
         self.inner.progress.lock().card_reinits += 1;
+        self.inner.telemetry.count(Metric::CardReinits, 1);
     }
 
     /// Records a power-cycle recovery attempt.
     pub fn record_power_cycle(&self) {
         self.inner.progress.lock().power_cycles += 1;
+        self.inner.telemetry.count(Metric::PowerCycles, 1);
     }
 
     /// Records a target that exhausted the recovery ladder.
     pub fn record_target_offline(&self) {
         self.inner.progress.lock().targets_offline += 1;
+        self.inner.telemetry.count(Metric::TargetsOffline, 1);
     }
 
     /// Marks previously-journaled work as done when a campaign resumes:
@@ -228,6 +262,9 @@ impl ProgressMonitor {
         let mut p = self.inner.progress.lock();
         p.completed += completed;
         p.failed += failed;
+        drop(p);
+        self.inner.telemetry.count(Metric::Completed, completed as u64);
+        self.inner.telemetry.count(Metric::Failed, failed as u64);
     }
 
     /// Adjusts the expected experiment count (e.g. when campaigns merge).
@@ -361,5 +398,23 @@ mod tests {
     #[test]
     fn empty_campaign_fraction_is_one() {
         assert_eq!(ProgressMonitor::new(0).snapshot().fraction(), 1.0);
+    }
+
+    #[test]
+    fn counters_mirror_into_telemetry() {
+        let m = ProgressMonitor::with_telemetry(3, Telemetry::enabled());
+        m.record(&TerminationCause::WorkloadEnd);
+        m.record_retry();
+        m.record_probe(false);
+        m.record_resumed(2, 1);
+        m.record_quarantined();
+        let p = m.snapshot();
+        let t = m.telemetry().metrics().unwrap();
+        assert_eq!(t.counter("completed"), p.completed as u64);
+        assert_eq!(t.counter("failed"), p.failed as u64);
+        assert_eq!(t.counter("retried"), p.retried as u64);
+        assert_eq!(t.counter("probes-run"), p.probes_run as u64);
+        assert_eq!(t.counter("probes-failed"), p.probes_failed as u64);
+        assert_eq!(t.counter("quarantined"), p.quarantined as u64);
     }
 }

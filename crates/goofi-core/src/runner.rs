@@ -36,6 +36,7 @@ use crate::monitor::ProgressMonitor;
 use crate::policy::ExperimentFailure;
 use crate::supervisor::{RecoveryRecord, RecoveryTrigger, Supervisor};
 use crate::target::TargetAccess;
+use crate::telemetry::Stage;
 use crate::{GoofiError, Result};
 use envsim::Environment;
 use std::collections::BTreeMap;
@@ -115,6 +116,8 @@ where
         return Err(GoofiError::Config("worker count must be at least 1".into()));
     }
     campaign.validate()?;
+    let tel = monitor.telemetry().clone();
+    let _campaign_span = tel.campaign_span(&campaign.name);
 
     // Reference run on a dedicated target.
     let mut ref_target = make_target();
@@ -122,11 +125,12 @@ where
         Some(f) => f(),
         None => Box::new(envsim::NullEnvironment),
     };
-    let reference = algorithms::make_reference_run(&mut ref_target, campaign, ref_env.as_mut())?;
+    let reference =
+        algorithms::reference_run_traced(&mut ref_target, campaign, ref_env.as_mut(), &tel)?;
     // Workers share the journal through a mutex.
     let journal = journal.map(parking_lot::Mutex::new);
     if let Some(j) = &journal {
-        j.lock().append_record(None, &reference)?;
+        tel.time(Stage::DbWrite, || j.lock().append_record(None, &reference))?;
     }
 
     let items: Vec<WorkItem> = (0..campaign.faults.len())
@@ -190,6 +194,8 @@ where
         return Err(GoofiError::Config("worker count must be at least 1".into()));
     }
     campaign.validate()?;
+    let tel = monitor.telemetry().clone();
+    let _campaign_span = tel.campaign_span(&campaign.name);
     let state = ExperimentJournal::load(path, &campaign.name)?;
     let mut journal_file = ExperimentJournal::open_append(path)?;
     let journal = parking_lot::Mutex::new(&mut journal_file);
@@ -203,9 +209,13 @@ where
                 Some(f) => f(),
                 None => Box::new(envsim::NullEnvironment),
             };
-            let reference =
-                algorithms::make_reference_run(&mut ref_target, campaign, ref_env.as_mut())?;
-            journal.lock().append_record(None, &reference)?;
+            let reference = algorithms::reference_run_traced(
+                &mut ref_target,
+                campaign,
+                ref_env.as_mut(),
+                &tel,
+            )?;
+            tel.time(Stage::DbWrite, || journal.lock().append_record(None, &reference))?;
             reference
         }
     };
@@ -337,7 +347,11 @@ where
                                 Ok(WorkerSupervise::Record(record)) => {
                                     monitor.record(&record.termination);
                                     match journal
-                                        .map(|j| j.lock().append_record(Some(item.index), &record))
+                                        .map(|j| {
+                                            monitor.telemetry().time(Stage::DbWrite, || {
+                                                j.lock().append_record(Some(item.index), &record)
+                                            })
+                                        })
                                         .unwrap_or(Ok(()))
                                     {
                                         Ok(()) => Outcome::Completed(record),
@@ -347,7 +361,11 @@ where
                                 Ok(WorkerSupervise::Failure(failure)) => {
                                     monitor.record_failed();
                                     match journal
-                                        .map(|j| j.lock().append_failure(&failure))
+                                        .map(|j| {
+                                            monitor.telemetry().time(Stage::DbWrite, || {
+                                                j.lock().append_failure(&failure)
+                                            })
+                                        })
                                         .unwrap_or(Ok(()))
                                     {
                                         Ok(()) if campaign.policy.fails_campaign() => {
@@ -377,7 +395,11 @@ where
                         Ok(Err(failure)) => {
                             monitor.record_failed();
                             match journal
-                                .map(|j| j.lock().append_failure(&failure))
+                                .map(|j| {
+                                    monitor.telemetry().time(Stage::DbWrite, || {
+                                        j.lock().append_failure(&failure)
+                                    })
+                                })
                                 .unwrap_or(Ok(()))
                             {
                                 Ok(()) if campaign.policy.fails_campaign() => {
@@ -478,7 +500,8 @@ where
             Some(f) => f(),
             None => Box::new(envsim::NullEnvironment),
         };
-        let golden = algorithms::make_reference_run(&mut target, campaign, env.as_mut())?;
+        let golden =
+            algorithms::reference_run_traced(&mut target, campaign, env.as_mut(), monitor.telemetry())?;
         if !algorithms::golden_run_matches(&reference, &golden) {
             // Mark-first across the whole batch: every quarantine entry
             // reaches the journal before any rerun starts, so a crash at
@@ -487,7 +510,9 @@ where
                 let slot = completed.get_mut(&index).expect("fresh index is completed");
                 slot.validity = Validity::Invalid;
                 if let Some(j) = journal {
-                    j.lock().append_record(Some(index), slot)?;
+                    monitor
+                        .telemetry()
+                        .time(Stage::DbWrite, || j.lock().append_record(Some(index), slot))?;
                 }
                 monitor.record_quarantined();
             }
@@ -506,14 +531,18 @@ where
                     // re-counted as completed progress (the original was).
                     Ok(Ok(rerun)) => {
                         if let Some(j) = journal {
-                            j.lock().append_record(Some(index), &rerun)?;
+                            monitor.telemetry().time(Stage::DbWrite, || {
+                                j.lock().append_record(Some(index), &rerun)
+                            })?;
                         }
                         let slot = completed.get_mut(&index).expect("fresh index is completed");
                         quarantined.push(std::mem::replace(slot, rerun));
                     }
                     Ok(Err(failure)) => {
                         if let Some(j) = journal {
-                            j.lock().append_failure(&failure)?;
+                            monitor
+                                .telemetry()
+                                .time(Stage::DbWrite, || j.lock().append_failure(&failure))?;
                         }
                         if campaign.policy.fails_campaign() {
                             first_abort = Some(Outcome::Fatal(failure));
@@ -607,7 +636,9 @@ fn supervise_worker_record<T: TargetAccess>(
         record.termination = TerminationCause::TargetHang;
         record.validity = Validity::Invalid;
         if let Some(j) = journal {
-            j.lock().append_record(Some(item.index), &record)?;
+            monitor.telemetry().time(Stage::DbWrite, || {
+                j.lock().append_record(Some(item.index), &record)
+            })?;
         }
         monitor.record_quarantined();
         let parent = record.name.clone();

@@ -310,6 +310,7 @@ impl<'a> Supervisor<'a> {
         env: &mut dyn Environment,
         monitor: &ProgressMonitor,
     ) -> ProbeSuite {
+        let mut span = monitor.telemetry().stage_span(crate::telemetry::Stage::Probe, 0);
         let reports = vec![
             self.probe_scan_signature(target),
             self.probe_memory_pattern(target),
@@ -317,6 +318,9 @@ impl<'a> Supervisor<'a> {
         ];
         let suite = ProbeSuite { reports };
         monitor.record_probe(suite.passed());
+        if !suite.passed() {
+            span.set_detail(&suite.failure_summary());
+        }
         suite
     }
 
@@ -425,6 +429,11 @@ impl<'a> Supervisor<'a> {
         experiment: &str,
         trigger: RecoveryTrigger,
     ) -> RecoveryRecord {
+        let mut span = monitor.telemetry().stage_span_detailed(
+            crate::telemetry::Stage::Recover,
+            0,
+            &format!("{}: {}", experiment, trigger.encode()),
+        );
         let mut actions = Vec::new();
         for (stage, attempts) in self.ladder.stages() {
             for attempt in 1..=attempts {
@@ -461,6 +470,12 @@ impl<'a> Supervisor<'a> {
                     detail: suite.failure_summary(),
                 });
                 if recovered {
+                    span.set_detail(&format!(
+                        "{}: {}: recovered at {}",
+                        experiment,
+                        trigger.encode(),
+                        stage.encode()
+                    ));
                     return RecoveryRecord {
                         experiment: experiment.to_string(),
                         trigger,
@@ -471,6 +486,11 @@ impl<'a> Supervisor<'a> {
             }
         }
         monitor.record_target_offline();
+        span.set_detail(&format!(
+            "{}: {}: ladder exhausted, target offline",
+            experiment,
+            trigger.encode()
+        ));
         actions.push(RecoveryAction {
             stage: RecoveryStage::Offline,
             attempt: 1,

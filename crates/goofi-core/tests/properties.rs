@@ -5,6 +5,7 @@ use goofi_core::campaign::{OutputRegion, Technique, WorkloadImage};
 use goofi_core::fault::{FaultLocation, FaultModel, FaultSpec};
 use goofi_core::logging::{StateSnapshot, TerminationCause};
 use goofi_core::supervisor::{RecoveryStage, RecoveryTrigger};
+use goofi_core::telemetry::{HistogramSnapshot, Metric, SpanKind, SpanRecord, Stage, Telemetry};
 use goofi_core::trigger::Trigger;
 use goofi_core::DetectionInfo;
 use proptest::prelude::*;
@@ -72,6 +73,29 @@ fn arb_recovery_depth() -> impl Strategy<Value = RecoveryDepth> {
         Just(RecoveryDepth::Reinit),
         Just(RecoveryDepth::PowerCycle),
         Just(RecoveryDepth::Never),
+    ]
+}
+
+/// Latency samples small enough that `sum_us` cannot overflow even when
+/// several strategies' worth are merged into one histogram.
+fn arb_latencies() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..(1 << 40), 0..64)
+}
+
+fn histogram_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn arb_span_kind() -> impl Strategy<Value = SpanKind> {
+    prop_oneof![
+        Just(SpanKind::Campaign),
+        Just(SpanKind::Experiment),
+        Just(SpanKind::Event),
+        (0usize..Stage::ALL.len()).prop_map(|i| SpanKind::Stage(Stage::ALL[i])),
     ]
 }
 
@@ -287,5 +311,75 @@ proptest! {
                 other => prop_assert!(false, "unexpected trigger {other:?}"),
             }
         }
+    }
+
+    /// Merging shard histograms is associative and commutative, and equals
+    /// recording every sample into a single histogram — so per-worker
+    /// histograms can be combined in any order.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        a in arb_latencies(),
+        b in arb_latencies(),
+        c in arb_latencies(),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), histogram_of(&all));
+    }
+
+    /// Counter and histogram aggregation through a shared telemetry handle
+    /// is independent of how the work is split across worker threads.
+    #[test]
+    fn metric_aggregation_parallel_equals_serial(
+        ops in proptest::collection::vec(
+            (
+                0usize..Metric::ALL.len(),
+                0u64..1_000,
+                0usize..Stage::ALL.len(),
+                0u64..(1 << 20),
+            ),
+            0..64,
+        ),
+        workers in 1usize..8,
+    ) {
+        let serial = Telemetry::enabled();
+        for (m, n, s, us) in &ops {
+            serial.count(Metric::ALL[*m], *n);
+            serial.record_stage(Stage::ALL[*s], *us);
+        }
+        let parallel = Telemetry::enabled();
+        let chunk = ops.len().div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            for ops in ops.chunks(chunk) {
+                let tel = parallel.clone();
+                scope.spawn(move || {
+                    for (m, n, s, us) in ops {
+                        tel.count(Metric::ALL[*m], *n);
+                        tel.record_stage(Stage::ALL[*s], *us);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(parallel.metrics(), serial.metrics());
+    }
+
+    /// The hand-rolled JSON span codec round-trips arbitrary names and
+    /// details (quotes, backslashes, control characters, unicode).
+    #[test]
+    fn span_record_roundtrip(
+        id: u64,
+        parent in proptest::option::of(any::<u64>()),
+        kind in arb_span_kind(),
+        name in ".{0,32}",
+        start_us: u64,
+        duration_us: u64,
+        detail in ".{0,32}",
+    ) {
+        let record = SpanRecord { id, parent, kind, name, start_us, duration_us, detail };
+        prop_assert_eq!(SpanRecord::decode(&record.encode()), Some(record));
     }
 }

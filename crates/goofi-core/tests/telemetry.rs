@@ -1,0 +1,364 @@
+//! End-to-end tests of the observability layer: spans recorded by a real
+//! campaign against a scripted target follow the paper's four-phase
+//! workflow, the metrics registry agrees with the progress monitor, the
+//! flight recorder survives a mid-campaign failure, and a JSONL trace
+//! reproduces the live per-stage histograms (the `report --timings` path).
+
+use goofi_core::algorithms;
+use goofi_core::campaign::{Campaign, OutputRegion, Termination, WorkloadImage};
+use goofi_core::fault::{FaultLocation, FaultModel, FaultSpec};
+use goofi_core::monitor::ProgressMonitor;
+use goofi_core::preinject::StepAccess;
+use goofi_core::telemetry::{
+    JsonlSink, MetricsSnapshot, RingSink, SpanKind, SpanRecord, Stage, Telemetry, TraceSink,
+};
+use goofi_core::trigger::Trigger;
+use goofi_core::{GoofiError, RunBudget, RunEvent, TargetAccess};
+use scanchain::{BitVec, CellAccess, ChainLayout};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A deterministic scripted target: the "workload" runs for `workload_len`
+/// instructions and halts. Instruction-count breakpoints work; any other
+/// trigger kind makes `set_breakpoint` fail, which lets tests provoke a
+/// mid-campaign experiment failure on demand.
+struct MockTarget {
+    layout: ChainLayout,
+    chain: BitVec,
+    memory: Vec<u32>,
+    instructions: u64,
+    workload_len: u64,
+    breakpoint: Option<u64>,
+    halted: bool,
+}
+
+impl MockTarget {
+    fn new(workload_len: u64) -> Self {
+        let layout = ChainLayout::builder("internal")
+            .cell("A", 8, CellAccess::ReadWrite)
+            .cell("S", 4, CellAccess::ReadOnly)
+            .build();
+        MockTarget {
+            chain: BitVec::zeros(layout.total_bits()),
+            layout,
+            memory: vec![0; 64],
+            instructions: 0,
+            workload_len,
+            breakpoint: None,
+            halted: false,
+        }
+    }
+
+    fn exec_one(&mut self) -> Option<RunEvent> {
+        if self.halted {
+            return Some(RunEvent::Halted);
+        }
+        if self.breakpoint == Some(self.instructions) {
+            return Some(RunEvent::Breakpoint {
+                at_instruction: self.instructions,
+                at_cycle: self.instructions,
+            });
+        }
+        self.instructions += 1;
+        if self.instructions >= self.workload_len {
+            self.halted = true;
+            return Some(RunEvent::Halted);
+        }
+        None
+    }
+}
+
+impl TargetAccess for MockTarget {
+    fn target_name(&self) -> &str {
+        "mock"
+    }
+    fn init_test_card(&mut self) -> goofi_core::Result<()> {
+        Ok(())
+    }
+    fn load_workload(&mut self, _image: &WorkloadImage) -> goofi_core::Result<()> {
+        self.instructions = 0;
+        self.halted = false;
+        self.chain = BitVec::zeros(self.layout.total_bits());
+        Ok(())
+    }
+    fn reset_target(&mut self) -> goofi_core::Result<()> {
+        Ok(())
+    }
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> goofi_core::Result<()> {
+        for (i, w) in data.iter().enumerate() {
+            self.memory[addr as usize + i] = *w;
+        }
+        Ok(())
+    }
+    fn read_memory(&mut self, addr: u32, len: usize) -> goofi_core::Result<Vec<u32>> {
+        Ok(self.memory[addr as usize..addr as usize + len].to_vec())
+    }
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> goofi_core::Result<()> {
+        self.memory[addr as usize] ^= 1 << bit;
+        Ok(())
+    }
+    fn memory_size(&self) -> u32 {
+        self.memory.len() as u32
+    }
+    fn set_breakpoint(&mut self, trigger: Trigger) -> goofi_core::Result<()> {
+        match trigger {
+            Trigger::AfterInstructions(n) => {
+                self.breakpoint = Some(n);
+                Ok(())
+            }
+            other => Err(GoofiError::Target(format!(
+                "mock target only supports instruction-count triggers, got {other}"
+            ))),
+        }
+    }
+    fn clear_breakpoints(&mut self) -> goofi_core::Result<()> {
+        self.breakpoint = None;
+        Ok(())
+    }
+    fn run_workload(&mut self, budget: RunBudget) -> goofi_core::Result<RunEvent> {
+        for _ in 0..budget.max_instructions {
+            if let Some(ev) = self.exec_one() {
+                return Ok(ev);
+            }
+        }
+        Ok(RunEvent::BudgetExhausted)
+    }
+    fn step_instruction(&mut self) -> goofi_core::Result<Option<RunEvent>> {
+        Ok(self.exec_one())
+    }
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        vec![self.layout.clone()]
+    }
+    fn read_scan_chain(&mut self, chain: &str) -> goofi_core::Result<BitVec> {
+        assert_eq!(chain, "internal");
+        Ok(self.chain.clone())
+    }
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> goofi_core::Result<()> {
+        assert_eq!(chain, "internal");
+        self.chain = self.layout.masked_update(&self.chain, bits).unwrap();
+        Ok(())
+    }
+    fn write_input_ports(&mut self, _inputs: &[u32]) -> goofi_core::Result<()> {
+        Ok(())
+    }
+    fn read_output_ports(&mut self) -> goofi_core::Result<Vec<u32>> {
+        Ok(vec![self.instructions as u32])
+    }
+    fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+    fn cycles_executed(&self) -> u64 {
+        self.instructions
+    }
+    fn iterations_completed(&self) -> u64 {
+        0
+    }
+    fn step_traced(&mut self) -> goofi_core::Result<(Option<RunEvent>, StepAccess)> {
+        let ev = self.exec_one();
+        Ok((
+            ev,
+            StepAccess {
+                reads: vec![],
+                writes: vec![],
+            },
+        ))
+    }
+}
+
+fn scan_fault(trigger: Trigger) -> FaultSpec {
+    FaultSpec {
+        locations: vec![FaultLocation::ScanCell {
+            chain: "internal".into(),
+            cell: "A".into(),
+            bit: 2,
+        }],
+        model: FaultModel::TransientBitFlip,
+        trigger,
+    }
+}
+
+fn campaign(faults: Vec<FaultSpec>) -> Campaign {
+    Campaign::builder("tel-e2e")
+        .workload(WorkloadImage {
+            name: "mock-wl".into(),
+            words: vec![0],
+            code_words: 1,
+            entry: 0,
+        })
+        .observe_chains(["internal"])
+        .output(OutputRegion::Ports)
+        .termination(Termination {
+            max_instructions: 1_000,
+            max_iterations: None,
+        })
+        .faults(faults)
+        .build()
+        .unwrap()
+}
+
+/// Three well-formed experiments (instruction-count triggers).
+fn good_campaign() -> Campaign {
+    campaign(vec![
+        scan_fault(Trigger::AfterInstructions(10)),
+        scan_fault(Trigger::AfterInstructions(20)),
+        scan_fault(Trigger::AfterInstructions(30)),
+    ])
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("goofi-tel-e2e-{name}-{}", std::process::id()))
+}
+
+/// Runs `good_campaign` with the given sinks attached; returns the
+/// telemetry handle and the monitor after a successful run.
+fn run_traced(sinks: Vec<Arc<dyn TraceSink>>) -> (Telemetry, ProgressMonitor) {
+    let c = good_campaign();
+    let tel = Telemetry::with_sinks(sinks);
+    let monitor = ProgressMonitor::with_telemetry(c.experiment_count(), tel.clone());
+    let mut target = MockTarget::new(100);
+    algorithms::run_campaign(&mut target, &c, &monitor, &mut envsim::NullEnvironment).unwrap();
+    (tel, monitor)
+}
+
+#[test]
+fn span_hierarchy_follows_four_phase_workflow() {
+    let ring = Arc::new(RingSink::new(4096));
+    let (_tel, _monitor) = run_traced(vec![ring.clone()]);
+    let spans = ring.buffered();
+
+    // Exactly one campaign span, at the root.
+    let campaigns: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Campaign)
+        .collect();
+    assert_eq!(campaigns.len(), 1, "{spans:#?}");
+    let campaign_span = campaigns[0];
+    assert_eq!(campaign_span.parent, None);
+    assert_eq!(campaign_span.name, "tel-e2e");
+
+    // Reference + three experiments, all parented to the campaign.
+    let experiments: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Experiment)
+        .collect();
+    assert_eq!(experiments.len(), 4);
+    for e in &experiments {
+        assert_eq!(e.parent, Some(campaign_span.id), "{e:?}");
+    }
+
+    // Every experiment goes through set-up (load), execution (run) and
+    // state scanning; the fault-injection phase additionally injects in
+    // each non-reference experiment.
+    for e in &experiments {
+        let child_stages: Vec<Stage> = spans
+            .iter()
+            .filter(|s| s.parent == Some(e.id))
+            .filter_map(|s| match s.kind {
+                SpanKind::Stage(stage) => Some(stage),
+                _ => None,
+            })
+            .collect();
+        assert!(child_stages.contains(&Stage::Load), "{e:?}: {child_stages:?}");
+        assert!(child_stages.contains(&Stage::Run), "{e:?}: {child_stages:?}");
+        assert!(child_stages.contains(&Stage::Scan), "{e:?}: {child_stages:?}");
+        let is_reference = e.name.ends_with("/reference");
+        assert_eq!(
+            child_stages.contains(&Stage::Inject),
+            !is_reference,
+            "{e:?}: {child_stages:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshot_agrees_with_progress_monitor() {
+    let (tel, monitor) = run_traced(vec![Arc::new(RingSink::new(64))]);
+    let snapshot = tel.metrics().expect("telemetry enabled");
+    let progress = monitor.snapshot();
+
+    assert_eq!(progress.completed, 3);
+    assert_eq!(snapshot.counter("completed"), progress.completed as u64);
+    assert_eq!(snapshot.counter("failed"), progress.failed as u64);
+    assert_eq!(snapshot.counter("retried"), progress.retried as u64);
+
+    // One load/scan per experiment plus the reference run.
+    assert_eq!(snapshot.stage(Stage::Load).count(), 4);
+    assert_eq!(snapshot.stage(Stage::Scan).count(), 4);
+    // One injection per experiment, none for the reference.
+    assert_eq!(snapshot.stage(Stage::Inject).count(), 3);
+    // Every experiment executes at least once.
+    assert!(snapshot.stage(Stage::Run).count() >= 4);
+    // Nothing ran the analysis phase or supervision here.
+    assert_eq!(snapshot.stage(Stage::Classify).count(), 0);
+    assert_eq!(snapshot.stage(Stage::Probe).count(), 0);
+}
+
+#[test]
+fn flight_recorder_dumps_on_failure_and_roundtrips() {
+    // The second experiment's trigger kind is unsupported by the mock, so
+    // the default fail-fast policy aborts the campaign mid-flight.
+    let c = campaign(vec![
+        scan_fault(Trigger::AfterInstructions(10)),
+        scan_fault(Trigger::Breakpoint(1)),
+    ]);
+    let ring = Arc::new(RingSink::new(256));
+    let tel = Telemetry::with_sinks(vec![ring.clone()]);
+    let monitor = ProgressMonitor::with_telemetry(c.experiment_count(), tel.clone());
+    let mut target = MockTarget::new(100);
+    let err = algorithms::run_campaign(&mut target, &c, &monitor, &mut envsim::NullEnvironment)
+        .unwrap_err();
+    assert!(matches!(err, GoofiError::ExperimentFailed { .. }), "{err}");
+
+    let path = tmp_path("flight");
+    let dumped = tel.dump_flight(&path).unwrap();
+    assert!(dumped > 0);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    // Every dumped line round-trips through the codec verbatim.
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), dumped);
+    for line in &lines {
+        let record = SpanRecord::decode(line).unwrap_or_else(|| panic!("bad line `{line}`"));
+        assert_eq!(record.encode(), *line);
+    }
+
+    // The dump holds the work that completed before the failure: the
+    // reference and first experiment with their stage spans.
+    let records: Vec<SpanRecord> = lines.iter().filter_map(|l| SpanRecord::decode(l)).collect();
+    assert!(records
+        .iter()
+        .any(|r| r.kind == SpanKind::Experiment && r.name == "tel-e2e/reference"));
+    assert!(records
+        .iter()
+        .any(|r| r.kind == SpanKind::Experiment && r.name == "tel-e2e/exp00000"));
+    assert!(records.iter().any(|r| r.kind == SpanKind::Stage(Stage::Inject)));
+}
+
+#[test]
+fn jsonl_trace_reproduces_live_histograms() {
+    // The `goofi report --timings <trace>` path: per-stage histograms
+    // rebuilt from the trace file must equal the in-process registry's.
+    let path = tmp_path("trace");
+    let sink = Arc::new(JsonlSink::create(&path).unwrap());
+    let (tel, _monitor) = run_traced(vec![sink]);
+    tel.flush();
+    let live = tel.metrics().expect("telemetry enabled");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let from_trace = MetricsSnapshot::from_trace(&text);
+    for stage in Stage::ALL {
+        assert_eq!(
+            from_trace.stage(stage),
+            live.stage(stage),
+            "stage {}",
+            stage.encode()
+        );
+    }
+    // And the rendered table carries one row per stage.
+    let table = from_trace.render_timings();
+    for stage in Stage::ALL {
+        assert!(table.contains(stage.encode()), "{table}");
+    }
+}

@@ -23,6 +23,7 @@ use goofi::core::logging::LoggingMode;
 use goofi::core::monitor::ProgressMonitor;
 use goofi::core::policy::{Backoff, ExperimentPolicy, WatchdogBudget};
 use goofi::core::supervisor::WedgeableTarget;
+use goofi::core::telemetry::{JsonlSink, MetricsSnapshot, RingSink, Stage, Telemetry, TraceSink};
 use goofi::core::{dbio, runner};
 use goofi::core::{GoofiError, TargetAccess};
 use goofi::envsim::{DcMotor, Environment, JetEngine, NullEnvironment, WaterTank};
@@ -32,7 +33,9 @@ use goofi::scanchain::{LinkFaultConfig, WedgeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,11 +83,11 @@ fn print_usage() {
             [--revalidate-every N] [--health-check-every N]\n  \
          goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n        \
             [--journal <file>] [--link-faults <spec>] [--verify-reads]\n        \
-            [--health-check-every N] [--wedge <spec>]\n  \
+            [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
          goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
             [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n        \
-            [--health-check-every N] [--wedge <spec>]\n  \
-         goofi report <db> --name <campaign>\n  \
+            [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
+         goofi report <db> --name <campaign> [--timings <trace>] [--trace <file>]\n  \
          goofi sql <db> \"<SELECT ...>\""
     );
 }
@@ -97,7 +100,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags have no value; detect by peeking.
-            let boolean = matches!(name, "detail" | "with-caches" | "verify-reads");
+            let boolean = matches!(name, "detail" | "with-caches" | "verify-reads" | "metrics");
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -205,6 +208,52 @@ fn link_flags(flags: &HashMap<String, String>) -> Result<(Option<LinkFaultConfig
         None => None,
     };
     Ok((link, flags.contains_key("verify-reads")))
+}
+
+/// Builds the run's telemetry from the `--trace`/`--metrics` flags shared
+/// by `run` and `resume`: disabled when neither is given; otherwise a
+/// JSONL trace sink (when `--trace <file>` names one) plus an in-memory
+/// flight recorder holding the last
+/// [`goofi::core::telemetry::FLIGHT_RECORDER_SPANS`] spans for a crash dump.
+fn telemetry_from_flags(flags: &HashMap<String, String>) -> Result<Telemetry, String> {
+    let trace_path = flags.get("trace");
+    if trace_path.is_none() && !flags.contains_key("metrics") {
+        return Ok(Telemetry::disabled());
+    }
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some(path) = trace_path {
+        let sink = JsonlSink::create(Path::new(path))
+            .map_err(|e| format!("creating trace file {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    sinks.push(Arc::new(RingSink::new(
+        goofi::core::telemetry::FLIGHT_RECORDER_SPANS,
+    )));
+    Ok(Telemetry::with_sinks(sinks))
+}
+
+/// Dumps the flight recorder next to the run's journal (falling back to the
+/// trace file, then the database) after a fatal campaign error, and folds
+/// the dump location into the error message.
+fn dump_flight(
+    tel: &Telemetry,
+    flags: &HashMap<String, String>,
+    db_path: &str,
+    msg: String,
+) -> String {
+    if !tel.is_enabled() {
+        return msg;
+    }
+    let base = flags
+        .get("journal")
+        .or_else(|| flags.get("trace"))
+        .map_or(db_path, String::as_str);
+    let path = format!("{base}.flight");
+    match tel.dump_flight(Path::new(&path)) {
+        Ok(n) if n > 0 => format!("{msg}\nflight recorder: last {n} span(s) dumped to {path}"),
+        Ok(_) => msg,
+        Err(e) => format!("{msg}\nflight recorder dump to {path} failed: {e}"),
+    }
 }
 
 /// Assembles the target decorator stack: an optional wedge-simulating
@@ -461,7 +510,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
     apply_health_check_override(&mut campaign, &flags)?;
     let campaign = campaign;
-    let monitor = ProgressMonitor::new(campaign.experiment_count());
+    let tel = telemetry_from_flags(&flags)?;
+    let monitor = ProgressMonitor::with_telemetry(campaign.experiment_count(), tel.clone());
     println!(
         "running campaign `{name}`: {} experiments ({}, {:?} logging)",
         campaign.experiment_count(),
@@ -513,7 +563,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             journal.as_mut(),
         )
     };
-    let result = result.map_err(|e| salvage_partial(&mut db, db_path, e))?;
+    let result = result
+        .map_err(|e| dump_flight(&tel, &flags, db_path, salvage_partial(&mut db, db_path, e)))?;
     finish_run(
         &mut db,
         db_path,
@@ -521,6 +572,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         &campaign,
         &result,
         started.elapsed(),
+        flags.contains_key("metrics"),
     )
 }
 
@@ -539,7 +591,8 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let mut campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
     apply_health_check_override(&mut campaign, &flags)?;
     let campaign = campaign;
-    let monitor = ProgressMonitor::new(campaign.experiment_count());
+    let tel = telemetry_from_flags(&flags)?;
+    let monitor = ProgressMonitor::with_telemetry(campaign.experiment_count(), tel.clone());
     let env_kind = flags.get("env").cloned();
     make_env(env_kind.as_deref())?; // validate before the workers clone it
     let (link, verify) = link_flags(&flags)?;
@@ -563,7 +616,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         workers,
         journal_path,
     )
-    .map_err(|e| salvage_partial(&mut db, db_path, e))?;
+    .map_err(|e| dump_flight(&tel, &flags, db_path, salvage_partial(&mut db, db_path, e)))?;
     finish_run(
         &mut db,
         db_path,
@@ -571,6 +624,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         &campaign,
         &result,
         started.elapsed(),
+        flags.contains_key("metrics"),
     )
 }
 
@@ -581,8 +635,9 @@ fn finish_run(
     campaign: &Campaign,
     result: &algorithms::CampaignResult,
     elapsed: std::time::Duration,
+    show_metrics: bool,
 ) -> Result<(), String> {
-    dbio::store_result(db, result).map_err(|e| e.to_string())?;
+    dbio::store_result_traced(db, result, monitor.telemetry()).map_err(|e| e.to_string())?;
     // Detail mode keeps the full recovery audit trail in the database.
     if campaign.logging == LoggingMode::Detail && !result.recoveries.is_empty() {
         dbio::log_recovery_actions(db, &campaign.name, &result.recoveries)
@@ -645,6 +700,21 @@ fn finish_run(
             println!("  {failure}");
         }
     }
+    let tel = monitor.telemetry();
+    tel.flush();
+    if show_metrics {
+        if let Some(snapshot) = tel.metrics() {
+            println!("\nper-stage timings:");
+            println!("{}", snapshot.render_timings());
+            let nonzero: Vec<_> = snapshot.counters.iter().filter(|(_, v)| **v > 0).collect();
+            if !nonzero.is_empty() {
+                println!("counters:");
+                for (name, value) in nonzero {
+                    println!("  {name:<16} {value}");
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -653,7 +723,19 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let db_path = positional.first().ok_or("report: missing <db> path")?;
     let name = flags.get("name").ok_or("report: --name is required")?;
     let mut db = load_db(db_path)?;
-    let classified = queries::analyse_campaign(&mut db, name).map_err(|e| e.to_string())?;
+    // `--trace <file>` appends the analysis phase's classify spans to an
+    // existing trace, so one JSONL file covers the whole four-phase workflow.
+    let tel = match flags.get("trace") {
+        Some(path) => {
+            let sink = JsonlSink::append(Path::new(path))
+                .map_err(|e| format!("opening trace file {path}: {e}"))?;
+            Telemetry::with_sinks(vec![Arc::new(sink)])
+        }
+        None => Telemetry::disabled(),
+    };
+    let classified = tel
+        .time(Stage::Classify, || queries::analyse_campaign(&mut db, name))
+        .map_err(|e| e.to_string())?;
     let stats = goofi::analysis::stats::CampaignStats::from_classified(&classified);
     println!(
         "{}",
@@ -694,6 +776,16 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
                 );
             }
         }
+    }
+    tel.flush();
+    // `--timings <trace>` rebuilds the per-stage latency histograms from a
+    // recorded JSONL trace and renders them as a report section.
+    if let Some(trace_path) = flags.get("timings") {
+        let text = std::fs::read_to_string(trace_path)
+            .map_err(|e| format!("reading trace {trace_path}: {e}"))?;
+        let snapshot = MetricsSnapshot::from_trace(&text);
+        println!("per-stage timings (from {trace_path}):");
+        println!("{}", snapshot.render_timings());
     }
     save_db(db_path, &db)?;
     Ok(())

@@ -130,6 +130,88 @@ fn swifi_campaign_via_cli() {
     assert!(out.contains("effectiveness"), "{out}");
 }
 
+/// Collapses every digit run to `N` and every space run to one space, so
+/// a timing table can be compared against a golden shape even though the
+/// measured durations differ run to run.
+fn normalize_timings(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_digits = false;
+    for c in line.trim_end().chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('N');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            if c == ' ' && out.ends_with(' ') {
+                continue;
+            }
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn report_timings_matches_golden_table() {
+    let (guard, db) = tmp_db("timings");
+    let trace = guard.path.join("c.trace").to_string_lossy().into_owned();
+    stdout(&goofi(&[
+        "new",
+        &db,
+        "--name",
+        "t1",
+        "--workload",
+        "bubblesort",
+        "--experiments",
+        "8",
+        "--seed",
+        "7",
+        "--time-window",
+        "0:2000",
+    ]));
+    // The run records the trace; --metrics prints the live summary too.
+    let out = stdout(&goofi(&[
+        "run", &db, "--name", "t1", "--trace", &trace, "--metrics",
+    ]));
+    assert!(out.contains("per-stage timings:"), "{out}");
+    assert!(out.contains("counters:"), "{out}");
+    assert!(out.contains("completed"), "{out}");
+
+    // The report appends its classify spans to the same trace, then
+    // rebuilds the per-stage histograms from the file.
+    let out = stdout(&goofi(&[
+        "report", &db, "--name", "t1", "--trace", &trace, "--timings", &trace,
+    ]));
+    let section = out
+        .lines()
+        .skip_while(|l| !l.starts_with("per-stage timings (from "))
+        .skip(1)
+        .take(9)
+        .map(normalize_timings)
+        .collect::<Vec<_>>();
+    let golden = [
+        "stage spans total_us mean_us pN<=us pN<=us",
+        "load N N N N N",
+        "run N N N N N",
+        "inject N N N N N",
+        "scan N N N N N",
+        "classify N N N N N",
+        "db-write N N N N N",
+        "probe N N N N N",
+        "recover N N N N N",
+    ];
+    assert_eq!(section, golden, "full output:\n{out}");
+
+    // The trace itself is well-formed JSONL with the whole hierarchy.
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    assert!(text.lines().count() > 8, "{text}");
+    for kind in ["\"kind\":\"campaign\"", "\"kind\":\"experiment\"", "\"kind\":\"stage\""] {
+        assert!(text.contains(kind), "{text}");
+    }
+}
+
 #[test]
 fn errors_are_reported() {
     let (_guard, db) = tmp_db("errs");
