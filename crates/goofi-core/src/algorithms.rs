@@ -347,6 +347,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
 }
 
 /// What target supervision decided about a freshly-completed record.
+#[allow(clippy::large_enum_variant)] // transient per-experiment value, never stored in bulk
 enum SuperviseOutcome {
     /// The record stands (possibly a `parentExperiment`-linked re-run that
     /// replaced a quarantined hang).
@@ -473,9 +474,9 @@ fn revalidate_window<T: TargetAccess + ?Sized>(
     for &(index, pos) in window.iter() {
         records[pos].validity = Validity::Invalid;
         if let Some(j) = journal.as_deref_mut() {
-            monitor
-                .telemetry()
-                .time(Stage::DbWrite, || j.append_record(Some(index), &records[pos]))?;
+            monitor.telemetry().time(Stage::DbWrite, || {
+                j.append_record(Some(index), &records[pos])
+            })?;
         }
         monitor.record_quarantined();
     }
@@ -626,9 +627,8 @@ pub(crate) fn reference_run_traced<T: TargetAccess + ?Sized>(
     env: &mut dyn Environment,
     tel: &Telemetry,
 ) -> Result<ExperimentRecord> {
-    let exp_span = tel.experiment_span_with(|| {
-        format!("{}/{}", campaign.name, ExperimentRecord::REFERENCE_NAME)
-    });
+    let exp_span = tel
+        .experiment_span_with(|| format!("{}/{}", campaign.name, ExperimentRecord::REFERENCE_NAME));
     {
         let _load = tel.stage_span(Stage::Load, exp_span.id());
         target.init_test_card()?;

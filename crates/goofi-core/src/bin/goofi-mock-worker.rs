@@ -1,0 +1,21 @@
+//! Shard worker over the deterministic in-process simulator — the test
+//! suite's stand-in for `goofi worker`, sharing its exact argument
+//! grammar and wire behaviour so the scheduler cannot tell them apart.
+
+use goofi_core::framework::SimTarget;
+use goofi_core::service::{run_worker, WorkerArgs};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match WorkerArgs::parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("goofi-mock-worker: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_worker(&args, SimTarget::new) {
+        eprintln!("goofi-mock-worker: {e}");
+        std::process::exit(1);
+    }
+}

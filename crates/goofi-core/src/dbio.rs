@@ -509,6 +509,11 @@ pub fn load_recovery_actions(db: &Database, campaign: &str) -> Result<Vec<Recove
 /// already present — so a journal can be folded into the database after a
 /// crash, idempotently. Returns how many records were inserted.
 ///
+/// This is also the campaign service's merge primitive: the scheduler
+/// folds every shard journal of a finished job through here (in shard
+/// order), and the name-keyed dedup is what turns the service's
+/// at-least-once execution into an exactly-once database.
+///
 /// # Errors
 ///
 /// Journal read errors and database errors (the campaign row must exist).

@@ -32,6 +32,10 @@ pub enum GoofiError {
     },
     /// An experiment journal could not be written or read.
     Journal(String),
+    /// A campaign-service wire message (newline-delimited JSON between
+    /// `goofi submit`, the daemon, and its shard workers) was malformed,
+    /// truncated, or could not be transported.
+    Wire(String),
     /// An experiment failed despite the campaign's
     /// [`ExperimentPolicy`](crate::policy::ExperimentPolicy) and the policy
     /// aborts the campaign. Unlike a bare error, this carries every record
@@ -80,6 +84,7 @@ impl fmt::Display for GoofiError {
                 "unrecovered link fault in {operation} after {attempts} attempt(s): {detail}"
             ),
             GoofiError::Journal(msg) => write!(f, "experiment journal error: {msg}"),
+            GoofiError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
             GoofiError::ExperimentFailed { failure, partial } => write!(
                 f,
                 "{failure}; {} completed record(s) preserved",

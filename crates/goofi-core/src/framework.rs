@@ -114,6 +114,242 @@ impl TargetAccess for NullTarget {
     }
 }
 
+/// A small, fully deterministic simulated target system.
+///
+/// Where [`NullTarget`] is the porting *template*, `SimTarget` is a
+/// complete porting *example*: every [`TargetAccess`] building block
+/// implemented against an in-process simulated device. It exists so that
+/// components which need a real runnable target but must not depend on a
+/// target-system crate — the campaign service's shard-worker test binary,
+/// above all — have one inside `goofi-core` itself. Identical inputs
+/// always produce identical records, which is what lets the service tests
+/// assert that a sharded, crash-ridden campaign merges to the same
+/// database essence as a serial run.
+///
+/// The simulated device:
+///
+/// - has one scan chain `internal` with cells `A` (8 bits, read-write)
+///   and `S` (4 bits, read-only);
+/// - has 64 words of memory;
+/// - runs a workload for as many instructions as the first word of the
+///   loaded [`WorkloadImage`] says (default 100 when absent or zero),
+///   then halts; the second word, when nonzero, is an iteration-boundary
+///   period in instructions;
+/// - rewrites cell `A` to zero every instruction, like hardware that
+///   refreshes the register each cycle — persistent fault models must
+///   keep re-asserting;
+/// - reports its instruction count as its single output port.
+#[derive(Debug, Clone)]
+pub struct SimTarget {
+    layout: ChainLayout,
+    chain: BitVec,
+    memory: Vec<u32>,
+    instructions: u64,
+    iterations: u64,
+    workload_len: u64,
+    iteration_every: Option<u64>,
+    breakpoint: Option<u64>,
+    halted: bool,
+}
+
+impl Default for SimTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimTarget {
+    /// Creates the simulated target in its power-on state.
+    pub fn new() -> Self {
+        let layout = ChainLayout::builder("internal")
+            .cell("A", 8, scanchain::CellAccess::ReadWrite)
+            .cell("S", 4, scanchain::CellAccess::ReadOnly)
+            .build();
+        SimTarget {
+            chain: BitVec::zeros(layout.total_bits()),
+            layout,
+            memory: vec![0; 64],
+            instructions: 0,
+            iterations: 0,
+            workload_len: 100,
+            iteration_every: None,
+            breakpoint: None,
+            halted: false,
+        }
+    }
+
+    fn exec_one(&mut self) -> Option<RunEvent> {
+        if self.halted {
+            return Some(RunEvent::Halted);
+        }
+        if self.breakpoint == Some(self.instructions) {
+            return Some(RunEvent::Breakpoint {
+                at_instruction: self.instructions,
+                at_cycle: self.instructions,
+            });
+        }
+        self.instructions += 1;
+        // The simulated hardware refreshes cell A every instruction.
+        self.layout
+            .write_cell(&mut self.chain, "A", 0)
+            .expect("layout always has cell A");
+        if self.instructions >= self.workload_len {
+            self.halted = true;
+            return Some(RunEvent::Halted);
+        }
+        if let Some(every) = self.iteration_every {
+            if self.instructions.is_multiple_of(every) {
+                self.iterations += 1;
+                return Some(RunEvent::IterationBoundary {
+                    iteration: self.iterations,
+                });
+            }
+        }
+        None
+    }
+}
+
+impl TargetAccess for SimTarget {
+    fn target_name(&self) -> &str {
+        "sim"
+    }
+
+    fn init_test_card(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn load_workload(&mut self, image: &WorkloadImage) -> Result<()> {
+        self.workload_len = match image.words.first() {
+            Some(&n) if n > 0 => n as u64,
+            _ => 100,
+        };
+        self.iteration_every = match image.words.get(1) {
+            Some(&n) if n > 0 => Some(n as u64),
+            _ => None,
+        };
+        self.instructions = 0;
+        self.iterations = 0;
+        self.halted = false;
+        self.chain = BitVec::zeros(self.layout.total_bits());
+        Ok(())
+    }
+
+    fn reset_target(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
+        for (i, word) in data.iter().enumerate() {
+            let slot = self
+                .memory
+                .get_mut(addr as usize + i)
+                .ok_or_else(|| GoofiError::Target(format!("write past memory end: {addr}")))?;
+            *slot = *word;
+        }
+        Ok(())
+    }
+
+    fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
+        self.memory
+            .get(addr as usize..addr as usize + len)
+            .map(<[u32]>::to_vec)
+            .ok_or_else(|| GoofiError::Target(format!("read past memory end: {addr}")))
+    }
+
+    fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<()> {
+        let slot = self
+            .memory
+            .get_mut(addr as usize)
+            .ok_or_else(|| GoofiError::Target(format!("flip past memory end: {addr}")))?;
+        *slot ^= 1 << bit;
+        Ok(())
+    }
+
+    fn memory_size(&self) -> u32 {
+        self.memory.len() as u32
+    }
+
+    fn set_breakpoint(&mut self, trigger: Trigger) -> Result<()> {
+        match trigger {
+            Trigger::AfterInstructions(n) => {
+                self.breakpoint = Some(n);
+                Ok(())
+            }
+            other => Err(GoofiError::Config(format!(
+                "sim target only supports instruction-count triggers, got {other}"
+            ))),
+        }
+    }
+
+    fn clear_breakpoints(&mut self) -> Result<()> {
+        self.breakpoint = None;
+        Ok(())
+    }
+
+    fn run_workload(&mut self, budget: RunBudget) -> Result<RunEvent> {
+        for _ in 0..budget.max_instructions {
+            if let Some(event) = self.exec_one() {
+                return Ok(event);
+            }
+        }
+        Ok(RunEvent::BudgetExhausted)
+    }
+
+    fn step_instruction(&mut self) -> Result<Option<RunEvent>> {
+        Ok(self.exec_one())
+    }
+
+    fn chain_layouts(&self) -> Vec<ChainLayout> {
+        vec![self.layout.clone()]
+    }
+
+    fn read_scan_chain(&mut self, chain: &str) -> Result<BitVec> {
+        if chain != "internal" {
+            return Err(GoofiError::Target(format!("unknown scan chain: {chain}")));
+        }
+        Ok(self.chain.clone())
+    }
+
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> Result<()> {
+        if chain != "internal" {
+            return Err(GoofiError::Target(format!("unknown scan chain: {chain}")));
+        }
+        self.chain = self.layout.masked_update(&self.chain, bits)?;
+        Ok(())
+    }
+
+    fn write_input_ports(&mut self, _inputs: &[u32]) -> Result<()> {
+        Ok(())
+    }
+
+    fn read_output_ports(&mut self) -> Result<Vec<u32>> {
+        Ok(vec![self.instructions as u32])
+    }
+
+    fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+
+    fn cycles_executed(&self) -> u64 {
+        self.instructions
+    }
+
+    fn iterations_completed(&self) -> u64 {
+        self.iterations
+    }
+
+    fn step_traced(&mut self) -> Result<(Option<RunEvent>, StepAccess)> {
+        let event = self.exec_one();
+        Ok((
+            event,
+            StepAccess {
+                reads: vec![],
+                writes: vec!["internal:A".into()],
+            },
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +426,61 @@ mod tests {
                 .unwrap_err();
         assert!(matches!(e, GoofiError::Unimplemented("init_test_card")));
         let _ = monitor;
+    }
+
+    fn sim_campaign(faults: usize) -> crate::campaign::Campaign {
+        crate::campaign::Campaign::builder("sim-c")
+            .workload(WorkloadImage {
+                name: "sim-wl".into(),
+                words: vec![60],
+                code_words: 1,
+                entry: 0,
+            })
+            .observe_chains(["internal"])
+            .output(crate::campaign::OutputRegion::Ports)
+            .termination(crate::campaign::Termination {
+                max_instructions: 1_000,
+                max_iterations: None,
+            })
+            .faults(
+                (0..faults)
+                    .map(|i| {
+                        crate::fault::FaultSpec::single(
+                            crate::fault::FaultLocation::ScanCell {
+                                chain: "internal".into(),
+                                cell: "A".into(),
+                                bit: i % 8,
+                            },
+                            crate::trigger::Trigger::AfterInstructions(5 + i as u64),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sim_target_runs_campaigns_deterministically() {
+        let campaign = sim_campaign(4);
+        let run = |_: ()| {
+            let mut target = SimTarget::new();
+            crate::algorithms::run_campaign(
+                &mut target,
+                &campaign,
+                &crate::monitor::ProgressMonitor::new(campaign.experiment_count()),
+                &mut envsim::NullEnvironment,
+            )
+            .unwrap()
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a.records.len(), 4);
+        assert_eq!(a.reference.state, b.reference.state);
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.termination, rb.termination);
+            assert_eq!(ra.state, rb.state);
+        }
     }
 }

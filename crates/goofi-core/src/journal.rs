@@ -9,6 +9,14 @@
 //! reload exactly the completed set, skip it, and re-run only what is
 //! missing or failed.
 //!
+//! The campaign service ([`crate::service`]) leans on the same property
+//! one level up: each shard worker keeps a private journal under
+//! [`crate::runner::resume_campaign_shard`] (entries carry *global*
+//! campaign indices), so a crashed or lease-revoked worker's replacement
+//! replays the journal instead of redoing its work, and the scheduler
+//! merges shard journals into the database idempotently via
+//! [`crate::dbio::import_journal`].
+//!
 //! ## Format
 //!
 //! A journal is a line-oriented text file:

@@ -45,6 +45,7 @@ pub mod monitor;
 pub mod policy;
 pub mod preinject;
 pub mod runner;
+pub mod service;
 pub mod supervisor;
 mod target;
 pub mod telemetry;

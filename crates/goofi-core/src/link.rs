@@ -383,8 +383,10 @@ impl<T: TargetAccess> VerifiedTarget<T> {
         self.stats.unrecovered += 1;
         if let Some(m) = &self.monitor {
             m.record_link_unrecovered();
-            m.telemetry()
-                .event("link-unrecovered", &format!("{operation} after {attempts} attempts"));
+            m.telemetry().event(
+                "link-unrecovered",
+                &format!("{operation} after {attempts} attempts"),
+            );
         }
         GoofiError::LinkFault {
             operation: operation.to_string(),

@@ -79,6 +79,10 @@ struct Inner {
     command: Mutex<Command>,
     wakeup: Condvar,
     progress: Mutex<Progress>,
+    // Paired with `progress` (a condvar must never be used with two
+    // different mutexes); notified on every counter change so watchers
+    // such as `goofi submit --watch` can stream live progress.
+    progress_changed: Condvar,
     telemetry: Telemetry,
 }
 
@@ -113,6 +117,7 @@ impl ProgressMonitor {
                     total,
                     ..Progress::default()
                 }),
+                progress_changed: Condvar::new(),
                 telemetry,
             }),
         }
@@ -165,61 +170,68 @@ impl ProgressMonitor {
         Ok(())
     }
 
+    /// Mutates the counters under the lock and wakes progress watchers.
+    fn update(&self, mutate: impl FnOnce(&mut Progress)) {
+        let mut p = self.inner.progress.lock();
+        mutate(&mut p);
+        self.inner.progress_changed.notify_all();
+    }
+
     /// Records a completed experiment and its termination cause.
     pub fn record(&self, cause: &TerminationCause) {
-        let mut p = self.inner.progress.lock();
-        p.completed += 1;
-        *p.by_termination.entry(cause.encode()).or_insert(0) += 1;
-        drop(p);
+        self.update(|p| {
+            p.completed += 1;
+            *p.by_termination.entry(cause.encode()).or_insert(0) += 1;
+        });
         self.inner.telemetry.count(Metric::Completed, 1);
     }
 
     /// Records an experiment skipped without running (pre-injection
     /// analysis).
     pub fn record_skipped(&self) {
-        self.inner.progress.lock().skipped += 1;
+        self.update(|p| p.skipped += 1);
         self.inner.telemetry.count(Metric::Skipped, 1);
     }
 
     /// Records an experiment that failed despite the campaign's policy.
     pub fn record_failed(&self) {
-        self.inner.progress.lock().failed += 1;
+        self.update(|p| p.failed += 1);
         self.inner.telemetry.count(Metric::Failed, 1);
     }
 
     /// Records one retry attempt of a failing experiment.
     pub fn record_retry(&self) {
-        self.inner.progress.lock().retried += 1;
+        self.update(|p| p.retried += 1);
         self.inner.telemetry.count(Metric::Retried, 1);
     }
 
     /// Records a link fault that was detected and recovered.
     pub fn record_link_recovered(&self) {
-        self.inner.progress.lock().link_recovered += 1;
+        self.update(|p| p.link_recovered += 1);
         self.inner.telemetry.count(Metric::LinkRecovered, 1);
     }
 
     /// Records a link fault that exhausted the recovery budget.
     pub fn record_link_unrecovered(&self) {
-        self.inner.progress.lock().link_unrecovered += 1;
+        self.update(|p| p.link_unrecovered += 1);
         self.inner.telemetry.count(Metric::LinkUnrecovered, 1);
     }
 
     /// Records one experiment record quarantined by golden-run
     /// revalidation.
     pub fn record_quarantined(&self) {
-        self.inner.progress.lock().quarantined += 1;
+        self.update(|p| p.quarantined += 1);
         self.inner.telemetry.count(Metric::Quarantined, 1);
     }
 
     /// Records one health-probe suite and whether it passed.
     pub fn record_probe(&self, passed: bool) {
-        let mut p = self.inner.progress.lock();
-        p.probes_run += 1;
-        if !passed {
-            p.probes_failed += 1;
-        }
-        drop(p);
+        self.update(|p| {
+            p.probes_run += 1;
+            if !passed {
+                p.probes_failed += 1;
+            }
+        });
         self.inner.telemetry.count(Metric::ProbesRun, 1);
         if !passed {
             self.inner.telemetry.count(Metric::ProbesFailed, 1);
@@ -228,53 +240,79 @@ impl ProgressMonitor {
 
     /// Records a watchdog timeout confirmed as a wedged target.
     pub fn record_hang(&self) {
-        self.inner.progress.lock().hangs += 1;
+        self.update(|p| p.hangs += 1);
         self.inner.telemetry.count(Metric::Hangs, 1);
     }
 
     /// Records a soft-reset recovery attempt.
     pub fn record_soft_reset(&self) {
-        self.inner.progress.lock().soft_resets += 1;
+        self.update(|p| p.soft_resets += 1);
         self.inner.telemetry.count(Metric::SoftResets, 1);
     }
 
     /// Records a test-card re-init recovery attempt.
     pub fn record_card_reinit(&self) {
-        self.inner.progress.lock().card_reinits += 1;
+        self.update(|p| p.card_reinits += 1);
         self.inner.telemetry.count(Metric::CardReinits, 1);
     }
 
     /// Records a power-cycle recovery attempt.
     pub fn record_power_cycle(&self) {
-        self.inner.progress.lock().power_cycles += 1;
+        self.update(|p| p.power_cycles += 1);
         self.inner.telemetry.count(Metric::PowerCycles, 1);
     }
 
     /// Records a target that exhausted the recovery ladder.
     pub fn record_target_offline(&self) {
-        self.inner.progress.lock().targets_offline += 1;
+        self.update(|p| p.targets_offline += 1);
         self.inner.telemetry.count(Metric::TargetsOffline, 1);
     }
 
     /// Marks previously-journaled work as done when a campaign resumes:
     /// bumps the completed/failed counters without re-running anything.
     pub fn record_resumed(&self, completed: usize, failed: usize) {
-        let mut p = self.inner.progress.lock();
-        p.completed += completed;
-        p.failed += failed;
-        drop(p);
-        self.inner.telemetry.count(Metric::Completed, completed as u64);
+        self.update(|p| {
+            p.completed += completed;
+            p.failed += failed;
+        });
+        self.inner
+            .telemetry
+            .count(Metric::Completed, completed as u64);
         self.inner.telemetry.count(Metric::Failed, failed as u64);
     }
 
     /// Adjusts the expected experiment count (e.g. when campaigns merge).
     pub fn set_total(&self, total: usize) {
-        self.inner.progress.lock().total = total;
+        self.update(|p| p.total = total);
     }
 
     /// A copy of the current counters.
     pub fn snapshot(&self) -> Progress {
         self.inner.progress.lock().clone()
+    }
+
+    /// Blocks until the counters differ from `last` or `timeout` elapses,
+    /// then returns a copy of the current counters. This is the push side
+    /// of live progress streaming: shard workers loop on it to emit one
+    /// wire event per change instead of polling [`ProgressMonitor::snapshot`].
+    pub fn wait_for_change(&self, last: &Progress, timeout: std::time::Duration) -> Progress {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut p = self.inner.progress.lock();
+        while *p == *last {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if self
+                .inner
+                .progress_changed
+                .wait_for(&mut p, deadline - now)
+                .timed_out()
+            {
+                break;
+            }
+        }
+        p.clone()
     }
 }
 
@@ -398,6 +436,26 @@ mod tests {
     #[test]
     fn empty_campaign_fraction_is_one() {
         assert_eq!(ProgressMonitor::new(0).snapshot().fraction(), 1.0);
+    }
+
+    #[test]
+    fn wait_for_change_wakes_on_record() {
+        let m = ProgressMonitor::new(2);
+        let last = m.snapshot();
+        let m2 = m.clone();
+        let handle = thread::spawn(move || m2.wait_for_change(&last, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(30));
+        m.record(&TerminationCause::WorkloadEnd);
+        let p = handle.join().unwrap();
+        assert_eq!(p.completed, 1);
+    }
+
+    #[test]
+    fn wait_for_change_times_out_unchanged() {
+        let m = ProgressMonitor::new(2);
+        let last = m.snapshot();
+        let p = m.wait_for_change(&last, Duration::from_millis(20));
+        assert_eq!(p, last);
     }
 
     #[test]

@@ -351,7 +351,7 @@ impl Watchdog {
                 return true;
             }
             self.checks = self.checks.wrapping_add(1);
-            if self.checks % WALL_CHECK_INTERVAL == 0 && Instant::now() >= deadline {
+            if self.checks.is_multiple_of(WALL_CHECK_INTERVAL) && Instant::now() >= deadline {
                 self.wall_expired = true;
                 return true;
             }

@@ -178,24 +178,56 @@ where
     FT: Fn() -> T + Sync,
     FE: Fn() -> Box<dyn Environment> + Sync,
 {
+    let total = campaign.faults.len();
+    resume_campaign_shard(
+        make_target,
+        make_env,
+        campaign,
+        monitor,
+        workers,
+        journal_path,
+        0..total,
+    )
+}
+
+/// [`resume_campaign`], restricted to the experiment indices in `range` —
+/// the campaign-service shard primitive. A shard worker owns one contiguous
+/// slice of the campaign's experiment index space and one private journal;
+/// everything else (journaled experiments reused, failures re-run as
+/// `parentExperiment`-linked children, crash-then-resume equivalence) works
+/// exactly as in [`resume_campaign`]. Journal entries keep their *global*
+/// campaign indices, so the scheduler can merge shard journals into one
+/// database with simple per-experiment idempotence.
+///
+/// # Errors
+///
+/// As [`resume_campaign`].
+pub fn resume_campaign_shard<T, FT, FE>(
+    make_target: FT,
+    make_env: Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+    journal_path: impl AsRef<Path>,
+    range: std::ops::Range<usize>,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
     let path = journal_path.as_ref();
-    if !path.exists() {
-        let mut journal = ExperimentJournal::create(path, &campaign.name)?;
-        return run_campaign_parallel_journaled(
-            make_target,
-            make_env,
-            campaign,
-            monitor,
-            workers,
-            Some(&mut journal),
-        );
-    }
     if workers == 0 {
         return Err(GoofiError::Config("worker count must be at least 1".into()));
     }
     campaign.validate()?;
+    let total = campaign.faults.len();
+    let range = range.start.min(total)..range.end.min(total);
     let tel = monitor.telemetry().clone();
     let _campaign_span = tel.campaign_span(&campaign.name);
+    if !path.exists() {
+        ExperimentJournal::create(path, &campaign.name)?;
+    }
     let state = ExperimentJournal::load(path, &campaign.name)?;
     let mut journal_file = ExperimentJournal::open_append(path)?;
     let journal = parking_lot::Mutex::new(&mut journal_file);
@@ -215,18 +247,27 @@ where
                 ref_env.as_mut(),
                 &tel,
             )?;
-            tel.time(Stage::DbWrite, || journal.lock().append_record(None, &reference))?;
+            tel.time(Stage::DbWrite, || {
+                journal.lock().append_record(None, &reference)
+            })?;
             reference
         }
     };
 
-    // Journaled completions count as progress without re-running.
-    for record in state.completed.values() {
+    // Journaled completions within the shard count as progress without
+    // re-running.
+    let preloaded: BTreeMap<usize, ExperimentRecord> = state
+        .completed
+        .into_iter()
+        .filter(|(index, _)| range.contains(index))
+        .collect();
+    for record in preloaded.values() {
         monitor.record(&record.termination);
     }
 
-    let items: Vec<WorkItem> = (0..campaign.faults.len())
-        .filter(|index| !state.completed.contains_key(index))
+    let items: Vec<WorkItem> = range
+        .clone()
+        .filter(|index| !preloaded.contains_key(index))
         .map(|index| {
             let link = state.failed.get(&index).map(|_| {
                 let original = campaign.experiment_name(index);
@@ -244,7 +285,7 @@ where
         monitor,
         workers,
         &items,
-        &state.completed,
+        &preloaded,
         reference,
         Some(&journal),
     )
@@ -396,9 +437,9 @@ where
                             monitor.record_failed();
                             match journal
                                 .map(|j| {
-                                    monitor.telemetry().time(Stage::DbWrite, || {
-                                        j.lock().append_failure(&failure)
-                                    })
+                                    monitor
+                                        .telemetry()
+                                        .time(Stage::DbWrite, || j.lock().append_failure(&failure))
                                 })
                                 .unwrap_or(Ok(()))
                             {
@@ -477,9 +518,7 @@ where
             }
             Some(Outcome::Skipped(failure)) => failures.push(failure),
             Some(outcome @ (Outcome::Fatal(_) | Outcome::Error(_))) => {
-                if first_abort.is_none() {
-                    first_abort = Some(outcome);
-                }
+                first_abort.get_or_insert(outcome);
             }
             // Unclaimed slot: the campaign stopped before this item ran.
             None => {}
@@ -500,8 +539,12 @@ where
             Some(f) => f(),
             None => Box::new(envsim::NullEnvironment),
         };
-        let golden =
-            algorithms::reference_run_traced(&mut target, campaign, env.as_mut(), monitor.telemetry())?;
+        let golden = algorithms::reference_run_traced(
+            &mut target,
+            campaign,
+            env.as_mut(),
+            monitor.telemetry(),
+        )?;
         if !algorithms::golden_run_matches(&reference, &golden) {
             // Mark-first across the whole batch: every quarantine entry
             // reaches the journal before any rerun starts, so a crash at
@@ -590,6 +633,7 @@ where
 }
 
 /// What worker-side supervision decided about a freshly-completed record.
+#[allow(clippy::large_enum_variant)] // transient per-experiment value, never stored in bulk
 enum WorkerSupervise {
     /// The record stands (possibly a linked re-run replacing a hang).
     Record(ExperimentRecord),

@@ -1,0 +1,947 @@
+//! Job scheduling: shard leases, heartbeats, poison quarantine, journal
+//! merge, and daemon-restart recovery.
+//!
+//! One [`Scheduler`] owns one database and a spool directory next to it.
+//! Each submitted campaign becomes a *job* with a durable manifest in
+//! `<spool>/job-<n>/`; a runner thread partitions the campaign's
+//! experiment index space into shards ([`super::partition`]) and drives
+//! one worker OS process per shard:
+//!
+//! - **Lease + heartbeat.** A running shard holds a lease that is renewed
+//!   whenever its worker reports *changed* counters on stdout. A worker
+//!   that exits without finishing, hangs past the lease deadline, or
+//!   reports `target-offline` has its lease revoked: the process is
+//!   killed (if still alive) and the shard goes back to pending with
+//!   exponential backoff ([`crate::policy::Backoff`]) — the process-level
+//!   generalisation of the parallel runner's worker retirement.
+//! - **Poison shards.** A shard failing [`ServiceConfig::poison_after`]
+//!   consecutive leases is quarantined instead of wedging the job: every
+//!   experiment it still owes is recorded in its journal as a
+//!   `Validity::Invalid` stub plus a `parentExperiment`-linked
+//!   `…/rerun1` stub, and the job completes around it.
+//! - **Merge.** When every shard is done or poisoned, the shard journals
+//!   are folded into the database in shard order through the idempotent
+//!   [`dbio::import_journal`] path. Journals carry global experiment
+//!   indices and each contains its own (identical, deduplicated)
+//!   reference run, so at-least-once execution still merges to a
+//!   database essence-equal to a serial run.
+//! - **Restart recovery.** [`Scheduler::recover`] re-runs every spooled
+//!   job without a `done` marker; shard journals make the replay
+//!   idempotent, so a killed daemon resumes mid-flight jobs where they
+//!   stopped.
+
+use super::chaos::ChaosConfig;
+use super::wire::WorkerEvent;
+use crate::campaign::Campaign;
+use crate::dbio;
+use crate::journal::ExperimentJournal;
+use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause, Validity};
+use crate::policy::Backoff;
+use crate::{GoofiError, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a spawned worker process is invoked: a program plus fixed argument
+/// prefix, to which the scheduler appends the per-shard `--db/--shard/…`
+/// flags. The daemon uses its own executable with a `worker` prefix; the
+/// test suite points this at a `goofi-mock-worker` binary instead.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Program to spawn.
+    pub program: PathBuf,
+    /// Arguments placed before the worker flags (e.g. `["worker"]`).
+    pub args: Vec<String>,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The shared campaign database.
+    pub db_path: PathBuf,
+    /// Spool directory for job manifests and shard journals; created on
+    /// [`Scheduler::new`]. Defaults to `<db>.spool`.
+    pub spool_dir: PathBuf,
+    /// How shard workers are spawned.
+    pub worker_cmd: WorkerCommand,
+    /// Default shard count for jobs that do not specify one.
+    pub default_workers: usize,
+    /// Lease duration: a running shard whose counters have not changed
+    /// for this long is considered hung and its lease revoked.
+    pub lease: Duration,
+    /// Consecutive lease failures after which a shard is quarantined as
+    /// poison.
+    pub poison_after: u32,
+    /// Delay schedule between lease reassignments of a failing shard.
+    pub backoff: Backoff,
+    /// Seeded chaos drill passed to every spawned worker.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl ServiceConfig {
+    /// A config with service defaults: `<db>.spool` spool directory,
+    /// 2 workers, 5 s leases, poison after 3 failures, 50→2000 ms
+    /// exponential backoff, no chaos.
+    pub fn new(db_path: impl Into<PathBuf>, worker_cmd: WorkerCommand) -> Self {
+        let db_path = db_path.into();
+        let spool_dir = PathBuf::from(format!("{}.spool", db_path.display()));
+        ServiceConfig {
+            db_path,
+            spool_dir,
+            worker_cmd,
+            default_workers: 2,
+            lease: Duration::from_secs(5),
+            poison_after: 3,
+            backoff: Backoff::exponential(50, 2_000),
+            chaos: None,
+        }
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, runner not started yet.
+    Queued,
+    /// Shards in flight.
+    Running,
+    /// All shards done or poisoned; journals merged into the database.
+    Done,
+    /// The job itself failed (bad campaign, database I/O, …).
+    Failed,
+}
+
+impl JobState {
+    /// Wire encoding (`queued`/`running`/`done`/`failed`).
+    pub fn encode(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has finished (successfully or not).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// Aggregated live progress of a job across its shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Experiments in the campaign.
+    pub total: usize,
+    /// Experiments completed across all shards (journal replays count).
+    pub completed: usize,
+    /// Experiments failed.
+    pub failed: usize,
+    /// Experiments skipped.
+    pub skipped: usize,
+    /// Records quarantined (workers' own plus poison-shard stubs).
+    pub quarantined: usize,
+    /// Shards finished.
+    pub shards_done: usize,
+    /// Shards total.
+    pub shards_total: usize,
+    /// Shards quarantined as poison.
+    pub shards_poisoned: usize,
+    /// Failure detail when `state` is [`JobState::Failed`], else empty.
+    pub detail: String,
+}
+
+impl JobProgress {
+    fn new() -> Self {
+        JobProgress {
+            state: JobState::Queued,
+            total: 0,
+            completed: 0,
+            failed: 0,
+            skipped: 0,
+            quarantined: 0,
+            shards_done: 0,
+            shards_total: 0,
+            shards_poisoned: 0,
+            detail: String::new(),
+        }
+    }
+}
+
+/// Watch handle on one job: current progress plus blocking change waits.
+#[derive(Clone)]
+pub struct JobWatcher {
+    shared: Arc<JobShared>,
+}
+
+impl JobWatcher {
+    /// The job's current aggregated progress.
+    pub fn current(&self) -> JobProgress {
+        self.shared.progress.lock().clone()
+    }
+
+    /// Blocks until the progress differs from `last` or `timeout`
+    /// elapses; returns the current progress either way.
+    pub fn wait_changed(&self, last: &JobProgress, timeout: Duration) -> JobProgress {
+        let deadline = Instant::now() + timeout;
+        let mut p = self.shared.progress.lock();
+        while *p == *last {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if self
+                .shared
+                .changed
+                .wait_for(&mut p, deadline - now)
+                .timed_out()
+            {
+                break;
+            }
+        }
+        p.clone()
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    pub fn wait(&self) -> JobProgress {
+        let mut last = JobProgress::new();
+        loop {
+            let p = self.wait_changed(&last, Duration::from_millis(500));
+            if p.state.is_terminal() {
+                return p;
+            }
+            last = p;
+        }
+    }
+}
+
+struct JobShared {
+    progress: Mutex<JobProgress>,
+    changed: Condvar,
+}
+
+impl JobShared {
+    fn set(&self, mutate: impl FnOnce(&mut JobProgress)) {
+        let mut p = self.progress.lock();
+        mutate(&mut p);
+        self.changed.notify_all();
+    }
+}
+
+struct JobEntry {
+    campaign: String,
+    workers: usize,
+    shared: Arc<JobShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct SchedShared {
+    cfg: ServiceConfig,
+    jobs: Mutex<BTreeMap<String, JobEntry>>,
+    /// Serialises read-modify-write cycles on the shared database file.
+    db_lock: Mutex<()>,
+    /// Set by [`Scheduler::shutdown`]: runner threads kill their workers
+    /// and return without completing (manifests stay, so a later
+    /// [`Scheduler::recover`] resumes the jobs).
+    aborted: AtomicBool,
+    next_job: AtomicU64,
+}
+
+/// The campaign-service scheduler. See the module docs for the protocol.
+pub struct Scheduler {
+    shared: Arc<SchedShared>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `cfg`, creating the spool directory and
+    /// seeding the job-id counter past any spooled jobs.
+    ///
+    /// # Errors
+    ///
+    /// Spool directory I/O errors.
+    pub fn new(cfg: ServiceConfig) -> Result<Scheduler> {
+        std::fs::create_dir_all(&cfg.spool_dir)
+            .map_err(|e| GoofiError::Config(format!("creating spool dir: {e}")))?;
+        let mut max_id = 0;
+        for id in spooled_job_ids(&cfg.spool_dir)? {
+            if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+                max_id = max_id.max(n);
+            }
+        }
+        Ok(Scheduler {
+            shared: Arc::new(SchedShared {
+                cfg,
+                jobs: Mutex::new(BTreeMap::new()),
+                db_lock: Mutex::new(()),
+                aborted: AtomicBool::new(false),
+                next_job: AtomicU64::new(max_id + 1),
+            }),
+        })
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits the named campaign as a new job over `workers` shards
+    /// (0 = the config default). Validates the campaign against the
+    /// database, writes the job manifest, and starts the runner thread.
+    ///
+    /// # Errors
+    ///
+    /// Unknown campaign, database, or spool I/O errors.
+    pub fn submit(&self, campaign: &str, workers: usize) -> Result<String> {
+        // Fail fast on bad submissions, before anything durable exists.
+        let db = load_db(&self.shared.cfg.db_path)?;
+        dbio::load_campaign(&db, campaign)?;
+        drop(db);
+
+        let id = format!(
+            "job-{}",
+            self.shared.next_job.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = self.shared.cfg.spool_dir.join(&id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| GoofiError::Config(format!("creating job dir: {e}")))?;
+        let workers = if workers == 0 {
+            self.shared.cfg.default_workers
+        } else {
+            workers
+        };
+        write_manifest(&dir, campaign, workers)?;
+        self.start_job(&id, campaign, workers);
+        Ok(id)
+    }
+
+    /// Re-runs every spooled job without a `done` marker — the daemon's
+    /// restart path. Shard journals make the replay idempotent. Returns
+    /// the recovered job ids.
+    ///
+    /// # Errors
+    ///
+    /// Spool I/O or manifest parse errors.
+    pub fn recover(&self) -> Result<Vec<String>> {
+        let mut recovered = Vec::new();
+        for id in spooled_job_ids(&self.shared.cfg.spool_dir)? {
+            let dir = self.shared.cfg.spool_dir.join(&id);
+            if dir.join("done").exists() || self.shared.jobs.lock().contains_key(&id) {
+                continue;
+            }
+            let (campaign, workers) = read_manifest(&dir)?;
+            self.start_job(&id, &campaign, workers);
+            recovered.push(id);
+        }
+        Ok(recovered)
+    }
+
+    fn start_job(&self, id: &str, campaign: &str, workers: usize) {
+        let shared = Arc::new(JobShared {
+            progress: Mutex::new(JobProgress::new()),
+            changed: Condvar::new(),
+        });
+        let thread = {
+            let sched = Arc::clone(&self.shared);
+            let job_shared = Arc::clone(&shared);
+            let id = id.to_string();
+            let campaign = campaign.to_string();
+            std::thread::spawn(move || {
+                if let Err(e) = run_job(&sched, &id, &campaign, workers, &job_shared) {
+                    job_shared.set(|p| {
+                        p.state = JobState::Failed;
+                        p.detail = e.to_string();
+                    });
+                }
+            })
+        };
+        self.shared.jobs.lock().insert(
+            id.to_string(),
+            JobEntry {
+                campaign: campaign.to_string(),
+                workers,
+                shared,
+                thread: Some(thread),
+            },
+        );
+    }
+
+    /// A watch handle on a job, or `None` for unknown ids.
+    pub fn watch(&self, id: &str) -> Option<JobWatcher> {
+        self.shared.jobs.lock().get(id).map(|entry| JobWatcher {
+            shared: Arc::clone(&entry.shared),
+        })
+    }
+
+    /// `(id, campaign, progress)` of every job this scheduler knows.
+    pub fn jobs(&self) -> Vec<(String, String, JobProgress)> {
+        self.shared
+            .jobs
+            .lock()
+            .iter()
+            .map(|(id, entry)| {
+                (
+                    id.clone(),
+                    entry.campaign.clone(),
+                    entry.shared.progress.lock().clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Declared shard count of a job (for reporting).
+    pub fn job_workers(&self, id: &str) -> Option<usize> {
+        self.shared.jobs.lock().get(id).map(|entry| entry.workers)
+    }
+
+    /// Stops the scheduler: runner threads kill their worker processes
+    /// and return without writing completion markers, so the spool state
+    /// is exactly what a crashed daemon would leave behind —
+    /// [`Scheduler::recover`] on a fresh scheduler resumes the jobs.
+    pub fn shutdown(&self) {
+        self.shared.aborted.store(true, Ordering::Release);
+        let handles: Vec<_> = self
+            .shared
+            .jobs
+            .lock()
+            .values_mut()
+            .filter_map(|entry| entry.thread.take())
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Per-shard bookkeeping of the job runner loop.
+enum ShardState {
+    Pending {
+        attempt: u32,
+        not_before: Instant,
+    },
+    Running {
+        attempt: u32,
+        child: Child,
+        comm: Arc<ShardComm>,
+        reader: std::thread::JoinHandle<()>,
+    },
+    Done,
+    Poisoned,
+}
+
+/// What the stdout reader thread shares with the runner loop.
+struct ShardComm {
+    /// Last instant the worker's counters *changed* (or hello/done/error
+    /// arrived) — the lease renewal clock.
+    renewed: Mutex<Instant>,
+    /// Latest reported counters and terminal flags.
+    stats: Mutex<ShardStats>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ShardStats {
+    completed: u64,
+    failed: u64,
+    skipped: u64,
+    quarantined: u64,
+    done: bool,
+    error: Option<String>,
+}
+
+/// The job runner: drives all shards of one job to done-or-poisoned,
+/// then merges the shard journals into the database.
+fn run_job(
+    sched: &SchedShared,
+    id: &str,
+    campaign_name: &str,
+    workers: usize,
+    job: &JobShared,
+) -> Result<()> {
+    let campaign: Campaign = {
+        let db = load_db(&sched.cfg.db_path)?;
+        dbio::load_campaign(&db, campaign_name)?
+    };
+    let total = campaign.experiment_count();
+    let ranges = super::partition(total, workers);
+    let dir = sched.cfg.spool_dir.join(id);
+    let journal_path = |shard: usize| dir.join(format!("shard-{shard}.gjl"));
+
+    job.set(|p| {
+        p.state = JobState::Running;
+        p.total = total;
+        p.shards_total = ranges.len();
+    });
+
+    let mut shards: Vec<ShardState> = Vec::new();
+    let mut last_stats: Vec<ShardStats> = vec![ShardStats::default(); ranges.len()];
+    let mut consecutive_failures: Vec<u32> = vec![0; ranges.len()];
+    let mut poison_quarantined: usize = 0;
+    for (shard, range) in ranges.iter().enumerate() {
+        // A journal that already covers its whole range (daemon restarted
+        // after the shard finished but before the merge) is done as-is.
+        if shard_journal_complete(&journal_path(shard), campaign_name, range)? {
+            last_stats[shard].completed = range.len() as u64;
+            last_stats[shard].done = true;
+            shards.push(ShardState::Done);
+        } else {
+            shards.push(ShardState::Pending {
+                attempt: 1,
+                not_before: Instant::now(),
+            });
+        }
+    }
+
+    loop {
+        if sched.aborted.load(Ordering::Acquire) {
+            for state in &mut shards {
+                if let ShardState::Running { child, reader, .. } =
+                    std::mem::replace(state, ShardState::Poisoned)
+                {
+                    kill_child(child);
+                    let _ = reader.join();
+                }
+            }
+            return Err(GoofiError::Stopped);
+        }
+
+        let mut all_settled = true;
+        for shard in 0..shards.len() {
+            match &mut shards[shard] {
+                ShardState::Done | ShardState::Poisoned => {}
+                ShardState::Pending {
+                    attempt,
+                    not_before,
+                } => {
+                    all_settled = false;
+                    if Instant::now() < *not_before {
+                        continue;
+                    }
+                    let attempt = *attempt;
+                    match spawn_worker(
+                        &sched.cfg,
+                        campaign_name,
+                        shard,
+                        &ranges[shard],
+                        &journal_path(shard),
+                        attempt,
+                    ) {
+                        Ok((child, comm, reader)) => {
+                            shards[shard] = ShardState::Running {
+                                attempt,
+                                child,
+                                comm,
+                                reader,
+                            };
+                        }
+                        Err(e) => {
+                            // Spawn failure counts as a failed lease.
+                            shard_lease_failed(
+                                sched,
+                                &campaign,
+                                shard,
+                                &ranges[shard],
+                                &journal_path(shard),
+                                attempt,
+                                &e.to_string(),
+                                &mut shards[shard],
+                                &mut consecutive_failures[shard],
+                                &mut poison_quarantined,
+                            )?;
+                        }
+                    }
+                }
+                ShardState::Running {
+                    attempt,
+                    child,
+                    comm,
+                    ..
+                } => {
+                    all_settled = false;
+                    let attempt = *attempt;
+                    let comm = Arc::clone(comm);
+                    last_stats[shard] = comm.stats.lock().clone();
+                    let exited = child.try_wait().ok().flatten();
+                    let lease_expired =
+                        exited.is_none() && comm.renewed.lock().elapsed() > sched.cfg.lease;
+                    if exited.is_none() && !lease_expired {
+                        continue;
+                    }
+                    // The worker exited or its lease expired: settle it.
+                    let state = std::mem::replace(&mut shards[shard], ShardState::Poisoned);
+                    let (child, reader) = match state {
+                        ShardState::Running { child, reader, .. } => (child, reader),
+                        _ => unreachable!("shard was running"),
+                    };
+                    let status = if lease_expired {
+                        kill_child(child);
+                        None
+                    } else {
+                        Some(child).and_then(|mut c| c.wait().ok())
+                    };
+                    // Join the reader before judging: the worker's final
+                    // `done` frame may still be in the pipe at exit time.
+                    let _ = reader.join();
+                    let stats = comm.stats.lock().clone();
+                    last_stats[shard] = stats.clone();
+                    // The journal is the ground truth for completion; the
+                    // exit status guards against a worker that "finished"
+                    // while dying.
+                    let finished = status
+                        .as_ref()
+                        .is_some_and(std::process::ExitStatus::success)
+                        && shard_journal_complete(
+                            &journal_path(shard),
+                            campaign_name,
+                            &ranges[shard],
+                        )?;
+                    if finished {
+                        consecutive_failures[shard] = 0;
+                        shards[shard] = ShardState::Done;
+                    } else {
+                        let why = if lease_expired {
+                            format!("lease expired after {:?}", sched.cfg.lease)
+                        } else if let Some(e) = &stats.error {
+                            e.clone()
+                        } else {
+                            match status {
+                                Some(s) => format!("worker exited early: {s}"),
+                                None => "worker vanished".into(),
+                            }
+                        };
+                        shard_lease_failed(
+                            sched,
+                            &campaign,
+                            shard,
+                            &ranges[shard],
+                            &journal_path(shard),
+                            attempt,
+                            &why,
+                            &mut shards[shard],
+                            &mut consecutive_failures[shard],
+                            &mut poison_quarantined,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // Aggregate progress across shards and notify watchers on change.
+        let mut agg = JobProgress::new();
+        agg.state = JobState::Running;
+        agg.total = total;
+        agg.shards_total = ranges.len();
+        for (shard, stats) in last_stats.iter().enumerate() {
+            agg.completed += stats.completed as usize;
+            agg.failed += stats.failed as usize;
+            agg.skipped += stats.skipped as usize;
+            agg.quarantined += stats.quarantined as usize;
+            match shards[shard] {
+                ShardState::Done => agg.shards_done += 1,
+                ShardState::Poisoned => agg.shards_poisoned += 1,
+                _ => {}
+            }
+        }
+        agg.quarantined += poison_quarantined;
+        if *job.progress.lock() != agg {
+            job.set(|p| *p = agg.clone());
+        }
+
+        if all_settled {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Merge: fold every shard journal into the database, in shard order
+    // (deterministic), through the idempotent import path.
+    {
+        let _db_guard = sched.db_lock.lock();
+        let mut db = load_db(&sched.cfg.db_path)?;
+        for shard in 0..ranges.len() {
+            let path = journal_path(shard);
+            if path.exists() {
+                dbio::import_journal(&mut db, &path, campaign_name)?;
+            }
+        }
+        db.save_to_path(&sched.cfg.db_path)
+            .map_err(|e| GoofiError::Config(format!("saving database: {e}")))?;
+    }
+    std::fs::write(dir.join("done"), b"done\n")
+        .map_err(|e| GoofiError::Config(format!("writing done marker: {e}")))?;
+    job.set(|p| p.state = JobState::Done);
+    Ok(())
+}
+
+/// Handles one failed lease: backoff-requeue, or poison the shard once it
+/// has failed `poison_after` consecutive leases.
+#[allow(clippy::too_many_arguments)]
+fn shard_lease_failed(
+    sched: &SchedShared,
+    campaign: &Campaign,
+    shard: usize,
+    range: &std::ops::Range<usize>,
+    journal: &Path,
+    attempt: u32,
+    why: &str,
+    state: &mut ShardState,
+    consecutive: &mut u32,
+    poison_quarantined: &mut usize,
+) -> Result<()> {
+    *consecutive += 1;
+    if *consecutive >= sched.cfg.poison_after {
+        *poison_quarantined += poison_shard(campaign, shard, range, journal)?;
+        *state = ShardState::Poisoned;
+    } else {
+        *state = ShardState::Pending {
+            attempt: attempt + 1,
+            not_before: Instant::now() + sched.cfg.backoff.delay(*consecutive),
+        };
+    }
+    let _ = why; // recorded via poison stubs / job detail, not per-lease
+    Ok(())
+}
+
+/// Quarantines a poison shard: every experiment the shard still owes gets
+/// a `Validity::Invalid` stub record plus an invalid
+/// `parentExperiment`-linked `…/rerun1` stub appended to its journal, so
+/// the merged database documents the loss (and the rerun hook) instead of
+/// the job wedging forever. Returns the number of stub records written.
+fn poison_shard(
+    campaign: &Campaign,
+    _shard: usize,
+    range: &std::ops::Range<usize>,
+    journal_path: &Path,
+) -> Result<usize> {
+    if !journal_path.exists() {
+        ExperimentJournal::create(journal_path, &campaign.name)?;
+    }
+    let state = ExperimentJournal::load(journal_path, &campaign.name)?;
+    let mut journal = ExperimentJournal::open_append(journal_path)?;
+    let mut stubs = 0;
+    for index in range.clone() {
+        if state.completed.contains_key(&index) {
+            continue;
+        }
+        let original = campaign.experiment_name(index);
+        let stub = |name: String, parent: Option<String>| ExperimentRecord {
+            name,
+            parent,
+            campaign: campaign.name.clone(),
+            fault: campaign.faults.get(index).cloned(),
+            termination: TerminationCause::TargetHang,
+            state: StateSnapshot::default(),
+            trace: Vec::new(),
+            validity: Validity::Invalid,
+        };
+        journal.append_record(Some(index), &stub(original.clone(), None))?;
+        journal.append_record(
+            Some(index),
+            &stub(format!("{original}/rerun1"), Some(original)),
+        )?;
+        stubs += 2;
+    }
+    Ok(stubs)
+}
+
+/// Whether a shard journal exists and covers every index in `range` with
+/// a completed record.
+fn shard_journal_complete(
+    path: &Path,
+    campaign: &str,
+    range: &std::ops::Range<usize>,
+) -> Result<bool> {
+    if !path.exists() {
+        return Ok(false);
+    }
+    let state = ExperimentJournal::load(path, campaign)?;
+    Ok(range
+        .clone()
+        .all(|index| state.completed.contains_key(&index)))
+}
+
+/// Spawns one worker process for a shard and a reader thread draining its
+/// stdout into a [`ShardComm`].
+fn spawn_worker(
+    cfg: &ServiceConfig,
+    campaign: &str,
+    shard: usize,
+    range: &std::ops::Range<usize>,
+    journal: &Path,
+    attempt: u32,
+) -> Result<(Child, Arc<ShardComm>, std::thread::JoinHandle<()>)> {
+    let worker_args = super::worker::WorkerArgs {
+        db: cfg.db_path.clone(),
+        campaign: campaign.to_string(),
+        shard,
+        range: range.clone(),
+        journal: journal.to_path_buf(),
+        attempt,
+        chaos: cfg.chaos,
+    };
+    let mut child = Command::new(&cfg.worker_cmd.program)
+        .args(&cfg.worker_cmd.args)
+        .args(worker_args.to_args())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| {
+            GoofiError::Config(format!(
+                "spawning worker {}: {e}",
+                cfg.worker_cmd.program.display()
+            ))
+        })?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| GoofiError::Config("worker stdout not captured".into()))?;
+    let comm = Arc::new(ShardComm {
+        renewed: Mutex::new(Instant::now()),
+        stats: Mutex::new(ShardStats::default()),
+    });
+    let reader = {
+        let comm = Arc::clone(&comm);
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(stdout);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                // A malformed line from a half-dead worker is ignored,
+                // not fatal; the lease deadline judges silence.
+                let Ok(event) = WorkerEvent::decode(&line) else {
+                    continue;
+                };
+                let mut stats = comm.stats.lock();
+                let before = stats.clone();
+                match event {
+                    WorkerEvent::Hello { .. } => {}
+                    WorkerEvent::Progress {
+                        completed,
+                        failed,
+                        skipped,
+                        quarantined,
+                        ..
+                    } => {
+                        stats.completed = completed;
+                        stats.failed = failed;
+                        stats.skipped = skipped;
+                        stats.quarantined = quarantined;
+                    }
+                    WorkerEvent::Done {
+                        completed, failed, ..
+                    } => {
+                        stats.completed = completed;
+                        stats.failed = failed;
+                        stats.done = true;
+                    }
+                    WorkerEvent::Error { kind, detail, .. } => {
+                        stats.error = Some(format!("{kind}: {detail}"));
+                    }
+                }
+                // Hello/done/error always renew; progress renews only on
+                // change — an idle heartbeat must not keep a hung worker
+                // alive past its lease.
+                if *stats != before || stats.done || stats.error.is_some() {
+                    *comm.renewed.lock() = Instant::now();
+                }
+            }
+        })
+    };
+    Ok((child, comm, reader))
+}
+
+fn kill_child(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+fn load_db(path: &Path) -> Result<goofidb::Database> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GoofiError::Config(format!("reading {}: {e}", path.display())))?;
+    goofidb::Database::load_from_string(&text)
+        .map_err(|e| GoofiError::Config(format!("parsing {}: {e}", path.display())))
+}
+
+/// Writes `<dir>/manifest`: the durable record from which a restarted
+/// daemon resumes the job. Same `key value` line discipline as the
+/// journal header; written atomically via rename.
+fn write_manifest(dir: &Path, campaign: &str, workers: usize) -> Result<()> {
+    let tmp = dir.join("manifest.tmp");
+    let body = format!("#goofi-job v1\ncampaign {campaign}\nworkers {workers}\n");
+    std::fs::write(&tmp, body).map_err(|e| GoofiError::Config(format!("writing manifest: {e}")))?;
+    std::fs::rename(&tmp, dir.join("manifest"))
+        .map_err(|e| GoofiError::Config(format!("publishing manifest: {e}")))
+}
+
+fn read_manifest(dir: &Path) -> Result<(String, usize)> {
+    let path = dir.join("manifest");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| GoofiError::Config(format!("reading {}: {e}", path.display())))?;
+    let mut lines = text.lines();
+    if lines.next() != Some("#goofi-job v1") {
+        return Err(GoofiError::Config(format!(
+            "bad manifest header in {}",
+            path.display()
+        )));
+    }
+    let mut campaign = None;
+    let mut workers = None;
+    for line in lines {
+        match line.split_once(' ') {
+            Some(("campaign", v)) => campaign = Some(v.to_string()),
+            Some(("workers", v)) => workers = v.parse().ok(),
+            _ => {}
+        }
+    }
+    match (campaign, workers) {
+        (Some(c), Some(w)) => Ok((c, w)),
+        _ => Err(GoofiError::Config(format!(
+            "incomplete manifest in {}",
+            path.display()
+        ))),
+    }
+}
+
+/// Job ids (directory names) present in the spool directory, sorted.
+fn spooled_job_ids(spool: &Path) -> Result<Vec<String>> {
+    let mut ids = Vec::new();
+    let entries = match std::fs::read_dir(spool) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(ids),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("job-") && entry.path().join("manifest").exists() {
+            ids.push(name);
+        }
+    }
+    ids.sort();
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("goofi-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_manifest(&dir, "c one", 3).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), ("c one".to_string(), 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn job_state_encodes() {
+        assert_eq!(JobState::Running.encode(), "running");
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+    }
+}

@@ -1,0 +1,250 @@
+//! TCP framing of the campaign service: the daemon's accept loop and the
+//! client used by `goofi submit`.
+//!
+//! One connection carries one request line and its response lines, all
+//! newline-delimited JSON ([`super::wire`]). Watched submissions keep the
+//! connection open and stream [`Response::Progress`] lines until the job
+//! reaches a terminal state. The daemon binds loopback by default — the
+//! service is a local campaign coordinator, not a network product.
+
+use super::scheduler::{JobProgress, Scheduler};
+use super::wire::{Request, Response};
+use crate::{GoofiError, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs the daemon's accept loop on `listener` until a `shutdown` request
+/// arrives or `stop` is set (e.g. by a signal handler). Each connection is
+/// served on its own thread; returns after in-flight jobs are stopped via
+/// [`Scheduler::shutdown`] (their spool state stays resumable).
+///
+/// # Errors
+///
+/// Listener configuration errors; per-connection I/O errors are contained
+/// to their connection.
+pub fn serve(
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+) -> Result<()> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GoofiError::Wire(format!("listener nonblocking: {e}")))?;
+    let mut handlers = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let scheduler = Arc::clone(&scheduler);
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &scheduler, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(GoofiError::Wire(format!("accept failed: {e}"))),
+        }
+    }
+    scheduler.shutdown();
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    Ok(())
+}
+
+/// Serves one connection: one request line, then its response lines.
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    let request = match Request::decode(line.trim_end()) {
+        Ok(request) => request,
+        Err(e) => {
+            send(
+                &mut writer,
+                &Response::Error {
+                    detail: e.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Submit {
+            campaign,
+            workers,
+            watch,
+        } => match scheduler.submit(&campaign, workers) {
+            Ok(job) => {
+                send(&mut writer, &Response::Accepted { job: job.clone() });
+                if watch {
+                    stream_progress(&mut writer, scheduler, &job, stop);
+                }
+            }
+            Err(e) => {
+                send(
+                    &mut writer,
+                    &Response::Error {
+                        detail: e.to_string(),
+                    },
+                );
+            }
+        },
+        Request::Watch { job } => {
+            if scheduler.watch(&job).is_some() {
+                stream_progress(&mut writer, scheduler, &job, stop);
+            } else {
+                send(
+                    &mut writer,
+                    &Response::Error {
+                        detail: format!("no such job `{job}`"),
+                    },
+                );
+            }
+        }
+        Request::Status => {
+            for (job, campaign, progress) in scheduler.jobs() {
+                send(
+                    &mut writer,
+                    &Response::Job {
+                        job,
+                        campaign,
+                        state: progress.state.encode().to_string(),
+                    },
+                );
+            }
+            send(&mut writer, &Response::End);
+        }
+        Request::Shutdown => {
+            stop.store(true, Ordering::Release);
+            send(&mut writer, &Response::End);
+        }
+    }
+}
+
+/// Streams progress lines for `job` until it reaches a terminal state or
+/// the daemon is stopping; the final line carries the terminal state.
+fn stream_progress(writer: &mut TcpStream, scheduler: &Scheduler, job: &str, stop: &AtomicBool) {
+    let Some(watcher) = scheduler.watch(job) else {
+        return;
+    };
+    let mut last: Option<JobProgress> = None;
+    loop {
+        let progress = match &last {
+            Some(prev) => watcher.wait_changed(prev, Duration::from_millis(250)),
+            None => watcher.current(),
+        };
+        if last.as_ref() != Some(&progress) {
+            if !send(writer, &progress_response(job, &progress)) {
+                return; // client hung up
+            }
+            if progress.state.is_terminal() {
+                return;
+            }
+            last = Some(progress);
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+fn progress_response(job: &str, p: &JobProgress) -> Response {
+    Response::Progress {
+        job: job.to_string(),
+        state: p.state.encode().to_string(),
+        total: p.total as u64,
+        completed: p.completed as u64,
+        failed: p.failed as u64,
+        quarantined: p.quarantined as u64,
+        shards_done: p.shards_done as u64,
+        shards_total: p.shards_total as u64,
+        shards_poisoned: p.shards_poisoned as u64,
+        detail: p.detail.clone(),
+    }
+}
+
+fn send(writer: &mut TcpStream, response: &Response) -> bool {
+    writeln!(writer, "{}", response.encode()).is_ok() && writer.flush().is_ok()
+}
+
+/// A blocking client connection to the daemon, used by `goofi submit`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4711`).
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Wire`] when the connection cannot be established.
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| GoofiError::Wire(format!("connecting to {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| GoofiError::Wire(format!("cloning stream: {e}")))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Wire`] on I/O failure.
+    pub fn send(&mut self, request: &Request) -> Result<()> {
+        writeln!(self.writer, "{}", request.encode())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| GoofiError::Wire(format!("sending request: {e}")))
+    }
+
+    /// Sends raw text verbatim — exercises the daemon's handling of
+    /// malformed frames.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Wire`] on I/O failure.
+    pub fn send_raw(&mut self, text: &str) -> Result<()> {
+        self.writer
+            .write_all(text.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| GoofiError::Wire(format!("sending raw frame: {e}")))
+    }
+
+    /// Receives the next response line; `None` when the daemon closed the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Wire`] on I/O failure or malformed frames.
+    pub fn recv(&mut self) -> Result<Option<Response>> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| GoofiError::Wire(format!("reading response: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Response::decode(line.trim_end()).map(Some)
+    }
+}

@@ -1,0 +1,327 @@
+//! The shard-worker half of the campaign service.
+//!
+//! A worker is one OS process owning one shard of a campaign's experiment
+//! index space. It loads the campaign from the shared database, runs its
+//! shard via [`runner::resume_campaign_shard`] under a private journal,
+//! and streams [`WorkerEvent`] lines on stdout — the daemon reads them to
+//! renew the shard lease and aggregate job progress. The binary wrapping
+//! [`run_worker`] chooses the target system (`goofi worker` builds the
+//! Thor simulator; the test binary builds
+//! [`SimTarget`](crate::framework::SimTarget)), which is all that differs
+//! between production and test workers.
+//!
+//! [`runner::resume_campaign_shard`]: crate::runner::resume_campaign_shard
+
+use super::chaos::{ChaosConfig, ChaosMode, CHAOS_EXIT_CODE};
+use super::wire::WorkerEvent;
+use crate::campaign::Campaign;
+use crate::dbio;
+use crate::journal::ExperimentJournal;
+use crate::monitor::{Progress, ProgressMonitor};
+use crate::runner;
+use crate::target::TargetAccess;
+use crate::{GoofiError, Result};
+use std::io::Write;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parsed `goofi worker` command line. The grammar is shared by every
+/// worker binary so the scheduler can spawn any of them interchangeably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerArgs {
+    /// Database file holding the campaign.
+    pub db: PathBuf,
+    /// Campaign name.
+    pub campaign: String,
+    /// Shard index (for event attribution).
+    pub shard: usize,
+    /// Global experiment index range of this shard.
+    pub range: Range<usize>,
+    /// Private shard journal path.
+    pub journal: PathBuf,
+    /// Lease attempt, 1-based.
+    pub attempt: u32,
+    /// Seeded self-kill drill, when the daemon runs with `--chaos`.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl WorkerArgs {
+    /// Parses `--db P --campaign C --shard K --range A:B --journal P
+    /// [--attempt N] [--chaos SPEC]`.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Config`] on unknown flags, missing values, or
+    /// malformed numbers — never a panic, since the daemon's spawn line
+    /// is still an external input.
+    pub fn parse(args: &[String]) -> Result<WorkerArgs> {
+        let mut db = None;
+        let mut campaign = None;
+        let mut shard = None;
+        let mut range = None;
+        let mut journal = None;
+        let mut attempt: u32 = 1;
+        let mut chaos = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it
+                .next()
+                .ok_or_else(|| GoofiError::Config(format!("missing value for `{flag}`")))?;
+            match flag.as_str() {
+                "--db" => db = Some(PathBuf::from(value)),
+                "--campaign" => campaign = Some(value.clone()),
+                "--shard" => {
+                    shard = Some(
+                        value
+                            .parse()
+                            .map_err(|_| GoofiError::Config(format!("bad --shard `{value}`")))?,
+                    );
+                }
+                "--range" => {
+                    let (a, b) = value.split_once(':').ok_or_else(|| {
+                        GoofiError::Config(format!("bad --range `{value}` (want A:B)"))
+                    })?;
+                    let a: usize = a
+                        .parse()
+                        .map_err(|_| GoofiError::Config(format!("bad --range start `{a}`")))?;
+                    let b: usize = b
+                        .parse()
+                        .map_err(|_| GoofiError::Config(format!("bad --range end `{b}`")))?;
+                    if b < a {
+                        return Err(GoofiError::Config(format!("backwards --range `{value}`")));
+                    }
+                    range = Some(a..b);
+                }
+                "--journal" => journal = Some(PathBuf::from(value)),
+                "--attempt" => {
+                    attempt = value
+                        .parse()
+                        .map_err(|_| GoofiError::Config(format!("bad --attempt `{value}`")))?;
+                }
+                "--chaos" => {
+                    chaos = Some(
+                        ChaosConfig::decode(value)
+                            .ok_or_else(|| GoofiError::Config(format!("bad --chaos `{value}`")))?,
+                    );
+                }
+                other => return Err(GoofiError::Config(format!("unknown worker flag `{other}`"))),
+            }
+        }
+        let missing = |name: &str| GoofiError::Config(format!("worker needs `{name}`"));
+        Ok(WorkerArgs {
+            db: db.ok_or_else(|| missing("--db"))?,
+            campaign: campaign.ok_or_else(|| missing("--campaign"))?,
+            shard: shard.ok_or_else(|| missing("--shard"))?,
+            range: range.ok_or_else(|| missing("--range"))?,
+            journal: journal.ok_or_else(|| missing("--journal"))?,
+            attempt: attempt.max(1),
+            chaos,
+        })
+    }
+
+    /// The argument vector [`WorkerArgs::parse`] reads — what the
+    /// scheduler appends to the worker command line.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--db".into(),
+            self.db.display().to_string(),
+            "--campaign".into(),
+            self.campaign.clone(),
+            "--shard".into(),
+            self.shard.to_string(),
+            "--range".into(),
+            format!("{}:{}", self.range.start, self.range.end),
+            "--journal".into(),
+            self.journal.display().to_string(),
+            "--attempt".into(),
+            self.attempt.to_string(),
+        ];
+        if let Some(chaos) = &self.chaos {
+            args.push("--chaos".into());
+            args.push(chaos.encode());
+        }
+        args
+    }
+}
+
+/// Writes one worker event line to stdout and flushes it, so the daemon's
+/// reader sees whole frames.
+fn emit(event: &WorkerEvent) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{}", event.encode());
+    let _ = out.flush();
+}
+
+/// Runs one shard to completion: the body of every worker binary.
+///
+/// Loads the campaign from `args.db`, replays/extends the shard journal
+/// over `args.range`, and streams [`WorkerEvent`]s on stdout. With a
+/// chaos config active for this attempt, the process deterministically
+/// kills itself (or stalls) after a seeded number of fresh completions —
+/// see [`super::chaos`].
+///
+/// # Errors
+///
+/// Any campaign, journal, or database error; the caller should exit
+/// nonzero so the daemon counts the lease as failed.
+pub fn run_worker<T, FT>(args: &WorkerArgs, make_target: FT) -> Result<()>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+{
+    let text = std::fs::read_to_string(&args.db)
+        .map_err(|e| GoofiError::Config(format!("reading {}: {e}", args.db.display())))?;
+    let db = goofidb::Database::load_from_string(&text)
+        .map_err(|e| GoofiError::Config(format!("parsing {}: {e}", args.db.display())))?;
+    let campaign: Campaign = dbio::load_campaign(&db, &args.campaign)?;
+    let range =
+        args.range.start.min(campaign.faults.len())..args.range.end.min(campaign.faults.len());
+
+    let monitor = ProgressMonitor::new(range.len());
+    emit(&WorkerEvent::Hello {
+        shard: args.shard,
+        attempt: args.attempt,
+    });
+
+    // Experiments already journaled count as "replayed", not "fresh":
+    // both the chaos kill point and nothing else depend on the split, but
+    // the distinction is what makes drills re-kill only on new work.
+    let baseline = if args.journal.exists() {
+        ExperimentJournal::load(&args.journal, &args.campaign)?
+            .completed
+            .keys()
+            .filter(|index| range.contains(index))
+            .count()
+    } else {
+        0
+    };
+
+    // Progress streamer: one event per counter change.
+    let finished = Arc::new(AtomicBool::new(false));
+    let streamer = {
+        let monitor = monitor.clone();
+        let finished = Arc::clone(&finished);
+        let shard = args.shard;
+        std::thread::spawn(move || {
+            let mut last = Progress::default();
+            loop {
+                let p = monitor.wait_for_change(&last, Duration::from_millis(100));
+                if p != last {
+                    emit(&WorkerEvent::Progress {
+                        shard,
+                        completed: p.completed as u64,
+                        failed: p.failed as u64,
+                        skipped: p.skipped as u64,
+                        quarantined: p.quarantined as u64,
+                    });
+                    last = p;
+                }
+                if finished.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        })
+    };
+
+    // Chaos drill: self-kill (or stall) after a seeded number of *fresh*
+    // completions this lease.
+    if let Some(chaos) = args.chaos.filter(|c| c.active(args.attempt)) {
+        let kill_point = chaos.kill_point(args.shard, args.attempt);
+        let monitor = monitor.clone();
+        std::thread::spawn(move || {
+            let mut last = Progress::default();
+            loop {
+                let p = monitor.wait_for_change(&last, Duration::from_millis(50));
+                if p.completed.saturating_sub(baseline) as u64 >= kill_point {
+                    match chaos.mode {
+                        ChaosMode::Exit => std::process::exit(CHAOS_EXIT_CODE),
+                        ChaosMode::Stall => {
+                            // Freeze the campaign without exiting: the
+                            // lease deadline must catch us.
+                            monitor.pause();
+                            loop {
+                                std::thread::sleep(Duration::from_secs(3600));
+                            }
+                        }
+                    }
+                }
+                last = p;
+            }
+        });
+    }
+
+    let result = runner::resume_campaign_shard(
+        &make_target,
+        None::<fn() -> Box<dyn envsim::Environment>>,
+        &campaign,
+        &monitor,
+        1,
+        &args.journal,
+        range,
+    );
+    finished.store(true, Ordering::Release);
+    let _ = streamer.join();
+
+    let snapshot = monitor.snapshot();
+    match result {
+        Ok(_) => {
+            emit(&WorkerEvent::Done {
+                shard: args.shard,
+                completed: snapshot.completed as u64,
+                failed: snapshot.failed as u64,
+            });
+            Ok(())
+        }
+        Err(e) => {
+            let kind = match &e {
+                GoofiError::TargetOffline { .. } => "target-offline",
+                GoofiError::Stopped => "stopped",
+                _ => "error",
+            };
+            emit(&WorkerEvent::Error {
+                shard: args.shard,
+                kind: kind.into(),
+                detail: e.to_string(),
+            });
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(spec: &[&str]) -> Result<WorkerArgs> {
+        WorkerArgs::parse(&spec.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn args_roundtrip_through_to_args() {
+        let args = WorkerArgs {
+            db: "/tmp/db.gdb".into(),
+            campaign: "c1".into(),
+            shard: 2,
+            range: 10..20,
+            journal: "/tmp/shard-2.gjl".into(),
+            attempt: 3,
+            chaos: Some(ChaosConfig::decode("kill-after=3,seed=7").unwrap()),
+        };
+        assert_eq!(WorkerArgs::parse(&args.to_args()).unwrap(), args);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_args() {
+        assert!(parse(&["--db"]).is_err()); // missing value
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["--shard", "x"]).is_err());
+        assert!(parse(&["--range", "5"]).is_err());
+        assert!(parse(&["--range", "9:3"]).is_err());
+        assert!(parse(&["--chaos", "nope"]).is_err());
+        // All mandatory flags must be present.
+        assert!(parse(&["--db", "d", "--campaign", "c"]).is_err());
+    }
+}

@@ -23,6 +23,14 @@
 //!   seeded [`scanchain::WedgeModel`] deterministically wedges the target
 //!   into hangs, stuck TAPs or garbage scan reads, clearing only when the
 //!   recovery action reaches the modelled depth.
+//!
+//! The campaign service ([`crate::service`]) applies the same supervision
+//! philosophy one level up the process tree: where this module watches a
+//! *target* and recovers it through a ladder, the service's scheduler
+//! watches *worker processes* through leases, kills and reassigns the
+//! hung ones with backoff, and quarantines shards that keep failing —
+//! poison-shard stubs reuse the `parentExperiment` re-run link that
+//! quarantined hangs get here.
 
 use crate::algorithms::{golden_run_matches, make_reference_run};
 use crate::campaign::{Campaign, WorkloadImage};
@@ -298,7 +306,7 @@ impl<'a> Supervisor<'a> {
 
     /// Whether a scheduled probe suite is due after `completed` experiments.
     pub fn probe_due(&self, completed: usize) -> bool {
-        completed > 0 && completed % self.cadence as usize == 0
+        completed > 0 && completed.is_multiple_of(self.cadence as usize)
     }
 
     /// Runs the full probe suite. Target errors during probing are probe
@@ -310,7 +318,9 @@ impl<'a> Supervisor<'a> {
         env: &mut dyn Environment,
         monitor: &ProgressMonitor,
     ) -> ProbeSuite {
-        let mut span = monitor.telemetry().stage_span(crate::telemetry::Stage::Probe, 0);
+        let mut span = monitor
+            .telemetry()
+            .stage_span(crate::telemetry::Stage::Probe, 0);
         let reports = vec![
             self.probe_scan_signature(target),
             self.probe_memory_pattern(target),

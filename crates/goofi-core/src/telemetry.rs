@@ -238,7 +238,7 @@ pub struct SpanRecord {
     pub detail: String,
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -257,7 +257,7 @@ fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// Minimal value space for the hand-rolled JSON line codec.
-enum JsonVal {
+pub(crate) enum JsonVal {
     Null,
     Num(u64),
     Str(String),
@@ -266,7 +266,7 @@ enum JsonVal {
 /// Parses one flat JSON object of string/number/null values. Returns the
 /// key/value pairs, or `None` on any syntax error (torn trace tails are
 /// skipped, mirroring the journal's torn-line tolerance).
-fn parse_flat_json(line: &str) -> Option<Vec<(String, JsonVal)>> {
+pub(crate) fn parse_flat_json(line: &str) -> Option<Vec<(String, JsonVal)>> {
     let mut chars = line.trim().char_indices().peekable();
     let s = line.trim();
     let mut out = Vec::new();
@@ -591,7 +591,11 @@ impl Histogram {
     /// A point-in-time copy of the bucket counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             sum_us: self.sum_us.load(Ordering::Relaxed),
         }
     }
@@ -635,12 +639,7 @@ impl HistogramSnapshot {
 
     /// Mean duration in µs (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum_us / n
-        }
+        self.sum_us.checked_div(self.count()).unwrap_or(0)
     }
 
     /// Upper bound (µs) of the bucket containing quantile `q` (0.0..=1.0).
@@ -728,10 +727,7 @@ impl MetricsSnapshot {
 
     /// Stage histogram by name.
     pub fn stage(&self, stage: Stage) -> HistogramSnapshot {
-        self.stages
-            .get(stage.encode())
-            .cloned()
-            .unwrap_or_default()
+        self.stages.get(stage.encode()).cloned().unwrap_or_default()
     }
 
     /// Merges two snapshots: counters sum, histograms merge elementwise.
@@ -1225,7 +1221,10 @@ mod tests {
         let spans = ring.buffered();
         assert_eq!(spans.len(), 4);
         let campaign = spans.iter().find(|s| s.kind == SpanKind::Campaign).unwrap();
-        let exp = spans.iter().find(|s| s.kind == SpanKind::Experiment).unwrap();
+        let exp = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Experiment)
+            .unwrap();
         let load = spans
             .iter()
             .find(|s| s.kind == SpanKind::Stage(Stage::Load))
@@ -1291,11 +1290,7 @@ mod tests {
             tel.time(Stage::Run, || ());
             tel.event("note", "not a stage");
         }
-        let text: String = ring
-            .buffered()
-            .iter()
-            .map(|s| s.encode() + "\n")
-            .collect();
+        let text: String = ring.buffered().iter().map(|s| s.encode() + "\n").collect();
         let rebuilt = MetricsSnapshot::from_trace(&text);
         let live = tel.metrics().unwrap();
         for s in Stage::ALL {
@@ -1309,7 +1304,10 @@ mod tests {
         }
         // Torn tail and junk lines are skipped, not fatal.
         let torn = format!("{}{}", text, "{\"id\":99,\"par");
-        assert_eq!(MetricsSnapshot::from_trace(&torn).stage(Stage::Run).count(), 2);
+        assert_eq!(
+            MetricsSnapshot::from_trace(&torn).stage(Stage::Run).count(),
+            2
+        );
     }
 
     #[test]
@@ -1367,11 +1365,16 @@ mod tests {
             assert_eq!(n, 3);
         }
         let text = std::fs::read_to_string(&trace).unwrap();
-        let decoded: Vec<SpanRecord> = text.lines().map(|l| SpanRecord::decode(l).unwrap()).collect();
+        let decoded: Vec<SpanRecord> = text
+            .lines()
+            .map(|l| SpanRecord::decode(l).unwrap())
+            .collect();
         assert_eq!(decoded.len(), 3);
         let flight_text = std::fs::read_to_string(&flight).unwrap();
-        let flight_decoded: Vec<SpanRecord> =
-            flight_text.lines().map(|l| SpanRecord::decode(l).unwrap()).collect();
+        let flight_decoded: Vec<SpanRecord> = flight_text
+            .lines()
+            .map(|l| SpanRecord::decode(l).unwrap())
+            .collect();
         assert_eq!(flight_decoded.len(), 3);
         // Appending extends the same trace.
         {
@@ -1383,7 +1386,9 @@ mod tests {
         let text2 = std::fs::read_to_string(&trace).unwrap();
         assert_eq!(text2.lines().count(), 4);
         assert_eq!(
-            MetricsSnapshot::from_trace(&text2).stage(Stage::Classify).count(),
+            MetricsSnapshot::from_trace(&text2)
+                .stage(Stage::Classify)
+                .count(),
             1
         );
         std::fs::remove_dir_all(&dir).unwrap();

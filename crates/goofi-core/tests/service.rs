@@ -1,0 +1,405 @@
+//! End-to-end tests of the campaign service: sharded jobs over real
+//! worker OS processes (the `goofi-mock-worker` binary wrapping
+//! [`SimTarget`]), chaos-killed workers, daemon-death resume, and
+//! poison-shard quarantine.
+//!
+//! Every test's oracle is the same: the merged database must be
+//! *essence-equal* to a serial in-process run of the same campaign —
+//! same records, same faults, same terminations, same end states.
+
+use goofi_core::algorithms;
+use goofi_core::campaign::{Campaign, OutputRegion, Termination, WorkloadImage};
+use goofi_core::dbio;
+use goofi_core::fault::{FaultLocation, FaultSpec};
+use goofi_core::framework::SimTarget;
+use goofi_core::logging::{ExperimentRecord, TerminationCause, Validity};
+use goofi_core::monitor::ProgressMonitor;
+use goofi_core::service::{ChaosConfig, JobState, Scheduler, ServiceConfig, WorkerCommand};
+use goofi_core::trigger::Trigger;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("goofi-service-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sim_campaign(name: &str, faults: usize) -> Campaign {
+    Campaign::builder(name)
+        .workload(WorkloadImage {
+            name: "sim-wl".into(),
+            words: vec![60],
+            code_words: 1,
+            entry: 0,
+        })
+        .observe_chains(["internal"])
+        .output(OutputRegion::Ports)
+        .termination(Termination {
+            max_instructions: 1_000,
+            max_iterations: None,
+        })
+        .faults(
+            (0..faults)
+                .map(|i| {
+                    FaultSpec::single(
+                        FaultLocation::ScanCell {
+                            chain: "internal".into(),
+                            cell: "A".into(),
+                            bit: i % 8,
+                        },
+                        Trigger::AfterInstructions(5 + i as u64),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Stores `campaign` in a fresh database file and returns its path.
+fn make_db(dir: &Path, campaign: &Campaign) -> PathBuf {
+    let path = dir.join("campaigns.gdb");
+    let mut db = goofidb::Database::new();
+    dbio::init_schema(&mut db).unwrap();
+    dbio::store_campaign(&mut db, campaign).unwrap();
+    db.save_to_path(&path).unwrap();
+    path
+}
+
+/// The serial in-process ground truth over the same simulated target.
+fn serial_records(campaign: &Campaign) -> Vec<ExperimentRecord> {
+    let mut target = SimTarget::new();
+    let monitor = ProgressMonitor::new(campaign.experiment_count());
+    algorithms::run_campaign(
+        &mut target,
+        campaign,
+        &monitor,
+        &mut envsim::NullEnvironment,
+    )
+    .unwrap()
+    .records
+}
+
+/// The part of a record sharding must preserve.
+fn essence(r: &ExperimentRecord) -> (Option<&FaultSpec>, &TerminationCause, String, Validity) {
+    (
+        r.fault.as_ref(),
+        &r.termination,
+        r.state.encode(),
+        r.validity,
+    )
+}
+
+fn mock_worker_cmd() -> WorkerCommand {
+    WorkerCommand {
+        program: PathBuf::from(env!("CARGO_BIN_EXE_goofi-mock-worker")),
+        args: Vec::new(),
+    }
+}
+
+fn config(db: &Path, workers: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(db, mock_worker_cmd());
+    cfg.default_workers = workers;
+    cfg.lease = Duration::from_secs(5);
+    cfg
+}
+
+/// Submits the campaign, waits for the job, and asserts it completed.
+fn run_job(scheduler: &Scheduler, campaign: &str, workers: usize) -> String {
+    let job = scheduler.submit(campaign, workers).unwrap();
+    let progress = scheduler.watch(&job).unwrap().wait();
+    assert_eq!(
+        progress.state,
+        JobState::Done,
+        "job should complete: {}",
+        progress.detail
+    );
+    job
+}
+
+/// Asserts the database's experiment records for `campaign` are
+/// essence-equal to `want` (same names, same outcomes).
+fn assert_essence_equal(db_path: &Path, campaign: &str, want: &[ExperimentRecord]) {
+    let text = std::fs::read_to_string(db_path).unwrap();
+    let db = goofidb::Database::load_from_string(&text).unwrap();
+    let got = dbio::load_experiments(&db, campaign).unwrap();
+    let by_name: BTreeMap<&str, &ExperimentRecord> =
+        got.iter().map(|r| (r.name.as_str(), r)).collect();
+    assert_eq!(
+        got.len(),
+        by_name.len(),
+        "merged database must not hold duplicate experiments"
+    );
+    for record in want {
+        let merged = by_name
+            .get(record.name.as_str())
+            .unwrap_or_else(|| panic!("experiment `{}` missing after merge", record.name));
+        assert_eq!(
+            essence(merged),
+            essence(record),
+            "experiment `{}` diverged from the serial run",
+            record.name
+        );
+    }
+}
+
+#[test]
+fn sharded_job_merges_to_serial_essence() {
+    let dir = temp_dir("happy");
+    let campaign = sim_campaign("svc-happy", 12);
+    let db = make_db(&dir, &campaign);
+    let want = serial_records(&campaign);
+
+    let scheduler = Scheduler::new(config(&db, 3)).unwrap();
+    let job = run_job(&scheduler, "svc-happy", 3);
+    let progress = scheduler.watch(&job).unwrap().current();
+    assert_eq!(progress.total, 12);
+    assert_eq!(progress.completed, 12);
+    assert_eq!(progress.shards_done, 3);
+    assert_eq!(progress.shards_poisoned, 0);
+    assert!(dir
+        .join("campaigns.gdb.spool")
+        .join(&job)
+        .join("done")
+        .exists());
+
+    assert_essence_equal(&db, "svc-happy", &want);
+    scheduler.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_killed_workers_are_reassigned_and_the_job_completes() {
+    let dir = temp_dir("chaos");
+    let campaign = sim_campaign("svc-chaos", 10);
+    let db = make_db(&dir, &campaign);
+    let want = serial_records(&campaign);
+
+    // Every shard's first lease self-kills within its first 2 completions;
+    // the reassigned attempt 2 leases are allowed to finish.
+    let mut cfg = config(&db, 2);
+    cfg.chaos = Some(ChaosConfig::decode("kill-after=2,seed=3").unwrap());
+    cfg.backoff = goofi_core::policy::Backoff::exponential(5, 50);
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let job = run_job(&scheduler, "svc-chaos", 2);
+
+    // Both shards were struck (attempt 1 always dies), so both journals
+    // were written across at least two leases — yet the merged database is
+    // still essence-equal to the serial run, with no duplicates.
+    assert_essence_equal(&db, "svc-chaos", &want);
+    let progress = scheduler.watch(&job).unwrap().current();
+    assert_eq!(progress.completed, 10);
+    assert_eq!(progress.shards_poisoned, 0);
+    scheduler.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_daemon_resumes_in_flight_jobs_from_the_spool() {
+    let dir = temp_dir("resume");
+    let campaign = sim_campaign("svc-resume", 8);
+    let db = make_db(&dir, &campaign);
+    let want = serial_records(&campaign);
+
+    // Phase 1: a scheduler whose workers stall (freeze mid-shard) on every
+    // attempt, so the job can never finish — it survives on lease-expiry
+    // kills and reassignment until we "kill the daemon".
+    let mut cfg = config(&db, 2);
+    cfg.chaos = Some(ChaosConfig::decode("kill-after=1,seed=5,kills=999,mode=stall").unwrap());
+    cfg.lease = Duration::from_millis(400);
+    cfg.poison_after = 1_000; // never poison in this phase
+    cfg.backoff = goofi_core::policy::Backoff::exponential(5, 20);
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let job = scheduler.submit("svc-resume", 2).unwrap();
+
+    // Wait until the job has made *some* journaled progress.
+    let watcher = scheduler.watch(&job).unwrap();
+    let mut progress = watcher.current();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while progress.completed < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no progress under stall chaos: {progress:?}"
+        );
+        progress = watcher.wait_changed(&progress, Duration::from_millis(250));
+    }
+
+    // "Kill" the daemon: abort mid-job. No done marker is written; the
+    // manifest and partial shard journals stay in the spool.
+    scheduler.shutdown();
+    let spool = dir.join("campaigns.gdb.spool");
+    assert!(spool.join(&job).join("manifest").exists());
+    assert!(!spool.join(&job).join("done").exists());
+
+    // Phase 2: a fresh scheduler (chaos off) recovers the spool and the
+    // job runs to completion, replaying the journals instead of redoing
+    // finished work.
+    let scheduler2 = Scheduler::new(config(&db, 2)).unwrap();
+    let recovered = scheduler2.recover().unwrap();
+    assert_eq!(recovered, vec![job.clone()]);
+    let done = scheduler2.watch(&job).unwrap().wait();
+    assert_eq!(done.state, JobState::Done, "{}", done.detail);
+    assert_eq!(done.completed, 8);
+
+    assert_essence_equal(&db, "svc-resume", &want);
+    scheduler2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poison_shard_is_quarantined_with_parent_linked_rerun_stubs() {
+    let dir = temp_dir("poison");
+    let campaign = sim_campaign("svc-poison", 6);
+    let db = make_db(&dir, &campaign);
+
+    // Workers that cannot even parse their command line: every lease of
+    // every shard fails instantly, so both shards go poison.
+    let mut cfg = config(&db, 2);
+    cfg.worker_cmd.args = vec!["--nonsense".into(), "x".into()];
+    cfg.poison_after = 2;
+    cfg.backoff = goofi_core::policy::Backoff::exponential(5, 20);
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let job = scheduler.submit("svc-poison", 2).unwrap();
+    let progress = scheduler.watch(&job).unwrap().wait();
+
+    // The job completes *around* the poison shards instead of wedging.
+    assert_eq!(progress.state, JobState::Done, "{}", progress.detail);
+    assert_eq!(progress.shards_poisoned, 2);
+    assert_eq!(progress.completed, 0);
+    assert_eq!(progress.quarantined, 12, "two stubs per lost experiment");
+
+    // Every lost experiment is documented in the merged database: an
+    // invalid original plus an invalid `parentExperiment`-linked rerun
+    // stub, the paper's §2.3 re-run hook.
+    let text = std::fs::read_to_string(&db).unwrap();
+    let parsed = goofidb::Database::load_from_string(&text).unwrap();
+    let records = dbio::load_experiments(&parsed, "svc-poison").unwrap();
+    for i in 0..6 {
+        let name = campaign.experiment_name(i);
+        let original = records.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(original.validity, Validity::Invalid);
+        assert_eq!(original.termination, TerminationCause::TargetHang);
+        assert_eq!(original.parent, None);
+        let rerun = records
+            .iter()
+            .find(|r| r.name == format!("{name}/rerun1"))
+            .unwrap();
+        assert_eq!(rerun.validity, Validity::Invalid);
+        assert_eq!(rerun.parent.as_deref(), Some(name.as_str()));
+    }
+    scheduler.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn submit_rejects_unknown_campaigns_without_spooling_anything() {
+    let dir = temp_dir("reject");
+    let campaign = sim_campaign("svc-known", 2);
+    let db = make_db(&dir, &campaign);
+    let scheduler = Scheduler::new(config(&db, 1)).unwrap();
+    assert!(scheduler.submit("no-such-campaign", 1).is_err());
+    let spool: Vec<_> = std::fs::read_dir(dir.join("campaigns.gdb.spool"))
+        .unwrap()
+        .collect();
+    assert!(
+        spool.is_empty(),
+        "rejected submission must not leave a job dir"
+    );
+    scheduler.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_client_speak_the_wire_protocol_end_to_end() {
+    use goofi_core::service::{serve, Client, Request, Response};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let dir = temp_dir("wire");
+    let campaign = sim_campaign("svc-wire", 6);
+    let db = make_db(&dir, &campaign);
+    let want = serial_records(&campaign);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let scheduler = Arc::new(Scheduler::new(config(&db, 2)).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let daemon = {
+        let scheduler = Arc::clone(&scheduler);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || serve(listener, scheduler, stop))
+    };
+
+    // Submit with watch: accepted, then progress lines to a terminal one.
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .send(&Request::Submit {
+            campaign: "svc-wire".into(),
+            workers: 2,
+            watch: true,
+        })
+        .unwrap();
+    let job = match client.recv().unwrap() {
+        Some(Response::Accepted { job }) => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let mut saw_done = false;
+    while let Some(response) = client.recv().unwrap() {
+        match response {
+            Response::Progress {
+                state,
+                completed,
+                total,
+                ..
+            } => {
+                assert!(completed <= total);
+                if state == "done" {
+                    saw_done = true;
+                    break;
+                }
+                // The first snapshot can race the runner thread's start.
+                assert!(
+                    state == "running" || state == "queued",
+                    "unexpected mid-watch state `{state}`"
+                );
+            }
+            other => panic!("unexpected mid-watch response: {other:?}"),
+        }
+    }
+    assert!(
+        saw_done,
+        "watch stream must end with a terminal progress line"
+    );
+    assert_essence_equal(&db, "svc-wire", &want);
+
+    // Status lists the finished job.
+    let mut status = Client::connect(&addr).unwrap();
+    status.send(&Request::Status).unwrap();
+    let mut jobs = Vec::new();
+    loop {
+        match status.recv().unwrap() {
+            Some(Response::Job { job, state, .. }) => jobs.push((job, state)),
+            Some(Response::End) | None => break,
+            other => panic!("unexpected status response: {other:?}"),
+        }
+    }
+    assert_eq!(jobs, vec![(job, "done".to_string())]);
+
+    // A malformed frame gets a wire error, not a dead daemon.
+    let mut bad = Client::connect(&addr).unwrap();
+    bad.send_raw("this is not json\n").unwrap();
+    match bad.recv().unwrap() {
+        Some(Response::Error { detail }) => assert!(detail.contains("malformed")),
+        other => panic!("expected error response, got {other:?}"),
+    }
+
+    // Shutdown stops the accept loop.
+    let mut shut = Client::connect(&addr).unwrap();
+    shut.send(&Request::Shutdown).unwrap();
+    let _ = shut.recv();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

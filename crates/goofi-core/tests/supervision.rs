@@ -313,8 +313,11 @@ fn hang_is_detected_recovered_and_rerun_to_the_healthy_result() {
 
     // Exactly one record is the `parentExperiment`-linked child replacing
     // the quarantined hang.
-    let reruns: Vec<&ExperimentRecord> =
-        result.records.iter().filter(|r| r.parent.is_some()).collect();
+    let reruns: Vec<&ExperimentRecord> = result
+        .records
+        .iter()
+        .filter(|r| r.parent.is_some())
+        .collect();
     assert_eq!(reruns.len(), 1, "exactly one hang re-run expected");
     let rerun = reruns[0];
     let parent = rerun.parent.as_deref().unwrap();
@@ -323,7 +326,10 @@ fn hang_is_detected_recovered_and_rerun_to_the_healthy_result() {
     // The quarantined original is kept for audit, rewritten to TargetHang.
     assert_eq!(result.quarantined.len(), 1);
     assert_eq!(result.quarantined[0].name, parent);
-    assert_eq!(result.quarantined[0].termination, TerminationCause::TargetHang);
+    assert_eq!(
+        result.quarantined[0].termination,
+        TerminationCause::TargetHang
+    );
     assert_eq!(result.quarantined[0].validity, Validity::Invalid);
 
     // The recovery episode climbed the whole ladder: two soft resets and
@@ -435,12 +441,18 @@ fn parallel_runner_retires_offline_worker_and_redistributes_its_shard() {
     // The hang was confirmed, quarantined for audit, and the ladder ran
     // dry on the dead target.
     assert_eq!(result.quarantined.len(), 1);
-    assert_eq!(result.quarantined[0].termination, TerminationCause::TargetHang);
+    assert_eq!(
+        result.quarantined[0].termination,
+        TerminationCause::TargetHang
+    );
     assert_eq!(result.recoveries.len(), 1);
     let episode = &result.recoveries[0];
     assert_eq!(episode.trigger, RecoveryTrigger::TargetHang);
     assert!(!episode.recovered);
-    assert_eq!(episode.actions.last().unwrap().stage, RecoveryStage::Offline);
+    assert_eq!(
+        episode.actions.last().unwrap().stage,
+        RecoveryStage::Offline
+    );
 
     let p = monitor.snapshot();
     assert_eq!(p.hangs, 1);
@@ -589,12 +601,9 @@ fn probe_failure_recovery_climbs_the_ladder_until_the_target_heals() {
     // soft resets and both re-inits before the power cycle succeeds.
     let c = campaign_n(1, ExperimentPolicy::default().with_health_check(1));
     let mut reference_target = MockTarget::new(200);
-    let reference = algorithms::make_reference_run(
-        &mut reference_target,
-        &c,
-        &mut envsim::NullEnvironment,
-    )
-    .unwrap();
+    let reference =
+        algorithms::make_reference_run(&mut reference_target, &c, &mut envsim::NullEnvironment)
+            .unwrap();
     let sup = Supervisor::from_campaign(&c, &reference).expect("supervision enabled");
 
     let mut target = WedgeableTarget::new(
@@ -609,7 +618,9 @@ fn probe_failure_recovery_climbs_the_ladder_until_the_target_heals() {
     target.init_test_card().unwrap();
     // Arm the wedge: the next armed operation jams the TAP.
     target
-        .run_workload(RunBudget { max_instructions: 1 })
+        .run_workload(RunBudget {
+            max_instructions: 1,
+        })
         .unwrap();
     assert!(target.model().wedged().is_some());
 
@@ -673,7 +684,11 @@ fn stepping_campaigns_draw_once_per_workload_launch() {
     let mut target = WedgeableTarget::new(MockTarget::new(200), certain_hang);
     target.load_workload(&image).unwrap();
     assert_eq!(target.model().operations(), 0, "load itself must not draw");
-    assert_eq!(target.step_instruction().unwrap(), None, "hang burns the step");
+    assert_eq!(
+        target.step_instruction().unwrap(),
+        None,
+        "hang burns the step"
+    );
     assert_eq!(target.model().wedged(), Some(scanchain::WedgeKind::Hang));
     assert_eq!(target.model().operations(), 1);
     target.step_instruction().unwrap();

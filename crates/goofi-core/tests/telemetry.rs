@@ -258,9 +258,18 @@ fn span_hierarchy_follows_four_phase_workflow() {
                 _ => None,
             })
             .collect();
-        assert!(child_stages.contains(&Stage::Load), "{e:?}: {child_stages:?}");
-        assert!(child_stages.contains(&Stage::Run), "{e:?}: {child_stages:?}");
-        assert!(child_stages.contains(&Stage::Scan), "{e:?}: {child_stages:?}");
+        assert!(
+            child_stages.contains(&Stage::Load),
+            "{e:?}: {child_stages:?}"
+        );
+        assert!(
+            child_stages.contains(&Stage::Run),
+            "{e:?}: {child_stages:?}"
+        );
+        assert!(
+            child_stages.contains(&Stage::Scan),
+            "{e:?}: {child_stages:?}"
+        );
         let is_reference = e.name.ends_with("/reference");
         assert_eq!(
             child_stages.contains(&Stage::Inject),
@@ -332,7 +341,9 @@ fn flight_recorder_dumps_on_failure_and_roundtrips() {
     assert!(records
         .iter()
         .any(|r| r.kind == SpanKind::Experiment && r.name == "tel-e2e/exp00000"));
-    assert!(records.iter().any(|r| r.kind == SpanKind::Stage(Stage::Inject)));
+    assert!(records
+        .iter()
+        .any(|r| r.kind == SpanKind::Stage(Stage::Inject)));
 }
 
 #[test]

@@ -285,15 +285,17 @@ impl WedgeModel {
 
     /// Applies a recovery action of the given depth: the wedge clears when
     /// the action reaches the configured [`WedgeConfig::recovery`] depth.
-    /// Returns whether the target is now un-wedged.
+    /// Returns whether this action cleared a wedge (`false` when the model
+    /// was not wedged, or when the action was too shallow).
     pub fn recover(&mut self, depth: RecoveryDepth) -> bool {
         if self.wedged.is_some()
             && self.config.recovery != RecoveryDepth::Never
             && depth >= self.config.recovery
         {
             self.wedged = None;
+            return true;
         }
-        self.wedged.is_none()
+        false
     }
 
     /// Seeded garbage bits for a [`WedgeKind::GarbageScan`] capture.

@@ -22,6 +22,10 @@ use goofi::core::link::{UnreliableTarget, VerifiedTarget};
 use goofi::core::logging::LoggingMode;
 use goofi::core::monitor::ProgressMonitor;
 use goofi::core::policy::{Backoff, ExperimentPolicy, WatchdogBudget};
+use goofi::core::service::{
+    self, ChaosConfig, Client, Request, Response, Scheduler, ServiceConfig, WorkerArgs,
+    WorkerCommand,
+};
 use goofi::core::supervisor::WedgeableTarget;
 use goofi::core::telemetry::{JsonlSink, MetricsSnapshot, RingSink, Stage, Telemetry, TraceSink};
 use goofi::core::{dbio, runner};
@@ -37,7 +41,57 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// Signal plumbing: SIGINT/SIGTERM set a flag the long-running commands
+/// poll, so an interrupted campaign stops through the normal error path —
+/// journals are closed cleanly and the flight recorder is dumped — instead
+/// of the process dying mid-write.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::Release);
+    }
+
+    /// Installs the SIGINT/SIGTERM handlers (no-op outside unix).
+    pub fn install() {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGINT, on_signal);
+                signal(SIGTERM, on_signal);
+            }
+        }
+    }
+
+    /// Whether a SIGINT/SIGTERM has arrived.
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::Acquire)
+    }
+}
+
+/// Spawns a watcher that turns an incoming SIGINT/SIGTERM into a clean
+/// campaign stop via [`ProgressMonitor::stop`]; the run then unwinds
+/// through the regular error path (journal close + flight-recorder dump).
+fn stop_on_signal(monitor: &ProgressMonitor) {
+    let monitor = monitor.clone();
+    std::thread::spawn(move || loop {
+        if signals::interrupted() {
+            monitor.stop();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
 fn main() -> ExitCode {
+    signals::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -59,6 +113,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "new" => cmd_new(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "resume" => cmd_resume(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "worker" => cmd_worker(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "sql" => cmd_sql(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -87,6 +144,12 @@ fn print_usage() {
          goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
             [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n        \
             [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
+         goofi serve <db> [--addr HOST:PORT] [--workers N] [--lease-ms N]\n        \
+            [--poison-after N] [--chaos kill-after=N,seed=S[,kills=K][,mode=exit|stall]]\n  \
+         goofi submit <addr> --name <campaign> [--workers N] [--watch]\n  \
+         goofi submit <addr> --job <id> --watch | --status | --shutdown\n  \
+         goofi worker --db <db> --campaign <name> --shard K --range A:B --journal <file>\n        \
+            [--attempt N] [--chaos <spec>]   (spawned by `goofi serve`)\n  \
          goofi report <db> --name <campaign> [--timings <trace>] [--trace <file>]\n  \
          goofi sql <db> \"<SELECT ...>\""
     );
@@ -100,7 +163,16 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags have no value; detect by peeking.
-            let boolean = matches!(name, "detail" | "with-caches" | "verify-reads" | "metrics");
+            let boolean = matches!(
+                name,
+                "detail"
+                    | "with-caches"
+                    | "verify-reads"
+                    | "metrics"
+                    | "watch"
+                    | "status"
+                    | "shutdown"
+            );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -512,6 +584,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let campaign = campaign;
     let tel = telemetry_from_flags(&flags)?;
     let monitor = ProgressMonitor::with_telemetry(campaign.experiment_count(), tel.clone());
+    stop_on_signal(&monitor);
     println!(
         "running campaign `{name}`: {} experiments ({}, {:?} logging)",
         campaign.experiment_count(),
@@ -556,7 +629,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 decorate_target(wedge, link, verify, &make_monitor, worker)
             },
-            Some(move || make_env(env_kind2.as_deref()).expect("validated above")),
+            Some(move || {
+                // Validated before the workers started; a NullEnvironment
+                // fallback keeps a worker thread from panicking regardless.
+                make_env(env_kind2.as_deref()).unwrap_or_else(|_| Box::new(NullEnvironment))
+            }),
             &campaign,
             &monitor,
             workers,
@@ -593,6 +670,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let campaign = campaign;
     let tel = telemetry_from_flags(&flags)?;
     let monitor = ProgressMonitor::with_telemetry(campaign.experiment_count(), tel.clone());
+    stop_on_signal(&monitor);
     let env_kind = flags.get("env").cloned();
     make_env(env_kind.as_deref())?; // validate before the workers clone it
     let (link, verify) = link_flags(&flags)?;
@@ -610,7 +688,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
             let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             decorate_target(wedge, link, verify, &make_monitor, worker)
         },
-        Some(move || make_env(env_kind.as_deref()).expect("validated above")),
+        Some(move || make_env(env_kind.as_deref()).unwrap_or_else(|_| Box::new(NullEnvironment))),
         &campaign,
         &monitor,
         workers,
@@ -716,6 +794,191 @@ fn finish_run(
         }
     }
     Ok(())
+}
+
+/// `goofi serve <db>`: the campaign-service daemon. Accepts submissions
+/// on a loopback TCP socket, shards each job across spawned
+/// `goofi worker` processes under lease discipline, and resumes any
+/// spooled in-flight jobs left behind by a previous (possibly killed)
+/// daemon before accepting new work.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let db_path = positional.first().ok_or("serve: missing <db> path")?;
+    if !Path::new(db_path).exists() {
+        return Err(format!(
+            "serve: no database at {db_path} (create campaigns with `goofi new` first)"
+        ));
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:4711".to_string());
+    let exe = std::env::current_exe().map_err(|e| format!("locating goofi executable: {e}"))?;
+    let mut cfg = ServiceConfig::new(
+        db_path,
+        WorkerCommand {
+            program: exe,
+            args: vec!["worker".to_string()],
+        },
+    );
+    if let Some(v) = flags.get("workers") {
+        cfg.default_workers = v.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(v) = flags.get("lease-ms") {
+        cfg.lease = std::time::Duration::from_millis(v.parse().map_err(|_| "bad --lease-ms")?);
+    }
+    if let Some(v) = flags.get("poison-after") {
+        cfg.poison_after = v.parse().map_err(|_| "bad --poison-after")?;
+    }
+    if let Some(spec) = flags.get("chaos") {
+        cfg.chaos =
+            Some(ChaosConfig::decode(spec).ok_or_else(|| format!("bad --chaos spec `{spec}`"))?);
+    }
+    let spool = cfg.spool_dir.clone();
+    let scheduler = Arc::new(Scheduler::new(cfg).map_err(|e| e.to_string())?);
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    // Report the *bound* address: with `--addr 127.0.0.1:0` the OS picks
+    // the port, and clients need the real one.
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "goofi daemon on {bound} (db {db_path}, spool {})",
+        spool.display()
+    );
+    for job in scheduler.recover().map_err(|e| e.to_string())? {
+        println!("resumed in-flight {job} from {}", spool.display());
+    }
+    // SIGINT/SIGTERM stop the accept loop; the scheduler then halts its
+    // jobs resumably (spool manifests stay, no done markers are written).
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            if signals::interrupted() {
+                stop.store(true, std::sync::atomic::Ordering::Release);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    service::serve(listener, scheduler, stop).map_err(|e| e.to_string())?;
+    println!("daemon stopped; in-flight jobs resume on next `goofi serve`");
+    Ok(())
+}
+
+/// `goofi worker …`: one shard of a service job, spawned by the daemon —
+/// not normally invoked by hand. Runs its index range against the real
+/// Thor target under a private journal, streaming events on stdout.
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let parsed = WorkerArgs::parse(args).map_err(|e| e.to_string())?;
+    service::run_worker(&parsed, ThorTarget::default).map_err(|e| e.to_string())
+}
+
+/// `goofi submit <addr>`: client side of the service — submit a campaign
+/// (optionally watching it), attach to a running job, list jobs, or ask
+/// the daemon to shut down.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let addr = positional
+        .first()
+        .ok_or("submit: missing <addr> (e.g. 127.0.0.1:4711)")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    if flags.contains_key("status") {
+        client.send(&Request::Status).map_err(|e| e.to_string())?;
+        loop {
+            match client.recv().map_err(|e| e.to_string())? {
+                Some(Response::Job {
+                    job,
+                    campaign,
+                    state,
+                }) => println!("{job:<10} {state:<8} {campaign}"),
+                Some(Response::End) | None => return Ok(()),
+                Some(Response::Error { detail }) => return Err(detail),
+                Some(other) => return Err(format!("unexpected response: {other:?}")),
+            }
+        }
+    }
+    if flags.contains_key("shutdown") {
+        client.send(&Request::Shutdown).map_err(|e| e.to_string())?;
+        let _ = client.recv();
+        println!("daemon shutting down");
+        return Ok(());
+    }
+    if let Some(job) = flags.get("job") {
+        client
+            .send(&Request::Watch { job: job.clone() })
+            .map_err(|e| e.to_string())?;
+        return watch_stream(&mut client);
+    }
+    let name = flags.get("name").ok_or("submit: --name is required")?;
+    let workers: usize = flags
+        .get("workers")
+        .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --workers"))?;
+    let watch = flags.contains_key("watch");
+    client
+        .send(&Request::Submit {
+            campaign: name.clone(),
+            workers,
+            watch,
+        })
+        .map_err(|e| e.to_string())?;
+    match client.recv().map_err(|e| e.to_string())? {
+        Some(Response::Accepted { job }) => {
+            println!("accepted as {job}");
+            if watch {
+                watch_stream(&mut client)
+            } else {
+                Ok(())
+            }
+        }
+        Some(Response::Error { detail }) => Err(detail),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Prints streamed progress lines until the watched job ends.
+fn watch_stream(client: &mut Client) -> Result<(), String> {
+    loop {
+        match client.recv().map_err(|e| e.to_string())? {
+            Some(Response::Progress {
+                job,
+                state,
+                total,
+                completed,
+                failed,
+                quarantined,
+                shards_done,
+                shards_total,
+                shards_poisoned,
+                detail,
+            }) => {
+                let poisoned = if shards_poisoned > 0 {
+                    format!(", {shards_poisoned} poisoned")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "{job}: {state} {completed}/{total} \
+                     ({failed} failed, {quarantined} quarantined, \
+                     shards {shards_done}/{shards_total}{poisoned})"
+                );
+                match state.as_str() {
+                    "done" => return Ok(()),
+                    "failed" => {
+                        return Err(if detail.is_empty() {
+                            "job failed".to_string()
+                        } else {
+                            detail
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            Some(Response::Error { detail }) => return Err(detail),
+            None => return Err("daemon closed the connection mid-watch".to_string()),
+            Some(other) => return Err(format!("unexpected response: {other:?}")),
+        }
+    }
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {

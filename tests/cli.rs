@@ -173,7 +173,13 @@ fn report_timings_matches_golden_table() {
     ]));
     // The run records the trace; --metrics prints the live summary too.
     let out = stdout(&goofi(&[
-        "run", &db, "--name", "t1", "--trace", &trace, "--metrics",
+        "run",
+        &db,
+        "--name",
+        "t1",
+        "--trace",
+        &trace,
+        "--metrics",
     ]));
     assert!(out.contains("per-stage timings:"), "{out}");
     assert!(out.contains("counters:"), "{out}");
@@ -182,7 +188,14 @@ fn report_timings_matches_golden_table() {
     // The report appends its classify spans to the same trace, then
     // rebuilds the per-stage histograms from the file.
     let out = stdout(&goofi(&[
-        "report", &db, "--name", "t1", "--trace", &trace, "--timings", &trace,
+        "report",
+        &db,
+        "--name",
+        "t1",
+        "--trace",
+        &trace,
+        "--timings",
+        &trace,
     ]));
     let section = out
         .lines()
@@ -207,7 +220,11 @@ fn report_timings_matches_golden_table() {
     // The trace itself is well-formed JSONL with the whole hierarchy.
     let text = std::fs::read_to_string(&trace).expect("trace file");
     assert!(text.lines().count() > 8, "{text}");
-    for kind in ["\"kind\":\"campaign\"", "\"kind\":\"experiment\"", "\"kind\":\"stage\""] {
+    for kind in [
+        "\"kind\":\"campaign\"",
+        "\"kind\":\"experiment\"",
+        "\"kind\":\"stage\"",
+    ] {
         assert!(text.contains(kind), "{text}");
     }
 }

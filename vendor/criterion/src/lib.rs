@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the `bench` crate uses — `criterion_group!` /
+//! `criterion_main!`, `bench_function`, `benchmark_group`, `iter`,
+//! `iter_batched`, `Throughput` — with a plain wall-clock measurement
+//! loop. No statistical analysis or HTML reports: each benchmark prints
+//! one line with mean time per iteration (and derived throughput), which
+//! is what the EXPERIMENTS.md tables record.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported like criterion's.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched`; only a hint in this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: u64,
+    throughput: Option<Throughput>,
+    id: &'a str,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, reporting mean wall-clock time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.report(start.elapsed(), self.samples);
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.report(total, self.samples);
+    }
+
+    fn report(&self, total: Duration, iters: u64) {
+        let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        let mut line = format!("{:<40} mean {:>12.0} ns/iter", self.id, mean_ns);
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let per_sec = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  ({per_sec:>12.0} elem/s)"));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let per_sec = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  ({per_sec:>12.0} B/s)"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Top-level benchmark registry, mirroring criterion's builder API.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in is iteration-bounded,
+    /// not time-bounded.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            throughput: None,
+            id,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// No-op summary hook used by `criterion_main!`.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            throughput: self.throughput,
+            id: &full,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = probe
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

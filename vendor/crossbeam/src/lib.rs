@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace (the parallel
+//! campaign runner); it maps directly onto `std::thread::scope`, which has
+//! provided the same structured-concurrency guarantee since Rust 1.63.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Result of a scope: `Err` carries the payload of a panicked child.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning threads that may borrow from the enclosing
+    /// scope. Wraps [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// it can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope: all spawned threads are joined before this returns.
+    /// Returns `Err` with the panic payload if the closure or any
+    /// unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = vec![1u32, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u32>(),
+                        std::sync::atomic::Ordering::SeqCst,
+                    );
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn child_panic_is_reported_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child down"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 7usize);
+            h.join().expect("joined")
+        })
+        .expect("no panics");
+        assert_eq!(out, 7);
+    }
+}

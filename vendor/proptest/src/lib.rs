@@ -1,0 +1,823 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `proptest` to this crate. It keeps the same programming model — the
+//! `proptest!` macro, `Strategy` combinators, `any::<T>()`, collection and
+//! regex-literal strategies — but generates cases from a deterministic
+//! SplitMix64 stream and does **no shrinking**: a failing case panics with
+//! the generated inputs via the normal assertion message. Each property
+//! runs a fixed number of cases seeded from the property's name, so
+//! failures are reproducible run to run.
+
+use std::fmt;
+
+pub mod test_runner {
+    //! Deterministic RNG used to drive strategies.
+
+    /// SplitMix64 stream; deliberately tiny and reproducible.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed the stream.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        }
+    }
+
+    /// FNV-1a of a string, used to derive per-property seeds.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+use test_runner::TestRng;
+
+/// Number of cases each property runs (real proptest defaults to 256; a
+/// smaller count keeps the campaign-heavy properties fast in CI).
+pub const CASES: u32 = 64;
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value from the RNG stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Keep only values passing `f` (bounded retry, then panic).
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                f,
+                reason,
+            }
+        }
+
+        /// Chain: generate a value, then generate from the strategy it maps to.
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        f: F,
+        reason: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let candidate = self.base.generate(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        O: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the already-boxed alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.arms.len());
+            self.arms[index].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (low, high) = (*self.start() as i128, *self.end() as i128);
+                    let span = (high - low + 1) as u128;
+                    let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (low + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = rng.next_u64() as f64 / u64::MAX as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// String literals are strategies over the regex subset
+    /// `( [class] | char ) ( {n} | {m,n} )?` — enough for identifiers,
+    /// bit-strings and printable payloads.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: a character class or a literal char.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(class, pattern)
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    unescape(chars[i], pattern)
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            // Parse an optional {n} / {m,n} quantifier.
+            let (low, high) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (parse_count(m, pattern), parse_count(n, pattern)),
+                    None => {
+                        let n = parse_count(&body, pattern);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = low + rng.below(high - low + 1);
+            for _ in 0..count {
+                out.push(alphabet[rng.below(alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse_count(s: &str, pattern: &str) -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+    }
+
+    fn unescape(c: char, pattern: &str) -> char {
+        match c {
+            't' => '\t',
+            'n' => '\n',
+            'r' => '\r',
+            '\\' | '.' | '[' | ']' | '{' | '}' | '-' => c,
+            other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+        }
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            let c = if class[i] == '\\' {
+                i += 1;
+                unescape(class[i], pattern)
+            } else {
+                class[i]
+            };
+            // `a-z` range (a `-` at the end of the class is a literal).
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let hi = class[i + 2];
+                assert!(c <= hi, "inverted range in pattern {pattern:?}");
+                for v in c..=hi {
+                    alphabet.push(v);
+                }
+                i += 3;
+            } else {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+        alphabet
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one canonical value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    // Bias towards small magnitudes half the time: edge-ish
+                    // values exercise more interesting paths than uniform
+                    // 64-bit noise, and there is no shrinking to recover
+                    // them otherwise.
+                    let word = rng.next_u64();
+                    if word & 1 == 0 {
+                        ((word >> 1) % 97) as $t
+                    } else {
+                        (word >> 1) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite doubles spanning several magnitudes, sign included.
+            let word = rng.next_u64();
+            let magnitude = (word >> 2) as f64 / (1u64 << 32) as f64;
+            if word & 1 == 0 {
+                magnitude
+            } else {
+                -magnitude
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text databases readable.
+            (b' ' + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+}
+
+pub use arbitrary::any;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Element-count specification: an exact count or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        low: usize,
+        high: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.high <= self.low + 1 {
+                self.low
+            } else {
+                self.low + rng.below(self.high - self.low)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                low: n,
+                high: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                low: r.start,
+                high: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                low: *r.start(),
+                high: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// `BTreeMap` with `size` entries (duplicate keys collapse, as in
+    /// real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` with up to `size` elements.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option<T>`: `None` one time in four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Lift a strategy into `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::any;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Displayed when a property fails; mirrors proptest's error shape.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Run one property body over [`CASES`] deterministic cases.
+/// Used by the `proptest!` macro expansion; not public API in real
+/// proptest, but harmless to expose.
+pub fn run_property<F: FnMut(&mut TestRng)>(name: &str, mut body: F) {
+    for case in 0..CASES {
+        let seed =
+            test_runner::seed_for(name) ^ (0x5851_f42d_4c95_7f2d_u64.wrapping_mul(case as u64 + 1));
+        let mut rng = TestRng::seed_from_u64(seed);
+        body(&mut rng);
+    }
+}
+
+/// Assert inside a property (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard a case when an assumption fails. Without a rejection engine the
+/// stub simply skips the rest of the case body via early return.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice over heterogeneous strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define `#[test]` properties. Two parameter spellings are accepted and
+/// may be mixed within one signature, matching real proptest:
+/// `pat in strategy` and `name: Type` (the latter draws from
+/// `any::<Type>()`). Each `proptest!` block may hold several functions.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::run_property(stringify!($name), |prop_rng| {
+                $crate::__proptest_bind!(prop_rng; $($params)*);
+                $body
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: turn one property parameter list into `let` bindings drawn
+/// from the per-case RNG.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $arg:ident: $t:ty) => {
+        let $arg = $crate::strategy::Strategy::generate(&$crate::any::<$t>(), $rng);
+    };
+    ($rng:ident; $arg:ident: $t:ty, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&$crate::any::<$t>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        fn ranges_hold(x in 3usize..10, mut v in crate::collection::vec(any::<bool>(), 0..5)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() < 5);
+            v.push(true);
+        }
+
+        fn oneof_and_map(t in prop_oneof![
+            Just(0u8),
+            (1u8..4).prop_map(|v| v * 10),
+        ]) {
+            prop_assert!(t == 0 || (10..40).contains(&t));
+        }
+
+        fn string_patterns(s in "[a-z]{1,8}", bits in "[01]{0,64}", tag in "[A-Z][A-Z0-9.]{0,8}") {
+            prop_assert!((1..=8).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(bits.len() <= 64);
+            prop_assert!(bits.chars().all(|c| c == '0' || c == '1'));
+            prop_assert!(!tag.is_empty() && tag.len() <= 9);
+            prop_assert!(tag.chars().next().unwrap().is_ascii_uppercase());
+        }
+
+        fn escapes_in_classes(s in "[ -~\\t\\n]{0,24}") {
+            prop_assert!(s.len() <= 24);
+            prop_assert!(s.chars().all(|c| c == '\t' || c == '\n' || (' '..='~').contains(&c)));
+        }
+
+        fn collections_generate(
+            m in crate::collection::btree_map("[a-z]{1,8}", any::<u32>(), 0..4),
+            set in crate::collection::btree_set(any::<usize>(), 0..20),
+            opt in crate::option::of(0u32..10),
+        ) {
+            prop_assert!(m.len() < 4);
+            prop_assert!(set.len() < 20);
+            if let Some(v) = opt {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut first = Vec::new();
+        crate::run_property("determinism_probe", |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        crate::run_property("determinism_probe", |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+}
