@@ -15,8 +15,10 @@ use crate::campaign::{
 use crate::fault::FaultSpec;
 use crate::logging::{ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause, Validity};
 use crate::supervisor::{RecoveryAction, RecoveryRecord, RecoveryStage, RecoveryTrigger};
+use crate::vfs::{self, Vfs};
 use crate::{GoofiError, Result};
 use goofidb::{Database, Value};
+use std::path::Path;
 
 /// Table name: target-system descriptions.
 pub const TARGET_TABLE: &str = "TargetSystemData";
@@ -522,7 +524,22 @@ pub fn import_journal(
     path: impl AsRef<std::path::Path>,
     campaign: &str,
 ) -> Result<usize> {
-    let state = crate::journal::ExperimentJournal::load(path, campaign)?;
+    import_journal_with(db, &vfs::RealFs, path, campaign)
+}
+
+/// [`import_journal`] over an explicit [`Vfs`] — the seam the durability
+/// torture harness injects faults through.
+///
+/// # Errors
+///
+/// As [`import_journal`].
+pub fn import_journal_with(
+    db: &mut Database,
+    vfs: &dyn Vfs,
+    path: impl AsRef<std::path::Path>,
+    campaign: &str,
+) -> Result<usize> {
+    let state = crate::journal::ExperimentJournal::load_with(vfs, path, campaign)?;
     let mut inserted = 0;
     let existing = |db: &Database, name: &str| {
         db.table(LOG_TABLE)
@@ -540,6 +557,43 @@ pub fn import_journal(
         }
     }
     Ok(inserted)
+}
+
+/// Saves the database through a [`Vfs`] with the atomic temp-file, `fsync`,
+/// rename discipline — the routed equivalent of
+/// [`Database::save_to_path`], and the only save path the CLI uses.
+///
+/// # Errors
+///
+/// I/O errors, surfaced as [`GoofiError::Io`] with the offending path.
+pub fn save_database(vfs: &dyn Vfs, path: impl AsRef<Path>, db: &Database) -> Result<()> {
+    let path = path.as_ref();
+    vfs::atomic_write(vfs, path, db.save_to_string().as_bytes())
+        .map_err(|e| GoofiError::io("saving database to", path, &e))
+}
+
+/// Loads a database through a [`Vfs`], verifying every table's `CHECK`
+/// checksum footer. A checksum mismatch or garbled row surfaces as
+/// [`goofidb::DbError::Corrupt`] with a hint to run `goofi fsck --repair` —
+/// the strict counterpart of the lenient salvage load that fsck itself
+/// performs.
+///
+/// # Errors
+///
+/// I/O errors ([`GoofiError::Io`]) and corruption/parse errors
+/// ([`GoofiError::Db`]).
+pub fn load_database(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Database> {
+    let path = path.as_ref();
+    let text = vfs
+        .read_to_string(path)
+        .map_err(|e| GoofiError::io("loading database from", path, &e))?;
+    Database::load_from_string(&text).map_err(|e| match e {
+        goofidb::DbError::Corrupt { table, detail } => GoofiError::Db(goofidb::DbError::Corrupt {
+            table,
+            detail: format!("{detail} (run `goofi fsck --repair` to salvage)"),
+        }),
+        other => GoofiError::Db(other),
+    })
 }
 
 /// Loads one experiment record by name.

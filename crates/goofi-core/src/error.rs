@@ -32,6 +32,18 @@ pub enum GoofiError {
     },
     /// An experiment journal could not be written or read.
     Journal(String),
+    /// A filesystem operation on a persistence artifact (journal, spool
+    /// manifest, shard journal, database file) failed. `ENOSPC`/`EIO`
+    /// mid-campaign surface here — with the offending path — instead of
+    /// panicking.
+    Io {
+        /// What was being done, e.g. `appending to`.
+        op: String,
+        /// The file the operation failed on.
+        path: std::path::PathBuf,
+        /// The rendered [`std::io::Error`].
+        detail: String,
+    },
     /// A campaign-service wire message (newline-delimited JSON between
     /// `goofi submit`, the daemon, and its shard workers) was malformed,
     /// truncated, or could not be transported.
@@ -84,6 +96,9 @@ impl fmt::Display for GoofiError {
                 "unrecovered link fault in {operation} after {attempts} attempt(s): {detail}"
             ),
             GoofiError::Journal(msg) => write!(f, "experiment journal error: {msg}"),
+            GoofiError::Io { op, path, detail } => {
+                write!(f, "I/O error {op} {}: {detail}", path.display())
+            }
             GoofiError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
             GoofiError::ExperimentFailed { failure, partial } => write!(
                 f,
@@ -96,6 +111,17 @@ impl fmt::Display for GoofiError {
                  {} completed record(s) preserved",
                 partial.records.len()
             ),
+        }
+    }
+}
+
+impl GoofiError {
+    /// An [`GoofiError::Io`] from a failed filesystem step.
+    pub fn io(op: &str, path: impl Into<std::path::PathBuf>, e: &std::io::Error) -> GoofiError {
+        GoofiError::Io {
+            op: op.to_string(),
+            path: path.into(),
+            detail: e.to_string(),
         }
     }
 }

@@ -1,0 +1,699 @@
+//! `goofi fsck`: detect and repair corruption in GOOFI's own durable
+//! state.
+//!
+//! The framework injects faults into target systems for a living; this
+//! module turns the same scrutiny inward. It walks every durable artifact
+//! — the database file, campaign journals, and the service spool — and
+//! classifies each piece of damage as a [`CorruptionClass`]. With repair
+//! enabled it applies the *salvage-and-quarantine* discipline:
+//!
+//! - journals are rewritten keeping every individually checksum-valid
+//!   entry ([`crate::journal::salvage_with`]); files that are not
+//!   recognisably journals are renamed aside to `<path>.corrupt`;
+//! - database tables are reloaded leniently; garbled `LoggedSystemState`
+//!   rows whose primary key survived are replaced by `Validity::Invalid`
+//!   stubs plus `parentExperiment`-linked `…/rerun1` stubs, so the loss
+//!   is documented and re-runnable rather than silently dropped;
+//! - spool job directories without a readable manifest are renamed to
+//!   `quarantined-<id>` (which [`crate::service::Scheduler`] skips), and
+//!   shard journals that disagree with their manifest are quarantined.
+//!
+//! Nothing is ever deleted: every repair either rewrites a file from its
+//! surviving valid content or renames the damaged original aside.
+
+use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause, Validity};
+use crate::vfs::{self, Vfs};
+use crate::{dbio, journal, GoofiError, Result};
+use goofidb::{Database, IssueKind, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Taxonomy of on-disk damage `goofi fsck` can detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionClass {
+    /// A journal file whose header is damaged — not recognisably a
+    /// journal.
+    JournalBadHeader,
+    /// A journal's final entry is torn (crash mid-append).
+    JournalTornTail,
+    /// A journal entry *before* the tail fails its checksum — corruption
+    /// the plain loader's torn-tail tolerance does not cover.
+    JournalGarbledEntry,
+    /// The database file is structurally unreadable (bad header, damaged
+    /// block structure, truncation).
+    DbUnreadable,
+    /// A database table's rows disagree with its `CHECK` footer.
+    DbChecksumMismatch,
+    /// A database row failed to decode or insert.
+    DbGarbledRow,
+    /// A stray `<db>.tmp` from a crashed atomic save.
+    DbStrayTemp,
+    /// A spool job directory without a manifest.
+    SpoolOrphanDir,
+    /// A spool job manifest that does not parse.
+    SpoolBadManifest,
+    /// A shard journal naming a different campaign than its manifest.
+    SpoolShardMismatch,
+}
+
+impl CorruptionClass {
+    /// Stable text form used in reports.
+    pub fn encode(self) -> &'static str {
+        match self {
+            CorruptionClass::JournalBadHeader => "journal-bad-header",
+            CorruptionClass::JournalTornTail => "journal-torn-tail",
+            CorruptionClass::JournalGarbledEntry => "journal-garbled-entry",
+            CorruptionClass::DbUnreadable => "db-unreadable",
+            CorruptionClass::DbChecksumMismatch => "db-checksum-mismatch",
+            CorruptionClass::DbGarbledRow => "db-garbled-row",
+            CorruptionClass::DbStrayTemp => "db-stray-temp",
+            CorruptionClass::SpoolOrphanDir => "spool-orphan-dir",
+            CorruptionClass::SpoolBadManifest => "spool-bad-manifest",
+            CorruptionClass::SpoolShardMismatch => "spool-shard-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for CorruptionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.encode())
+    }
+}
+
+/// One piece of damage found by an fsck pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What kind of damage.
+    pub class: CorruptionClass,
+    /// File (or directory) the damage was found in.
+    pub path: PathBuf,
+    /// Human-readable description.
+    pub detail: String,
+    /// What the repair pass did about it, when repair ran.
+    pub repaired: Option<String>,
+}
+
+/// The aggregated result of an fsck pass.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Every finding, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl FsckReport {
+    /// Whether no damage was found.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// How many findings were repaired.
+    pub fn repaired(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.repaired.is_some())
+            .count()
+    }
+
+    /// Appends another report's findings.
+    pub fn merge(&mut self, mut other: FsckReport) {
+        self.findings.append(&mut other.findings);
+    }
+
+    /// Renders the report for the CLI.
+    pub fn render(&self) -> String {
+        if self.clean() {
+            return "fsck: clean".to_string();
+        }
+        let mut out = format!(
+            "fsck: {} finding(s), {} repaired\n",
+            self.findings.len(),
+            self.repaired()
+        );
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  {} {}: {}\n",
+                f.class,
+                f.path.display(),
+                f.detail
+            ));
+            if let Some(note) = &f.repaired {
+                out.push_str(&format!("    repaired: {note}\n"));
+            }
+        }
+        out.pop();
+        out
+    }
+}
+
+fn finding(class: CorruptionClass, path: &Path, detail: impl Into<String>) -> Finding {
+    Finding {
+        class,
+        path: path.to_path_buf(),
+        detail: detail.into(),
+        repaired: None,
+    }
+}
+
+fn corrupt_sibling(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".corrupt");
+    PathBuf::from(s)
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+/// Checks (and optionally repairs) the database file at `path`.
+///
+/// Detection: a stray `<path>.tmp` from a crashed atomic save, a
+/// structurally unreadable file, per-table `CHECK` checksum mismatches,
+/// and garbled or rejected rows. Repair: the stray temp is removed, the
+/// database is reloaded leniently, garbled `LoggedSystemState` rows whose
+/// experiment name survived become `Validity::Invalid` stubs with
+/// `parentExperiment`-linked `…/rerun1` stubs, and the salvaged database
+/// is atomically re-saved. A file that is not recognisably a goofidb dump
+/// is renamed aside to `<path>.corrupt` rather than overwritten.
+///
+/// A missing file is clean — it simply means no database exists yet.
+///
+/// # Errors
+///
+/// I/O errors from reading or rewriting.
+pub fn fsck_database(vfs: &dyn Vfs, path: &Path, repair: bool) -> Result<FsckReport> {
+    let mut report = FsckReport::default();
+
+    let tmp = {
+        let mut s = path.as_os_str().to_owned();
+        s.push(".tmp");
+        PathBuf::from(s)
+    };
+    if vfs.exists(&tmp) {
+        let mut f = finding(
+            CorruptionClass::DbStrayTemp,
+            &tmp,
+            "leftover temp file from an interrupted save",
+        );
+        if repair {
+            vfs.remove_file(&tmp)
+                .map_err(|e| GoofiError::io("removing", &tmp, &e))?;
+            f.repaired = Some("removed".into());
+        }
+        report.findings.push(f);
+    }
+
+    let text = match vfs::read_lossy(vfs, path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(GoofiError::io("reading", path, &e)),
+    };
+
+    if Database::load_from_string(&text).is_ok() {
+        return Ok(report);
+    }
+
+    // Not recognisably a goofidb dump: quarantine, never overwrite.
+    if !text.starts_with("#goofidb") {
+        let mut f = finding(
+            CorruptionClass::DbUnreadable,
+            path,
+            "not a goofidb dump (bad header)",
+        );
+        if repair {
+            let aside = corrupt_sibling(path);
+            vfs.rename(path, &aside)
+                .map_err(|e| GoofiError::io("quarantining", path, &e))?;
+            f.repaired = Some(format!("quarantined to {}", aside.display()));
+        }
+        report.findings.push(f);
+        return Ok(report);
+    }
+
+    let (mut db, issues) = Database::load_from_string_lenient(&text);
+    let mut stub_sources: Vec<(String, String)> = Vec::new();
+    for issue in &issues {
+        let class = match issue.kind {
+            IssueKind::ChecksumMismatch => CorruptionClass::DbChecksumMismatch,
+            IssueKind::BadRow | IssueKind::InsertFailed => CorruptionClass::DbGarbledRow,
+            IssueKind::BadLine | IssueKind::Truncated => CorruptionClass::DbUnreadable,
+        };
+        let detail = if issue.table.is_empty() {
+            format!("[{}] {}", issue.kind.encode(), issue.detail)
+        } else {
+            format!(
+                "[{}] table {}: {}",
+                issue.kind.encode(),
+                issue.table,
+                issue.detail
+            )
+        };
+        report.findings.push(finding(class, path, detail));
+        // A garbled experiment row whose primary key (and campaign)
+        // survived can be stubbed for a rerun.
+        if issue.table == dbio::LOG_TABLE && issue.kind == IssueKind::BadRow {
+            if let (Some(Some(Value::Text(name))), Some(Some(Value::Text(campaign)))) =
+                (issue.recovered.first(), issue.recovered.get(2))
+            {
+                stub_sources.push((name.clone(), campaign.clone()));
+            }
+        }
+    }
+    if report.clean() {
+        return Ok(report);
+    }
+    if repair {
+        let mut notes = Vec::new();
+        for (name, campaign) in stub_sources {
+            match stub_lost_experiment(&mut db, &name, &campaign) {
+                Ok(true) => notes.push(format!("stubbed `{name}` as invalid with rerun hook")),
+                Ok(false) => {}
+                Err(e) => notes.push(format!("could not stub `{name}`: {e}")),
+            }
+        }
+        dbio::save_database(vfs, path, &db)?;
+        let salvage_note = format!(
+            "salvaged {} table(s){}",
+            db.table_names().len(),
+            if notes.is_empty() {
+                String::new()
+            } else {
+                format!("; {}", notes.join("; "))
+            }
+        );
+        for f in &mut report.findings {
+            if f.repaired.is_none() {
+                f.repaired = Some(salvage_note.clone());
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Inserts a `Validity::Invalid` stub for a lost experiment plus a
+/// `parentExperiment`-linked `…/rerun1` stub — the same convention the
+/// service uses for poisoned shards. Returns `false` when the experiment
+/// already has a (surviving) row.
+fn stub_lost_experiment(db: &mut Database, name: &str, campaign: &str) -> Result<bool> {
+    let exists = |db: &Database, key: &str| {
+        db.table(dbio::LOG_TABLE)
+            .is_some_and(|t| t.contains_key(&Value::text(key)))
+    };
+    if exists(db, name) {
+        return Ok(false);
+    }
+    let stub = |n: String, parent: Option<String>| ExperimentRecord {
+        name: n,
+        parent,
+        campaign: campaign.to_string(),
+        fault: None,
+        termination: TerminationCause::TargetHang,
+        state: StateSnapshot::default(),
+        trace: Vec::new(),
+        validity: Validity::Invalid,
+    };
+    dbio::log_experiment(db, &stub(name.to_string(), None))?;
+    let rerun = format!("{name}/rerun1");
+    if !exists(db, &rerun) {
+        dbio::log_experiment(db, &stub(rerun, Some(name.to_string())))?;
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Journals
+// ---------------------------------------------------------------------------
+
+/// Checks (and optionally repairs) one experiment journal.
+///
+/// When `expect_campaign` is given (the spool path passes the manifest's
+/// campaign), a journal naming a different campaign is classified as
+/// [`CorruptionClass::SpoolShardMismatch`] and quarantined on repair.
+/// Other damage — bad header, garbled entries, torn tail — is repaired by
+/// [`crate::journal::salvage_with`]. A missing file is clean.
+///
+/// # Errors
+///
+/// I/O errors from reading or rewriting.
+pub fn fsck_journal(
+    vfs: &dyn Vfs,
+    path: &Path,
+    expect_campaign: Option<&str>,
+    repair: bool,
+) -> Result<FsckReport> {
+    let mut report = FsckReport::default();
+    let text = match vfs::read_lossy(vfs, path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(GoofiError::io("reading", path, &e)),
+    };
+    let scan = journal::scan_text(&text);
+    let mut quarantine_whole_file = false;
+    match &scan.campaign {
+        None => {
+            report.findings.push(finding(
+                CorruptionClass::JournalBadHeader,
+                path,
+                "not a goofi journal (damaged header)",
+            ));
+            quarantine_whole_file = true;
+        }
+        Some(campaign) => {
+            if let Some(expected) = expect_campaign {
+                if campaign != expected {
+                    report.findings.push(finding(
+                        CorruptionClass::SpoolShardMismatch,
+                        path,
+                        format!("journal names campaign `{campaign}`, manifest says `{expected}`"),
+                    ));
+                    quarantine_whole_file = true;
+                }
+            }
+            if scan.garbled > 0 {
+                report.findings.push(finding(
+                    CorruptionClass::JournalGarbledEntry,
+                    path,
+                    format!(
+                        "{} garbled entry line(s) before the tail ({} valid)",
+                        scan.garbled,
+                        scan.valid.len()
+                    ),
+                ));
+            }
+            if scan.torn_tail {
+                report.findings.push(finding(
+                    CorruptionClass::JournalTornTail,
+                    path,
+                    "final entry torn by a crash mid-append",
+                ));
+            }
+        }
+    }
+    if report.clean() || !repair {
+        return Ok(report);
+    }
+    let note = if quarantine_whole_file {
+        let aside = corrupt_sibling(path);
+        vfs.rename(path, &aside)
+            .map_err(|e| GoofiError::io("quarantining", path, &e))?;
+        format!("quarantined to {}", aside.display())
+    } else {
+        let outcome = journal::salvage_with(vfs, path)?;
+        format!(
+            "rewrote journal keeping {} entr{}, dropped {}",
+            outcome.kept,
+            if outcome.kept == 1 { "y" } else { "ies" },
+            outcome.dropped
+        )
+    };
+    for f in &mut report.findings {
+        f.repaired = Some(note.clone());
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Spool
+// ---------------------------------------------------------------------------
+
+/// Checks (and optionally repairs) a campaign-service spool directory.
+///
+/// Detection: `job-*` directories without a manifest, manifests that do
+/// not parse, and shard journals that are damaged or disagree with their
+/// manifest's campaign. Repair: damaged job directories are renamed to
+/// `quarantined-<id>` — a prefix [`crate::service::Scheduler`] never
+/// resumes — and shard journals are salvaged or quarantined per
+/// [`fsck_journal`]. A missing spool directory is clean.
+///
+/// # Errors
+///
+/// I/O errors from listing, reading, or rewriting.
+pub fn fsck_spool(vfs: &dyn Vfs, spool: &Path, repair: bool) -> Result<FsckReport> {
+    let mut report = FsckReport::default();
+    if !vfs.exists(spool) {
+        return Ok(report);
+    }
+    let mut entries = vfs
+        .read_dir(spool)
+        .map_err(|e| GoofiError::io("listing", spool, &e))?;
+    entries.sort();
+    for dir in entries {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        if !name.starts_with("job-") {
+            continue;
+        }
+        let manifest = dir.join("manifest");
+        let campaign = match vfs::read_lossy(vfs, &manifest) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut f = finding(
+                    CorruptionClass::SpoolOrphanDir,
+                    &dir,
+                    "job directory has no manifest",
+                );
+                if repair {
+                    f.repaired = Some(quarantine_job_dir(vfs, spool, &dir, &name)?);
+                }
+                report.findings.push(f);
+                continue;
+            }
+            Err(e) => return Err(GoofiError::io("reading", &manifest, &e)),
+            Ok(text) => match parse_manifest(&text) {
+                Some((campaign, _workers)) => campaign,
+                None => {
+                    let mut f = finding(
+                        CorruptionClass::SpoolBadManifest,
+                        &manifest,
+                        "manifest does not parse",
+                    );
+                    if repair {
+                        f.repaired = Some(quarantine_job_dir(vfs, spool, &dir, &name)?);
+                    }
+                    report.findings.push(f);
+                    continue;
+                }
+            },
+        };
+        let mut shards = vfs
+            .read_dir(&dir)
+            .map_err(|e| GoofiError::io("listing", &dir, &e))?;
+        shards.sort();
+        for shard in shards {
+            let is_journal = shard
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".gjl"));
+            if is_journal {
+                report.merge(fsck_journal(vfs, &shard, Some(&campaign), repair)?);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Renames a damaged job directory to `quarantined-<id>`, which the
+/// scheduler's recovery scan skips. Returns the repair note.
+fn quarantine_job_dir(vfs: &dyn Vfs, spool: &Path, dir: &Path, name: &str) -> Result<String> {
+    let aside = spool.join(format!("quarantined-{name}"));
+    vfs.rename(dir, &aside)
+        .map_err(|e| GoofiError::io("quarantining", dir, &e))?;
+    Ok(format!("quarantined to {}", aside.display()))
+}
+
+/// Parses a spool job manifest (`#goofi-job v1` / `campaign …` /
+/// `workers …`). Shared with the scheduler's reader, which additionally
+/// wraps errors.
+pub fn parse_manifest(text: &str) -> Option<(String, usize)> {
+    let mut lines = text.lines();
+    if lines.next() != Some("#goofi-job v1") {
+        return None;
+    }
+    let mut campaign = None;
+    let mut workers = None;
+    for line in lines {
+        match line.split_once(' ') {
+            Some(("campaign", v)) => campaign = Some(v.to_string()),
+            Some(("workers", v)) => workers = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((campaign?, workers?))
+}
+
+// ---------------------------------------------------------------------------
+// Everything
+// ---------------------------------------------------------------------------
+
+/// Runs every check: the database at `db_path`, its default spool
+/// directory (`<db>.spool`), and optionally one campaign journal.
+///
+/// # Errors
+///
+/// I/O errors from any check.
+pub fn fsck_all(
+    vfs: &dyn Vfs,
+    db_path: &Path,
+    journal: Option<(&Path, &str)>,
+    repair: bool,
+) -> Result<FsckReport> {
+    let mut report = fsck_database(vfs, db_path, repair)?;
+    if let Some((path, campaign)) = journal {
+        report.merge(fsck_journal(vfs, path, Some(campaign), repair)?);
+    }
+    let spool = PathBuf::from(format!("{}.spool", db_path.display()));
+    report.merge(fsck_spool(vfs, &spool, repair)?);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::RealFs;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("goofi-fsck-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_db() -> Database {
+        let mut db = Database::new();
+        dbio::init_schema(&mut db).unwrap();
+        let mut campaign_row = vec![Value::Null; 17];
+        campaign_row[0] = Value::text("c1");
+        campaign_row[7] = Value::Int(2);
+        db.insert(dbio::CAMPAIGN_TABLE, campaign_row).unwrap();
+        let record = |name: &str| ExperimentRecord {
+            name: name.into(),
+            parent: None,
+            campaign: "c1".into(),
+            fault: None,
+            termination: TerminationCause::WorkloadEnd,
+            state: StateSnapshot::default(),
+            trace: Vec::new(),
+            validity: Validity::Valid,
+        };
+        dbio::log_experiment(&mut db, &record("c1/exp00000")).unwrap();
+        dbio::log_experiment(&mut db, &record("c1/exp00001")).unwrap();
+        db
+    }
+
+    #[test]
+    fn clean_database_reports_clean() {
+        let dir = temp_dir("clean-db");
+        let path = dir.join("db.gdb");
+        seed_db().save_to_path(&path).unwrap();
+        let report = fsck_database(&RealFs, &path, false).unwrap();
+        assert!(report.clean(), "{}", report.render());
+        assert_eq!(report.render(), "fsck: clean");
+        // Missing files are clean too.
+        assert!(fsck_database(&RealFs, &dir.join("absent"), false)
+            .unwrap()
+            .clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbled_db_row_is_stubbed_on_repair() {
+        let dir = temp_dir("garble-db");
+        let path = dir.join("db.gdb");
+        seed_db().save_to_path(&path).unwrap();
+        // Garble exp00001's row payload (keep the name field intact).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let garbled = text.replace("exp00001\tN\tT:c1\tN\tT:end", "exp00001\tN\tT:c1\tN\tX?end");
+        assert_ne!(text, garbled);
+        std::fs::write(&path, garbled).unwrap();
+
+        let report = fsck_database(&RealFs, &path, false).unwrap();
+        assert!(!report.clean());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.class == CorruptionClass::DbGarbledRow));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.class == CorruptionClass::DbChecksumMismatch));
+
+        let report = fsck_database(&RealFs, &path, true).unwrap();
+        assert!(report.repaired() > 0, "{}", report.render());
+        // The repaired database loads strictly and documents the loss.
+        let db = dbio::load_database(&RealFs, &path).unwrap();
+        let lost = dbio::load_experiment(&db, "c1/exp00001").unwrap();
+        assert_eq!(lost.validity, Validity::Invalid);
+        let rerun = dbio::load_experiment(&db, "c1/exp00001/rerun1").unwrap();
+        assert_eq!(rerun.parent.as_deref(), Some("c1/exp00001"));
+        assert_eq!(rerun.validity, Validity::Invalid);
+        assert!(fsck_database(&RealFs, &path, false).unwrap().clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_temp_and_unreadable_db_are_quarantined() {
+        let dir = temp_dir("stray-db");
+        let path = dir.join("db.gdb");
+        std::fs::write(&path, "this is no database\n").unwrap();
+        std::fs::write(dir.join("db.gdb.tmp"), "half a save").unwrap();
+        let report = fsck_database(&RealFs, &path, true).unwrap();
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.class == CorruptionClass::DbStrayTemp));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.class == CorruptionClass::DbUnreadable));
+        assert_eq!(report.repaired(), report.findings.len());
+        assert!(!path.exists());
+        assert!(dir.join("db.gdb.corrupt").exists());
+        assert!(!dir.join("db.gdb.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spool_orphan_and_mismatch_are_quarantined() {
+        let dir = temp_dir("spool");
+        let spool = dir.join("db.gdb.spool");
+        // job-1: no manifest at all.
+        std::fs::create_dir_all(spool.join("job-1")).unwrap();
+        // job-2: good manifest, but its shard journal names another
+        // campaign.
+        std::fs::create_dir_all(spool.join("job-2")).unwrap();
+        std::fs::write(
+            spool.join("job-2/manifest"),
+            "#goofi-job v1\ncampaign c1\nworkers 1\n",
+        )
+        .unwrap();
+        crate::journal::ExperimentJournal::create(spool.join("job-2/shard-0.gjl"), "other")
+            .unwrap();
+        // job-3: manifest garbage.
+        std::fs::create_dir_all(spool.join("job-3")).unwrap();
+        std::fs::write(spool.join("job-3/manifest"), "garbage\n").unwrap();
+
+        let report = fsck_spool(&RealFs, &spool, false).unwrap();
+        let classes: Vec<_> = report.findings.iter().map(|f| f.class).collect();
+        assert!(classes.contains(&CorruptionClass::SpoolOrphanDir));
+        assert!(classes.contains(&CorruptionClass::SpoolShardMismatch));
+        assert!(classes.contains(&CorruptionClass::SpoolBadManifest));
+
+        let report = fsck_spool(&RealFs, &spool, true).unwrap();
+        assert_eq!(report.repaired(), report.findings.len());
+        assert!(spool.join("quarantined-job-1").exists());
+        assert!(spool.join("quarantined-job-3").exists());
+        assert!(spool.join("job-2/shard-0.gjl.corrupt").exists());
+        assert!(fsck_spool(&RealFs, &spool, false).unwrap().clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_parser_matches_writer_format() {
+        assert_eq!(
+            parse_manifest("#goofi-job v1\ncampaign c one\nworkers 3\n"),
+            Some(("c one".to_string(), 3))
+        );
+        assert_eq!(parse_manifest("#goofi-job v1\ncampaign c\n"), None);
+        assert_eq!(parse_manifest("nope\n"), None);
+    }
+}

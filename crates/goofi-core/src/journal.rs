@@ -38,10 +38,9 @@
 
 use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause, Validity};
 use crate::policy::ExperimentFailure;
+use crate::vfs::{self, Vfs, VfsFile};
 use crate::{fault::FaultSpec, GoofiError, Result};
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const HEADER: &str = "#goofi-journal v1";
@@ -88,10 +87,17 @@ impl JournalState {
 /// Each append is written as one line, flushed, and synced to disk before
 /// returning, so an entry either fully exists or is a recognisable torn
 /// tail.
-#[derive(Debug)]
 pub struct ExperimentJournal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
+}
+
+impl std::fmt::Debug for ExperimentJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentJournal")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ExperimentJournal {
@@ -100,14 +106,26 @@ impl ExperimentJournal {
     ///
     /// # Errors
     ///
-    /// I/O errors, surfaced as [`GoofiError::Journal`].
+    /// I/O errors, surfaced as [`GoofiError::Io`].
     pub fn create(path: impl AsRef<Path>, campaign: &str) -> Result<Self> {
+        Self::create_with(&vfs::RealFs, path, campaign)
+    }
+
+    /// [`ExperimentJournal::create`] over an explicit [`Vfs`] — the seam
+    /// the durability torture harness injects faults through.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, surfaced as [`GoofiError::Io`].
+    pub fn create_with(vfs: &dyn Vfs, path: impl AsRef<Path>, campaign: &str) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::create(&path).map_err(|e| io_err(&path, "creating", &e))?;
+        let mut file = vfs
+            .create(&path)
+            .map_err(|e| GoofiError::io("creating", &path, &e))?;
         let header = format!("{HEADER}\nC\t{}\n", escape(campaign));
         file.write_all(header.as_bytes())
-            .and_then(|()| file.sync_data())
-            .map_err(|e| io_err(&path, "writing header to", &e))?;
+            .and_then(|()| file.sync())
+            .map_err(|e| GoofiError::io("writing header to", &path, &e))?;
         Ok(ExperimentJournal { file, path })
     }
 
@@ -115,15 +133,23 @@ impl ExperimentJournal {
     ///
     /// # Errors
     ///
-    /// I/O errors, surfaced as [`GoofiError::Journal`].
+    /// I/O errors, surfaced as [`GoofiError::Io`].
     ///
     /// [`load`]: ExperimentJournal::load
     pub fn open_append(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_append_with(&vfs::RealFs, path)
+    }
+
+    /// [`ExperimentJournal::open_append`] over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, surfaced as [`GoofiError::Io`].
+    pub fn open_append_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|e| io_err(&path, "opening", &e))?;
+        let file = vfs
+            .open_append(&path)
+            .map_err(|e| GoofiError::io("opening", &path, &e))?;
         Ok(ExperimentJournal { file, path })
     }
 
@@ -186,8 +212,8 @@ impl ExperimentJournal {
         let line = format!("{payload}\t#{:08x}\n", fnv1a(payload.as_bytes()));
         self.file
             .write_all(line.as_bytes())
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| io_err(&self.path, "appending to", &e))
+            .and_then(|()| self.file.sync())
+            .map_err(|e| GoofiError::io("appending to", &self.path, &e))
     }
 
     /// Loads a journal, tolerating a torn tail: parsing stops at the first
@@ -199,8 +225,23 @@ impl ExperimentJournal {
     /// expected after a crash, a damaged *head* means this is not a
     /// journal.
     pub fn load(path: impl AsRef<Path>, campaign_name: &str) -> Result<JournalState> {
+        Self::load_with(&vfs::RealFs, path, campaign_name)
+    }
+
+    /// [`ExperimentJournal::load`] over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ExperimentJournal::load`].
+    pub fn load_with(
+        vfs: &dyn Vfs,
+        path: impl AsRef<Path>,
+        campaign_name: &str,
+    ) -> Result<JournalState> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, "reading", &e))?;
+        let text = vfs
+            .read_to_string(path)
+            .map_err(|e| GoofiError::io("reading", path, &e))?;
         let complete = text.ends_with('\n');
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
@@ -270,6 +311,132 @@ impl ExperimentJournal {
     }
 }
 
+/// A line-level integrity scan of a journal file — finer-grained than
+/// [`ExperimentJournal::load`], which stops at the first bad line. The
+/// scan validates every entry line *individually*, so `goofi fsck` can
+/// salvage valid records that sit beyond a garbled middle line.
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// Campaign named in the header, or `None` when the header itself is
+    /// damaged (this is not recognisably a journal).
+    pub campaign: Option<String>,
+    /// Entry lines (verbatim) whose checksum and format both validate.
+    pub valid: Vec<String>,
+    /// Complete-but-invalid lines before the end of the file — corruption
+    /// that the plain loader's torn-tail tolerance does *not* cover.
+    pub garbled: usize,
+    /// The final line is torn: invalid, or valid but missing its
+    /// terminating newline (in which case it is also in `valid` — the
+    /// record survives, the file still needs rewriting before appends).
+    pub torn_tail: bool,
+}
+
+impl JournalScan {
+    /// Whether the file is a pristine journal.
+    pub fn clean(&self) -> bool {
+        self.campaign.is_some() && self.garbled == 0 && !self.torn_tail
+    }
+}
+
+/// Scans journal text line by line. See [`JournalScan`].
+pub fn scan_text(text: &str) -> JournalScan {
+    let mut scan = JournalScan::default();
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return scan;
+    }
+    let campaign = match lines.next().and_then(|l| l.strip_prefix("C\t")) {
+        Some(name) => unescape(name),
+        None => return scan,
+    };
+    scan.campaign = Some(campaign.clone());
+    let complete = text.ends_with('\n');
+    let mut rest = lines.peekable();
+    while let Some(line) = rest.next() {
+        let last = rest.peek().is_none();
+        if parse_entry(line, &campaign).is_some() {
+            scan.valid.push(line.to_string());
+            if last && !complete {
+                // Valid payload but the newline never landed: the record
+                // survives, yet appending to the file as-is would
+                // concatenate onto this line. Flag it for rewriting.
+                scan.torn_tail = true;
+            }
+        } else if last {
+            // An invalid final line — unterminated or complete-but-bad —
+            // is the residue of a crash mid-append: a torn tail.
+            scan.torn_tail = true;
+        } else {
+            scan.garbled += 1;
+        }
+    }
+    scan
+}
+
+/// What [`salvage_with`] did to a journal file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageOutcome {
+    /// The file was rewritten (damage was found and cut out).
+    pub rewritten: bool,
+    /// Valid entry lines kept.
+    pub kept: usize,
+    /// Damaged lines dropped (garbled entries plus a torn tail).
+    pub dropped: usize,
+    /// The file was not recognisably a journal and was renamed aside to
+    /// this quarantine path instead of rewritten.
+    pub quarantined: Option<PathBuf>,
+}
+
+/// Repairs a journal in place: keeps the header and every entry line that
+/// individually validates, atomically rewriting the file. A file whose
+/// *header* is damaged is renamed aside to `<path>.corrupt` (quarantined,
+/// never silently deleted) so its owner can start a fresh journal. A
+/// pristine journal is left untouched.
+///
+/// # Errors
+///
+/// I/O errors, surfaced as [`GoofiError::Io`].
+pub fn salvage_with(vfs: &dyn Vfs, path: &Path) -> Result<SalvageOutcome> {
+    // Lossy read: a garbled sector is rarely valid UTF-8, and salvage must
+    // still be able to look at the rest of the file.
+    let text =
+        crate::vfs::read_lossy(vfs, path).map_err(|e| GoofiError::io("reading", path, &e))?;
+    let scan = scan_text(&text);
+    let Some(campaign) = &scan.campaign else {
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        let corrupt = PathBuf::from(corrupt);
+        vfs.rename(path, &corrupt)
+            .map_err(|e| GoofiError::io("quarantining", path, &e))?;
+        return Ok(SalvageOutcome {
+            rewritten: false,
+            kept: 0,
+            dropped: 0,
+            quarantined: Some(corrupt),
+        });
+    };
+    if scan.clean() {
+        return Ok(SalvageOutcome {
+            kept: scan.valid.len(),
+            ..SalvageOutcome::default()
+        });
+    }
+    let mut body = format!("{HEADER}\nC\t{}\n", escape(campaign));
+    for line in &scan.valid {
+        body.push_str(line);
+        body.push('\n');
+    }
+    vfs::atomic_write(vfs, path, body.as_bytes())
+        .map_err(|e| GoofiError::io("rewriting", path, &e))?;
+    let entry_lines = text.lines().count().saturating_sub(2);
+    Ok(SalvageOutcome {
+        rewritten: true,
+        kept: scan.valid.len(),
+        dropped: entry_lines - scan.valid.len(),
+        quarantined: None,
+    })
+}
+
 enum Entry {
     Reference(ExperimentRecord),
     Completed(usize, ExperimentRecord),
@@ -329,10 +496,6 @@ fn parse_entry(line: &str, campaign: &str) -> Option<Entry> {
         }
         _ => None,
     }
-}
-
-fn io_err(path: &Path, verb: &str, e: &std::io::Error) -> GoofiError {
-    GoofiError::Journal(format!("{verb} {}: {e}", path.display()))
 }
 
 fn escape(s: &str) -> String {

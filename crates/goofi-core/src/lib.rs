@@ -38,6 +38,7 @@ pub mod dbio;
 mod error;
 pub mod fault;
 pub mod framework;
+pub mod fsck;
 pub mod journal;
 pub mod link;
 pub mod logging;
@@ -50,6 +51,7 @@ pub mod supervisor;
 mod target;
 pub mod telemetry;
 pub mod trigger;
+pub mod vfs;
 
 pub use error::GoofiError;
 pub use target::{DetectionInfo, RunBudget, RunEvent, TargetAccess};

@@ -216,6 +216,40 @@ where
     FT: Fn() -> T + Sync,
     FE: Fn() -> Box<dyn Environment> + Sync,
 {
+    resume_campaign_shard_vfs(
+        make_target,
+        make_env,
+        campaign,
+        monitor,
+        workers,
+        &crate::vfs::RealFs,
+        journal_path,
+        range,
+    )
+}
+
+/// [`resume_campaign_shard`] over an explicit [`crate::vfs::Vfs`] — the
+/// seam the durability torture harness injects faults through.
+///
+/// # Errors
+///
+/// As [`resume_campaign`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_campaign_shard_vfs<T, FT, FE>(
+    make_target: FT,
+    make_env: Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+    vfs: &dyn crate::vfs::Vfs,
+    journal_path: impl AsRef<Path>,
+    range: std::ops::Range<usize>,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
     let path = journal_path.as_ref();
     if workers == 0 {
         return Err(GoofiError::Config("worker count must be at least 1".into()));
@@ -225,11 +259,21 @@ where
     let range = range.start.min(total)..range.end.min(total);
     let tel = monitor.telemetry().clone();
     let _campaign_span = tel.campaign_span(&campaign.name);
-    if !path.exists() {
-        ExperimentJournal::create(path, &campaign.name)?;
+    if !vfs.exists(path) {
+        ExperimentJournal::create_with(vfs, path, &campaign.name)?;
+    } else {
+        // Auto-fsck before appending: a crash can leave a torn or garbled
+        // line mid-file, and anything appended after it would be invisible
+        // to every later load. Salvage rewrites the journal down to its
+        // valid entries; a file that is not recognisably a journal is
+        // quarantined aside and a fresh journal started.
+        crate::journal::salvage_with(vfs, path)?;
+        if !vfs.exists(path) {
+            ExperimentJournal::create_with(vfs, path, &campaign.name)?;
+        }
     }
-    let state = ExperimentJournal::load(path, &campaign.name)?;
-    let mut journal_file = ExperimentJournal::open_append(path)?;
+    let state = ExperimentJournal::load_with(vfs, path, &campaign.name)?;
+    let mut journal_file = ExperimentJournal::open_append_with(vfs, path)?;
     let journal = parking_lot::Mutex::new(&mut journal_file);
 
     // Reuse the journaled reference run, or make (and journal) one now.

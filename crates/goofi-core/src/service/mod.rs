@@ -40,7 +40,9 @@ pub mod wire;
 pub mod worker;
 
 pub use chaos::ChaosConfig;
-pub use scheduler::{JobProgress, JobState, Scheduler, ServiceConfig, WorkerCommand};
+pub use scheduler::{
+    JobProgress, JobState, RecoverOutcome, Scheduler, ServiceConfig, WorkerCommand,
+};
 pub use server::{serve, Client};
 pub use wire::{Request, Response, WorkerEvent};
 pub use worker::{run_worker, WorkerArgs};

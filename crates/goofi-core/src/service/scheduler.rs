@@ -37,6 +37,7 @@ use crate::dbio;
 use crate::journal::ExperimentJournal;
 use crate::logging::{ExperimentRecord, StateSnapshot, TerminationCause, Validity};
 use crate::policy::Backoff;
+use crate::vfs::{self, Vfs, VfsHandle};
 use crate::{GoofiError, Result};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
@@ -81,6 +82,10 @@ pub struct ServiceConfig {
     pub backoff: Backoff,
     /// Seeded chaos drill passed to every spawned worker.
     pub chaos: Option<ChaosConfig>,
+    /// Filesystem all scheduler persistence goes through — [`vfs::real`]
+    /// in production, a fault-injecting [`crate::vfs::FaultFs`] in the
+    /// durability torture harness.
+    pub vfs: VfsHandle,
 }
 
 impl ServiceConfig {
@@ -99,8 +104,19 @@ impl ServiceConfig {
             poison_after: 3,
             backoff: Backoff::exponential(50, 2_000),
             chaos: None,
+            vfs: vfs::real(),
         }
     }
+}
+
+/// What [`Scheduler::recover`] did with the spool.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverOutcome {
+    /// Jobs restarted from their manifests.
+    pub resumed: Vec<String>,
+    /// Job directories with damaged manifests, renamed aside to
+    /// `quarantined-<id>` instead of failing startup.
+    pub quarantined: Vec<String>,
 }
 
 /// Lifecycle state of a job.
@@ -267,10 +283,11 @@ impl Scheduler {
     ///
     /// Spool directory I/O errors.
     pub fn new(cfg: ServiceConfig) -> Result<Scheduler> {
-        std::fs::create_dir_all(&cfg.spool_dir)
-            .map_err(|e| GoofiError::Config(format!("creating spool dir: {e}")))?;
+        cfg.vfs
+            .create_dir_all(&cfg.spool_dir)
+            .map_err(|e| GoofiError::io("creating spool dir", &cfg.spool_dir, &e))?;
         let mut max_id = 0;
-        for id in spooled_job_ids(&cfg.spool_dir)? {
+        for id in spooled_job_ids(cfg.vfs.as_ref(), &cfg.spool_dir)? {
             if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
                 max_id = max_id.max(n);
             }
@@ -299,8 +316,9 @@ impl Scheduler {
     ///
     /// Unknown campaign, database, or spool I/O errors.
     pub fn submit(&self, campaign: &str, workers: usize) -> Result<String> {
+        let cfg = &self.shared.cfg;
         // Fail fast on bad submissions, before anything durable exists.
-        let db = load_db(&self.shared.cfg.db_path)?;
+        let db = dbio::load_database(cfg.vfs.as_ref(), &cfg.db_path)?;
         dbio::load_campaign(&db, campaign)?;
         drop(db);
 
@@ -308,38 +326,56 @@ impl Scheduler {
             "job-{}",
             self.shared.next_job.fetch_add(1, Ordering::Relaxed)
         );
-        let dir = self.shared.cfg.spool_dir.join(&id);
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| GoofiError::Config(format!("creating job dir: {e}")))?;
+        let dir = cfg.spool_dir.join(&id);
+        cfg.vfs
+            .create_dir_all(&dir)
+            .map_err(|e| GoofiError::io("creating job dir", &dir, &e))?;
         let workers = if workers == 0 {
-            self.shared.cfg.default_workers
+            cfg.default_workers
         } else {
             workers
         };
-        write_manifest(&dir, campaign, workers)?;
+        write_manifest(cfg.vfs.as_ref(), &dir, campaign, workers)?;
         self.start_job(&id, campaign, workers);
         Ok(id)
     }
 
     /// Re-runs every spooled job without a `done` marker — the daemon's
-    /// restart path. Shard journals make the replay idempotent. Returns
-    /// the recovered job ids.
+    /// restart path. Shard journals make the replay idempotent.
+    ///
+    /// A job directory whose manifest is damaged does not fail the whole
+    /// startup: the directory is renamed to `quarantined-<id>` (which this
+    /// scan skips forever after) and reported in
+    /// [`RecoverOutcome::quarantined`] — the salvage-and-quarantine
+    /// discipline of `goofi fsck`, applied at the one place a daemon
+    /// restart meets damaged state.
     ///
     /// # Errors
     ///
-    /// Spool I/O or manifest parse errors.
-    pub fn recover(&self) -> Result<Vec<String>> {
-        let mut recovered = Vec::new();
-        for id in spooled_job_ids(&self.shared.cfg.spool_dir)? {
-            let dir = self.shared.cfg.spool_dir.join(&id);
-            if dir.join("done").exists() || self.shared.jobs.lock().contains_key(&id) {
+    /// Spool I/O errors.
+    pub fn recover(&self) -> Result<RecoverOutcome> {
+        let cfg = &self.shared.cfg;
+        let mut outcome = RecoverOutcome::default();
+        for id in spooled_job_ids(cfg.vfs.as_ref(), &cfg.spool_dir)? {
+            let dir = cfg.spool_dir.join(&id);
+            if cfg.vfs.exists(&dir.join("done")) || self.shared.jobs.lock().contains_key(&id) {
                 continue;
             }
-            let (campaign, workers) = read_manifest(&dir)?;
-            self.start_job(&id, &campaign, workers);
-            recovered.push(id);
+            match read_manifest(cfg.vfs.as_ref(), &dir) {
+                Ok((campaign, workers)) => {
+                    self.start_job(&id, &campaign, workers);
+                    outcome.resumed.push(id);
+                }
+                Err(_) => {
+                    let aside = cfg.spool_dir.join(format!("quarantined-{id}"));
+                    cfg.vfs
+                        .rename(&dir, &aside)
+                        .map_err(|e| GoofiError::io("quarantining job dir", &dir, &e))?;
+                    outcome.quarantined.push(id);
+                }
+            }
         }
-        Ok(recovered)
+        Ok(outcome)
     }
 
     fn start_job(&self, id: &str, campaign: &str, workers: usize) {
@@ -463,8 +499,9 @@ fn run_job(
     workers: usize,
     job: &JobShared,
 ) -> Result<()> {
+    let vfs = sched.cfg.vfs.as_ref();
     let campaign: Campaign = {
-        let db = load_db(&sched.cfg.db_path)?;
+        let db = dbio::load_database(vfs, &sched.cfg.db_path)?;
         dbio::load_campaign(&db, campaign_name)?
     };
     let total = campaign.experiment_count();
@@ -485,7 +522,7 @@ fn run_job(
     for (shard, range) in ranges.iter().enumerate() {
         // A journal that already covers its whole range (daemon restarted
         // after the shard finished but before the merge) is done as-is.
-        if shard_journal_complete(&journal_path(shard), campaign_name, range)? {
+        if shard_journal_complete(vfs, &journal_path(shard), campaign_name, range)? {
             last_stats[shard].completed = range.len() as u64;
             last_stats[shard].done = true;
             shards.push(ShardState::Done);
@@ -596,6 +633,7 @@ fn run_job(
                         .as_ref()
                         .is_some_and(std::process::ExitStatus::success)
                         && shard_journal_complete(
+                            vfs,
                             &journal_path(shard),
                             campaign_name,
                             &ranges[shard],
@@ -662,18 +700,18 @@ fn run_job(
     // (deterministic), through the idempotent import path.
     {
         let _db_guard = sched.db_lock.lock();
-        let mut db = load_db(&sched.cfg.db_path)?;
+        let mut db = dbio::load_database(vfs, &sched.cfg.db_path)?;
         for shard in 0..ranges.len() {
             let path = journal_path(shard);
-            if path.exists() {
-                dbio::import_journal(&mut db, &path, campaign_name)?;
+            if vfs.exists(&path) {
+                dbio::import_journal_with(&mut db, vfs, &path, campaign_name)?;
             }
         }
-        db.save_to_path(&sched.cfg.db_path)
-            .map_err(|e| GoofiError::Config(format!("saving database: {e}")))?;
+        dbio::save_database(vfs, &sched.cfg.db_path, &db)?;
     }
-    std::fs::write(dir.join("done"), b"done\n")
-        .map_err(|e| GoofiError::Config(format!("writing done marker: {e}")))?;
+    let done = dir.join("done");
+    vfs::write_file(vfs, &done, b"done\n")
+        .map_err(|e| GoofiError::io("writing done marker", &done, &e))?;
     job.set(|p| p.state = JobState::Done);
     Ok(())
 }
@@ -695,7 +733,8 @@ fn shard_lease_failed(
 ) -> Result<()> {
     *consecutive += 1;
     if *consecutive >= sched.cfg.poison_after {
-        *poison_quarantined += poison_shard(campaign, shard, range, journal)?;
+        *poison_quarantined +=
+            poison_shard(sched.cfg.vfs.as_ref(), campaign, shard, range, journal)?;
         *state = ShardState::Poisoned;
     } else {
         *state = ShardState::Pending {
@@ -713,16 +752,17 @@ fn shard_lease_failed(
 /// the merged database documents the loss (and the rerun hook) instead of
 /// the job wedging forever. Returns the number of stub records written.
 fn poison_shard(
+    vfs: &dyn Vfs,
     campaign: &Campaign,
     _shard: usize,
     range: &std::ops::Range<usize>,
     journal_path: &Path,
 ) -> Result<usize> {
-    if !journal_path.exists() {
-        ExperimentJournal::create(journal_path, &campaign.name)?;
+    if !vfs.exists(journal_path) {
+        ExperimentJournal::create_with(vfs, journal_path, &campaign.name)?;
     }
-    let state = ExperimentJournal::load(journal_path, &campaign.name)?;
-    let mut journal = ExperimentJournal::open_append(journal_path)?;
+    let state = ExperimentJournal::load_with(vfs, journal_path, &campaign.name)?;
+    let mut journal = ExperimentJournal::open_append_with(vfs, journal_path)?;
     let mut stubs = 0;
     for index in range.clone() {
         if state.completed.contains_key(&index) {
@@ -750,16 +790,42 @@ fn poison_shard(
 }
 
 /// Whether a shard journal exists and covers every index in `range` with
-/// a completed record.
+/// a completed record. A journal that does not load — torn mid-file,
+/// garbled, or not a journal at all — is salvaged (and, failing that,
+/// quarantined aside) rather than failing the job: the shard simply
+/// counts as incomplete and re-runs.
 fn shard_journal_complete(
+    vfs: &dyn Vfs,
     path: &Path,
     campaign: &str,
     range: &std::ops::Range<usize>,
 ) -> Result<bool> {
-    if !path.exists() {
+    if !vfs.exists(path) {
         return Ok(false);
     }
-    let state = ExperimentJournal::load(path, campaign)?;
+    let state = match ExperimentJournal::load_with(vfs, path, campaign) {
+        Ok(state) => state,
+        Err(_) => {
+            crate::journal::salvage_with(vfs, path)?;
+            if !vfs.exists(path) {
+                // Not recognisably a journal; salvage renamed it aside.
+                return Ok(false);
+            }
+            match ExperimentJournal::load_with(vfs, path, campaign) {
+                Ok(state) => state,
+                Err(_) => {
+                    // Valid journal for a *different* campaign: rename it
+                    // aside (never delete) and start over.
+                    let mut aside = path.as_os_str().to_owned();
+                    aside.push(".corrupt");
+                    let aside = std::path::PathBuf::from(aside);
+                    vfs.rename(path, &aside)
+                        .map_err(|e| GoofiError::io("quarantining journal", path, &e))?;
+                    return Ok(false);
+                }
+            }
+        }
+    };
     Ok(range
         .clone()
         .all(|index| state.completed.contains_key(&index)))
@@ -860,64 +926,43 @@ fn kill_child(mut child: Child) {
     let _ = child.wait();
 }
 
-fn load_db(path: &Path) -> Result<goofidb::Database> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| GoofiError::Config(format!("reading {}: {e}", path.display())))?;
-    goofidb::Database::load_from_string(&text)
-        .map_err(|e| GoofiError::Config(format!("parsing {}: {e}", path.display())))
-}
-
 /// Writes `<dir>/manifest`: the durable record from which a restarted
 /// daemon resumes the job. Same `key value` line discipline as the
-/// journal header; written atomically via rename.
-fn write_manifest(dir: &Path, campaign: &str, workers: usize) -> Result<()> {
-    let tmp = dir.join("manifest.tmp");
+/// journal header; written with the full atomic temp-file, `fsync`,
+/// rename discipline so a crash mid-submit leaves either no manifest or
+/// a complete one — never a torn one.
+fn write_manifest(vfs: &dyn Vfs, dir: &Path, campaign: &str, workers: usize) -> Result<()> {
+    let path = dir.join("manifest");
     let body = format!("#goofi-job v1\ncampaign {campaign}\nworkers {workers}\n");
-    std::fs::write(&tmp, body).map_err(|e| GoofiError::Config(format!("writing manifest: {e}")))?;
-    std::fs::rename(&tmp, dir.join("manifest"))
-        .map_err(|e| GoofiError::Config(format!("publishing manifest: {e}")))
+    vfs::atomic_write(vfs, &path, body.as_bytes())
+        .map_err(|e| GoofiError::io("writing manifest", &path, &e))
 }
 
-fn read_manifest(dir: &Path) -> Result<(String, usize)> {
+fn read_manifest(vfs: &dyn Vfs, dir: &Path) -> Result<(String, usize)> {
     let path = dir.join("manifest");
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| GoofiError::Config(format!("reading {}: {e}", path.display())))?;
-    let mut lines = text.lines();
-    if lines.next() != Some("#goofi-job v1") {
-        return Err(GoofiError::Config(format!(
-            "bad manifest header in {}",
-            path.display()
-        )));
-    }
-    let mut campaign = None;
-    let mut workers = None;
-    for line in lines {
-        match line.split_once(' ') {
-            Some(("campaign", v)) => campaign = Some(v.to_string()),
-            Some(("workers", v)) => workers = v.parse().ok(),
-            _ => {}
-        }
-    }
-    match (campaign, workers) {
-        (Some(c), Some(w)) => Ok((c, w)),
-        _ => Err(GoofiError::Config(format!(
-            "incomplete manifest in {}",
-            path.display()
-        ))),
-    }
+    // Lossy read so a bit-rotted manifest classifies as "bad manifest"
+    // (recover quarantines the job dir) rather than an unreadable file.
+    let text =
+        vfs::read_lossy(vfs, &path).map_err(|e| GoofiError::io("reading manifest", &path, &e))?;
+    crate::fsck::parse_manifest(&text)
+        .ok_or_else(|| GoofiError::Config(format!("bad manifest in {}", path.display())))
 }
 
 /// Job ids (directory names) present in the spool directory, sorted.
-fn spooled_job_ids(spool: &Path) -> Result<Vec<String>> {
+/// `quarantined-*` directories (fsck/recover damage quarantine) never
+/// match the `job-` prefix, so they are skipped forever.
+fn spooled_job_ids(vfs: &dyn Vfs, spool: &Path) -> Result<Vec<String>> {
     let mut ids = Vec::new();
-    let entries = match std::fs::read_dir(spool) {
+    let entries = match vfs.read_dir(spool) {
         Ok(entries) => entries,
         Err(_) => return Ok(ids),
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name().to_string_lossy().into_owned();
-        if name.starts_with("job-") && entry.path().join("manifest").exists() {
-            ids.push(name);
+    for entry in entries {
+        let Some(name) = entry.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("job-") && vfs.exists(&entry.join("manifest")) {
+            ids.push(name.to_string());
         }
     }
     ids.sort();
@@ -932,8 +977,10 @@ mod tests {
     fn manifest_roundtrips() {
         let dir = std::env::temp_dir().join(format!("goofi-manifest-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        write_manifest(&dir, "c one", 3).unwrap();
-        assert_eq!(read_manifest(&dir).unwrap(), ("c one".to_string(), 3));
+        let fs = crate::vfs::RealFs;
+        write_manifest(&fs, &dir, "c one", 3).unwrap();
+        assert_eq!(read_manifest(&fs, &dir).unwrap(), ("c one".to_string(), 3));
+        assert!(!dir.join("manifest.tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -133,22 +133,30 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, stop: &AtomicBool
     }
 }
 
+/// How long a watch stream may stay silent before the daemon resends the
+/// current (unchanged) progress line. Kept well under the client's read
+/// timeout so a healthy-but-quiet job never looks like a dead daemon.
+const WATCH_KEEPALIVE: Duration = Duration::from_secs(5);
+
 /// Streams progress lines for `job` until it reaches a terminal state or
 /// the daemon is stopping; the final line carries the terminal state.
+/// Unchanged progress is resent every [`WATCH_KEEPALIVE`] as a keepalive.
 fn stream_progress(writer: &mut TcpStream, scheduler: &Scheduler, job: &str, stop: &AtomicBool) {
     let Some(watcher) = scheduler.watch(job) else {
         return;
     };
     let mut last: Option<JobProgress> = None;
+    let mut last_sent = std::time::Instant::now();
     loop {
         let progress = match &last {
             Some(prev) => watcher.wait_changed(prev, Duration::from_millis(250)),
             None => watcher.current(),
         };
-        if last.as_ref() != Some(&progress) {
+        if last.as_ref() != Some(&progress) || last_sent.elapsed() >= WATCH_KEEPALIVE {
             if !send(writer, &progress_response(job, &progress)) {
                 return; // client hung up
             }
+            last_sent = std::time::Instant::now();
             if progress.state.is_terminal() {
                 return;
             }
@@ -179,30 +187,88 @@ fn send(writer: &mut TcpStream, response: &Response) -> bool {
     writeln!(writer, "{}", response.encode()).is_ok() && writer.flush().is_ok()
 }
 
+/// Per-attempt connect timeout for [`Client::connect`].
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long [`Client::recv`] may wait for a line before concluding the
+/// daemon is gone. The daemon's [`WATCH_KEEPALIVE`] resend keeps healthy
+/// watch streams well inside this.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Connection attempts before [`Client::connect`] gives up.
+const CONNECT_ATTEMPTS: u32 = 4;
+/// First retry delay; doubles per attempt up to [`MAX_RETRY_DELAY`].
+const INITIAL_RETRY_DELAY: Duration = Duration::from_millis(50);
+const MAX_RETRY_DELAY: Duration = Duration::from_secs(2);
+
 /// A blocking client connection to the daemon, used by `goofi submit`.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: String,
 }
 
 impl Client {
-    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4711`).
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4711`), retrying
+    /// with bounded exponential backoff. Each attempt is capped at
+    /// [`CONNECT_TIMEOUT`] and the resulting stream gets a read timeout so
+    /// a wedged daemon cannot hang the client forever.
     ///
     /// # Errors
     ///
-    /// [`GoofiError::Wire`] when the connection cannot be established.
+    /// [`GoofiError::Wire`] naming `addr` when no attempt succeeds.
     pub fn connect(addr: &str) -> Result<Client> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| GoofiError::Wire(format!("connecting to {addr}: {e}")))?;
+        Client::connect_with(addr, CONNECT_ATTEMPTS)
+    }
+
+    /// [`Client::connect`] with an explicit attempt budget (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Wire`] naming `addr` when no attempt succeeds.
+    pub fn connect_with(addr: &str, attempts: u32) -> Result<Client> {
+        use std::net::ToSocketAddrs;
+        let attempts = attempts.max(1);
+        let mut delay = INITIAL_RETRY_DELAY;
+        let mut last = format!("connecting to {addr}: no attempt made");
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(MAX_RETRY_DELAY);
+            }
+            let sockets = match addr.to_socket_addrs() {
+                Ok(sockets) => sockets.collect::<Vec<_>>(),
+                Err(e) => {
+                    last = format!("resolving {addr}: {e}");
+                    continue;
+                }
+            };
+            if sockets.is_empty() {
+                last = format!("resolving {addr}: no addresses");
+                continue;
+            }
+            for socket in sockets {
+                match TcpStream::connect_timeout(&socket, CONNECT_TIMEOUT) {
+                    Ok(stream) => return Client::from_stream(stream, addr),
+                    Err(e) => last = format!("connecting to {addr} ({socket}): {e}"),
+                }
+            }
+        }
+        Err(GoofiError::Wire(format!(
+            "{last} (gave up after {attempts} attempt(s))"
+        )))
+    }
+
+    fn from_stream(stream: TcpStream, addr: &str) -> Result<Client> {
         let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         let reader = BufReader::new(
             stream
                 .try_clone()
-                .map_err(|e| GoofiError::Wire(format!("cloning stream: {e}")))?,
+                .map_err(|e| GoofiError::Wire(format!("cloning stream for {addr}: {e}")))?,
         );
         Ok(Client {
             reader,
             writer: stream,
+            addr: addr.to_string(),
         })
     }
 
@@ -210,11 +276,12 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`GoofiError::Wire`] on I/O failure.
+    /// [`GoofiError::Wire`] naming the daemon address on I/O failure.
     pub fn send(&mut self, request: &Request) -> Result<()> {
+        let addr = &self.addr;
         writeln!(self.writer, "{}", request.encode())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| GoofiError::Wire(format!("sending request: {e}")))
+            .map_err(|e| GoofiError::Wire(format!("sending request to {addr}: {e}")))
     }
 
     /// Sends raw text verbatim — exercises the daemon's handling of
@@ -222,26 +289,32 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`GoofiError::Wire`] on I/O failure.
+    /// [`GoofiError::Wire`] naming the daemon address on I/O failure.
     pub fn send_raw(&mut self, text: &str) -> Result<()> {
+        let addr = &self.addr;
         self.writer
             .write_all(text.as_bytes())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| GoofiError::Wire(format!("sending raw frame: {e}")))
+            .map_err(|e| GoofiError::Wire(format!("sending raw frame to {addr}: {e}")))
     }
 
     /// Receives the next response line; `None` when the daemon closed the
-    /// connection.
+    /// connection. A read blocking past [`READ_TIMEOUT`] is an error — the
+    /// daemon keepalives watch streams, so silence means it is gone.
     ///
     /// # Errors
     ///
-    /// [`GoofiError::Wire`] on I/O failure or malformed frames.
+    /// [`GoofiError::Wire`] naming the daemon address on I/O failure,
+    /// timeout, or malformed frames.
     pub fn recv(&mut self) -> Result<Option<Response>> {
         let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| GoofiError::Wire(format!("reading response: {e}")))?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            let verb = match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => "timed out",
+                _ => "failed",
+            };
+            GoofiError::Wire(format!("reading response from {}: {verb}: {e}", self.addr))
+        })?;
         if n == 0 {
             return Ok(None);
         }

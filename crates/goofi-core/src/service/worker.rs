@@ -172,10 +172,7 @@ where
     T: TargetAccess,
     FT: Fn() -> T + Sync,
 {
-    let text = std::fs::read_to_string(&args.db)
-        .map_err(|e| GoofiError::Config(format!("reading {}: {e}", args.db.display())))?;
-    let db = goofidb::Database::load_from_string(&text)
-        .map_err(|e| GoofiError::Config(format!("parsing {}: {e}", args.db.display())))?;
+    let db = dbio::load_database(&crate::vfs::RealFs, &args.db)?;
     let campaign: Campaign = dbio::load_campaign(&db, &args.campaign)?;
     let range =
         args.range.start.min(campaign.faults.len())..args.range.end.min(campaign.faults.len());

@@ -63,11 +63,14 @@ pub enum Stage {
     Probe,
     /// Recovery-ladder actions after a hang or failed probe.
     Recover,
+    /// Persistence integrity checks and repairs (`goofi fsck`, the
+    /// auto-fsck on resume, and shard-journal salvage).
+    Fsck,
 }
 
 impl Stage {
     /// Every stage, in workflow order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Load,
         Stage::Run,
         Stage::Inject,
@@ -76,6 +79,7 @@ impl Stage {
         Stage::DbWrite,
         Stage::Probe,
         Stage::Recover,
+        Stage::Fsck,
     ];
 
     /// Stable text form used in traces and reports.
@@ -89,6 +93,7 @@ impl Stage {
             Stage::DbWrite => "db-write",
             Stage::Probe => "probe",
             Stage::Recover => "recover",
+            Stage::Fsck => "fsck",
         }
     }
 
@@ -137,11 +142,15 @@ pub enum Metric {
     TargetsOffline,
     /// Trace records dropped because a sink failed (e.g. disk full).
     TraceDropped,
+    /// Corruption findings reported by `goofi fsck` and resume salvage.
+    FsckFindings,
+    /// Findings repaired (salvaged, stubbed, or quarantined aside).
+    FsckRepaired,
 }
 
 impl Metric {
     /// Every counter, in declaration order.
-    pub const ALL: [Metric; 15] = [
+    pub const ALL: [Metric; 17] = [
         Metric::Completed,
         Metric::Skipped,
         Metric::Failed,
@@ -157,6 +166,8 @@ impl Metric {
         Metric::PowerCycles,
         Metric::TargetsOffline,
         Metric::TraceDropped,
+        Metric::FsckFindings,
+        Metric::FsckRepaired,
     ];
 
     /// Stable text form used in snapshots and reports.
@@ -177,6 +188,8 @@ impl Metric {
             Metric::PowerCycles => "power-cycles",
             Metric::TargetsOffline => "targets-offline",
             Metric::TraceDropped => "trace-dropped",
+            Metric::FsckFindings => "fsck-findings",
+            Metric::FsckRepaired => "fsck-repaired",
         }
     }
 

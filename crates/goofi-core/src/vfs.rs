@@ -1,0 +1,784 @@
+//! Virtual filesystem: every durable artifact goes through here, so the
+//! torture harness can inject faults into *us*.
+//!
+//! GOOFI's value rests on durable state surviving crashes — database,
+//! experiment journal, spool manifests, shard journals. This module is the
+//! single seam between that persistence code and the operating system: a
+//! [`Vfs`] trait with a passthrough [`RealFs`] for production and a seeded
+//! [`FaultFs`] that deterministically injects torn writes, garbled writes,
+//! dropped fsyncs, `ENOSPC`, `EIO`, and crash-points at any file
+//! operation. The same philosophy the paper applies to target systems —
+//! prove behaviour by injecting faults, not by hoping — applied to the
+//! framework's own storage layer.
+//!
+//! A [`FaultPlan`] uses the service's `key=value` drill codec (see
+//! [`crate::service::chaos`]):
+//!
+//! ```text
+//! at=12,kind=torn,seed=7     crash at mutating op 12, tearing the write
+//! at=3,kind=garble,seed=9    crash at op 3, corrupting the write's tail
+//! at=5,kind=lost-sync,seed=1 drop all fsyncs; at op 5 the power fails
+//! at=4,kind=enospc           op 4 fails with ENOSPC (transient, no crash)
+//! at=4,kind=eio              op 4 fails with EIO (transient, no crash)
+//! ```
+//!
+//! Mutating operations (file create, data write, fsync, rename, unlink)
+//! are counted from 1; reads are free. After a crash-kind fault fires, the
+//! [`FaultFs`] refuses every further operation — the process is "dead" and
+//! the test harness switches to a fresh [`RealFs`] to play the part of the
+//! rebooted machine running `goofi fsck`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open file handle obtained from a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Writes the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Syncs file data to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the framework's persistence layer needs.
+///
+/// Deliberately small: whole-file reads, create/append writes, rename,
+/// unlink, directory listing. Everything `dbio`, the journal, and the
+/// service spool do is expressible in these, which is what makes the
+/// fault matrix exhaustive.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Reads a whole file as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Reads a whole file as raw bytes — the recovery path's read: a
+    /// garbled sector is rarely valid UTF-8, and fsck must still be able
+    /// to look at it.
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (or truncates) a file for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Opens an existing file for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Renames `from` to `to` (atomic on POSIX when same-directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates a directory and its parents (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagated I/O errors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists a directory's entries (full paths, unsorted).
+    ///
+    /// # Errors
+    ///
+    /// Propagated I/O errors.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Whether the path exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Syncs a directory so a rename within it is durable. Callers treat
+    /// failure as best-effort (not every filesystem supports it).
+    ///
+    /// # Errors
+    ///
+    /// Propagated (or injected) I/O errors.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// Shared, cloneable handle to a [`Vfs`] implementation.
+pub type VfsHandle = Arc<dyn Vfs>;
+
+/// The production filesystem: [`RealFs`] behind a [`VfsHandle`].
+pub fn real() -> VfsHandle {
+    Arc::new(RealFs)
+}
+
+/// Reads a file as text, replacing invalid UTF-8 with `U+FFFD` — the read
+/// used by fsck and journal salvage, which must be able to inspect files
+/// whose garbled bytes are no longer valid UTF-8.
+///
+/// # Errors
+///
+/// Propagated (or injected) I/O errors.
+pub fn read_lossy(vfs: &dyn Vfs, path: &Path) -> io::Result<String> {
+    Ok(String::from_utf8_lossy(&vfs.read_bytes(path)?).into_owned())
+}
+
+/// Writes `data` to `path` and syncs it — *not* atomic; use
+/// [`atomic_write`] for files whose old content must survive a crash.
+///
+/// # Errors
+///
+/// Propagated (or injected) I/O errors.
+pub fn write_file(vfs: &dyn Vfs, path: &Path, data: &[u8]) -> io::Result<()> {
+    let mut file = vfs.create(path)?;
+    file.write_all(data)?;
+    file.sync()
+}
+
+/// Atomically replaces `path` with `data`: write a sibling `<path>.tmp`,
+/// `fsync` it, rename it over `path`, and best-effort sync the directory.
+/// A crash at any point leaves either the old file or the new file. The
+/// temporary file is removed on failure.
+///
+/// # Errors
+///
+/// Propagated (or injected) I/O errors from any step but the directory
+/// sync.
+pub fn atomic_write(vfs: &dyn Vfs, path: &Path, data: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let write = (|| {
+        let mut file = vfs.create(&tmp)?;
+        file.write_all(data)?;
+        file.sync()
+    })();
+    if let Err(e) = write {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = vfs.rename(&tmp, path) {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = vfs.sync_dir(dir);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// RealFs
+// ---------------------------------------------------------------------------
+
+/// Passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.0.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealFs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs
+// ---------------------------------------------------------------------------
+
+/// What happens at the planned operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write at the crash point is torn: a seeded prefix of the buffer
+    /// reaches the file, then the "machine" dies. Non-write operations at
+    /// the crash point simply never happen.
+    Torn,
+    /// Like [`FaultKind::Torn`], but the surviving prefix is followed by
+    /// seeded garbage bytes — a misdirected or bit-rotted sector.
+    Garble,
+    /// Every `fsync` is silently dropped from the start; at the crash
+    /// point the power fails and every file rolls back to its last
+    /// *acknowledged-synced* length. Exposes any consumer that relies on
+    /// unsynced data surviving a rename.
+    LostSync,
+    /// The operation fails with `ENOSPC` (disk full). Transient: the
+    /// process survives and later operations succeed.
+    Enospc,
+    /// The operation fails with `EIO`. Transient, like
+    /// [`FaultKind::Enospc`].
+    Eio,
+}
+
+impl FaultKind {
+    /// Stable text form used in the plan codec.
+    pub fn encode(self) -> &'static str {
+        match self {
+            FaultKind::Torn => "torn",
+            FaultKind::Garble => "garble",
+            FaultKind::LostSync => "lost-sync",
+            FaultKind::Enospc => "enospc",
+            FaultKind::Eio => "eio",
+        }
+    }
+
+    /// Inverse of [`FaultKind::encode`].
+    pub fn decode(s: &str) -> Option<FaultKind> {
+        [
+            FaultKind::Torn,
+            FaultKind::Garble,
+            FaultKind::LostSync,
+            FaultKind::Enospc,
+            FaultKind::Eio,
+        ]
+        .into_iter()
+        .find(|k| k.encode() == s)
+    }
+
+    /// Whether this fault kills the process (vs. a transient error).
+    pub fn is_crash(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Torn | FaultKind::Garble | FaultKind::LostSync
+        )
+    }
+}
+
+/// A seeded single-fault schedule for a [`FaultFs`]. The whole drill is a
+/// pure function of the plan, so every torture run replays bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The 1-based mutating-operation ordinal at which the fault fires.
+    pub at: u64,
+    /// What the fault does.
+    pub kind: FaultKind,
+    /// Seed for torn-write cut points and garbage bytes.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Encodes to the `key=value` comma list accepted by
+    /// [`FaultPlan::decode`].
+    pub fn encode(&self) -> String {
+        format!(
+            "at={},kind={},seed={}",
+            self.at,
+            self.kind.encode(),
+            self.seed
+        )
+    }
+
+    /// Parses `at=<n>,kind=<kind>[,seed=<s>]`. Returns `None` on unknown
+    /// keys, malformed values, or `at=0`.
+    pub fn decode(s: &str) -> Option<FaultPlan> {
+        let mut at = None;
+        let mut kind = None;
+        let mut seed = 0;
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=')?;
+            match key {
+                "at" => at = Some(value.parse().ok()?),
+                "kind" => kind = Some(FaultKind::decode(value)?),
+                "seed" => seed = value.parse().ok()?,
+                _ => return None,
+            }
+        }
+        let plan = FaultPlan {
+            at: at?,
+            kind: kind?,
+            seed,
+        };
+        (plan.at > 0).then_some(plan)
+    }
+}
+
+#[derive(Default)]
+struct FaultState {
+    ops: u64,
+    crashed: bool,
+    /// Last synced length per path, tracked only for
+    /// [`FaultKind::LostSync`] rollback.
+    synced: HashMap<PathBuf, u64>,
+}
+
+/// A filesystem that injects exactly one planned fault, deterministically.
+///
+/// All I/O goes to the real filesystem until the plan's operation count is
+/// reached; the handle is cloneable and thread-safe, so it can be threaded
+/// through journal, database, and spool code alike.
+#[derive(Clone)]
+pub struct FaultFs {
+    plan: FaultPlan,
+    state: Arc<parking_lot::Mutex<FaultState>>,
+}
+
+impl fmt::Debug for FaultFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("FaultFs")
+            .field("plan", &self.plan)
+            .field("ops", &state.ops)
+            .field("crashed", &state.crashed)
+            .finish()
+    }
+}
+
+impl FaultFs {
+    /// A fault filesystem executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultFs {
+        FaultFs {
+            plan,
+            state: Arc::new(parking_lot::Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// A counting filesystem that never faults: run a workload through it
+    /// once to learn how many mutating operations a crash-point walk must
+    /// cover.
+    pub fn counting() -> FaultFs {
+        FaultFs::new(FaultPlan {
+            at: u64::MAX,
+            kind: FaultKind::Torn,
+            seed: 0,
+        })
+    }
+
+    /// Mutating operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Whether the planned crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    fn crashed_err() -> io::Error {
+        io::Error::other("faultfs: machine crashed at planned fault point")
+    }
+
+    fn injected_err(kind: FaultKind) -> io::Error {
+        match kind {
+            // ENOSPC / EIO by raw errno, so callers see realistic kinds.
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+            FaultKind::Eio => io::Error::from_raw_os_error(5),
+            _ => FaultFs::crashed_err(),
+        }
+    }
+
+    /// Rolls every tracked file back to its last synced length — the
+    /// power-cut semantics of [`FaultKind::LostSync`].
+    fn roll_back_unsynced(state: &FaultState) {
+        for (path, len) in &state.synced {
+            if let Ok(file) = OpenOptions::new().write(true).open(path) {
+                let _ = file.set_len(*len);
+            }
+        }
+    }
+
+    /// Counts one mutating operation. `Ok(None)`: proceed normally.
+    /// `Ok(Some(op))`: this is the fault point (op number returned for
+    /// seeding). `Err`: refuse (already crashed, or transient error).
+    fn account(&self, kind_is_write: bool) -> io::Result<Option<u64>> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(FaultFs::crashed_err());
+        }
+        state.ops += 1;
+        if state.ops != self.plan.at {
+            return Ok(None);
+        }
+        match self.plan.kind {
+            FaultKind::Enospc | FaultKind::Eio => Err(FaultFs::injected_err(self.plan.kind)),
+            FaultKind::Torn | FaultKind::Garble if kind_is_write => Ok(Some(state.ops)),
+            // A non-write op at a torn/garble crash point simply never
+            // happens; lost-sync rolls the world back first.
+            kind => {
+                state.crashed = true;
+                if kind == FaultKind::LostSync {
+                    FaultFs::roll_back_unsynced(&state);
+                }
+                Err(FaultFs::crashed_err())
+            }
+        }
+    }
+
+    /// Marks the machine dead after a torn/garbled write landed.
+    fn crash_after_write(&self) {
+        self.state.lock().crashed = true;
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.state.lock().crashed {
+            Err(FaultFs::crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The seeded prefix length for a torn write of `len` bytes.
+    fn cut_point(&self, op: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (mix(self.plan.seed, op, len as u64) % len as u64) as usize
+    }
+}
+
+struct FaultFile {
+    fs: FaultFs,
+    file: File,
+    path: PathBuf,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        match self.fs.account(true)? {
+            None => self.file.write_all(data),
+            Some(op) => {
+                // Torn or garbled write: a prefix lands, then the crash.
+                let cut = self.fs.cut_point(op, data.len());
+                let mut surviving = data[..cut].to_vec();
+                if self.fs.plan.kind == FaultKind::Garble {
+                    let n = 1 + (mix(self.fs.plan.seed, op, 1) % 16) as usize;
+                    for i in 0..n {
+                        surviving.push((mix(self.fs.plan.seed, op, 2 + i as u64) % 256) as u8);
+                    }
+                }
+                let _ = self.file.write_all(&surviving);
+                let _ = self.file.sync_data();
+                self.fs.crash_after_write();
+                Err(FaultFs::crashed_err())
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.fs.account(false)?;
+        if self.fs.plan.kind == FaultKind::LostSync {
+            // The fsync is acknowledged but silently dropped: the synced
+            // length is *not* advanced.
+            return Ok(());
+        }
+        let result = self.file.sync_data();
+        if result.is_ok() {
+            let len = self.file.metadata().map(|m| m.len()).unwrap_or(0);
+            self.fs.state.lock().synced.insert(self.path.clone(), len);
+        }
+        result
+    }
+}
+
+impl Vfs for FaultFs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.check_alive()?;
+        let mut out = String::new();
+        File::open(path)?.read_to_string(&mut out)?;
+        Ok(out)
+    }
+
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        std::fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.account(false)?;
+        let file = File::create(path)?;
+        self.state.lock().synced.insert(path.to_path_buf(), 0);
+        Ok(Box::new(FaultFile {
+            fs: self.clone(),
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.check_alive()?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        self.state
+            .lock()
+            .synced
+            .entry(path.to_path_buf())
+            .or_insert(len);
+        Ok(Box::new(FaultFile {
+            fs: self.clone(),
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.account(false)?;
+        std::fs::rename(from, to)?;
+        let mut state = self.state.lock();
+        if let Some(len) = state.synced.remove(from) {
+            state.synced.insert(to.to_path_buf(), len);
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.account(false)?;
+        std::fs::remove_file(path)?;
+        self.state.lock().synced.remove(path);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_alive()?;
+        RealFs.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.account(false)?;
+        if self.plan.kind == FaultKind::LostSync {
+            return Ok(());
+        }
+        File::open(path)?.sync_all()
+    }
+}
+
+/// SplitMix64-style mixer over three words — the same construction as the
+/// service chaos drill, so fault schedules replay bit-for-bit.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(c.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("goofi-vfs-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn plan_codec_roundtrips() {
+        let plans = [
+            FaultPlan {
+                at: 12,
+                kind: FaultKind::Torn,
+                seed: 7,
+            },
+            FaultPlan {
+                at: 1,
+                kind: FaultKind::LostSync,
+                seed: 0,
+            },
+            FaultPlan {
+                at: 3,
+                kind: FaultKind::Enospc,
+                seed: 99,
+            },
+        ];
+        for plan in plans {
+            assert_eq!(FaultPlan::decode(&plan.encode()), Some(plan));
+        }
+        assert_eq!(FaultPlan::decode("at=0,kind=torn"), None);
+        assert_eq!(FaultPlan::decode("kind=torn"), None);
+        assert_eq!(FaultPlan::decode("at=2,kind=melt"), None);
+        assert_eq!(FaultPlan::decode("at=2,kind=eio,bogus=1"), None);
+    }
+
+    #[test]
+    fn real_fs_atomic_write_roundtrips() {
+        let path = temp_path("atomic");
+        let vfs = real();
+        atomic_write(vfs.as_ref(), &path, b"hello\n").unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "hello\n");
+        atomic_write(vfs.as_ref(), &path, b"world\n").unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "world\n");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_then_refuses_everything() {
+        let dir = temp_path("torn-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        // Counting pass: one create + one write + one sync.
+        let fs = FaultFs::counting();
+        write_file(&fs, &path, b"0123456789").unwrap();
+        assert_eq!(fs.ops(), 3);
+
+        // Crash on the write (op 2).
+        let fs = FaultFs::new(FaultPlan {
+            at: 2,
+            kind: FaultKind::Torn,
+            seed: 11,
+        });
+        let err = write_file(&fs, &path, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("crashed"), "{err}");
+        assert!(fs.crashed());
+        let left = std::fs::read(&path).unwrap();
+        assert!(left.len() < 10, "torn write kept {} bytes", left.len());
+        assert!(b"0123456789".starts_with(&left[..]));
+        // Everything after the crash is refused, reads included.
+        assert!(fs.read_to_string(&path).is_err());
+        assert!(fs.create(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_is_transient() {
+        let dir = temp_path("enospc-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let fs = FaultFs::new(FaultPlan {
+            at: 2,
+            kind: FaultKind::Enospc,
+            seed: 0,
+        });
+        let err = write_file(&fs, &path, b"data").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert!(!fs.crashed());
+        // The next attempt succeeds: the disk "freed up".
+        write_file(&fs, &path, b"data").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "data");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lost_sync_rolls_back_to_synced_length() {
+        let dir = temp_path("lostsync-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        // Ops: create(1) write(2) sync(3, dropped) write(4) sync(5,
+        // dropped) write(6) → crash at 7 rolls back to length 0.
+        let fs = FaultFs::new(FaultPlan {
+            at: 7,
+            kind: FaultKind::LostSync,
+            seed: 3,
+        });
+        let mut f = fs.create(&path).unwrap();
+        f.write_all(b"aaa").unwrap();
+        f.sync().unwrap();
+        f.write_all(b"bbb").unwrap();
+        f.sync().unwrap();
+        f.write_all(b"ccc").unwrap();
+        assert!(f.sync().is_err()); // op 7: power cut
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garble_appends_seeded_garbage() {
+        let dir = temp_path("garble-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let fs = FaultFs::new(FaultPlan {
+            at: 2,
+            kind: FaultKind::Garble,
+            seed: 5,
+        });
+        assert!(write_file(&fs, &path, b"0123456789").is_err());
+        let a = std::fs::read(&path).unwrap();
+        // Deterministic: the same plan garbles the same way.
+        let fs = FaultFs::new(FaultPlan {
+            at: 2,
+            kind: FaultKind::Garble,
+            seed: 5,
+        });
+        assert!(write_file(&fs, &path, b"0123456789").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), a);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -239,7 +239,8 @@ fn killed_daemon_resumes_in_flight_jobs_from_the_spool() {
     // finished work.
     let scheduler2 = Scheduler::new(config(&db, 2)).unwrap();
     let recovered = scheduler2.recover().unwrap();
-    assert_eq!(recovered, vec![job.clone()]);
+    assert_eq!(recovered.resumed, vec![job.clone()]);
+    assert!(recovered.quarantined.is_empty());
     let done = scheduler2.watch(&job).unwrap().wait();
     assert_eq!(done.state, JobState::Done, "{}", done.detail);
     assert_eq!(done.completed, 8);

@@ -336,9 +336,19 @@ impl Database {
     ///
     /// # Errors
     ///
-    /// Fails on malformed input or integrity violations in the data.
+    /// Fails on malformed input, integrity violations in the data, or a
+    /// table whose `CHECK` checksum footer disagrees with its rows
+    /// ([`DbError::Corrupt`]).
     pub fn load_from_string(text: &str) -> Result<Database, DbError> {
         crate::persist::load(text)
+    }
+
+    /// Best-effort restore from damaged [`Database::save_to_string`]
+    /// output: decodable tables and rows are kept; every skipped piece is
+    /// reported as a [`crate::PersistIssue`]. An empty issue list means
+    /// the file was pristine.
+    pub fn load_from_string_lenient(text: &str) -> (Database, Vec<crate::PersistIssue>) {
+        crate::persist::load_lenient(text)
     }
 
     /// Atomically writes the database to `path`.

@@ -58,6 +58,14 @@ pub enum DbError {
     /// Carries the rendered [`std::io::Error`] (which is neither `Clone` nor
     /// `PartialEq`) together with the path involved.
     Io(String),
+    /// A persisted table's rows do not match its `CHECK` checksum footer —
+    /// on-disk corruption (bit rot, torn write), not a semantic error.
+    Corrupt {
+        /// Table whose checksum failed.
+        table: String,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -86,6 +94,9 @@ impl fmt::Display for DbError {
             DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
             DbError::Execution(msg) => write!(f, "execution error: {msg}"),
             DbError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DbError::Corrupt { table, detail } => {
+                write!(f, "table `{table}` is corrupt: {detail}")
+            }
         }
     }
 }

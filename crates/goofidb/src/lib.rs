@@ -47,6 +47,7 @@ mod value;
 
 pub use db::{Database, QueryResult};
 pub use error::DbError;
+pub use persist::{IssueKind, PersistIssue};
 pub use schema::{ColumnDef, ColumnType, ForeignKey, TableSchema};
 pub use table::{Row, Table};
 pub use value::Value;

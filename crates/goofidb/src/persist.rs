@@ -5,6 +5,13 @@
 //! file next to the experiment results and reloaded for later analysis.
 //! Tables are emitted in foreign-key dependency order so a load replays
 //! cleanly through the integrity checks.
+//!
+//! Each table block ends with a `CHECK <fnv32>` footer over its ROW lines:
+//! the strict [`load`] verifies it (detecting bit rot and torn rewrites)
+//! and [`load_lenient`] salvages around damage row by row, reporting every
+//! skipped piece as a [`PersistIssue`] so `goofi fsck` can classify and
+//! quarantine rather than silently drop data. Files written before the
+//! footer existed (no CHECK line) still load.
 
 use crate::schema::{ColumnDef, ColumnType, ForeignKey, TableSchema};
 use crate::value::Value;
@@ -34,14 +41,17 @@ pub(crate) fn save(db: &Database) -> String {
                 fk.column, fk.ref_table, fk.ref_column
             ));
         }
+        let mut rows = String::new();
         for row in table.iter() {
-            out.push_str("ROW");
+            rows.push_str("ROW");
             for v in row {
-                out.push('\t');
-                out.push_str(&encode_value(v));
+                rows.push('\t');
+                rows.push_str(&encode_value(v));
             }
-            out.push('\n');
+            rows.push('\n');
         }
+        out.push_str(&rows);
+        out.push_str(&format!("CHECK {:08x}\n", fnv1a(rows.as_bytes())));
         out.push_str("END\n");
     }
     out
@@ -70,12 +80,27 @@ pub(crate) fn load(text: &str) -> Result<Database, DbError> {
         let mut columns = Vec::new();
         let mut fks = Vec::new();
         let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut row_bytes = String::new();
         loop {
             let line = lines
                 .next()
                 .ok_or_else(|| DbError::Execution("unterminated TABLE block".into()))?;
             if line == "END" {
                 break;
+            }
+            if let Some(sum) = line.strip_prefix("CHECK ") {
+                // Checksum footer over the ROW lines (absent in files
+                // written before it existed).
+                let want = u32::from_str_radix(sum.trim(), 16)
+                    .map_err(|_| DbError::Execution(format!("bad CHECK line `{line}`")))?;
+                let got = fnv1a(row_bytes.as_bytes());
+                if want != got {
+                    return Err(DbError::Corrupt {
+                        table: name.clone(),
+                        detail: format!("row checksum {got:08x} != recorded {want:08x}"),
+                    });
+                }
+                continue;
             }
             if let Some(rest) = line.strip_prefix("COLUMN ") {
                 let parts: Vec<&str> = rest.split_whitespace().collect();
@@ -100,6 +125,8 @@ pub(crate) fn load(text: &str) -> Result<Database, DbError> {
                     ref_column: parts[2].to_string(),
                 });
             } else if let Some(rest) = line.strip_prefix("ROW") {
+                row_bytes.push_str(line);
+                row_bytes.push('\n');
                 let mut row = Vec::new();
                 for field in rest.split('\t').skip(1) {
                     row.push(decode_value(field)?);
@@ -115,6 +142,222 @@ pub(crate) fn load(text: &str) -> Result<Database, DbError> {
         }
     }
     Ok(db)
+}
+
+/// What kind of damage a lenient load worked around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// A table's `CHECK` footer disagreed with its rows (bit rot or a
+    /// torn rewrite); the decodable rows were kept.
+    ChecksumMismatch,
+    /// A ROW line failed to decode; the row was skipped. [`PersistIssue::
+    /// recovered`] carries whatever fields did decode.
+    BadRow,
+    /// A decodable row was rejected by the schema or integrity checks
+    /// (duplicate key, foreign-key violation, type mismatch).
+    InsertFailed,
+    /// A line that is neither TABLE/COLUMN/FK/ROW/CHECK/END; skipped.
+    BadLine,
+    /// The file ended inside a table block (truncation); rows up to the
+    /// cut were kept.
+    Truncated,
+}
+
+impl IssueKind {
+    /// Stable text form for reports.
+    pub fn encode(self) -> &'static str {
+        match self {
+            IssueKind::ChecksumMismatch => "checksum-mismatch",
+            IssueKind::BadRow => "bad-row",
+            IssueKind::InsertFailed => "insert-failed",
+            IssueKind::BadLine => "bad-line",
+            IssueKind::Truncated => "truncated",
+        }
+    }
+}
+
+/// One piece of damage a [`load_lenient`] call salvaged around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistIssue {
+    /// Table the damage was found in (empty for file-level damage).
+    pub table: String,
+    /// What kind of damage.
+    pub kind: IssueKind,
+    /// For row-level damage: each field that still decoded (`None` where
+    /// garbled), so a repair can identify the row by its surviving key.
+    pub recovered: Vec<Option<Value>>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Best-effort restore from damaged [`save`] output: decodable tables and
+/// rows are kept, everything else is skipped and reported. The header must
+/// still identify the file as a goofidb dump — a missing header means this
+/// is not a database, and one issue with an empty database is returned.
+pub(crate) fn load_lenient(text: &str) -> (Database, Vec<PersistIssue>) {
+    let mut db = Database::new();
+    let mut issues = Vec::new();
+    let mut lines = text.lines().peekable();
+    match lines.next() {
+        Some(header) if header.starts_with("#goofidb") => {}
+        other => {
+            issues.push(PersistIssue {
+                table: String::new(),
+                kind: IssueKind::BadLine,
+                recovered: Vec::new(),
+                detail: format!("bad persistence header: {other:?}"),
+            });
+            return (db, issues);
+        }
+    }
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(name) = line.strip_prefix("TABLE ") else {
+            issues.push(PersistIssue {
+                table: String::new(),
+                kind: IssueKind::BadLine,
+                recovered: Vec::new(),
+                detail: format!("expected TABLE, got `{}`", clip(line)),
+            });
+            continue;
+        };
+        let name = name.to_string();
+        let mut columns = Vec::new();
+        let mut fks = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut bad_rows: Vec<PersistIssue> = Vec::new();
+        let mut row_bytes = String::new();
+        let mut terminated = false;
+        for line in lines.by_ref() {
+            if line == "END" {
+                terminated = true;
+                break;
+            }
+            if let Some(sum) = line.strip_prefix("CHECK ") {
+                let want = u32::from_str_radix(sum.trim(), 16).unwrap_or(0);
+                let got = fnv1a(row_bytes.as_bytes());
+                if want != got {
+                    issues.push(PersistIssue {
+                        table: name.clone(),
+                        kind: IssueKind::ChecksumMismatch,
+                        recovered: Vec::new(),
+                        detail: format!("row checksum {got:08x} != recorded {want:08x}"),
+                    });
+                }
+            } else if let Some(rest) = line.strip_prefix("COLUMN ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                match parts
+                    .get(1)
+                    .and_then(|t| ColumnType::parse(t))
+                    .filter(|_| parts.len() >= 2)
+                {
+                    Some(ty) => columns.push(ColumnDef {
+                        name: parts[0].to_string(),
+                        ty,
+                        primary_key: parts.get(2) == Some(&"PK"),
+                    }),
+                    None => issues.push(PersistIssue {
+                        table: name.clone(),
+                        kind: IssueKind::BadLine,
+                        recovered: Vec::new(),
+                        detail: format!("bad COLUMN line `{}`", clip(line)),
+                    }),
+                }
+            } else if let Some(rest) = line.strip_prefix("FK ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() == 3 {
+                    fks.push(ForeignKey {
+                        column: parts[0].to_string(),
+                        ref_table: parts[1].to_string(),
+                        ref_column: parts[2].to_string(),
+                    });
+                } else {
+                    issues.push(PersistIssue {
+                        table: name.clone(),
+                        kind: IssueKind::BadLine,
+                        recovered: Vec::new(),
+                        detail: format!("bad FK line `{}`", clip(line)),
+                    });
+                }
+            } else if let Some(rest) = line.strip_prefix("ROW") {
+                row_bytes.push_str(line);
+                row_bytes.push('\n');
+                let fields: Vec<Option<Value>> = rest
+                    .split('\t')
+                    .skip(1)
+                    .map(|f| decode_value(f).ok())
+                    .collect();
+                if fields.iter().all(Option::is_some) {
+                    rows.push(fields.into_iter().flatten().collect());
+                } else {
+                    bad_rows.push(PersistIssue {
+                        table: name.clone(),
+                        kind: IssueKind::BadRow,
+                        recovered: fields,
+                        detail: format!("undecodable row `{}`", clip(line)),
+                    });
+                }
+            } else {
+                issues.push(PersistIssue {
+                    table: name.clone(),
+                    kind: IssueKind::BadLine,
+                    recovered: Vec::new(),
+                    detail: format!("bad line `{}` in table block", clip(line)),
+                });
+            }
+        }
+        if !terminated {
+            issues.push(PersistIssue {
+                table: name.clone(),
+                kind: IssueKind::Truncated,
+                recovered: Vec::new(),
+                detail: "file ends inside table block".into(),
+            });
+        }
+        issues.append(&mut bad_rows);
+        match TableSchema::new(name.clone(), columns, fks).and_then(|s| db.create_table(s)) {
+            Ok(()) => {
+                for row in rows {
+                    let recovered: Vec<Option<Value>> = row.iter().cloned().map(Some).collect();
+                    if let Err(e) = db.insert(&name, row) {
+                        issues.push(PersistIssue {
+                            table: name.clone(),
+                            kind: IssueKind::InsertFailed,
+                            recovered,
+                            detail: e.to_string(),
+                        });
+                    }
+                }
+            }
+            Err(e) => issues.push(PersistIssue {
+                table: name.clone(),
+                kind: IssueKind::BadLine,
+                recovered: Vec::new(),
+                detail: format!("table unusable: {e}"),
+            }),
+        }
+    }
+    (db, issues)
+}
+
+fn clip(line: &str) -> String {
+    if line.len() <= 80 {
+        return line.to_string();
+    }
+    let mut out: String = line.chars().take(80).collect();
+    out.push('…');
+    out
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
 }
 
 /// Orders tables so every table appears after the tables it references.

@@ -113,6 +113,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "new" => cmd_new(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "resume" => cmd_resume(&args[1..]),
+        "fsck" => cmd_fsck(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "worker" => cmd_worker(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
@@ -150,6 +151,7 @@ fn print_usage() {
          goofi submit <addr> --job <id> --watch | --status | --shutdown\n  \
          goofi worker --db <db> --campaign <name> --shard K --range A:B --journal <file>\n        \
             [--attempt N] [--chaos <spec>]   (spawned by `goofi serve`)\n  \
+         goofi fsck <db> [--name <campaign> --journal <file>] [--repair]\n  \
          goofi report <db> --name <campaign> [--timings <trace>] [--trace <file>]\n  \
          goofi sql <db> \"<SELECT ...>\""
     );
@@ -172,6 +174,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                     | "watch"
                     | "status"
                     | "shutdown"
+                    | "repair"
             );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
@@ -192,20 +195,18 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
 }
 
 fn load_db(path: &str) -> Result<Database, String> {
-    match std::fs::read_to_string(path) {
-        Ok(text) => Database::load_from_string(&text).map_err(|e| format!("loading {path}: {e}")),
-        Err(_) => {
-            let mut db = Database::new();
-            dbio::init_schema(&mut db).map_err(|e| e.to_string())?;
-            Ok(db)
-        }
+    if !Path::new(path).exists() {
+        let mut db = Database::new();
+        dbio::init_schema(&mut db).map_err(|e| e.to_string())?;
+        return Ok(db);
     }
+    // Checksummed load; corruption points at `goofi fsck --repair`.
+    dbio::load_database(&goofi::core::vfs::RealFs, path).map_err(|e| e.to_string())
 }
 
 fn save_db(path: &str, db: &Database) -> Result<(), String> {
     // Atomic: a crash mid-save never leaves a torn database file.
-    db.save_to_path(path)
-        .map_err(|e| format!("writing {path}: {e}"))
+    dbio::save_database(&goofi::core::vfs::RealFs, path, db).map_err(|e| e.to_string())
 }
 
 /// Builds the campaign's resilience policy from command-line flags.
@@ -675,6 +676,25 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     make_env(env_kind.as_deref())?; // validate before the workers clone it
     let (link, verify) = link_flags(&flags)?;
     let wedge = wedge_flag(&flags)?;
+    // Auto-fsck: salvage a torn/garbled journal before resuming from it,
+    // and tell the operator what was dropped. (The runner re-checks through
+    // its own VFS; this pass makes the repair visible.)
+    let salvage = goofi::core::journal::salvage_with(
+        &goofi::core::vfs::RealFs,
+        Path::new(journal_path.as_str()),
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(quarantined) = &salvage.quarantined {
+        println!(
+            "journal {journal_path} was not recognisable; quarantined to {} and starting fresh",
+            quarantined.display(),
+        );
+    } else if salvage.rewritten {
+        println!(
+            "journal {journal_path} was damaged; salvaged {} entr(y/ies), dropped {}",
+            salvage.kept, salvage.dropped,
+        );
+    }
     println!(
         "resuming campaign `{name}` from {journal_path}: {} experiments total",
         campaign.experiment_count(),
@@ -704,6 +724,49 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         started.elapsed(),
         flags.contains_key("metrics"),
     )
+}
+
+/// `goofi fsck <db> [--name C --journal J] [--repair]`: checks every
+/// persistence artifact — the checksummed database file, an optional run
+/// journal, and the service spool next to the database — for torn writes,
+/// garbled entries, bad headers, and stray temp files. Without `--repair`
+/// the findings are reported (one class per line) and the exit code is
+/// non-zero; with `--repair` the damage is salvaged: journals are rewritten
+/// down to their valid entries, unrecognisable files are quarantined aside
+/// as `*.corrupt`, damaged spool jobs become `quarantined-*` directories,
+/// and experiments lost to garbled database rows are re-logged as
+/// `Validity::Invalid` stubs with `parentExperiment`-linked rerun stubs.
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let db_path = positional.first().ok_or("fsck: missing <db> path")?;
+    let repair = flags.contains_key("repair");
+    let journal = match (flags.get("journal"), flags.get("name")) {
+        (Some(j), Some(n)) => Some((j.clone(), n.clone())),
+        (Some(_), None) => return Err("fsck: --journal needs --name <campaign>".to_string()),
+        (None, Some(_)) => return Err("fsck: --name needs --journal <file>".to_string()),
+        (None, None) => None,
+    };
+    let report = goofi::core::fsck::fsck_all(
+        &goofi::core::vfs::RealFs,
+        Path::new(db_path),
+        journal
+            .as_ref()
+            .map(|(j, n)| (Path::new(j.as_str()), n.as_str())),
+        repair,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", report.render());
+    if !report.clean() && !repair {
+        return Err(format!(
+            "{} finding(s); run `goofi fsck {db_path}{} --repair` to salvage",
+            report.findings.len(),
+            journal
+                .as_ref()
+                .map(|(j, n)| format!(" --name {n} --journal {j}"))
+                .unwrap_or_default(),
+        ));
+    }
+    Ok(())
 }
 
 fn finish_run(
@@ -845,8 +908,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "goofi daemon on {bound} (db {db_path}, spool {})",
         spool.display()
     );
-    for job in scheduler.recover().map_err(|e| e.to_string())? {
+    let recovered = scheduler.recover().map_err(|e| e.to_string())?;
+    for job in &recovered.resumed {
         println!("resumed in-flight {job} from {}", spool.display());
+    }
+    for job in &recovered.quarantined {
+        println!("quarantined damaged {job} (renamed to quarantined-{job}; see `goofi fsck`)");
     }
     // SIGINT/SIGTERM stop the accept loop; the scheduler then halts its
     // jobs resumably (spool manifests stay, no done markers are written).

@@ -201,7 +201,7 @@ fn report_timings_matches_golden_table() {
         .lines()
         .skip_while(|l| !l.starts_with("per-stage timings (from "))
         .skip(1)
-        .take(9)
+        .take(10)
         .map(normalize_timings)
         .collect::<Vec<_>>();
     let golden = [
@@ -214,6 +214,7 @@ fn report_timings_matches_golden_table() {
         "db-write N N N N N",
         "probe N N N N N",
         "recover N N N N N",
+        "fsck N N N N N",
     ];
     assert_eq!(section, golden, "full output:\n{out}");
 
@@ -244,6 +245,42 @@ fn errors_are_reported() {
 
     let out = goofi(&["sql", &db, "SELEKT"]);
     assert!(!out.status.success());
+}
+
+#[test]
+fn fsck_reports_classes_and_repairs() {
+    let (_guard, db) = tmp_db("fsck");
+    stdout(&goofi(&[
+        "new",
+        &db,
+        "--name",
+        "f1",
+        "--workload",
+        "crc32",
+        "--experiments",
+        "5",
+    ]));
+    stdout(&goofi(&["run", &db, "--name", "f1"]));
+
+    // A healthy database passes and exits zero.
+    let out = stdout(&goofi(&["fsck", &db]));
+    assert!(out.contains("fsck: clean"), "{out}");
+
+    // Flip one stored byte: plain fsck names the class and exits non-zero.
+    let text = std::fs::read_to_string(&db).expect("db file");
+    std::fs::write(&db, text.replacen("T:end", "T:foo", 1)).unwrap();
+    let out = goofi(&["fsck", &db]);
+    assert!(!out.status.success(), "plain fsck must fail on corruption");
+    let printed =
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr);
+    assert!(printed.contains("db-checksum-mismatch"), "{printed}");
+    assert!(printed.contains("--repair"), "{printed}");
+
+    // --repair salvages, and a second pass is clean again.
+    let out = stdout(&goofi(&["fsck", &db, "--repair"]));
+    assert!(out.contains("repaired"), "{out}");
+    let out = stdout(&goofi(&["fsck", &db]));
+    assert!(out.contains("fsck: clean"), "{out}");
 }
 
 #[test]
