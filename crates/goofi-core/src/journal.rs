@@ -532,7 +532,7 @@ fn unescape(s: &str) -> String {
     out
 }
 
-fn fnv1a(bytes: &[u8]) -> u32 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
     let mut hash: u32 = 0x811c_9dc5;
     for &b in bytes {
         hash ^= u32::from(b);

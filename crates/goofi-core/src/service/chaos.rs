@@ -114,8 +114,9 @@ impl ChaosConfig {
 }
 
 /// SplitMix64-style mixer over three words; the service's only source of
-/// "randomness", so drills replay bit-for-bit.
-fn mix(a: u64, b: u64, c: u64) -> u64 {
+/// "randomness", so drills replay bit-for-bit. Shared with the network
+/// fault plane ([`super::net`]), which seeds frame perturbations from it.
+pub(crate) fn mix(a: u64, b: u64, c: u64) -> u64 {
     let mut z = a
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))

@@ -30,20 +30,29 @@
 //!   next to the database; a killed daemon resumes every in-flight job
 //!   from manifest plus shard journals on restart.
 //!
-//! [`worker`] is the shard-side half, [`server`] the TCP framing, and
-//! [`chaos`] a seeded self-kill drill used to rehearse all of the above.
+//! [`worker`] is the shard-side half, [`server`] the accept loop and
+//! client, [`net`] the transport seam all service I/O goes through
+//! (length-prefixed checksummed frames over a [`Transport`]; a seeded
+//! `FaultNet` injects dropped/duplicated/reordered/corrupted frames,
+//! resets, half-open peers and partitions under test), and [`chaos`] a
+//! seeded self-kill drill used to rehearse all of the above.
 
 pub mod chaos;
+pub mod net;
 pub mod scheduler;
 pub mod server;
 pub mod wire;
 pub mod worker;
 
 pub use chaos::ChaosConfig;
+pub use net::{FaultNet, NetFaultConfig, NetFaultKind, RealNet, Transport};
 pub use scheduler::{
     JobProgress, JobState, RecoverOutcome, Scheduler, ServiceConfig, WorkerCommand,
 };
-pub use server::{serve, Client};
+pub use server::{
+    job_list, job_list_with, new_request_id, request_shutdown, request_shutdown_with, serve,
+    submit_job, submit_job_with, watch_to_end, watch_to_end_with, Client,
+};
 pub use wire::{Request, Response, WorkerEvent};
 pub use worker::{run_worker, WorkerArgs};
 

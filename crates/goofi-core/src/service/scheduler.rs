@@ -31,6 +31,7 @@
 //!   stopped.
 
 use super::chaos::ChaosConfig;
+use super::net::{FrameRead, FrameReader, NetFaultConfig};
 use super::wire::WorkerEvent;
 use crate::campaign::Campaign;
 use crate::dbio;
@@ -40,8 +41,7 @@ use crate::policy::Backoff;
 use crate::vfs::{self, Vfs, VfsHandle};
 use crate::{GoofiError, Result};
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
-use std::io::BufRead;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +82,10 @@ pub struct ServiceConfig {
     pub backoff: Backoff,
     /// Seeded chaos drill passed to every spawned worker.
     pub chaos: Option<ChaosConfig>,
+    /// Seeded network-fault drill passed to every spawned worker: the
+    /// worker perturbs its own event frames, exercising the daemon's
+    /// frame resync and sequence dedup (`goofi serve --net-chaos`).
+    pub net_chaos: Option<NetFaultConfig>,
     /// Filesystem all scheduler persistence goes through — [`vfs::real`]
     /// in production, a fault-injecting [`crate::vfs::FaultFs`] in the
     /// durability torture harness.
@@ -104,6 +108,7 @@ impl ServiceConfig {
             poison_after: 3,
             backoff: Backoff::exponential(50, 2_000),
             chaos: None,
+            net_chaos: None,
             vfs: vfs::real(),
         }
     }
@@ -191,7 +196,9 @@ impl JobProgress {
     }
 }
 
-/// Watch handle on one job: current progress plus blocking change waits.
+/// Watch handle on one job: current progress, blocking change waits, and
+/// the sequence-numbered update history that makes watch streams
+/// resumable after a lost connection.
 #[derive(Clone)]
 pub struct JobWatcher {
     shared: Arc<JobShared>,
@@ -200,15 +207,38 @@ pub struct JobWatcher {
 impl JobWatcher {
     /// The job's current aggregated progress.
     pub fn current(&self) -> JobProgress {
-        self.shared.progress.lock().clone()
+        self.shared.inner.lock().current.clone()
     }
 
-    /// Blocks until the progress differs from `last` or `timeout`
-    /// elapses; returns the current progress either way.
-    pub fn wait_changed(&self, last: &JobProgress, timeout: Duration) -> JobProgress {
+    /// The current progress with its sequence number (0 until the first
+    /// update).
+    pub fn snapshot(&self) -> (u64, JobProgress) {
+        let h = self.shared.inner.lock();
+        (h.seq, h.current.clone())
+    }
+
+    /// Every retained update with a sequence number greater than `after`,
+    /// oldest first. Updates are cumulative snapshots, so even if the
+    /// history ring has trimmed entries past `after`, replaying what is
+    /// returned converges the watcher on the current state.
+    pub fn since(&self, after: u64) -> Vec<(u64, JobProgress)> {
+        self.shared
+            .inner
+            .lock()
+            .ring
+            .iter()
+            .filter(|(seq, _)| *seq > after)
+            .cloned()
+            .collect()
+    }
+
+    /// Blocks until an update with a sequence number greater than
+    /// `last_seq` exists or `timeout` elapses; returns the current
+    /// snapshot either way.
+    pub fn wait_newer(&self, last_seq: u64, timeout: Duration) -> (u64, JobProgress) {
         let deadline = Instant::now() + timeout;
-        let mut p = self.shared.progress.lock();
-        while *p == *last {
+        let mut h = self.shared.inner.lock();
+        while h.seq <= last_seq {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -216,13 +246,35 @@ impl JobWatcher {
             if self
                 .shared
                 .changed
-                .wait_for(&mut p, deadline - now)
+                .wait_for(&mut h, deadline - now)
                 .timed_out()
             {
                 break;
             }
         }
-        p.clone()
+        (h.seq, h.current.clone())
+    }
+
+    /// Blocks until the progress differs from `last` or `timeout`
+    /// elapses; returns the current progress either way.
+    pub fn wait_changed(&self, last: &JobProgress, timeout: Duration) -> JobProgress {
+        let deadline = Instant::now() + timeout;
+        let mut h = self.shared.inner.lock();
+        while h.current == *last {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if self
+                .shared
+                .changed
+                .wait_for(&mut h, deadline - now)
+                .timed_out()
+            {
+                break;
+            }
+        }
+        h.current.clone()
     }
 
     /// Blocks until the job reaches a terminal state.
@@ -238,15 +290,52 @@ impl JobWatcher {
     }
 }
 
+/// Updates retained for watch-stream resume. Jobs emit one update per
+/// aggregate change, so this comfortably covers any realistic
+/// reconnect window; beyond it, cumulative snapshots still converge.
+const HISTORY_RING: usize = 1024;
+
+struct JobHistory {
+    /// Sequence number of the latest update; 0 means "no update yet".
+    seq: u64,
+    current: JobProgress,
+    ring: VecDeque<(u64, JobProgress)>,
+}
+
 struct JobShared {
-    progress: Mutex<JobProgress>,
+    inner: Mutex<JobHistory>,
     changed: Condvar,
 }
 
 impl JobShared {
+    fn new() -> Self {
+        JobShared {
+            inner: Mutex::new(JobHistory {
+                seq: 0,
+                current: JobProgress::new(),
+                ring: VecDeque::new(),
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Applies `mutate`; if it actually changed the progress, assigns the
+    /// next sequence number and records the update in the history ring.
+    /// No-op mutations do not bump the sequence, so keepalive resends
+    /// stay deduplicable by seq.
     fn set(&self, mutate: impl FnOnce(&mut JobProgress)) {
-        let mut p = self.progress.lock();
-        mutate(&mut p);
+        let mut h = self.inner.lock();
+        let before = h.current.clone();
+        mutate(&mut h.current);
+        if h.current == before {
+            return;
+        }
+        h.seq += 1;
+        let entry = (h.seq, h.current.clone());
+        h.ring.push_back(entry);
+        if h.ring.len() > HISTORY_RING {
+            h.ring.pop_front();
+        }
         self.changed.notify_all();
     }
 }
@@ -261,6 +350,11 @@ struct JobEntry {
 struct SchedShared {
     cfg: ServiceConfig,
     jobs: Mutex<BTreeMap<String, JobEntry>>,
+    /// Request id → job id, the server-side half of idempotent submits:
+    /// a client retrying a submission whose `accepted` response was lost
+    /// gets the original job back instead of a duplicate. Persisted in
+    /// each job's manifest and repopulated by [`Scheduler::recover`].
+    requests: Mutex<BTreeMap<String, String>>,
     /// Serialises read-modify-write cycles on the shared database file.
     db_lock: Mutex<()>,
     /// Set by [`Scheduler::shutdown`]: runner threads kill their workers
@@ -296,6 +390,7 @@ impl Scheduler {
             shared: Arc::new(SchedShared {
                 cfg,
                 jobs: Mutex::new(BTreeMap::new()),
+                requests: Mutex::new(BTreeMap::new()),
                 db_lock: Mutex::new(()),
                 aborted: AtomicBool::new(false),
                 next_job: AtomicU64::new(max_id + 1),
@@ -316,6 +411,40 @@ impl Scheduler {
     ///
     /// Unknown campaign, database, or spool I/O errors.
     pub fn submit(&self, campaign: &str, workers: usize) -> Result<String> {
+        self.submit_request(None, campaign, workers)
+    }
+
+    /// [`Scheduler::submit`] with an optional client request id, the
+    /// idempotency token of the wire protocol: resubmitting an id this
+    /// scheduler has already accepted returns the existing job instead of
+    /// starting a duplicate, so clients may blindly retry a submit whose
+    /// acknowledgement was lost in flight. Accepted ids survive daemon
+    /// restarts via the job manifest.
+    ///
+    /// # Errors
+    ///
+    /// Unknown campaign, malformed request id, database, or spool I/O
+    /// errors.
+    pub fn submit_request(
+        &self,
+        request_id: Option<&str>,
+        campaign: &str,
+        workers: usize,
+    ) -> Result<String> {
+        // Held across the whole submit so two racing retries of the same
+        // request id cannot both miss the map and double-submit.
+        let mut requests = self.shared.requests.lock();
+        if let Some(rid) = request_id {
+            if rid.contains(|c: char| c.is_whitespace() || c.is_control()) {
+                return Err(GoofiError::Wire(format!(
+                    "request id `{}` contains whitespace or control characters",
+                    rid.escape_default()
+                )));
+            }
+            if let Some(job) = requests.get(rid) {
+                return Ok(job.clone());
+            }
+        }
         let cfg = &self.shared.cfg;
         // Fail fast on bad submissions, before anything durable exists.
         let db = dbio::load_database(cfg.vfs.as_ref(), &cfg.db_path)?;
@@ -335,8 +464,11 @@ impl Scheduler {
         } else {
             workers
         };
-        write_manifest(cfg.vfs.as_ref(), &dir, campaign, workers)?;
+        write_manifest(cfg.vfs.as_ref(), &dir, campaign, workers, request_id)?;
         self.start_job(&id, campaign, workers);
+        if let Some(rid) = request_id {
+            requests.insert(rid.to_string(), id.clone());
+        }
         Ok(id)
     }
 
@@ -358,14 +490,32 @@ impl Scheduler {
         let mut outcome = RecoverOutcome::default();
         for id in spooled_job_ids(cfg.vfs.as_ref(), &cfg.spool_dir)? {
             let dir = cfg.spool_dir.join(&id);
-            if cfg.vfs.exists(&dir.join("done")) || self.shared.jobs.lock().contains_key(&id) {
+            if self.shared.jobs.lock().contains_key(&id) {
                 continue;
             }
+            let done = cfg.vfs.exists(&dir.join("done"));
             match read_manifest(cfg.vfs.as_ref(), &dir) {
-                Ok((campaign, workers)) => {
-                    self.start_job(&id, &campaign, workers);
-                    outcome.resumed.push(id);
+                Ok((campaign, workers, request_id)) => {
+                    if let Some(rid) = request_id {
+                        // Re-arm submit dedup across the restart, so a
+                        // client still retrying an old submission does
+                        // not fork a second job — completed jobs
+                        // included, since retries outlive completions.
+                        self.shared.requests.lock().insert(rid, id.clone());
+                    }
+                    if done {
+                        // Finished before the restart: register it as a
+                        // terminal entry so status listings, watches and
+                        // dedup'd resubmits resolve, but run nothing.
+                        self.register_done_job(&id, &campaign, workers);
+                    } else {
+                        self.start_job(&id, &campaign, workers);
+                        outcome.resumed.push(id);
+                    }
                 }
+                // A finished job's manifest no longer matters; damage to
+                // it is fsck's concern, not a reason to quarantine.
+                Err(_) if done => {}
                 Err(_) => {
                     let aside = cfg.spool_dir.join(format!("quarantined-{id}"));
                     cfg.vfs
@@ -378,11 +528,28 @@ impl Scheduler {
         Ok(outcome)
     }
 
-    fn start_job(&self, id: &str, campaign: &str, workers: usize) {
-        let shared = Arc::new(JobShared {
-            progress: Mutex::new(JobProgress::new()),
-            changed: Condvar::new(),
+    /// Registers a job that completed before a restart: terminal state,
+    /// no runner thread. Counters are left at zero — the merged database,
+    /// not this summary, is the record of what happened.
+    fn register_done_job(&self, id: &str, campaign: &str, workers: usize) {
+        let shared = Arc::new(JobShared::new());
+        shared.set(|p| {
+            p.state = JobState::Done;
+            p.detail = "completed before daemon restart".into();
         });
+        self.shared.jobs.lock().insert(
+            id.to_string(),
+            JobEntry {
+                campaign: campaign.to_string(),
+                workers,
+                shared,
+                thread: None,
+            },
+        );
+    }
+
+    fn start_job(&self, id: &str, campaign: &str, workers: usize) {
+        let shared = Arc::new(JobShared::new());
         let thread = {
             let sched = Arc::clone(&self.shared);
             let job_shared = Arc::clone(&shared);
@@ -425,7 +592,7 @@ impl Scheduler {
                 (
                     id.clone(),
                     entry.campaign.clone(),
-                    entry.shared.progress.lock().clone(),
+                    entry.shared.inner.lock().current.clone(),
                 )
             })
             .collect()
@@ -686,9 +853,9 @@ fn run_job(
             }
         }
         agg.quarantined += poison_quarantined;
-        if *job.progress.lock() != agg {
-            job.set(|p| *p = agg.clone());
-        }
+        // JobShared::set dedups no-op updates, so this only bumps the
+        // watch sequence (and wakes watchers) on real change.
+        job.set(|p| *p = agg.clone());
 
         if all_settled {
             break;
@@ -849,6 +1016,7 @@ fn spawn_worker(
         journal: journal.to_path_buf(),
         attempt,
         chaos: cfg.chaos,
+        net_chaos: cfg.net_chaos.clone(),
     };
     let mut child = Command::new(&cfg.worker_cmd.program)
         .args(&cfg.worker_cmd.args)
@@ -874,14 +1042,28 @@ fn spawn_worker(
     let reader = {
         let comm = Arc::clone(&comm);
         std::thread::spawn(move || {
-            let reader = std::io::BufReader::new(stdout);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                // A malformed line from a half-dead worker is ignored,
-                // not fatal; the lease deadline judges silence.
-                let Ok(event) = WorkerEvent::decode(&line) else {
+            let mut reader = FrameReader::new(stdout);
+            // Highest event sequence number seen from *this* spawn; a
+            // fresh attempt starts its own numbering at 1. Duplicated
+            // or reordered-stale frames (worker-side net chaos) drop
+            // here — stats are cumulative, so newest wins.
+            let mut last_seq = 0u64;
+            loop {
+                let line = match reader.read_frame() {
+                    Ok(FrameRead::Frame(line)) => line,
+                    // A damaged frame from a half-dead worker is
+                    // skipped, not fatal; the reader has already
+                    // resynced and the lease deadline judges silence.
+                    Ok(FrameRead::Malformed(_)) => continue,
+                    Ok(FrameRead::Eof) | Err(_) => break,
+                };
+                let Ok((seq, event)) = WorkerEvent::decode_with_seq(&line) else {
                     continue;
                 };
+                if seq != 0 && seq <= last_seq {
+                    continue;
+                }
+                last_seq = last_seq.max(seq);
                 let mut stats = comm.stats.lock();
                 let before = stats.clone();
                 match event {
@@ -930,22 +1112,39 @@ fn kill_child(mut child: Child) {
 /// daemon resumes the job. Same `key value` line discipline as the
 /// journal header; written with the full atomic temp-file, `fsync`,
 /// rename discipline so a crash mid-submit leaves either no manifest or
-/// a complete one — never a torn one.
-fn write_manifest(vfs: &dyn Vfs, dir: &Path, campaign: &str, workers: usize) -> Result<()> {
+/// a complete one — never a torn one. The optional `request <id>` line
+/// keeps submit dedup working across a daemon restart; older manifests
+/// without it (and older daemons reading newer manifests) parse fine,
+/// since `parse_manifest` ignores unknown lines.
+fn write_manifest(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    campaign: &str,
+    workers: usize,
+    request_id: Option<&str>,
+) -> Result<()> {
     let path = dir.join("manifest");
-    let body = format!("#goofi-job v1\ncampaign {campaign}\nworkers {workers}\n");
+    let mut body = format!("#goofi-job v1\ncampaign {campaign}\nworkers {workers}\n");
+    if let Some(rid) = request_id {
+        body.push_str(&format!("request {rid}\n"));
+    }
     vfs::atomic_write(vfs, &path, body.as_bytes())
         .map_err(|e| GoofiError::io("writing manifest", &path, &e))
 }
 
-fn read_manifest(vfs: &dyn Vfs, dir: &Path) -> Result<(String, usize)> {
+fn read_manifest(vfs: &dyn Vfs, dir: &Path) -> Result<(String, usize, Option<String>)> {
     let path = dir.join("manifest");
     // Lossy read so a bit-rotted manifest classifies as "bad manifest"
     // (recover quarantines the job dir) rather than an unreadable file.
     let text =
         vfs::read_lossy(vfs, &path).map_err(|e| GoofiError::io("reading manifest", &path, &e))?;
-    crate::fsck::parse_manifest(&text)
-        .ok_or_else(|| GoofiError::Config(format!("bad manifest in {}", path.display())))
+    let (campaign, workers) = crate::fsck::parse_manifest(&text)
+        .ok_or_else(|| GoofiError::Config(format!("bad manifest in {}", path.display())))?;
+    let request_id = text
+        .lines()
+        .find_map(|line| line.strip_prefix("request "))
+        .map(str::to_string);
+    Ok((campaign, workers, request_id))
 }
 
 /// Job ids (directory names) present in the spool directory, sorted.
@@ -978,10 +1177,43 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("goofi-manifest-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let fs = crate::vfs::RealFs;
-        write_manifest(&fs, &dir, "c one", 3).unwrap();
-        assert_eq!(read_manifest(&fs, &dir).unwrap(), ("c one".to_string(), 3));
+        write_manifest(&fs, &dir, "c one", 3, None).unwrap();
+        assert_eq!(
+            read_manifest(&fs, &dir).unwrap(),
+            ("c one".to_string(), 3, None)
+        );
+        write_manifest(&fs, &dir, "c one", 3, Some("req-1-ab")).unwrap();
+        assert_eq!(
+            read_manifest(&fs, &dir).unwrap(),
+            ("c one".to_string(), 3, Some("req-1-ab".to_string()))
+        );
         assert!(!dir.join("manifest.tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn job_history_sequences_and_dedups_updates() {
+        let shared = Arc::new(JobShared::new());
+        let watcher = JobWatcher {
+            shared: Arc::clone(&shared),
+        };
+        assert_eq!(watcher.snapshot().0, 0);
+        shared.set(|p| p.state = JobState::Running);
+        shared.set(|p| p.state = JobState::Running); // no-op: no new seq
+        shared.set(|p| p.completed = 2);
+        let (seq, current) = watcher.snapshot();
+        assert_eq!(seq, 2);
+        assert_eq!(current.completed, 2);
+        let all = watcher.since(0);
+        assert_eq!(
+            all.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2],
+            "history replays every real update in order"
+        );
+        assert_eq!(watcher.since(1).len(), 1);
+        assert!(watcher.since(2).is_empty());
+        let (seq, _) = watcher.wait_newer(1, Duration::from_millis(10));
+        assert_eq!(seq, 2);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Newline-delimited-JSON wire protocol of the campaign service.
+//! Flat-JSON wire protocol of the campaign service.
 //!
 //! Three message families share one flat-JSON line codec (the same
 //! hand-rolled string/number/null object grammar the telemetry sinks
@@ -8,19 +8,41 @@
 //! - [`Response`]: daemon → client, including streamed progress lines;
 //! - [`WorkerEvent`]: shard worker → daemon, on the worker's stdout.
 //!
-//! Every decoder is total: malformed or truncated frames come back as
-//! [`GoofiError::Wire`], never a panic — a hostile or half-dead peer must
-//! not take the daemon down.
+//! On the wire each encoded message rides inside a length-prefixed,
+//! checksummed frame ([`super::net`]); this module is the payload
+//! grammar. Every decoder is total: malformed or truncated frames come
+//! back as [`GoofiError::Wire`], never a panic — a hostile or half-dead
+//! peer must not take the daemon down — and payloads past
+//! [`net::MAX_FRAME`](super::net::MAX_FRAME) are rejected outright so a
+//! garbage peer cannot balloon a receive buffer.
+//!
+//! Protocol hardening against a faulty network lives in three fields:
+//! connections open with a [`Request::Hello`]/[`Response::Hello`] version
+//! negotiation, submissions carry a client-chosen request `id` the
+//! daemon deduplicates (so a retried submit never double-runs a
+//! campaign), and progress/worker-event streams are sequence-numbered so
+//! a resumed watch replays from the last acknowledged `seq` and dropped
+//! or duplicated frames are detectable.
 
+use super::net::MAX_FRAME;
 use crate::telemetry::{parse_flat_json, push_json_str, JsonVal};
 use crate::{GoofiError, Result};
 
 /// A client request to the daemon, one JSON object per line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Version negotiation; must be the first frame on a connection.
+    Hello {
+        /// Highest protocol version the client speaks.
+        version: u64,
+    },
     /// Submit the named campaign (already stored in the daemon's
     /// database) as a job sharded over `workers` worker processes.
     Submit {
+        /// Client-chosen request id. A daemon that already accepted this
+        /// id returns the same job instead of submitting again, making
+        /// client retries idempotent. Empty disables deduplication.
+        id: String,
         /// Campaign name in the daemon's database.
         campaign: String,
         /// Requested shard/worker count (the daemon caps it at the
@@ -33,6 +55,10 @@ pub enum Request {
     Watch {
         /// Job id, e.g. `job-3`.
         job: String,
+        /// Replay progress with sequence numbers greater than this
+        /// (0 = from the start) — how a reconnecting client resumes a
+        /// stream without losing or repeating updates.
+        after: u64,
     },
     /// List all jobs the daemon knows about.
     Status,
@@ -44,7 +70,11 @@ impl Request {
     /// Encodes to one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         match self {
+            Request::Hello { version } => {
+                format!("{{\"op\":\"hello\",\"version\":{version}}}")
+            }
             Request::Submit {
+                id,
                 campaign,
                 workers,
                 watch,
@@ -53,12 +83,17 @@ impl Request {
                 push_json_str(&mut out, campaign);
                 out.push_str(&format!(",\"workers\":{workers}"));
                 out.push_str(&format!(",\"watch\":{}", u8::from(*watch)));
+                if !id.is_empty() {
+                    out.push_str(",\"id\":");
+                    push_json_str(&mut out, id);
+                }
                 out.push('}');
                 out
             }
-            Request::Watch { job } => {
+            Request::Watch { job, after } => {
                 let mut out = String::from("{\"op\":\"watch\",\"job\":");
                 push_json_str(&mut out, job);
+                out.push_str(&format!(",\"after\":{after}"));
                 out.push('}');
                 out
             }
@@ -75,13 +110,18 @@ impl Request {
     pub fn decode(line: &str) -> Result<Request> {
         let fields = Fields::parse(line)?;
         match fields.str("op")? {
+            "hello" => Ok(Request::Hello {
+                version: fields.num("version")?,
+            }),
             "submit" => Ok(Request::Submit {
+                id: fields.str_or("id", ""),
                 campaign: fields.str("campaign")?.to_string(),
                 workers: fields.num("workers")?.max(1) as usize,
                 watch: fields.num_or("watch", 0) != 0,
             }),
             "watch" => Ok(Request::Watch {
                 job: fields.str("job")?.to_string(),
+                after: fields.num_or("after", 0),
             }),
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
@@ -93,6 +133,12 @@ impl Request {
 /// A daemon response line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
+    /// Version negotiation reply: the daemon's side of the handshake.
+    Hello {
+        /// Protocol version the connection will speak (the minimum of
+        /// both peers' versions).
+        version: u64,
+    },
     /// A submission was accepted and assigned a job id.
     Accepted {
         /// The new job's id.
@@ -101,6 +147,10 @@ pub enum Response {
     /// One live progress update of a watched job. The final progress line
     /// of a stream has a terminal `state` (`done` or `failed`).
     Progress {
+        /// Monotonic per-job sequence number; a resumed watch replays
+        /// from here, and clients drop frames whose `seq` they already
+        /// acknowledged (keepalives repeat the latest `seq` on purpose).
+        seq: u64,
         /// Job id.
         job: String,
         /// Job state: `queued`, `running`, `done` or `failed`.
@@ -121,6 +171,14 @@ pub enum Response {
         shards_poisoned: u64,
         /// Failure detail when `state` is `failed`, else empty.
         detail: String,
+    },
+    /// Header of a `status` listing: how many [`Response::Job`] rows
+    /// follow before [`Response::End`]. Lets a client detect a listing
+    /// damaged in flight (a dropped, duplicated or reordered-past-`End`
+    /// row changes the count) and retry instead of trusting it.
+    Listing {
+        /// Number of job rows that follow.
+        jobs: u64,
     },
     /// One job summary line of a `status` listing.
     Job {
@@ -144,6 +202,9 @@ impl Response {
     /// Encodes to one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         match self {
+            Response::Hello { version } => {
+                format!("{{\"ok\":\"hello\",\"version\":{version}}}")
+            }
             Response::Accepted { job } => {
                 let mut out = String::from("{\"ok\":\"accepted\",\"job\":");
                 push_json_str(&mut out, job);
@@ -151,6 +212,7 @@ impl Response {
                 out
             }
             Response::Progress {
+                seq,
                 job,
                 state,
                 total,
@@ -162,7 +224,7 @@ impl Response {
                 shards_poisoned,
                 detail,
             } => {
-                let mut out = String::from("{\"ok\":\"progress\",\"job\":");
+                let mut out = format!("{{\"ok\":\"progress\",\"seq\":{seq},\"job\":");
                 push_json_str(&mut out, job);
                 out.push_str(",\"state\":");
                 push_json_str(&mut out, state);
@@ -175,6 +237,9 @@ impl Response {
                 push_json_str(&mut out, detail);
                 out.push('}');
                 out
+            }
+            Response::Listing { jobs } => {
+                format!("{{\"ok\":\"listing\",\"jobs\":{jobs}}}")
             }
             Response::Job {
                 job,
@@ -208,10 +273,14 @@ impl Response {
     pub fn decode(line: &str) -> Result<Response> {
         let fields = Fields::parse(line)?;
         match fields.str("ok")? {
+            "hello" => Ok(Response::Hello {
+                version: fields.num("version")?,
+            }),
             "accepted" => Ok(Response::Accepted {
                 job: fields.str("job")?.to_string(),
             }),
             "progress" => Ok(Response::Progress {
+                seq: fields.num_or("seq", 0),
                 job: fields.str("job")?.to_string(),
                 state: fields.str("state")?.to_string(),
                 total: fields.num("total")?,
@@ -222,6 +291,9 @@ impl Response {
                 shards_total: fields.num("shards_total")?,
                 shards_poisoned: fields.num("shards_poisoned")?,
                 detail: fields.str_or("detail", ""),
+            }),
+            "listing" => Ok(Response::Listing {
+                jobs: fields.num("jobs")?,
             }),
             "job" => Ok(Response::Job {
                 job: fields.str("job")?.to_string(),
@@ -320,6 +392,26 @@ impl WorkerEvent {
         }
     }
 
+    /// [`WorkerEvent::encode`] with a sequence number appended: what a
+    /// worker actually emits. The daemon drops events whose `seq` it has
+    /// already seen, which makes duplicated or reordered stdout frames
+    /// (a `--net-chaos` drill, or a pipe replay) harmless.
+    pub fn encode_with_seq(&self, seq: u64) -> String {
+        let encoded = self.encode();
+        format!("{},\"seq\":{seq}}}", &encoded[..encoded.len() - 1])
+    }
+
+    /// Decodes one line plus its sequence number (0 when absent — legacy
+    /// frames sort before any sequenced one).
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Wire`] on malformed frames or unknown kinds.
+    pub fn decode_with_seq(line: &str) -> Result<(u64, WorkerEvent)> {
+        let seq = Fields::parse(line)?.num_or("seq", 0);
+        Ok((seq, WorkerEvent::decode(line)?))
+    }
+
     /// Decodes one line.
     ///
     /// # Errors
@@ -360,6 +452,12 @@ struct Fields(Vec<(String, JsonVal)>);
 
 impl Fields {
     fn parse(line: &str) -> Result<Fields> {
+        if line.len() > MAX_FRAME {
+            return Err(GoofiError::Wire(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                line.len()
+            )));
+        }
         parse_flat_json(line).map(Fields).ok_or_else(|| {
             let mut shown: String = line.chars().take(120).collect();
             if shown.len() < line.len() {
@@ -409,13 +507,26 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         let reqs = [
+            Request::Hello { version: 2 },
             Request::Submit {
+                id: String::new(),
                 campaign: "c one \"quoted\"".into(),
                 workers: 4,
                 watch: true,
             },
+            Request::Submit {
+                id: "host-17-42".into(),
+                campaign: "c2".into(),
+                workers: 1,
+                watch: false,
+            },
             Request::Watch {
                 job: "job-7".into(),
+                after: 0,
+            },
+            Request::Watch {
+                job: "job-7".into(),
+                after: 31,
             },
             Request::Status,
             Request::Shutdown,
@@ -428,10 +539,12 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         let resps = [
+            Response::Hello { version: 2 },
             Response::Accepted {
                 job: "job-1".into(),
             },
             Response::Progress {
+                seq: 17,
                 job: "job-1".into(),
                 state: "running".into(),
                 total: 30,
@@ -485,6 +598,44 @@ mod tests {
         ];
         for event in events {
             assert_eq!(WorkerEvent::decode(&event.encode()).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn worker_events_roundtrip_with_sequence_numbers() {
+        let event = WorkerEvent::Progress {
+            shard: 1,
+            completed: 4,
+            failed: 0,
+            skipped: 0,
+            quarantined: 1,
+        };
+        let line = event.encode_with_seq(9);
+        assert_eq!(WorkerEvent::decode_with_seq(&line).unwrap(), (9, event));
+        // Legacy frames without a seq decode as seq 0.
+        let legacy = WorkerEvent::Done {
+            shard: 0,
+            completed: 3,
+            failed: 1,
+        };
+        assert_eq!(
+            WorkerEvent::decode_with_seq(&legacy.encode()).unwrap(),
+            (0, legacy)
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_naming_the_cap() {
+        let mut line = String::from("{\"op\":\"submit\",\"campaign\":\"");
+        line.push_str(&"x".repeat(MAX_FRAME));
+        line.push_str("\"}");
+        for err in [
+            Request::decode(&line).unwrap_err(),
+            Response::decode(&line).unwrap_err(),
+            WorkerEvent::decode(&line).unwrap_err(),
+        ] {
+            let text = err.to_string();
+            assert!(text.contains("65536-byte cap"), "{text}");
         }
     }
 

@@ -13,6 +13,7 @@
 //! [`runner::resume_campaign_shard`]: crate::runner::resume_campaign_shard
 
 use super::chaos::{ChaosConfig, ChaosMode, CHAOS_EXIT_CODE};
+use super::net::{encode_frame, FaultInjector, FaultWriter, NetFaultConfig};
 use super::wire::WorkerEvent;
 use crate::campaign::Campaign;
 use crate::dbio;
@@ -21,10 +22,11 @@ use crate::monitor::{Progress, ProgressMonitor};
 use crate::runner;
 use crate::target::TargetAccess;
 use crate::{GoofiError, Result};
+use parking_lot::Mutex;
 use std::io::Write;
 use std::ops::Range;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,11 +48,14 @@ pub struct WorkerArgs {
     pub attempt: u32,
     /// Seeded self-kill drill, when the daemon runs with `--chaos`.
     pub chaos: Option<ChaosConfig>,
+    /// Seeded perturbation of our own event frames, when the daemon runs
+    /// with `--net-chaos` — the worker-side half of the network drill.
+    pub net_chaos: Option<NetFaultConfig>,
 }
 
 impl WorkerArgs {
     /// Parses `--db P --campaign C --shard K --range A:B --journal P
-    /// [--attempt N] [--chaos SPEC]`.
+    /// [--attempt N] [--chaos SPEC] [--net-chaos SPEC]`.
     ///
     /// # Errors
     ///
@@ -65,6 +70,7 @@ impl WorkerArgs {
         let mut journal = None;
         let mut attempt: u32 = 1;
         let mut chaos = None;
+        let mut net_chaos = None;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let value = it
@@ -107,6 +113,12 @@ impl WorkerArgs {
                             .ok_or_else(|| GoofiError::Config(format!("bad --chaos `{value}`")))?,
                     );
                 }
+                "--net-chaos" => {
+                    net_chaos =
+                        Some(NetFaultConfig::decode(value).ok_or_else(|| {
+                            GoofiError::Config(format!("bad --net-chaos `{value}`"))
+                        })?);
+                }
                 other => return Err(GoofiError::Config(format!("unknown worker flag `{other}`"))),
             }
         }
@@ -119,6 +131,7 @@ impl WorkerArgs {
             journal: journal.ok_or_else(|| missing("--journal"))?,
             attempt: attempt.max(1),
             chaos,
+            net_chaos,
         })
     }
 
@@ -143,16 +156,41 @@ impl WorkerArgs {
             args.push("--chaos".into());
             args.push(chaos.encode());
         }
+        if let Some(net_chaos) = &self.net_chaos {
+            args.push("--net-chaos".into());
+            args.push(net_chaos.encode());
+        }
         args
     }
 }
 
-/// Writes one worker event line to stdout and flushes it, so the daemon's
-/// reader sees whole frames.
-fn emit(event: &WorkerEvent) {
-    let mut out = std::io::stdout().lock();
-    let _ = writeln!(out, "{}", event.encode());
-    let _ = out.flush();
+/// The worker's event channel to the daemon: sequence-numbered
+/// [`WorkerEvent`] frames on stdout. Sequence numbers start at 1 per
+/// process, so the daemon's per-spawn reader can drop duplicated or
+/// reordered-stale frames; the frame codec (length prefix + checksum)
+/// lets it skip corrupted ones without desyncing. Under `--net-chaos`
+/// the writer itself perturbs outgoing frames — the drill's worker half.
+struct EventSender {
+    writer: Mutex<FaultWriter<Box<dyn Write + Send>>>,
+    seq: AtomicU64,
+}
+
+impl EventSender {
+    fn new(net_chaos: Option<NetFaultConfig>) -> EventSender {
+        let sink: Box<dyn Write + Send> = Box::new(std::io::stdout());
+        EventSender {
+            writer: Mutex::new(FaultWriter::new(sink, net_chaos.map(FaultInjector::new))),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Emits one event frame; delivery failures are deliberately ignored
+    /// (a daemon that stopped listening judges us by lease, not by I/O).
+    fn emit(&self, event: &WorkerEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let frame = encode_frame(&event.encode_with_seq(seq));
+        let _ = self.writer.lock().send_frame(&frame);
+    }
 }
 
 /// Runs one shard to completion: the body of every worker binary.
@@ -178,7 +216,8 @@ where
         args.range.start.min(campaign.faults.len())..args.range.end.min(campaign.faults.len());
 
     let monitor = ProgressMonitor::new(range.len());
-    emit(&WorkerEvent::Hello {
+    let events = Arc::new(EventSender::new(args.net_chaos.clone()));
+    events.emit(&WorkerEvent::Hello {
         shard: args.shard,
         attempt: args.attempt,
     });
@@ -202,12 +241,13 @@ where
         let monitor = monitor.clone();
         let finished = Arc::clone(&finished);
         let shard = args.shard;
+        let events = Arc::clone(&events);
         std::thread::spawn(move || {
             let mut last = Progress::default();
             loop {
                 let p = monitor.wait_for_change(&last, Duration::from_millis(100));
                 if p != last {
-                    emit(&WorkerEvent::Progress {
+                    events.emit(&WorkerEvent::Progress {
                         shard,
                         completed: p.completed as u64,
                         failed: p.failed as u64,
@@ -265,7 +305,7 @@ where
     let snapshot = monitor.snapshot();
     match result {
         Ok(_) => {
-            emit(&WorkerEvent::Done {
+            events.emit(&WorkerEvent::Done {
                 shard: args.shard,
                 completed: snapshot.completed as u64,
                 failed: snapshot.failed as u64,
@@ -278,7 +318,7 @@ where
                 GoofiError::Stopped => "stopped",
                 _ => "error",
             };
-            emit(&WorkerEvent::Error {
+            events.emit(&WorkerEvent::Error {
                 shard: args.shard,
                 kind: kind.into(),
                 detail: e.to_string(),
@@ -306,6 +346,7 @@ mod tests {
             journal: "/tmp/shard-2.gjl".into(),
             attempt: 3,
             chaos: Some(ChaosConfig::decode("kill-after=3,seed=7").unwrap()),
+            net_chaos: Some(NetFaultConfig::decode("drop=0.05,seed=7").unwrap()),
         };
         assert_eq!(WorkerArgs::parse(&args.to_args()).unwrap(), args);
     }
@@ -318,6 +359,7 @@ mod tests {
         assert!(parse(&["--range", "5"]).is_err());
         assert!(parse(&["--range", "9:3"]).is_err());
         assert!(parse(&["--chaos", "nope"]).is_err());
+        assert!(parse(&["--net-chaos", "nope"]).is_err());
         // All mandatory flags must be present.
         assert!(parse(&["--db", "d", "--campaign", "c"]).is_err());
     }

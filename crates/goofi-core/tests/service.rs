@@ -315,7 +315,7 @@ fn submit_rejects_unknown_campaigns_without_spooling_anything() {
 
 #[test]
 fn serve_and_client_speak_the_wire_protocol_end_to_end() {
-    use goofi_core::service::{serve, Client, Request, Response};
+    use goofi_core::service::{serve, Client, RealNet, Request, Response, Transport};
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
@@ -324,8 +324,8 @@ fn serve_and_client_speak_the_wire_protocol_end_to_end() {
     let db = make_db(&dir, &campaign);
     let want = serial_records(&campaign);
 
-    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap().to_string();
+    let listener = RealNet.listen("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
     let scheduler = Arc::new(Scheduler::new(config(&db, 2)).unwrap());
     let stop = Arc::new(AtomicBool::new(false));
     let daemon = {
@@ -338,6 +338,7 @@ fn serve_and_client_speak_the_wire_protocol_end_to_end() {
     let mut client = Client::connect(&addr).unwrap();
     client
         .send(&Request::Submit {
+            id: "req-wire-1".into(),
             campaign: "svc-wire".into(),
             workers: 2,
             watch: true,
@@ -382,6 +383,7 @@ fn serve_and_client_speak_the_wire_protocol_end_to_end() {
     let mut jobs = Vec::new();
     loop {
         match status.recv().unwrap() {
+            Some(Response::Listing { jobs }) => assert_eq!(jobs, 1),
             Some(Response::Job { job, state, .. }) => jobs.push((job, state)),
             Some(Response::End) | None => break,
             other => panic!("unexpected status response: {other:?}"),
@@ -389,11 +391,14 @@ fn serve_and_client_speak_the_wire_protocol_end_to_end() {
     }
     assert_eq!(jobs, vec![(job, "done".to_string())]);
 
-    // A malformed frame gets a wire error, not a dead daemon.
+    // A malformed frame gets a typed error, not a dead daemon.
     let mut bad = Client::connect(&addr).unwrap();
-    bad.send_raw("this is not json\n").unwrap();
+    bad.send_raw("this is not a frame\n").unwrap();
     match bad.recv().unwrap() {
-        Some(Response::Error { detail }) => assert!(detail.contains("malformed")),
+        Some(Response::Error { detail }) => assert!(
+            detail.contains("bad frame"),
+            "unexpected error detail: {detail}"
+        ),
         other => panic!("expected error response, got {other:?}"),
     }
 

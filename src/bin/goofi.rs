@@ -23,8 +23,8 @@ use goofi::core::logging::LoggingMode;
 use goofi::core::monitor::ProgressMonitor;
 use goofi::core::policy::{Backoff, ExperimentPolicy, WatchdogBudget};
 use goofi::core::service::{
-    self, ChaosConfig, Client, Request, Response, Scheduler, ServiceConfig, WorkerArgs,
-    WorkerCommand,
+    self, ChaosConfig, FaultNet, NetFaultConfig, RealNet, Response, Scheduler, ServiceConfig,
+    Transport, WorkerArgs, WorkerCommand,
 };
 use goofi::core::supervisor::WedgeableTarget;
 use goofi::core::telemetry::{JsonlSink, MetricsSnapshot, RingSink, Stage, Telemetry, TraceSink};
@@ -146,11 +146,12 @@ fn print_usage() {
             [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n        \
             [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
          goofi serve <db> [--addr HOST:PORT] [--workers N] [--lease-ms N]\n        \
-            [--poison-after N] [--chaos kill-after=N,seed=S[,kills=K][,mode=exit|stall]]\n  \
+            [--poison-after N] [--chaos kill-after=N,seed=S[,kills=K][,mode=exit|stall]]\n        \
+            [--net-chaos drop=P,corrupt=P,...,seed=S | at=N,kind=K,seed=S]\n  \
          goofi submit <addr> --name <campaign> [--workers N] [--watch]\n  \
          goofi submit <addr> --job <id> --watch | --status | --shutdown\n  \
          goofi worker --db <db> --campaign <name> --shard K --range A:B --journal <file>\n        \
-            [--attempt N] [--chaos <spec>]   (spawned by `goofi serve`)\n  \
+            [--attempt N] [--chaos <spec>] [--net-chaos <spec>]   (spawned by `goofi serve`)\n  \
          goofi fsck <db> [--name <campaign> --journal <file>] [--repair]\n  \
          goofi report <db> --name <campaign> [--timings <trace>] [--trace <file>]\n  \
          goofi sql <db> \"<SELECT ...>\""
@@ -897,13 +898,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.chaos =
             Some(ChaosConfig::decode(spec).ok_or_else(|| format!("bad --chaos spec `{spec}`"))?);
     }
+    let net_chaos = match flags.get("net-chaos") {
+        Some(spec) => Some(
+            NetFaultConfig::decode(spec).ok_or_else(|| format!("bad --net-chaos spec `{spec}`"))?,
+        ),
+        None => None,
+    };
+    cfg.net_chaos = net_chaos.clone();
     let spool = cfg.spool_dir.clone();
     let scheduler = Arc::new(Scheduler::new(cfg).map_err(|e| e.to_string())?);
-    let listener =
-        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    // `--net-chaos` puts the daemon's own accept/send path behind a
+    // seeded FaultNet as well as the workers' event frames — the whole
+    // service I/O plane runs through the drill.
+    let transport: Box<dyn Transport> = match net_chaos {
+        Some(spec) => Box::new(FaultNet::new(spec)),
+        None => Box::new(RealNet),
+    };
+    let listener = transport
+        .listen(&addr)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
     // Report the *bound* address: with `--addr 127.0.0.1:0` the OS picks
     // the port, and clients need the real one.
-    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    let bound = listener.local_addr().unwrap_or(addr);
     println!(
         "goofi daemon on {bound} (db {db_path}, spool {})",
         spool.display()
@@ -949,102 +965,85 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let addr = positional
         .first()
         .ok_or("submit: missing <addr> (e.g. 127.0.0.1:4711)")?;
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     if flags.contains_key("status") {
-        client.send(&Request::Status).map_err(|e| e.to_string())?;
-        loop {
-            match client.recv().map_err(|e| e.to_string())? {
-                Some(Response::Job {
-                    job,
-                    campaign,
-                    state,
-                }) => println!("{job:<10} {state:<8} {campaign}"),
-                Some(Response::End) | None => return Ok(()),
-                Some(Response::Error { detail }) => return Err(detail),
-                Some(other) => return Err(format!("unexpected response: {other:?}")),
-            }
+        // job_list retries across fresh connections on transport damage,
+        // so a lossy link (`--net-chaos` drills) still gets a listing.
+        for (job, state, campaign) in
+            service::job_list(&RealNet, addr).map_err(|e| e.to_string())?
+        {
+            println!("{job:<10} {state:<8} {campaign}");
         }
+        return Ok(());
     }
     if flags.contains_key("shutdown") {
-        client.send(&Request::Shutdown).map_err(|e| e.to_string())?;
-        let _ = client.recv();
+        service::request_shutdown(&RealNet, addr).map_err(|e| e.to_string())?;
         println!("daemon shutting down");
         return Ok(());
     }
     if let Some(job) = flags.get("job") {
-        client
-            .send(&Request::Watch { job: job.clone() })
-            .map_err(|e| e.to_string())?;
-        return watch_stream(&mut client);
+        return watch_job(addr, job);
     }
     let name = flags.get("name").ok_or("submit: --name is required")?;
     let workers: usize = flags
         .get("workers")
         .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --workers"))?;
     let watch = flags.contains_key("watch");
-    client
-        .send(&Request::Submit {
-            campaign: name.clone(),
-            workers,
-            watch,
-        })
+    // One request id for every retry: the daemon deduplicates, so a
+    // submission whose acknowledgement was lost is not run twice.
+    let request_id = service::new_request_id();
+    let job = service::submit_job(&RealNet, addr, &request_id, name, workers)
         .map_err(|e| e.to_string())?;
-    match client.recv().map_err(|e| e.to_string())? {
-        Some(Response::Accepted { job }) => {
-            println!("accepted as {job}");
-            if watch {
-                watch_stream(&mut client)
-            } else {
-                Ok(())
-            }
-        }
-        Some(Response::Error { detail }) => Err(detail),
-        other => Err(format!("unexpected response: {other:?}")),
+    println!("accepted as {job}");
+    if watch {
+        watch_job(addr, &job)
+    } else {
+        Ok(())
     }
 }
 
-/// Prints streamed progress lines until the watched job ends.
-fn watch_stream(client: &mut Client) -> Result<(), String> {
-    loop {
-        match client.recv().map_err(|e| e.to_string())? {
-            Some(Response::Progress {
-                job,
-                state,
-                total,
-                completed,
-                failed,
-                quarantined,
-                shards_done,
-                shards_total,
-                shards_poisoned,
-                detail,
-            }) => {
-                let poisoned = if shards_poisoned > 0 {
-                    format!(", {shards_poisoned} poisoned")
-                } else {
-                    String::new()
-                };
-                println!(
-                    "{job}: {state} {completed}/{total} \
-                     ({failed} failed, {quarantined} quarantined, \
-                     shards {shards_done}/{shards_total}{poisoned})"
-                );
-                match state.as_str() {
-                    "done" => return Ok(()),
-                    "failed" => {
-                        return Err(if detail.is_empty() {
-                            "job failed".to_string()
-                        } else {
-                            detail
-                        })
-                    }
-                    _ => {}
-                }
-            }
-            Some(Response::Error { detail }) => return Err(detail),
-            None => return Err("daemon closed the connection mid-watch".to_string()),
-            Some(other) => return Err(format!("unexpected response: {other:?}")),
+/// Prints streamed progress lines until the watched job ends. The watch
+/// session resumes across lost connections: the client reconnects and
+/// replays from the last sequence number it saw, so no line is missed or
+/// repeated.
+fn watch_job(addr: &str, job: &str) -> Result<(), String> {
+    let terminal =
+        service::watch_to_end(&RealNet, addr, job, print_progress).map_err(|e| e.to_string())?;
+    match &terminal {
+        Response::Progress { state, detail, .. } if state == "failed" => {
+            Err(if detail.is_empty() {
+                "job failed".to_string()
+            } else {
+                detail.clone()
+            })
         }
+        _ => Ok(()),
+    }
+}
+
+fn print_progress(response: &Response) {
+    if let Response::Progress {
+        job,
+        state,
+        total,
+        completed,
+        failed,
+        quarantined,
+        shards_done,
+        shards_total,
+        shards_poisoned,
+        ..
+    } = response
+    {
+        let poisoned = if *shards_poisoned > 0 {
+            format!(", {shards_poisoned} poisoned")
+        } else {
+            String::new()
+        };
+        println!(
+            "{job}: {state} {completed}/{total} \
+             ({failed} failed, {quarantined} quarantined, \
+             shards {shards_done}/{shards_total}{poisoned})"
+        );
     }
 }
 
