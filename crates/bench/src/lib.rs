@@ -96,15 +96,46 @@ pub fn full_scifi_space(data: &TargetSystemData, time_window: std::ops::Range<u6
 /// Panics on campaign failure — the harness treats that as a broken
 /// experiment definition.
 pub fn run(campaign: &Campaign) -> CampaignResult {
+    run_opts(campaign, true)
+}
+
+/// [`run`] with the snapshot/restore hot path made explicit —
+/// `snapshots: false` is the slow-path baseline the speedup benchmarks
+/// compare against.
+///
+/// # Panics
+///
+/// Panics on campaign failure.
+pub fn run_opts(campaign: &Campaign, snapshots: bool) -> CampaignResult {
     let mut target = ThorTarget::default();
     let monitor = ProgressMonitor::new(campaign.experiment_count());
-    algorithms::run_campaign(
+    algorithms::run_campaign_journaled_opts(
         &mut target,
         campaign,
         &monitor,
         &mut envsim::NullEnvironment,
+        None,
+        None,
+        snapshots,
     )
     .expect("campaign failed")
+}
+
+/// Writes `BENCH_<bench>.json` into the current directory: one flat,
+/// machine-readable record per benchmark so CI's perf-smoke step (and any
+/// trend tooling) can consume results without scraping stdout.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — a benchmark that cannot
+/// publish its result has failed.
+pub fn emit_bench_json(bench: &str, metric: &str, value: f64, unit: &str, seed: u64) {
+    let body = format!(
+        "{{\"bench\":\"{bench}\",\"metric\":\"{metric}\",\"value\":{value},\"unit\":\"{unit}\",\"seed\":{seed}}}\n"
+    );
+    let path = format!("BENCH_{bench}.json");
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
 }
 
 /// Classifies a campaign result.

@@ -21,17 +21,19 @@
 
 use crate::campaign::{Campaign, EnvExchange, OutputRegion, Technique};
 use crate::fault::{FaultLocation, FaultModel, FaultSpec};
+use crate::golden::GoldenCache;
 use crate::journal::ExperimentJournal;
-use crate::logging::{
-    digest_words, ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause, Validity,
-};
+use crate::logging::{ExperimentRecord, LoggingMode, StateSnapshot, TerminationCause, Validity};
 use crate::monitor::ProgressMonitor;
 use crate::policy::{ExperimentFailure, Watchdog};
 use crate::supervisor::{RecoveryRecord, RecoveryTrigger, Supervisor};
-use crate::target::{RunBudget, RunEvent, TargetAccess};
-use crate::telemetry::{Stage, Telemetry};
+use crate::target::{RunBudget, RunEvent, TargetAccess, TargetSnapshot};
+use crate::telemetry::{Metric, Stage, Telemetry};
+use crate::trigger::Trigger;
 use crate::{GoofiError, Result};
 use envsim::Environment;
+use scanchain::BitVec;
+use std::collections::BTreeMap;
 
 /// The outcome of a whole campaign: the reference run plus one record per
 /// experiment, ready for [`crate::dbio`] storage and analysis.
@@ -55,6 +57,64 @@ pub struct CampaignResult {
     /// campaign's policy enables supervision): which probes failed, which
     /// ladder stages were applied, and whether the target came back.
     pub recoveries: Vec<RecoveryRecord>,
+}
+
+/// Per-driver snapshot bookkeeping for the per-experiment fast path.
+///
+/// The slow path pays the dominant prefix cost on every experiment:
+/// `initTestCard()` + `loadWorkload()` (a full TAP-level download) and then
+/// re-executing the workload up to the injection trigger. A session holds
+/// two captures that replace that prefix:
+///
+/// * **post-load** — taken once, right after the first experiment's Load
+///   block; every later experiment restores it instead of re-downloading;
+/// * **trigger** — taken at the most recent experiment's trigger point.
+///   [`Trigger::AfterInstructions`] fires on an *absolute* instruction
+///   counter (part of the captured debug-unit state), so a capture at
+///   instruction *t* seeds any later experiment with trigger *T ≥ t*:
+///   restore, then execute only the *T − t* delta.
+///
+/// The fast path engages only when the target stack reports both
+/// [`TargetAccess::supports_snapshot`] and
+/// [`TargetAccess::prefix_restore_safe`] — fault-model decorators whose
+/// observable draw streams are tied to the slow path's exact call sequence
+/// (the wedge drill) veto it, which keeps snapshot campaigns essence-equal
+/// to slow-path campaigns under every drill.
+#[derive(Debug, Default)]
+pub struct ExperimentSession {
+    /// Lazily probed capability: `None` until the first experiment,
+    /// `Some(false)` pins the slow path for the rest of the campaign.
+    enabled: Option<bool>,
+    /// State right after the Load block, before any execution.
+    post_load: Option<TargetSnapshot>,
+    /// State at the most recent trigger point (pre-injection, pristine).
+    trigger: Option<TriggerSnapshot>,
+}
+
+#[derive(Debug)]
+struct TriggerSnapshot {
+    snap: TargetSnapshot,
+    /// Absolute instruction count at capture (the donor's trigger point).
+    instructions: u64,
+    /// Cycle counter right after the donor's Load block, so a restored
+    /// experiment's watchdog measures the same elapsed cycles the slow
+    /// path would.
+    post_load_cycles: u64,
+}
+
+impl ExperimentSession {
+    /// A fresh session with no captures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the fast path is usable on `target`, probing the capability
+    /// on first call and pinning the answer.
+    fn usable<T: TargetAccess + ?Sized>(&mut self, target: &T) -> bool {
+        *self
+            .enabled
+            .get_or_insert_with(|| target.supports_snapshot() && target.prefix_restore_safe())
+    }
 }
 
 /// Runs a SCIFI campaign (the paper's `faultInjectorSCIFI`).
@@ -152,16 +212,74 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
     campaign: &Campaign,
     monitor: &ProgressMonitor,
     env: &mut dyn Environment,
+    journal: Option<&mut ExperimentJournal>,
+) -> Result<CampaignResult> {
+    run_campaign_journaled_opts(target, campaign, monitor, env, journal, None, true)
+}
+
+/// [`run_campaign_journaled`] with the hot-path controls exposed:
+///
+/// * `cache` — a [`GoldenCache`] consulted before the reference run; a hit
+///   skips recomputing the golden log entirely (and a revalidation drift
+///   invalidates the cached entry);
+/// * `snapshots` — `false` forces the slow per-experiment path even on
+///   snapshot-capable targets (the CLI's `--no-snapshot`).
+///
+/// # Errors
+///
+/// As [`run_campaign_journaled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_journaled_opts<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    env: &mut dyn Environment,
     mut journal: Option<&mut ExperimentJournal>,
+    cache: Option<&GoldenCache>,
+    snapshots: bool,
 ) -> Result<CampaignResult> {
     campaign.validate()?;
     let tel = monitor.telemetry().clone();
     let _campaign_span = tel.campaign_span(&campaign.name);
-    let reference = reference_run_traced(target, campaign, &mut *env, &tel)?;
+    let reference = match cache.and_then(|c| c.load(campaign)) {
+        Some(cached) => {
+            tel.count(Metric::GoldenCacheHits, 1);
+            cached
+        }
+        None => {
+            let fresh = reference_run_traced(target, campaign, &mut *env, &tel)?;
+            if let Some(c) = cache {
+                tel.count(Metric::GoldenCacheMisses, 1);
+                c.store(campaign, &fresh);
+            }
+            fresh
+        }
+    };
     if let Some(j) = journal.as_deref_mut() {
         tel.time(Stage::DbWrite, || j.append_record(None, &reference))?;
     }
+    // Snapshot mode only changes anything when the target (and its whole
+    // decorator stack) can actually take and safely reuse snapshots;
+    // otherwise stay on the slow path — including its execution order.
+    let snapshots = snapshots && target.supports_snapshot() && target.prefix_restore_safe();
+    let mut session = if snapshots {
+        Some(ExperimentSession::new())
+    } else {
+        None
+    };
+    // Snapshot mode executes experiments in trigger order: each experiment
+    // then fast-forwards from the previous trigger snapshot instead of
+    // re-executing its whole prefix, so total prefix work across the
+    // campaign is one amortised sweep of the reference run. The sort is
+    // stable (ties keep campaign-index order) and the records are
+    // reassembled in campaign-index order before returning, so callers see
+    // the same result as the slow path.
+    let mut order: Vec<usize> = (0..campaign.faults.len()).collect();
+    if snapshots {
+        order.sort_by_key(|&i| trigger_order_key(&campaign.faults[i].trigger));
+    }
     let mut records = Vec::with_capacity(campaign.faults.len());
+    let mut record_order: Vec<usize> = Vec::with_capacity(campaign.faults.len());
     let mut failures = Vec::new();
     let mut quarantined = Vec::new();
     let mut recoveries = Vec::new();
@@ -177,9 +295,16 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
         .revalidate_every
         .map(|n| n as usize)
         .filter(|n| *n > 0);
-    for index in 0..campaign.faults.len() {
+    for index in order {
         monitor.checkpoint()?;
-        match run_experiment_with_policy(target, campaign, index, monitor, &mut *env)? {
+        match run_experiment_with_policy(
+            target,
+            campaign,
+            index,
+            monitor,
+            &mut *env,
+            session.as_mut(),
+        )? {
             Ok(record) => {
                 let outcome = resolve_hangs(
                     target,
@@ -200,6 +325,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                             tel.time(Stage::DbWrite, || j.append_record(Some(index), &record))?;
                         }
                         window.push((index, records.len()));
+                        record_order.push(index);
                         records.push(record);
                     }
                     SuperviseOutcome::Failure(failure) => {
@@ -294,6 +420,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
                 &mut failures,
                 &mut quarantined,
                 &mut window,
+                cache,
             )?;
             if let Some(failure) = fatal {
                 return Err(GoofiError::ExperimentFailed {
@@ -323,6 +450,7 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
             &mut failures,
             &mut quarantined,
             &mut window,
+            cache,
         )?;
         if let Some(failure) = fatal {
             return Err(GoofiError::ExperimentFailed {
@@ -337,6 +465,14 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
             });
         }
     }
+    // Undo the trigger-order execution permutation: rebuild `records` in
+    // campaign-index order (revalidation replaced records in place, so the
+    // lockstep `record_order` stayed aligned throughout).
+    let mut indexed: Vec<(usize, ExperimentRecord)> =
+        record_order.into_iter().zip(records).collect();
+    indexed.sort_by_key(|(index, _)| *index);
+    let records = indexed.into_iter().map(|(_, record)| record).collect();
+    failures.sort_by_key(|failure| failure.index);
     Ok(CampaignResult {
         reference,
         records,
@@ -344,6 +480,18 @@ pub fn run_campaign_journaled<T: TargetAccess + ?Sized>(
         quarantined,
         recoveries,
     })
+}
+
+/// Execution-order key for snapshot-mode campaigns: instruction-count
+/// triggers sort by their absolute trigger time so successive experiments
+/// fast-forward monotonically; every other trigger keys to zero (those
+/// experiments restore the post-load snapshot directly, so their relative
+/// order is irrelevant to the hot path).
+pub(crate) fn trigger_order_key(trigger: &Trigger) -> u64 {
+    match trigger {
+        Trigger::AfterInstructions(n) => *n,
+        _ => 0,
+    }
 }
 
 /// What target supervision decided about a freshly-completed record.
@@ -425,7 +573,10 @@ fn resolve_hangs<T: TargetAccess + ?Sized>(
         }
         let original = campaign.experiment_name(index);
         let link = Some((format!("{original}/rerun{round}"), parent));
-        match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env)? {
+        // Recovery re-runs stay on the slow path: a just-recovered target
+        // should genuinely re-execute, not restore pre-hang state.
+        match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env, None)?
+        {
             Ok(rerun) => record = rerun,
             Err(failure) => return Ok(SuperviseOutcome::Failure(failure)),
         }
@@ -462,11 +613,24 @@ fn revalidate_window<T: TargetAccess + ?Sized>(
     failures: &mut Vec<ExperimentFailure>,
     quarantined: &mut Vec<ExperimentRecord>,
     window: &mut Vec<(usize, usize)>,
+    cache: Option<&GoldenCache>,
 ) -> Result<Option<ExperimentFailure>> {
+    // Revalidation goldens are always genuinely re-executed — never served
+    // from the cache — because their whole purpose is to exercise the link
+    // and target afresh.
     let golden = reference_run_traced(target, campaign, &mut *env, monitor.telemetry())?;
     if golden_run_matches(reference, &golden) {
+        // A clean check is also the moment the cache entry is known good:
+        // store it if a previous store failed or never ran.
+        if let Some(c) = cache {
+            c.store(campaign, reference);
+        }
         window.clear();
         return Ok(None);
+    }
+    // Drift: the cached golden can no longer be trusted by future runs.
+    if let Some(c) = cache {
+        c.invalidate(campaign);
     }
     // Mark the whole window first, re-run second: once the quarantine
     // entries hit the journal, a crash at any later point still re-runs
@@ -485,8 +649,11 @@ fn revalidate_window<T: TargetAccess + ?Sized>(
         let link = Some((format!("{original}/rerun1"), original));
         // The experiment already counted toward progress when it first
         // completed, so re-run outcomes update only the quarantine
-        // counter, never `completed`/`failed`.
-        match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env)? {
+        // counter, never `completed`/`failed`. Quarantine re-runs stay on
+        // the slow path: they replace results produced over a suspect
+        // link, so nothing from before the drift may be reused.
+        match run_linked_experiment_with_policy(target, campaign, index, link, monitor, env, None)?
+        {
             Ok(rerun) => {
                 if let Some(j) = journal.as_deref_mut() {
                     monitor
@@ -527,8 +694,9 @@ pub fn run_experiment_with_policy<T: TargetAccess + ?Sized>(
     index: usize,
     monitor: &ProgressMonitor,
     env: &mut dyn Environment,
+    session: Option<&mut ExperimentSession>,
 ) -> Result<std::result::Result<ExperimentRecord, ExperimentFailure>> {
-    run_linked_experiment_with_policy(target, campaign, index, None, monitor, env)
+    run_linked_experiment_with_policy(target, campaign, index, None, monitor, env, session)
 }
 
 /// [`run_experiment_with_policy`] for a re-run: the produced record is
@@ -539,6 +707,7 @@ pub fn run_experiment_with_policy<T: TargetAccess + ?Sized>(
 /// # Errors
 ///
 /// [`GoofiError::Stopped`] when the monitor ends the campaign mid-retry.
+#[allow(clippy::too_many_arguments)]
 pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
@@ -546,6 +715,7 @@ pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
     link: Option<(String, String)>,
     monitor: &ProgressMonitor,
     env: &mut dyn Environment,
+    mut session: Option<&mut ExperimentSession>,
 ) -> Result<std::result::Result<ExperimentRecord, ExperimentFailure>> {
     let retries = campaign.policy.retries();
     let tel = monitor.telemetry();
@@ -560,6 +730,7 @@ pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
                 None,
                 campaign.logging,
                 tel,
+                session.as_deref_mut(),
             ),
             Some((name, parent)) => run_experiment_inner(
                 target,
@@ -569,6 +740,7 @@ pub fn run_linked_experiment_with_policy<T: TargetAccess + ?Sized>(
                 Some(parent.clone()),
                 campaign.logging,
                 tel,
+                session.as_deref_mut(),
             )
             .map(|mut record| {
                 record.name = name.clone();
@@ -681,6 +853,7 @@ pub fn run_experiment<T: TargetAccess + ?Sized>(
         None,
         campaign.logging,
         &Telemetry::disabled(),
+        None,
     )
 }
 
@@ -707,6 +880,7 @@ pub fn rerun_detailed<T: TargetAccess + ?Sized>(
         Some(parent.clone()),
         LoggingMode::Detail,
         &Telemetry::disabled(),
+        None,
     )?;
     record.name = format!("{parent}/detail");
     Ok(record)
@@ -721,6 +895,7 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
     parent: Option<String>,
     logging: LoggingMode,
     tel: &Telemetry,
+    mut session: Option<&mut ExperimentSession>,
 ) -> Result<ExperimentRecord> {
     let spec = campaign.faults.get(index).ok_or_else(|| {
         GoofiError::Config(format!(
@@ -730,16 +905,48 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
     })?;
     let exp_span = tel.experiment_span_with(|| campaign.experiment_name(index));
 
-    // initTestCard(); loadWorkload(); writeMemory();
-    {
+    // initTestCard(); loadWorkload(); writeMemory(); — or, on the fast
+    // path, one restore of the post-load capture: the TAP-level workload
+    // download is paid once per campaign instead of once per experiment.
+    // `env.reset()` still runs (the environment lives host-side, outside
+    // any target snapshot); input ports and cleared breakpoints are part
+    // of the captured state.
+    let mut restored = false;
+    if let Some(s) = session.as_deref_mut() {
+        if s.usable(&*target) {
+            if let Some(snap) = &s.post_load {
+                let _sr = tel.stage_span(Stage::SnapshotRestore, exp_span.id());
+                target.restore(snap)?;
+                tel.count(Metric::Restores, 1);
+                env.reset();
+                restored = true;
+            }
+        }
+    }
+    if !restored {
         let _load = tel.stage_span(Stage::Load, exp_span.id());
         target.init_test_card()?;
         target.load_workload(&campaign.workload)?;
         env.reset();
         target.write_input_ports(&campaign.initial_inputs)?;
         target.clear_breakpoints()?;
+        if let Some(s) = session.as_deref_mut() {
+            if s.usable(&*target) {
+                let _sr = tel.stage_span(Stage::SnapshotRestore, exp_span.id());
+                match target.snapshot() {
+                    Ok(snap) => {
+                        s.post_load = Some(snap);
+                        tel.count(Metric::SnapshotsTaken, 1);
+                    }
+                    // A target that advertises the capability but cannot
+                    // deliver pins the slow path for the campaign.
+                    Err(_) => s.enabled = Some(false),
+                }
+            }
+        }
     }
-    let mut wd = Watchdog::start(&campaign.policy.watchdog, target.cycles_executed());
+    let mut wd_start = target.cycles_executed();
+    let mut wd = Watchdog::start(&campaign.policy.watchdog, wd_start);
 
     let trace: Vec<StateSnapshot>;
     let termination = if spec.trigger.is_pre_runtime() {
@@ -758,15 +965,50 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
         // runWorkload(); waitForBreakpoint(). In detail mode the
         // pre-injection phase is logged per instruction too, so the
         // experiment trace aligns with the reference trace.
-        target.set_breakpoint(spec.trigger)?;
         let detail = logging == LoggingMode::Detail;
-        let (outcome, mut pre_trace) = {
+        // Trigger fast-forward: `AfterInstructions` fires on an absolute
+        // instruction counter that is part of the captured debug-unit
+        // state, so the latest trigger capture at instruction t seeds any
+        // experiment with trigger T ≥ t — restore, then execute only the
+        // delta (or nothing at all when t == T). Gated on normal-mode
+        // logging (detail mode must log the whole prefix) and on captures
+        // taken before any environment exchange (the host-side
+        // environment starts every experiment freshly reset, so restoring
+        // past an exchange would desynchronise it from the target).
+        let mut exchanges: u64 = 0;
+        let mut at_trigger = false;
+        if !detail {
+            if let (Trigger::AfterInstructions(want), Some(s)) =
+                (spec.trigger, session.as_deref_mut())
+            {
+                if s.usable(&*target) {
+                    if let Some(ts) = &s.trigger {
+                        if ts.instructions <= want {
+                            let _sr = tel.stage_span(Stage::SnapshotRestore, exp_span.id());
+                            target.restore(&ts.snap)?;
+                            tel.count(Metric::Restores, 1);
+                            // The slow path's watchdog starts counting at
+                            // the post-load cycle mark; keep that origin.
+                            wd_start = ts.post_load_cycles;
+                            wd = Watchdog::start(&campaign.policy.watchdog, wd_start);
+                            at_trigger = ts.instructions == want;
+                        }
+                    }
+                }
+            }
+        }
+        let (outcome, mut pre_trace) = if at_trigger {
+            // Restored exactly onto the trigger point (post-unlatch,
+            // post-clear state as captured): nothing left to execute.
+            (WaitOutcome::Breakpoint, Vec::new())
+        } else {
+            target.set_breakpoint(spec.trigger)?;
             let _run = tel.stage_span(Stage::Run, exp_span.id());
             if detail {
                 wait_for_breakpoint_detailed(target, campaign, &mut *env, &mut wd)?
             } else {
                 (
-                    wait_for_breakpoint(target, campaign, &mut *env, &mut wd)?,
+                    wait_for_breakpoint(target, campaign, &mut *env, &mut wd, &mut exchanges)?,
                     Vec::new(),
                 )
             }
@@ -774,6 +1016,26 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
         match outcome {
             WaitOutcome::Breakpoint => {
                 target.clear_breakpoints()?;
+                // Re-seed the trigger cache at this experiment's point:
+                // the next experiment restores here when its own trigger
+                // is at or past this instant.
+                if !detail && !at_trigger && exchanges == 0 {
+                    if let (Trigger::AfterInstructions(_), Some(s)) =
+                        (spec.trigger, session)
+                    {
+                        if s.usable(&*target) {
+                            let _sr = tel.stage_span(Stage::SnapshotRestore, exp_span.id());
+                            if let Ok(snap) = target.snapshot() {
+                                s.trigger = Some(TriggerSnapshot {
+                                    snap,
+                                    instructions: target.instructions_executed(),
+                                    post_load_cycles: wd_start,
+                                });
+                                tel.count(Metric::SnapshotsTaken, 1);
+                            }
+                        }
+                    }
+                }
                 // readScanChain(); injectFault(); writeScanChain();
                 {
                     let _inject = tel.stage_span(Stage::Inject, exp_span.id());
@@ -837,19 +1099,28 @@ fn flip_locations<T: TargetAccess + ?Sized>(
     target: &mut T,
     locations: &[FaultLocation],
 ) -> Result<()> {
+    // Batched scan transaction: all flips into one chain share a single
+    // capture–shift–update walk instead of paying a read+write pair per
+    // bit. Bit flips commute, so grouping cannot change the outcome.
+    let mut chains: BTreeMap<String, BitVec> = BTreeMap::new();
     for loc in locations {
         match loc {
             FaultLocation::ScanCell { chain, cell, bit } => {
                 let layout = chain_layout(target, chain)?;
                 let offset = cell_bit_offset(&layout, chain, cell, *bit)?;
-                let mut bits = target.read_scan_chain(chain)?;
+                if !chains.contains_key(chain) {
+                    chains.insert(chain.clone(), target.read_scan_chain(chain)?);
+                }
+                let bits = chains.get_mut(chain).expect("chain captured above");
                 bits.flip(offset);
-                target.write_scan_chain(chain, &bits)?;
             }
             FaultLocation::Memory { addr, bit } => {
                 target.flip_memory_bit(*addr, *bit)?;
             }
         }
+    }
+    for (chain, bits) in &chains {
+        target.write_scan_chain(chain, bits)?;
     }
     Ok(())
 }
@@ -859,15 +1130,22 @@ fn force_locations<T: TargetAccess + ?Sized>(
     locations: &[FaultLocation],
     value: bool,
 ) -> Result<()> {
+    // Same batching as `flip_locations`; a chain none of whose bits
+    // actually change skips its update walk entirely.
+    let mut chains: BTreeMap<String, (BitVec, bool)> = BTreeMap::new();
     for loc in locations {
         match loc {
             FaultLocation::ScanCell { chain, cell, bit } => {
                 let layout = chain_layout(target, chain)?;
                 let offset = cell_bit_offset(&layout, chain, cell, *bit)?;
-                let mut bits = target.read_scan_chain(chain)?;
+                if !chains.contains_key(chain) {
+                    let bits = target.read_scan_chain(chain)?;
+                    chains.insert(chain.clone(), (bits, false));
+                }
+                let (bits, dirty) = chains.get_mut(chain).expect("chain captured above");
                 if bits.get(offset) != value {
                     bits.set(offset, value);
-                    target.write_scan_chain(chain, &bits)?;
+                    *dirty = true;
                 }
             }
             FaultLocation::Memory { addr, bit } => {
@@ -877,6 +1155,11 @@ fn force_locations<T: TargetAccess + ?Sized>(
                     target.flip_memory_bit(*addr, *bit)?;
                 }
             }
+        }
+    }
+    for (chain, (bits, dirty)) in &chains {
+        if *dirty {
+            target.write_scan_chain(chain, bits)?;
         }
     }
     Ok(())
@@ -981,11 +1264,14 @@ fn wait_for_breakpoint_detailed<T: TargetAccess + ?Sized>(
 
 /// Runs until the armed breakpoint fires, exchanging environment data at
 /// iteration boundaries; reports natural termination if it comes first.
+/// `exchanges` counts the environment exchanges performed — a trigger-point
+/// snapshot is only reusable when none happened before it.
 fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
     target: &mut T,
     campaign: &Campaign,
     env: &mut dyn Environment,
     wd: &mut Watchdog,
+    exchanges: &mut u64,
 ) -> Result<WaitOutcome> {
     loop {
         let remaining = remaining_budget(target, campaign);
@@ -1017,6 +1303,7 @@ fn wait_for_breakpoint<T: TargetAccess + ?Sized>(
                 {
                     return Ok(WaitOutcome::Terminated(TerminationCause::IterationLimit));
                 }
+                *exchanges += 1;
                 exchange_env(target, campaign, &mut *env)?;
             }
         }
@@ -1214,8 +1501,7 @@ pub fn snapshot<T: TargetAccess + ?Sized>(
         snap.scan.insert(chain.clone(), bits.to_bit_string());
     }
     if with_memory_digest {
-        let words = target.read_memory(0, target.memory_size() as usize)?;
-        snap.memory_digest = digest_words(&words);
+        snap.memory_digest = target.memory_digest(target.memory_size() as usize)?;
     }
     snap.outputs = match campaign.observe.output {
         OutputRegion::Memory { addr, len } => {

@@ -12,7 +12,7 @@
 
 use crate::campaign::WorkloadImage;
 use crate::preinject::StepAccess;
-use crate::target::{RunBudget, RunEvent, TargetAccess};
+use crate::target::{RunBudget, RunEvent, TargetAccess, TargetSnapshot};
 use crate::trigger::Trigger;
 use crate::{GoofiError, Result};
 use scanchain::{BitVec, ChainLayout};
@@ -111,6 +111,14 @@ impl TargetAccess for NullTarget {
 
     fn step_traced(&mut self) -> Result<(Option<RunEvent>, StepAccess)> {
         Err(GoofiError::Unimplemented("step_traced")) // Write your code here!
+    }
+
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        Err(GoofiError::Unimplemented("snapshot")) // Write your code here!
+    }
+
+    fn restore(&mut self, _snapshot: &TargetSnapshot) -> Result<()> {
+        Err(GoofiError::Unimplemented("restore")) // Write your code here!
     }
 }
 
@@ -348,6 +356,24 @@ impl TargetAccess for SimTarget {
             },
         ))
     }
+
+    // Native snapshot fast path: the simulated device is plain data, so a
+    // capture is one clone and a restore is one assignment.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        Ok(TargetSnapshot::new(self.clone()))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        let state = snapshot
+            .downcast_ref::<SimTarget>()
+            .ok_or_else(|| GoofiError::Target("snapshot is not a sim-target capture".into()))?;
+        *self = state.clone();
+        Ok(())
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +420,10 @@ mod tests {
         err(t.write_input_ports(&[]).unwrap_err(), "write_input_ports");
         err(t.read_output_ports().unwrap_err(), "read_output_ports");
         err(t.step_traced().unwrap_err(), "step_traced");
+        err(t.snapshot().unwrap_err(), "snapshot");
+        let foreign = TargetSnapshot::new(0u8);
+        err(t.restore(&foreign).unwrap_err(), "restore");
+        assert!(!t.supports_snapshot());
         assert!(t.chain_layouts().is_empty());
         assert_eq!(t.memory_size(), 0);
     }

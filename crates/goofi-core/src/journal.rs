@@ -165,32 +165,7 @@ impl ExperimentJournal {
     ///
     /// I/O errors, surfaced as [`GoofiError::Journal`].
     pub fn append_record(&mut self, index: Option<usize>, record: &ExperimentRecord) -> Result<()> {
-        let payload = format!(
-            "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            index.map_or_else(|| "-".to_string(), |i| i.to_string()),
-            escape(&record.name),
-            record.parent.as_deref().map_or_else(|| "-".into(), escape),
-            record
-                .fault
-                .as_ref()
-                .map_or_else(|| "-".into(), |f| escape(&f.encode())),
-            escape(&record.termination.encode()),
-            escape(&record.state.encode()),
-            if record.trace.is_empty() {
-                "-".to_string()
-            } else {
-                escape(
-                    &record
-                        .trace
-                        .iter()
-                        .map(StateSnapshot::encode)
-                        .collect::<Vec<_>>()
-                        .join("---\n"),
-                )
-            },
-            record.validity.encode(),
-        );
-        self.append_line(&payload)
+        self.append_line(&encode_record_payload(index, record))
     }
 
     /// Appends an experiment failure.
@@ -437,13 +412,44 @@ pub fn salvage_with(vfs: &dyn Vfs, path: &Path) -> Result<SalvageOutcome> {
     })
 }
 
-enum Entry {
+pub(crate) enum Entry {
     Reference(ExperimentRecord),
     Completed(usize, ExperimentRecord),
     Failed(ExperimentFailure),
 }
 
-fn parse_entry(line: &str, campaign: &str) -> Option<Entry> {
+/// One journal record line, minus the trailing checksum column (shared
+/// with the golden-run cache, which persists a reference record in the
+/// same checksummed format).
+pub(crate) fn encode_record_payload(index: Option<usize>, record: &ExperimentRecord) -> String {
+    format!(
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        index.map_or_else(|| "-".to_string(), |i| i.to_string()),
+        escape(&record.name),
+        record.parent.as_deref().map_or_else(|| "-".into(), escape),
+        record
+            .fault
+            .as_ref()
+            .map_or_else(|| "-".into(), |f| escape(&f.encode())),
+        escape(&record.termination.encode()),
+        escape(&record.state.encode()),
+        if record.trace.is_empty() {
+            "-".to_string()
+        } else {
+            escape(
+                &record
+                    .trace
+                    .iter()
+                    .map(StateSnapshot::encode)
+                    .collect::<Vec<_>>()
+                    .join("---\n"),
+            )
+        },
+        record.validity.encode(),
+    )
+}
+
+pub(crate) fn parse_entry(line: &str, campaign: &str) -> Option<Entry> {
     let (payload, checksum) = line.rsplit_once("\t#")?;
     if u32::from_str_radix(checksum, 16).ok()? != fnv1a(payload.as_bytes()) {
         return None;

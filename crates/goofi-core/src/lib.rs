@@ -39,6 +39,7 @@ mod error;
 pub mod fault;
 pub mod framework;
 pub mod fsck;
+pub mod golden;
 pub mod journal;
 pub mod link;
 pub mod logging;
@@ -54,7 +55,10 @@ pub mod trigger;
 pub mod vfs;
 
 pub use error::GoofiError;
-pub use target::{DetectionInfo, RunBudget, RunEvent, TargetAccess};
+pub use target::{
+    readout_restore, readout_snapshot, DetectionInfo, ReadoutSnapshot, RunBudget, RunEvent,
+    TargetAccess, TargetSnapshot,
+};
 
 /// Convenience alias used throughout the framework.
 pub type Result<T> = std::result::Result<T, GoofiError>;

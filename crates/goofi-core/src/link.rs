@@ -28,7 +28,7 @@
 
 use crate::campaign::WorkloadImage;
 use crate::monitor::ProgressMonitor;
-use crate::target::{RunBudget, RunEvent, TargetAccess};
+use crate::target::{RunBudget, RunEvent, TargetAccess, TargetSnapshot};
 use crate::trigger::Trigger;
 use crate::{GoofiError, Result};
 use scanchain::{
@@ -134,6 +134,26 @@ impl<T: TargetAccess> TargetAccess for UnreliableTarget<T> {
     // cold-reset the wrapped target provides.
     fn power_cycle(&mut self) -> Result<()> {
         self.inner.power_cycle()
+    }
+
+    // Snapshot/restore bypasses the lossy link entirely: a capture is a
+    // host-side state clone of the wrapped target, not scan traffic, so
+    // the fault model has nothing to disturb. Forwarded clean, like
+    // power_cycle, so the inner target's native fast path is reachable.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        self.inner.restore(snapshot)
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        self.inner.supports_snapshot()
+    }
+
+    fn prefix_restore_safe(&self) -> bool {
+        self.inner.prefix_restore_safe()
     }
 
     fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
@@ -480,6 +500,25 @@ impl<T: TargetAccess> TargetAccess for VerifiedTarget<T> {
     // (the trait default would only init+reset this wrapper).
     fn power_cycle(&mut self) -> Result<()> {
         self.inner.power_cycle()
+    }
+
+    // Snapshot/restore is host-side state cloning, not link traffic, so
+    // there is nothing for this layer to verify — forwarded clean so the
+    // wrapped target's native fast path stays reachable.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        self.inner.restore(snapshot)
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        self.inner.supports_snapshot()
+    }
+
+    fn prefix_restore_safe(&self) -> bool {
+        self.inner.prefix_restore_safe()
     }
 
     fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {

@@ -28,15 +28,16 @@
 //!   gracefully instead of failing — it only errors with
 //!   [`GoofiError::TargetOffline`] when every worker's target has died.
 
-use crate::algorithms::{self, CampaignResult};
+use crate::algorithms::{self, CampaignResult, ExperimentSession};
 use crate::campaign::Campaign;
+use crate::golden::GoldenCache;
 use crate::journal::ExperimentJournal;
 use crate::logging::{ExperimentRecord, TerminationCause, Validity};
 use crate::monitor::ProgressMonitor;
 use crate::policy::ExperimentFailure;
 use crate::supervisor::{RecoveryRecord, RecoveryTrigger, Supervisor};
 use crate::target::TargetAccess;
-use crate::telemetry::Stage;
+use crate::telemetry::{Metric, Stage};
 use crate::{GoofiError, Result};
 use envsim::Environment;
 use std::collections::BTreeMap;
@@ -112,6 +113,40 @@ where
     FT: Fn() -> T + Sync,
     FE: Fn() -> Box<dyn Environment> + Sync,
 {
+    run_campaign_parallel_journaled_opts(
+        make_target,
+        make_env,
+        campaign,
+        monitor,
+        workers,
+        journal,
+        true,
+    )
+}
+
+/// [`run_campaign_parallel_journaled`] with the snapshot/restore hot path
+/// made explicit: `snapshots: false` forces every worker onto the slow
+/// load-and-execute path (benchmark baselines, equivalence testing, or a
+/// safety valve for a misbehaving target snapshot implementation).
+///
+/// # Errors
+///
+/// As [`run_campaign_parallel_journaled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_parallel_journaled_opts<T, FT, FE>(
+    make_target: FT,
+    make_env: Option<FE>,
+    campaign: &Campaign,
+    monitor: &ProgressMonitor,
+    workers: usize,
+    journal: Option<&mut ExperimentJournal>,
+    snapshots: bool,
+) -> Result<CampaignResult>
+where
+    T: TargetAccess,
+    FT: Fn() -> T + Sync,
+    FE: Fn() -> Box<dyn Environment> + Sync,
+{
     if workers == 0 {
         return Err(GoofiError::Config("worker count must be at least 1".into()));
     }
@@ -146,6 +181,7 @@ where
         &BTreeMap::new(),
         reference,
         journal.as_ref(),
+        snapshots,
     )
 }
 
@@ -276,21 +312,36 @@ where
     let mut journal_file = ExperimentJournal::open_append_with(vfs, path)?;
     let journal = parking_lot::Mutex::new(&mut journal_file);
 
-    // Reuse the journaled reference run, or make (and journal) one now.
+    // Reuse the journaled reference run, the golden cache's copy from an
+    // earlier run over the same configuration, or make (and journal) one
+    // now. A resumed shard whose journal already holds the reference never
+    // consults the cache — the journal is the more authoritative source.
     let reference = match state.reference {
         Some(reference) => reference,
         None => {
-            let mut ref_target = make_target();
             let mut ref_env: Box<dyn Environment> = match &make_env {
                 Some(f) => f(),
                 None => Box::new(envsim::NullEnvironment),
             };
-            let reference = algorithms::reference_run_traced(
-                &mut ref_target,
-                campaign,
-                ref_env.as_mut(),
-                &tel,
-            )?;
+            let cache = GoldenCache::new(vfs, path, campaign, ref_env.name());
+            let reference = match cache.load(campaign) {
+                Some(cached) => {
+                    tel.count(Metric::GoldenCacheHits, 1);
+                    cached
+                }
+                None => {
+                    tel.count(Metric::GoldenCacheMisses, 1);
+                    let mut ref_target = make_target();
+                    let fresh = algorithms::reference_run_traced(
+                        &mut ref_target,
+                        campaign,
+                        ref_env.as_mut(),
+                        &tel,
+                    )?;
+                    cache.store(campaign, &fresh);
+                    fresh
+                }
+            };
             tel.time(Stage::DbWrite, || {
                 journal.lock().append_record(None, &reference)
             })?;
@@ -332,6 +383,7 @@ where
         &preloaded,
         reference,
         Some(&journal),
+        true,
     )
 }
 
@@ -349,12 +401,30 @@ fn execute_items<T, FT, FE>(
     preloaded: &BTreeMap<usize, ExperimentRecord>,
     reference: ExperimentRecord,
     journal: Option<&parking_lot::Mutex<&mut ExperimentJournal>>,
+    snapshots: bool,
 ) -> Result<CampaignResult>
 where
     T: TargetAccess,
     FT: Fn() -> T + Sync,
     FE: Fn() -> Box<dyn Environment> + Sync,
 {
+    // Snapshot mode executes in trigger order (stable sort, ties keep
+    // campaign-index order): workers claim items off a shared counter, so
+    // a sorted item list keeps every worker's claimed subsequence
+    // monotonic in trigger time and its [`ExperimentSession`]
+    // fast-forwarding instead of re-executing prefixes. Assembly below
+    // keys records by campaign index, so results and journals are
+    // unaffected by execution order.
+    let mut trigger_sorted;
+    let items = if snapshots {
+        trigger_sorted = items.to_vec();
+        trigger_sorted.sort_by_key(|item| {
+            algorithms::trigger_order_key(&campaign.faults[item.index].trigger)
+        });
+        &trigger_sorted[..]
+    } else {
+        items
+    };
     let workers = workers.min(items.len().max(1));
     let mut slots: Vec<parking_lot::Mutex<Option<Outcome>>> = Vec::new();
     slots.resize_with(items.len(), || parking_lot::Mutex::new(None));
@@ -380,6 +450,9 @@ where
                     Some(f) => f(),
                     None => Box::new(envsim::NullEnvironment),
                 };
+                // Each worker owns its target, so it also owns the
+                // snapshot session for that target's experiment prefixes.
+                let mut session = snapshots.then(ExperimentSession::new);
                 let mut done_here: usize = 0;
                 loop {
                     if monitor.checkpoint().is_err() {
@@ -411,6 +484,7 @@ where
                         item.link.clone(),
                         monitor,
                         env.as_mut(),
+                        session.as_mut(),
                     ) {
                         Ok(Ok(record)) => {
                             let supervised = match &supervisor {
@@ -547,9 +621,10 @@ where
     recoveries.sort_by(|a, b| a.experiment.cmp(&b.experiment));
     quarantined.sort_by(|a, b| a.name.cmp(&b.name));
 
-    // Assemble in campaign-index order. `items` is index-sorted, so the
-    // first Fatal/Error outcome is the lowest-index one — the error
-    // reported is deterministic no matter which worker failed first.
+    // Assemble in campaign-index order. `items` is deterministically
+    // ordered (index-sorted, or trigger-sorted with index tiebreak in
+    // snapshot mode), so the first Fatal/Error outcome kept is the same
+    // one no matter which worker failed first.
     let mut completed: BTreeMap<usize, ExperimentRecord> = preloaded.clone();
     let mut failures: Vec<ExperimentFailure> = Vec::new();
     let mut first_abort: Option<Outcome> = None;
@@ -568,6 +643,9 @@ where
             None => {}
         }
     }
+    // Trigger-order execution must not leak into reported order.
+    failures.sort_by_key(|failure| failure.index);
+    fresh.sort_unstable();
 
     // End-of-run golden revalidation. The serial runner revalidates every
     // `revalidate_every` experiments; with workers interleaving, the
@@ -606,6 +684,8 @@ where
             for index in fresh {
                 let original = completed[&index].name.clone();
                 let link = Some((format!("{original}/rerun1"), original));
+                // Quarantine re-runs stay on the slow path: the whole point
+                // of a revalidation rerun is a from-scratch execution.
                 match algorithms::run_linked_experiment_with_policy(
                     &mut target,
                     campaign,
@@ -613,6 +693,7 @@ where
                     link,
                     monitor,
                     env.as_mut(),
+                    None,
                 ) {
                     // Reruns replace the quarantined record; they are not
                     // re-counted as completed progress (the original was).
@@ -756,8 +837,10 @@ fn supervise_worker_record<T: TargetAccess>(
             None => campaign.experiment_name(item.index),
         };
         let link = Some((format!("{base}/rerun{round}"), parent));
+        // The target just climbed the recovery ladder; any snapshot taken
+        // before the hang is stale, so this re-run executes from scratch.
         match algorithms::run_linked_experiment_with_policy(
-            target, campaign, item.index, link, monitor, env,
+            target, campaign, item.index, link, monitor, env, None,
         )? {
             Ok(rerun) => record = rerun,
             Err(failure) => return Ok(WorkerSupervise::Failure(failure)),

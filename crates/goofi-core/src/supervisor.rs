@@ -37,7 +37,7 @@ use crate::campaign::{Campaign, WorkloadImage};
 use crate::logging::ExperimentRecord;
 use crate::monitor::ProgressMonitor;
 use crate::policy::ExperimentPolicy;
-use crate::target::{RunBudget, RunEvent, TargetAccess};
+use crate::target::{RunBudget, RunEvent, TargetAccess, TargetSnapshot};
 use crate::trigger::Trigger;
 use crate::{GoofiError, Result};
 use envsim::Environment;
@@ -719,6 +719,51 @@ impl<T: TargetAccess> TargetAccess for WedgeableTarget<T> {
         }
         result
     }
+
+    // A capture holds the inner target's snapshot plus this wrapper's
+    // bookkeeping — but NOT the wedge model. The model is the drill's
+    // seeded draw stream; it stays live across restores exactly as a real
+    // flaky target keeps degrading regardless of what state the tool
+    // rewinds the device to.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        Ok(TargetSnapshot::new(WedgeableSnapshot {
+            inner: self.inner.snapshot()?,
+            hang_burn: self.hang_burn,
+            pending_launch: self.pending_launch,
+        }))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        let snap = snapshot
+            .downcast_ref::<WedgeableSnapshot>()
+            .ok_or_else(|| GoofiError::Target("snapshot is not a wedge-drill capture".into()))?;
+        self.inner.restore(&snap.inner)?;
+        self.hang_burn = snap.hang_burn;
+        self.pending_launch = snap.pending_launch;
+        Ok(())
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        self.inner.supports_snapshot()
+    }
+
+    // The drill's observable behaviour is tied to the slow path's exact
+    // call sequence: the per-experiment `init_test_card` recovers
+    // reinit-depth wedges, and the model draws once per workload launch.
+    // A restore that replaces that prefix skips both, so campaigns under
+    // the drill would stop being essence-equal to the slow path. Declare
+    // the fast path unsafe; the runner falls back to the real sequence.
+    fn prefix_restore_safe(&self) -> bool {
+        false
+    }
+}
+
+/// The opaque payload behind [`WedgeableTarget::snapshot`].
+#[derive(Debug)]
+struct WedgeableSnapshot {
+    inner: TargetSnapshot,
+    hang_burn: u64,
+    pending_launch: bool,
 }
 
 #[cfg(test)]

@@ -17,8 +17,40 @@
 
 use crate::campaign::WorkloadImage;
 use crate::trigger::Trigger;
-use crate::Result;
+use crate::{GoofiError, Result};
 use scanchain::{BitVec, ChainLayout};
+use std::any::Any;
+
+/// An opaque capture of a target's full state — CPU registers, memory,
+/// scan-visible latches and counters — taken by [`TargetAccess::snapshot`]
+/// and replayed by [`TargetAccess::restore`].
+///
+/// The payload is target-specific: the Thor port stores a clone of its
+/// whole test card, the generic fallback stores a scan-chain readout
+/// ([`ReadoutSnapshot`]). Decorators forward snapshots unchanged (or wrap
+/// them, like the wedge drill), so a snapshot taken through a decorator
+/// stack restores through the same stack.
+#[derive(Debug)]
+pub struct TargetSnapshot {
+    state: Box<dyn Any + Send>,
+}
+
+impl TargetSnapshot {
+    /// Wraps a target-specific state capture.
+    pub fn new<S: Any + Send>(state: S) -> Self {
+        TargetSnapshot {
+            state: Box::new(state),
+        }
+    }
+
+    /// The captured state, if it is of type `S` — how a target's `restore`
+    /// recovers what its `snapshot` stored. `None` means the snapshot was
+    /// taken by a different target (or decorator layer); restoring from it
+    /// would be meaningless, so treat that as an error.
+    pub fn downcast_ref<S: Any + Send>(&self) -> Option<&S> {
+        self.state.downcast_ref::<S>()
+    }
+}
 
 /// Execution budget for one [`TargetAccess::run_workload`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +200,137 @@ pub trait TargetAccess {
         self.init_test_card()?;
         self.reset_target()
     }
+
+    /// Captures the target's complete state — everything
+    /// [`TargetAccess::load_workload`] plus subsequent execution can have
+    /// changed — so a later [`TargetAccess::restore`] resumes from exactly
+    /// this point (paper-era tools re-ran the prefix instead; see
+    /// [`crate::algorithms::ExperimentSession`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::GoofiError::Unimplemented`] by default; ports opt in by
+    /// overriding this together with `restore` and `supports_snapshot`.
+    /// Ports without cheap state cloning can build the capture with
+    /// [`readout_snapshot`] (scan-chain + memory readout).
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        Err(GoofiError::Unimplemented("snapshot"))
+    }
+
+    /// Restores state captured by [`TargetAccess::snapshot`] on this same
+    /// target. One snapshot may be restored any number of times.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::GoofiError::Unimplemented`] by default; a snapshot from a
+    /// different target type is a [`crate::GoofiError::Target`] error.
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        let _ = snapshot;
+        Err(GoofiError::Unimplemented("restore"))
+    }
+
+    /// Whether [`TargetAccess::snapshot`]/[`TargetAccess::restore`] are
+    /// implemented — the capability probe the experiment drivers use to
+    /// pick the hot path. Defaults to `false` so unported targets keep the
+    /// (correct, slow) reload-and-replay behaviour.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Whether skipping an already-executed run prefix (by restoring a
+    /// snapshot taken at its end) leaves every later observable draw
+    /// unchanged. True for plain targets: running a deterministic prefix
+    /// twice is a no-op. Fault-model decorators that consume seeded draws
+    /// *per run call* (the wedge drill) must return `false`, otherwise
+    /// skipping the prefix would shift their stream and the campaign would
+    /// no longer be essence-equal to the slow path.
+    fn prefix_restore_safe(&self) -> bool {
+        true
+    }
+
+    /// Digest of the first `len` words of memory, exactly
+    /// [`crate::logging::digest_words`] of a
+    /// [`TargetAccess::read_memory`]`(0, len)` readout.
+    ///
+    /// The default does just that. Targets with structured memory may
+    /// override it to skip the flat copy — the thor driver memoizes
+    /// per-page block digests across copy-on-write snapshots — but any
+    /// override MUST return the same value as the default, since digests
+    /// are compared across records regardless of which path produced
+    /// them. Decorators should NOT forward this method: the default
+    /// routes through the decorator's own `read_memory`, which is what
+    /// keeps verified/lossy read semantics intact.
+    ///
+    /// # Errors
+    ///
+    /// As [`TargetAccess::read_memory`].
+    fn memory_digest(&mut self, len: usize) -> Result<u64> {
+        Ok(crate::logging::digest_words(&self.read_memory(0, len)?))
+    }
+}
+
+/// The generic snapshot payload for ports without native state cloning:
+/// whatever the scan chains and memory bus can see, captured with
+/// [`readout_snapshot`] and written back with [`readout_restore`].
+///
+/// This is a *readout*, not a full capture — state invisible to the scan
+/// chains (write-only latches, private counters) is not included, which is
+/// exactly the paper's observability boundary. Ports using it should
+/// restore any such private state themselves after calling
+/// [`readout_restore`] (see `examples/port_a_target.rs`).
+#[derive(Debug, Clone)]
+pub struct ReadoutSnapshot {
+    /// Full image of every scan chain (name → bits).
+    pub chains: Vec<(String, BitVec)>,
+    /// Full memory image.
+    pub memory: Vec<u32>,
+    /// Counter values at capture time, for ports whose counters are
+    /// architecturally visible.
+    pub instructions: u64,
+    /// Cycle counter at capture time.
+    pub cycles: u64,
+    /// Iteration counter at capture time.
+    pub iterations: u64,
+}
+
+/// Captures everything reachable through the [`TargetAccess`] readout
+/// methods: every scan chain plus all of memory. The building block for
+/// `snapshot` on ports that lack cheap native state cloning.
+///
+/// # Errors
+///
+/// Any chain or memory read error from the target.
+pub fn readout_snapshot<T: TargetAccess + ?Sized>(target: &mut T) -> Result<ReadoutSnapshot> {
+    let mut chains = Vec::new();
+    for layout in target.chain_layouts() {
+        let bits = target.read_scan_chain(layout.name())?;
+        chains.push((layout.name().to_string(), bits));
+    }
+    let memory = target.read_memory(0, target.memory_size() as usize)?;
+    Ok(ReadoutSnapshot {
+        chains,
+        memory,
+        instructions: target.instructions_executed(),
+        cycles: target.cycles_executed(),
+        iterations: target.iterations_completed(),
+    })
+}
+
+/// Writes a [`readout_snapshot`] capture back: every chain's writable
+/// cells, then all of memory. Read-only cells keep whatever the target
+/// holds — the same limitation any scan-based state control has.
+///
+/// # Errors
+///
+/// Any chain or memory write error from the target.
+pub fn readout_restore<T: TargetAccess + ?Sized>(
+    target: &mut T,
+    snapshot: &ReadoutSnapshot,
+) -> Result<()> {
+    for (chain, bits) in &snapshot.chains {
+        target.write_scan_chain(chain, bits)?;
+    }
+    target.write_memory(0, &snapshot.memory)
 }
 
 /// Boxed targets are targets too, so callers can assemble decorator stacks
@@ -265,5 +428,27 @@ impl<T: TargetAccess + ?Sized> TargetAccess for Box<T> {
     // target (or a decorator below it) provides.
     fn power_cycle(&mut self) -> Result<()> {
         (**self).power_cycle()
+    }
+
+    // Same reasoning as power_cycle: the trait defaults would report the
+    // *box* as snapshot-incapable even when the boxed target supports it.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        (**self).restore(snapshot)
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        (**self).supports_snapshot()
+    }
+
+    fn prefix_restore_safe(&self) -> bool {
+        (**self).prefix_restore_safe()
+    }
+
+    fn memory_digest(&mut self, len: usize) -> Result<u64> {
+        (**self).memory_digest(len)
     }
 }

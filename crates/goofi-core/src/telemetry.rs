@@ -66,11 +66,14 @@ pub enum Stage {
     /// Persistence integrity checks and repairs (`goofi fsck`, the
     /// auto-fsck on resume, and shard-journal salvage).
     Fsck,
+    /// Snapshot captures and restores on the hot path (replacing workload
+    /// reload plus prefix re-execution between experiments).
+    SnapshotRestore,
 }
 
 impl Stage {
     /// Every stage, in workflow order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Load,
         Stage::Run,
         Stage::Inject,
@@ -80,6 +83,7 @@ impl Stage {
         Stage::Probe,
         Stage::Recover,
         Stage::Fsck,
+        Stage::SnapshotRestore,
     ];
 
     /// Stable text form used in traces and reports.
@@ -94,6 +98,7 @@ impl Stage {
             Stage::Probe => "probe",
             Stage::Recover => "recover",
             Stage::Fsck => "fsck",
+            Stage::SnapshotRestore => "snapshot-restore",
         }
     }
 
@@ -146,11 +151,19 @@ pub enum Metric {
     FsckFindings,
     /// Findings repaired (salvaged, stubbed, or quarantined aside).
     FsckRepaired,
+    /// Target snapshots captured on the hot path.
+    SnapshotsTaken,
+    /// Target restores replacing a workload reload / prefix re-execution.
+    Restores,
+    /// Golden-run cache hits (reference recomputation skipped).
+    GoldenCacheHits,
+    /// Golden-run cache misses (reference computed and stored).
+    GoldenCacheMisses,
 }
 
 impl Metric {
     /// Every counter, in declaration order.
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 21] = [
         Metric::Completed,
         Metric::Skipped,
         Metric::Failed,
@@ -168,6 +181,10 @@ impl Metric {
         Metric::TraceDropped,
         Metric::FsckFindings,
         Metric::FsckRepaired,
+        Metric::SnapshotsTaken,
+        Metric::Restores,
+        Metric::GoldenCacheHits,
+        Metric::GoldenCacheMisses,
     ];
 
     /// Stable text form used in snapshots and reports.
@@ -190,6 +207,10 @@ impl Metric {
             Metric::TraceDropped => "trace-dropped",
             Metric::FsckFindings => "fsck-findings",
             Metric::FsckRepaired => "fsck-repaired",
+            Metric::SnapshotsTaken => "snapshots-taken",
+            Metric::Restores => "restores",
+            Metric::GoldenCacheHits => "golden-cache-hits",
+            Metric::GoldenCacheMisses => "golden-cache-misses",
         }
     }
 

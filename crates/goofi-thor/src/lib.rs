@@ -27,14 +27,20 @@ use goofi_core::campaign::WorkloadImage;
 use goofi_core::preinject::StepAccess;
 use goofi_core::trigger::Trigger;
 use goofi_core::DetectionInfo;
-use goofi_core::{GoofiError, Result, RunBudget, RunEvent, TargetAccess};
+use goofi_core::{GoofiError, Result, RunBudget, RunEvent, TargetAccess, TargetSnapshot};
 use scanchain::{BitVec, ChainLayout, TestCard, TestCardStats};
+use std::sync::Arc;
 use thor::{AccessLog, Cpu, CpuConfig, StopReason, PORT_COUNT};
 
 /// The Thor target system behind a scan-chain test card.
+///
+/// The card (CPU, caches, memory, TAP) lives behind an [`Arc`] so that
+/// snapshots are copy-on-write: a capture is a reference-count bump, a
+/// restore re-points the `Arc`, and the one deep copy is deferred to the
+/// first mutation after a restore.
 #[derive(Debug)]
 pub struct ThorTarget {
-    card: TestCard<Cpu>,
+    card: Arc<TestCard<Cpu>>,
     /// Construction config, kept so a power cycle can rebuild the CPU
     /// from scratch.
     config: CpuConfig,
@@ -52,7 +58,7 @@ impl ThorTarget {
     /// Creates a target with the given CPU configuration.
     pub fn new(config: CpuConfig) -> Self {
         ThorTarget {
-            card: TestCard::new(Cpu::new(config)),
+            card: Arc::new(TestCard::new(Cpu::new(config))),
             config,
             last_image: None,
         }
@@ -65,7 +71,13 @@ impl ThorTarget {
 
     /// Mutable access to the wrapped CPU.
     pub fn cpu_mut(&mut self) -> &mut Cpu {
-        self.card.target_mut()
+        self.card_mut().target_mut()
+    }
+
+    /// Mutable access to the card, copy-on-write: clones the shared state
+    /// exactly once after a restore, then stays free until the next one.
+    fn card_mut(&mut self) -> &mut TestCard<Cpu> {
+        Arc::make_mut(&mut self.card)
     }
 
     /// Scan-traffic statistics (TCK cycles, bits shifted) — the cost model
@@ -76,7 +88,7 @@ impl ThorTarget {
 
     /// Resets the scan-traffic statistics.
     pub fn reset_testcard_stats(&mut self) {
-        self.card.reset_stats();
+        self.card_mut().reset_stats();
     }
 
     fn map_stop(&mut self, stop: StopReason) -> RunEvent {
@@ -88,7 +100,7 @@ impl ThorTarget {
             }),
             StopReason::DebugEvent(ev) => {
                 // Unlatch so execution can continue after injection.
-                self.card.target_mut().debug_unit_mut().clear();
+                self.card_mut().target_mut().debug_unit_mut().clear();
                 RunEvent::Breakpoint {
                     at_instruction: ev.at_instruction,
                     at_cycle: ev.at_cycle,
@@ -115,7 +127,7 @@ impl TargetAccess for ThorTarget {
     }
 
     fn init_test_card(&mut self) -> Result<()> {
-        self.card.init().map_err(scan_err)
+        self.card_mut().init().map_err(scan_err)
     }
 
     fn load_workload(&mut self, image: &WorkloadImage) -> Result<()> {
@@ -125,7 +137,7 @@ impl TargetAccess for ThorTarget {
             entry: image.entry,
             labels: Default::default(),
         };
-        self.card
+        self.card_mut()
             .target_mut()
             .load_image(&thor_image)
             .map_err(mem_err)?;
@@ -134,12 +146,12 @@ impl TargetAccess for ThorTarget {
     }
 
     fn reset_target(&mut self) -> Result<()> {
-        self.card.target_mut().reset();
+        self.card_mut().target_mut().reset();
         Ok(())
     }
 
     fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
-        let cpu = self.card.target_mut();
+        let cpu = self.card_mut().target_mut();
         cpu.memory_mut().load_block(addr, data).map_err(mem_err)?;
         for offset in 0..data.len() as u32 {
             cpu.invalidate_cached(addr + offset);
@@ -156,7 +168,7 @@ impl TargetAccess for ThorTarget {
     }
 
     fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<()> {
-        let cpu = self.card.target_mut();
+        let cpu = self.card_mut().target_mut();
         cpu.memory_mut().flip_bit(addr, bit).map_err(mem_err)?;
         // Keep the caches coherent with the tool-side write, or the fault
         // would be masked by a stale cached copy.
@@ -172,22 +184,22 @@ impl TargetAccess for ThorTarget {
         let condition = trigger
             .to_debug_condition()
             .ok_or_else(|| GoofiError::Config("pre-runtime triggers need no breakpoint".into()))?;
-        self.card.target_mut().debug_unit_mut().arm(condition);
+        self.card_mut().target_mut().debug_unit_mut().arm(condition);
         Ok(())
     }
 
     fn clear_breakpoints(&mut self) -> Result<()> {
-        self.card.target_mut().debug_unit_mut().disarm_all();
+        self.card_mut().target_mut().debug_unit_mut().disarm_all();
         Ok(())
     }
 
     fn run_workload(&mut self, budget: RunBudget) -> Result<RunEvent> {
-        let stop = self.card.target_mut().run(budget.max_instructions);
+        let stop = self.card_mut().target_mut().run(budget.max_instructions);
         Ok(self.map_stop(stop))
     }
 
     fn step_instruction(&mut self) -> Result<Option<RunEvent>> {
-        let stop = self.card.target_mut().step();
+        let stop = self.card_mut().target_mut().step();
         Ok(stop.map(|s| self.map_stop(s)))
     }
 
@@ -199,11 +211,11 @@ impl TargetAccess for ThorTarget {
     }
 
     fn read_scan_chain(&mut self, chain: &str) -> Result<BitVec> {
-        self.card.read_chain(chain).map_err(scan_err)
+        self.card_mut().read_chain(chain).map_err(scan_err)
     }
 
     fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> Result<()> {
-        self.card
+        self.card_mut()
             .write_chain(chain, bits)
             .map(|_| ())
             .map_err(scan_err)
@@ -211,7 +223,7 @@ impl TargetAccess for ThorTarget {
 
     fn write_input_ports(&mut self, inputs: &[u32]) -> Result<()> {
         for (port, value) in inputs.iter().enumerate().take(PORT_COUNT) {
-            self.card.target_mut().set_in_port(port, *value);
+            self.card_mut().target_mut().set_in_port(port, *value);
         }
         Ok(())
     }
@@ -236,7 +248,7 @@ impl TargetAccess for ThorTarget {
 
     fn step_traced(&mut self) -> Result<(Option<RunEvent>, StepAccess)> {
         let mut log = AccessLog::default();
-        let stop = self.card.target_mut().step_logged(&mut log);
+        let stop = self.card_mut().target_mut().step_logged(&mut log);
         let mut access = StepAccess::default();
         for r in &log.reg_reads {
             access.reads.push(format!("internal:R{}", r.index()));
@@ -265,13 +277,72 @@ impl TargetAccess for ThorTarget {
     /// cannot reach, such as a wedged EDM latch, is wiped too — and the
     /// last workload image is downloaded again.
     fn power_cycle(&mut self) -> Result<()> {
-        self.card = TestCard::new(Cpu::new(self.config));
-        self.card.init().map_err(scan_err)?;
+        self.card = Arc::new(TestCard::new(Cpu::new(self.config)));
+        self.card_mut().init().map_err(scan_err)?;
         if let Some(image) = self.last_image.clone() {
             self.load_workload(&image)?;
         }
         Ok(())
     }
+
+    /// Native copy-on-write snapshot: the whole device — CPU registers,
+    /// caches, memory, EDM latches, debug-unit counters and the test
+    /// card's TAP — is plain data behind an [`Arc`], so a capture is a
+    /// reference-count bump and a restore re-points the `Arc`; the single
+    /// deep copy is deferred to the first mutation afterwards. No scan
+    /// traffic at all, which is the entire point: a restore replaces a
+    /// workload download plus prefix re-execution.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        Ok(TargetSnapshot::new(ThorSnapshot {
+            card: Arc::clone(&self.card),
+            last_image: self.last_image.clone(),
+        }))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        let snap = snapshot
+            .downcast_ref::<ThorSnapshot>()
+            .ok_or_else(|| GoofiError::Target("snapshot is not a thor-rd capture".into()))?;
+        self.card = Arc::clone(&snap.card);
+        self.last_image = snap.last_image.clone();
+        Ok(())
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn memory_digest(&mut self, len: usize) -> Result<u64> {
+        // The digest block size is chosen to match the CoW page size so a
+        // page still shared with a snapshot never has to be re-hashed.
+        const _: () = assert!(thor::PAGE_WORDS == goofi_core::logging::DIGEST_BLOCK_WORDS);
+        let memory = self.card.target().memory();
+        if len != memory.len() {
+            return Ok(goofi_core::logging::digest_words(
+                &self.read_memory(0, len)?,
+            ));
+        }
+        let mut hash = goofi_core::logging::digest_seed(len);
+        for index in 0..memory.page_count() {
+            let digest = match memory.cached_page_digest(index) {
+                Some(digest) => digest,
+                None => {
+                    let digest = goofi_core::logging::digest_block(memory.page_words(index));
+                    memory.cache_page_digest(index, digest);
+                    digest
+                }
+            };
+            hash = goofi_core::logging::digest_fold(hash, digest);
+        }
+        Ok(hash)
+    }
+}
+
+/// The opaque payload behind [`ThorTarget::snapshot`].
+#[derive(Debug, Clone)]
+struct ThorSnapshot {
+    card: Arc<TestCard<Cpu>>,
+    last_image: Option<WorkloadImage>,
 }
 
 #[cfg(test)]

@@ -161,11 +161,16 @@ impl BitVec {
             "range {offset}+{width} out of bounds {}",
             self.len
         );
-        let mut v = 0u64;
-        for i in 0..width {
-            if self.get(offset + i) {
-                v |= 1 << i;
-            }
+        if width == 0 {
+            return 0;
+        }
+        let (w, b) = (offset / 64, offset % 64);
+        let mut v = self.words[w] >> b;
+        if b + width > 64 {
+            v |= self.words[w + 1] << (64 - b);
+        }
+        if width < 64 {
+            v &= (1u64 << width) - 1;
         }
         v
     }
@@ -182,8 +187,20 @@ impl BitVec {
             "range {offset}+{width} out of bounds {}",
             self.len
         );
-        for i in 0..width {
-            self.set(offset + i, (value >> i) & 1 == 1);
+        if width == 0 {
+            return;
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let value = value & mask;
+        let (w, b) = (offset / 64, offset % 64);
+        self.words[w] = (self.words[w] & !(mask << b)) | (value << b);
+        if b + width > 64 {
+            let hi = 64 - b;
+            self.words[w + 1] = (self.words[w + 1] & !(mask >> hi)) | (value >> hi);
         }
     }
 
@@ -226,7 +243,14 @@ impl BitVec {
 
     /// Serialises to a `0`/`1` string, bit 0 first.
     pub fn to_bit_string(&self) -> String {
-        self.iter().map(|b| if b { '1' } else { '0' }).collect()
+        let mut s = String::with_capacity(self.len);
+        for (w, word) in self.words.iter().enumerate() {
+            let bits = (self.len - w * 64).min(64);
+            for b in 0..bits {
+                s.push(if (word >> b) & 1 == 1 { '1' } else { '0' });
+            }
+        }
+        s
     }
 
     /// Parses a `0`/`1` string produced by [`BitVec::to_bit_string`].

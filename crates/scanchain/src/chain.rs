@@ -9,6 +9,7 @@
 use crate::{BitVec, ScanError};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether a scan cell can be written back into the device, or only observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,13 +53,25 @@ impl CellDef {
 /// The static description of a scan chain: an ordered list of cells.
 ///
 /// Layouts are immutable once built; construct them with
-/// [`ChainLayout::builder`].
+/// [`ChainLayout::builder`]. The cell catalogue lives behind an [`Arc`],
+/// so cloning a layout — which the test card does on every chain walk to
+/// escape the borrow on its target — is two reference-count bumps, not a
+/// copy of every cell name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainLayout {
+    inner: Arc<LayoutInner>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct LayoutInner {
     name: String,
     cells: Vec<CellDef>,
     by_name: HashMap<String, usize>,
     total_bits: usize,
+    /// Cached sum of writable cell widths; `== total_bits` means the whole
+    /// chain participates in update and `masked_update` can skip its
+    /// per-cell merge.
+    writable_bits: usize,
 }
 
 impl ChainLayout {
@@ -73,39 +86,43 @@ impl ChainLayout {
 
     /// Chain name.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.inner.name
     }
 
     /// Total number of bits in the chain.
     pub fn total_bits(&self) -> usize {
-        self.total_bits
+        self.inner.total_bits
     }
 
     /// All cells in shift order.
     pub fn cells(&self) -> &[CellDef] {
-        &self.cells
+        &self.inner.cells
     }
 
     /// Looks up a cell by name.
     pub fn cell(&self, name: &str) -> Option<&CellDef> {
-        self.by_name.get(name).map(|&i| &self.cells[i])
+        self.inner.by_name.get(name).map(|&i| &self.inner.cells[i])
     }
 
     /// Cells into which faults may be injected.
     pub fn writable_cells(&self) -> impl Iterator<Item = &CellDef> {
-        self.cells
+        self.inner
+            .cells
             .iter()
             .filter(|c| c.access == CellAccess::ReadWrite)
     }
 
     /// Number of bits that are legal fault-injection targets.
     pub fn writable_bits(&self) -> usize {
-        self.writable_cells().map(|c| c.width).sum()
+        self.inner.writable_bits
     }
 
     /// Finds which cell contains chain bit `bit`, if any.
     pub fn cell_at_bit(&self, bit: usize) -> Option<&CellDef> {
-        self.cells.iter().find(|c| c.bit_range().contains(&bit))
+        self.inner
+            .cells
+            .iter()
+            .find(|c| c.bit_range().contains(&bit))
     }
 
     /// Reads a named cell out of a captured bit vector.
@@ -165,6 +182,10 @@ impl ChainLayout {
     pub fn masked_update(&self, captured: &BitVec, shifted: &BitVec) -> Result<BitVec, ScanError> {
         self.check_len(captured)?;
         self.check_len(shifted)?;
+        // Fully writable chain: the update is the shifted image wholesale.
+        if self.inner.writable_bits == self.inner.total_bits {
+            return Ok(shifted.clone());
+        }
         let mut out = captured.clone();
         for cell in self.writable_cells() {
             for bit in cell.bit_range() {
@@ -192,6 +213,7 @@ impl ChainLayout {
         self.check_len(captured)?;
         self.check_len(shifted)?;
         for cell in self
+            .inner
             .cells
             .iter()
             .filter(|c| c.access == CellAccess::ReadOnly)
@@ -200,7 +222,7 @@ impl ChainLayout {
                 if captured.get(bit) != shifted.get(bit) {
                     return Err(ScanError::ReadOnlyCell {
                         cell: cell.name.clone(),
-                        chain: self.name.clone(),
+                        chain: self.inner.name.clone(),
                     });
                 }
             }
@@ -209,9 +231,9 @@ impl ChainLayout {
     }
 
     fn check_len(&self, bits: &BitVec) -> Result<(), ScanError> {
-        if bits.len() != self.total_bits {
+        if bits.len() != self.inner.total_bits {
             return Err(ScanError::LengthMismatch {
-                expected: self.total_bits,
+                expected: self.inner.total_bits,
                 got: bits.len(),
             });
         }
@@ -302,11 +324,20 @@ impl ChainLayoutBuilder {
             .enumerate()
             .map(|(i, c)| (c.name.clone(), i))
             .collect();
+        let writable_bits = self
+            .cells
+            .iter()
+            .filter(|c| c.access == CellAccess::ReadWrite)
+            .map(|c| c.width)
+            .sum();
         ChainLayout {
-            name: self.name,
-            total_bits: self.offset,
-            cells: self.cells,
-            by_name,
+            inner: Arc::new(LayoutInner {
+                name: self.name,
+                total_bits: self.offset,
+                cells: self.cells,
+                by_name,
+                writable_bits,
+            }),
         }
     }
 }

@@ -46,5 +46,5 @@ pub use debug::{BusEvent, DebugCondition, DebugEvent, DebugUnit, DEBUG_SLOTS};
 pub use error::ScanError;
 pub use link::{FaultyScanTarget, LinkFault, LinkFaultConfig, LinkFaultCounts, LinkFaultModel};
 pub use tap::{TapController, TapInstruction, TapState};
-pub use testcard::{ScanTarget, TestCard, TestCardStats};
+pub use testcard::{ScanTarget, ScanTxn, TestCard, TestCardStats};
 pub use wedge::{RecoveryDepth, WedgeConfig, WedgeCounts, WedgeKind, WedgeModel};

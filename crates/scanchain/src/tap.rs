@@ -236,6 +236,26 @@ impl TapController {
         }
     }
 
+    /// Applies `n` TCK cycles with TMS held low, batched.
+    ///
+    /// Holding TMS low always reaches a state the controller then stays
+    /// in (Run-Test/Idle, Shift-DR/IR, Pause-DR/IR); once there, further
+    /// cycles only advance the TCK counter, so they are applied in one
+    /// step instead of one call per cycle. Exactly equivalent to calling
+    /// [`TapController::clock`]`(false)` `n` times — this is what lets a
+    /// scan transaction shift a multi-thousand-bit chain without paying a
+    /// state-machine walk per bit.
+    pub fn clock_run(&mut self, mut n: u64) {
+        while n > 0 {
+            if self.state.next(false) == self.state {
+                self.tck_count += n;
+                return;
+            }
+            self.clock(false);
+            n -= 1;
+        }
+    }
+
     /// Shifts one bit through the instruction register while in Shift-IR.
     ///
     /// Returns the bit shifted out of TDO. The caller must hold TMS low

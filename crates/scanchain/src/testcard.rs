@@ -83,20 +83,31 @@ impl TestCardStats {
 ///     Ok(())
 /// }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TestCard<T> {
     target: T,
     tap: TapController,
     stats: TestCardStats,
+    /// SCAN_N register index per chain name, resolved once at construction
+    /// (chain topology is static) so a chain walk does not re-enumerate
+    /// the target's chains.
+    chain_index: std::sync::Arc<std::collections::HashMap<String, u8>>,
 }
 
 impl<T: ScanTarget> TestCard<T> {
     /// Wraps a target in a test card. Call [`TestCard::init`] before use.
     pub fn new(target: T) -> Self {
+        let chain_index = target
+            .chain_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, i as u8))
+            .collect();
         TestCard {
             target,
             tap: TapController::default(),
             stats: TestCardStats::default(),
+            chain_index: std::sync::Arc::new(chain_index),
         }
     }
 
@@ -285,6 +296,33 @@ impl<T: ScanTarget> TestCard<T> {
         Ok(())
     }
 
+    /// Opens a batched scan transaction on `chain`.
+    ///
+    /// The transaction performs **one** capture–shift–update walk to read
+    /// the chain, then any number of in-memory cell reads, writes and bit
+    /// flips, and finally at most one more walk on
+    /// [`ScanTxn::commit`] — two TAP walks for *n* cell operations instead
+    /// of the 2·*n* that per-cell [`TestCard::write_cell`] /
+    /// [`TestCard::flip_cell_bit`] calls would cost. This is the hot-path
+    /// primitive behind batched injection, state logging and health-probe
+    /// signatures.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown chains or propagates target capture errors.
+    pub fn begin_txn(&mut self, chain: &str) -> Result<ScanTxn<'_, T>, ScanError> {
+        let layout = self.layout(chain)?.clone();
+        let captured = self.read_chain(chain)?;
+        Ok(ScanTxn {
+            card: self,
+            chain: chain.to_string(),
+            layout,
+            captured: captured.clone(),
+            bits: captured,
+            dirty: false,
+        })
+    }
+
     /// Navigates the TAP and performs one full DR access on `chain`.
     ///
     /// Captures the chain; if `update` is given, shifts that image in and
@@ -300,12 +338,10 @@ impl<T: ScanTarget> TestCard<T> {
                 });
             }
         }
-        let index = self
-            .target
-            .chain_names()
-            .iter()
-            .position(|n| n == chain)
-            .ok_or_else(|| ScanError::UnknownChain(chain.to_string()))? as u8;
+        let index = *self
+            .chain_index
+            .get(chain)
+            .ok_or_else(|| ScanError::UnknownChain(chain.to_string()))?;
 
         if self.tap.state() != TapState::RunTestIdle {
             self.tap.reset_to_idle();
@@ -318,21 +354,28 @@ impl<T: ScanTarget> TestCard<T> {
         let captured = self.target.capture_chain(chain)?;
         debug_assert_eq!(captured.len(), layout.total_bits());
 
-        // Shift-DR: n bits through the chain.
+        // Shift-DR: n bits through the chain, clocked as one burst — the
+        // payload is applied wholesale at Update-DR below, so the per-bit
+        // cycles only need to advance the TCK counter.
         self.tap.clock(false); // enter Shift-DR
         let n = layout.total_bits();
         let shift_in = update.unwrap_or(&captured);
-        for i in 0..n {
-            // One TCK per bit; last bit shifts on the Exit1-DR edge.
-            let _ = shift_in.get(i);
-            self.tap.clock(i + 1 == n); // stay in Shift-DR, exit on last bit
-            self.stats.bits_shifted += 1;
+        self.tap.clock_run(n.saturating_sub(1) as u64); // stay in Shift-DR
+        if n > 0 {
+            self.tap.clock(true); // last bit shifts on the Exit1-DR edge
         }
+        self.stats.bits_shifted += n as u64;
 
-        // Exit1-DR -> Update-DR -> Run-Test/Idle.
+        // Exit1-DR -> Update-DR -> Run-Test/Idle. A pure read (SAMPLE)
+        // shifts the captured image back in unchanged, so the Update-DR
+        // write-back is an identity — skip the model call. That also keeps
+        // a read from unsharing copy-on-write target state held by a
+        // snapshot.
         self.tap.clock(true);
-        let merged = layout.masked_update(&captured, shift_in)?;
-        self.target.update_chain(chain, &merged)?;
+        if update.is_some() {
+            let merged = layout.masked_update(&captured, shift_in)?;
+            self.target.update_chain(chain, &merged)?;
+        }
         self.tap.clock(false);
         debug_assert_eq!(self.tap.state(), TapState::RunTestIdle);
         self.sync_stats();
@@ -344,6 +387,119 @@ impl<T: ScanTarget> TestCard<T> {
     }
 }
 
+/// A batched scan-chain transaction: one TAP walk in, in-memory edits, at
+/// most one TAP walk out. See [`TestCard::begin_txn`].
+///
+/// Dropping a transaction without calling [`ScanTxn::commit`] discards all
+/// pending edits; the target chain keeps its captured image (the opening
+/// read used SAMPLE semantics and did not disturb it).
+#[derive(Debug)]
+pub struct ScanTxn<'a, T: ScanTarget> {
+    card: &'a mut TestCard<T>,
+    chain: String,
+    layout: ChainLayout,
+    /// The image captured when the transaction opened.
+    captured: BitVec,
+    /// The working image, edited in memory.
+    bits: BitVec,
+    dirty: bool,
+}
+
+impl<T: ScanTarget> ScanTxn<'_, T> {
+    /// The chain this transaction is operating on.
+    pub fn chain(&self) -> &str {
+        &self.chain
+    }
+
+    /// The image captured when the transaction opened (pre-edit state,
+    /// which the SCIFI algorithm logs as experiment data).
+    pub fn captured(&self) -> &BitVec {
+        &self.captured
+    }
+
+    /// The current working image, including uncommitted edits.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Reads a named cell from the working image — no TAP traffic.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown cell names.
+    pub fn read_cell(&self, cell: &str) -> Result<u64, ScanError> {
+        self.layout.read_cell(&self.bits, cell)
+    }
+
+    /// Writes a named cell in the working image — no TAP traffic until
+    /// [`ScanTxn::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names, read-only cells, or too-wide values.
+    pub fn write_cell(&mut self, cell: &str, value: u64) -> Result<(), ScanError> {
+        let def = self
+            .layout
+            .cell(cell)
+            .ok_or_else(|| ScanError::UnknownCell(cell.to_string()))?;
+        if def.access == crate::CellAccess::ReadOnly {
+            return Err(ScanError::ReadOnlyCell {
+                cell: cell.to_string(),
+                chain: self.chain.clone(),
+            });
+        }
+        self.layout.write_cell(&mut self.bits, cell, value)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Inverts `bit` within the named cell in the working image — the
+    /// SCIFI bit-flip primitive, deferred to commit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names, read-only cells, or a bit index outside the
+    /// cell.
+    pub fn flip_cell_bit(&mut self, cell: &str, bit: usize) -> Result<(), ScanError> {
+        let def = self
+            .layout
+            .cell(cell)
+            .ok_or_else(|| ScanError::UnknownCell(cell.to_string()))?;
+        if def.access == crate::CellAccess::ReadOnly {
+            return Err(ScanError::ReadOnlyCell {
+                cell: cell.to_string(),
+                chain: self.chain.clone(),
+            });
+        }
+        if bit >= def.width {
+            return Err(ScanError::ValueTooWide {
+                cell: cell.to_string(),
+                width: def.width,
+                value: bit as u64,
+            });
+        }
+        self.bits.flip(def.offset + bit);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Applies all pending edits with a single capture–shift–update walk.
+    ///
+    /// A clean transaction (no writes or flips) costs no TAP traffic at
+    /// all. Returns the image that was captured when the transaction
+    /// opened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain-write errors from the underlying card.
+    pub fn commit(self) -> Result<BitVec, ScanError> {
+        if self.dirty {
+            self.card.write_chain(&self.chain, &self.bits)?;
+        }
+        Ok(self.captured)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,7 +507,7 @@ mod tests {
     use std::collections::HashMap;
 
     /// A toy two-chain device for exercising the card.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Device {
         layouts: Vec<ChainLayout>,
         state: HashMap<String, BitVec>,
@@ -509,6 +665,83 @@ mod tests {
         // Chain access still works afterwards.
         c.write_cell("alpha", "X", 3).unwrap();
         assert_eq!(c.read_cell("alpha", "X").unwrap(), 3);
+    }
+
+    #[test]
+    fn txn_batches_many_ops_into_two_walks() {
+        let mut c = card();
+        let before = c.stats();
+        let mut txn = c.begin_txn("alpha").unwrap();
+        txn.write_cell("X", 0xAA).unwrap();
+        txn.write_cell("Y", 0x55).unwrap();
+        txn.flip_cell_bit("X", 0).unwrap();
+        assert_eq!(txn.read_cell("X").unwrap(), 0xAB);
+        txn.commit().unwrap();
+        let after = c.stats();
+        // One read walk to open, one write walk to commit — regardless of
+        // how many cell operations happened in between.
+        assert_eq!(after.reads, before.reads + 1);
+        assert_eq!(after.writes, before.writes + 1);
+        assert_eq!(c.read_cell("alpha", "X").unwrap(), 0xAB);
+        assert_eq!(c.read_cell("alpha", "Y").unwrap(), 0x55);
+    }
+
+    #[test]
+    fn clean_txn_commit_costs_no_write_walk() {
+        let mut c = card();
+        c.write_cell("alpha", "X", 7).unwrap();
+        let before = c.stats();
+        let txn = c.begin_txn("alpha").unwrap();
+        assert_eq!(txn.read_cell("X").unwrap(), 7);
+        let captured = txn.commit().unwrap();
+        let after = c.stats();
+        assert_eq!(after.reads, before.reads + 1);
+        assert_eq!(after.writes, before.writes);
+        let layout = c.layout("alpha").unwrap();
+        assert_eq!(layout.read_cell(&captured, "X").unwrap(), 7);
+    }
+
+    #[test]
+    fn dropped_txn_discards_pending_edits() {
+        let mut c = card();
+        {
+            let mut txn = c.begin_txn("alpha").unwrap();
+            txn.write_cell("X", 0xFF).unwrap();
+            // No commit: edits vanish.
+        }
+        assert_eq!(c.read_cell("alpha", "X").unwrap(), 0);
+    }
+
+    #[test]
+    fn txn_rejects_readonly_and_out_of_range() {
+        let mut c = card();
+        let mut txn = c.begin_txn("alpha").unwrap();
+        assert!(matches!(
+            txn.write_cell("STATUS", 1).unwrap_err(),
+            ScanError::ReadOnlyCell { .. }
+        ));
+        assert!(matches!(
+            txn.flip_cell_bit("STATUS", 0).unwrap_err(),
+            ScanError::ReadOnlyCell { .. }
+        ));
+        assert!(matches!(
+            txn.flip_cell_bit("X", 8).unwrap_err(),
+            ScanError::ValueTooWide { .. }
+        ));
+        assert!(matches!(
+            txn.read_cell("NOPE").unwrap_err(),
+            ScanError::UnknownCell(_)
+        ));
+    }
+
+    #[test]
+    fn cloned_card_is_an_independent_copy() {
+        let mut c = card();
+        c.write_cell("alpha", "X", 0x12).unwrap();
+        let mut copy = c.clone();
+        copy.write_cell("alpha", "X", 0x34).unwrap();
+        assert_eq!(c.read_cell("alpha", "X").unwrap(), 0x12);
+        assert_eq!(copy.read_cell("alpha", "X").unwrap(), 0x34);
     }
 
     #[test]

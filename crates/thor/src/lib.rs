@@ -53,5 +53,5 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cpu::{AccessLog, Cpu, CpuConfig, StateVector, StopReason, PORT_COUNT};
 pub use edm::{Detection, EdmSet};
 pub use isa::{decode, encode, DecodeError, Instr, Opcode, Reg};
-pub use memory::{Memory, MemoryError};
+pub use memory::{Memory, MemoryError, PAGE_WORDS};
 pub use scan::ChainSet;

@@ -8,9 +8,58 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default memory size in 32-bit words (64 Ki words = 256 KiB).
 pub const DEFAULT_WORDS: usize = 65_536;
+
+/// Words per copy-on-write page (4 KiB).
+pub const PAGE_WORDS: usize = 1024;
+const PAGE_SHIFT: u32 = PAGE_WORDS.trailing_zeros();
+const PAGE_MASK: usize = PAGE_WORDS - 1;
+
+/// One copy-on-write page of main memory, with a slot for a memoized
+/// digest of its contents.
+///
+/// The digest slot is a pure cache: `0` means "not computed" (a real
+/// digest of 0 is merely recomputed every time), any other value is the
+/// caller-defined digest of `words` as of the last
+/// [`Memory::cache_page_digest`]. Every mutation path resets it. It is
+/// deliberately excluded from equality.
+#[derive(Debug)]
+struct Page {
+    words: [u32; PAGE_WORDS],
+    digest: AtomicU64,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page {
+            words: [0; PAGE_WORDS],
+            digest: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        // The digest describes `words`, which are copied verbatim, so the
+        // cached value stays correct in the copy.
+        Page {
+            words: self.words,
+            digest: AtomicU64::new(self.digest.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for Page {}
 
 /// Errors raised by program-initiated memory accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +89,19 @@ impl fmt::Display for MemoryError {
 
 impl Error for MemoryError {}
 
-/// Main memory: a flat array of 32-bit words.
+/// Main memory: word-addressed, stored as copy-on-write pages.
+///
+/// Each 4 KiB page sits behind an [`Arc`], so cloning a `Memory` (and
+/// therefore a whole CPU or test card, as a snapshot does) only bumps 64
+/// reference counts; the first write to a shared page after a clone pays
+/// for copying that one page. The flat-array semantics of every accessor
+/// are unchanged. Words past `len` in the last page are invariantly zero —
+/// every write is bounds-checked against `len` first — so derived
+/// equality over pages matches flat-array equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Memory {
-    words: Vec<u32>,
+    pages: Vec<Arc<Page>>,
+    len: usize,
     code_words: u32,
     protect_code: bool,
 }
@@ -62,8 +120,14 @@ impl Memory {
     /// Panics if `words` is 0 or exceeds `u32::MAX`.
     pub fn new(words: usize) -> Self {
         assert!(words > 0 && words <= u32::MAX as usize, "bad memory size");
+        // Every slot starts as the same shared zero page; pages diverge
+        // lazily as they are written.
+        let zero: Arc<Page> = Arc::new(Page::zeroed());
         Memory {
-            words: vec![0; words],
+            pages: (0..words.div_ceil(PAGE_WORDS))
+                .map(|_| Arc::clone(&zero))
+                .collect(),
+            len: words,
             code_words: 0,
             protect_code: true,
         }
@@ -71,12 +135,57 @@ impl Memory {
 
     /// Size in words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// Whether the memory has zero words (never true in practice).
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
+    }
+
+    /// The word at `addr`; the caller has bounds-checked `addr < len`.
+    #[inline]
+    fn word(&self, addr: usize) -> u32 {
+        self.pages[addr >> PAGE_SHIFT].words[addr & PAGE_MASK]
+    }
+
+    /// Mutable word at `addr` (bounds-checked by the caller), unsharing
+    /// the containing page if a snapshot still references it.
+    #[inline]
+    fn word_mut(&mut self, addr: usize) -> &mut u32 {
+        let page = Arc::make_mut(&mut self.pages[addr >> PAGE_SHIFT]);
+        *page.digest.get_mut() = 0;
+        &mut page.words[addr & PAGE_MASK]
+    }
+
+    /// Number of copy-on-write pages backing this memory.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The live words of page `index` (the last page may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn page_words(&self, index: usize) -> &[u32] {
+        let live = (self.len - index * PAGE_WORDS).min(PAGE_WORDS);
+        &self.pages[index].words[..live]
+    }
+
+    /// The memoized digest of page `index`, if one has been cached since
+    /// the page last changed. The digest function is the caller's; memory
+    /// only guarantees the cache is dropped on mutation.
+    pub fn cached_page_digest(&self, index: usize) -> Option<u64> {
+        match self.pages[index].digest.load(Ordering::Relaxed) {
+            0 => None,
+            d => Some(d),
+        }
+    }
+
+    /// Memoizes `digest` for the current contents of page `index`.
+    pub fn cache_page_digest(&self, index: usize, digest: u64) {
+        self.pages[index].digest.store(digest, Ordering::Relaxed);
     }
 
     /// Marks `[0, code_words)` as the (write-protected) code segment.
@@ -105,10 +214,11 @@ impl Memory {
     ///
     /// Returns [`MemoryError::OutOfRange`] past the end of memory.
     pub fn read(&self, addr: u32) -> Result<u32, MemoryError> {
-        self.words
-            .get(addr as usize)
-            .copied()
-            .ok_or(MemoryError::OutOfRange { addr })
+        if (addr as usize) < self.len {
+            Ok(self.word(addr as usize))
+        } else {
+            Err(MemoryError::OutOfRange { addr })
+        }
     }
 
     /// Program-initiated write, subject to code-segment protection.
@@ -122,12 +232,11 @@ impl Memory {
         if self.protect_code && addr < self.code_words {
             return Err(MemoryError::WriteProtected { addr });
         }
-        match self.words.get_mut(addr as usize) {
-            Some(w) => {
-                *w = value;
-                Ok(())
-            }
-            None => Err(MemoryError::OutOfRange { addr }),
+        if (addr as usize) < self.len {
+            *self.word_mut(addr as usize) = value;
+            Ok(())
+        } else {
+            Err(MemoryError::OutOfRange { addr })
         }
     }
 
@@ -147,12 +256,11 @@ impl Memory {
     ///
     /// Returns [`MemoryError::OutOfRange`] past the end of memory.
     pub fn write_raw(&mut self, addr: u32, value: u32) -> Result<(), MemoryError> {
-        match self.words.get_mut(addr as usize) {
-            Some(w) => {
-                *w = value;
-                Ok(())
-            }
-            None => Err(MemoryError::OutOfRange { addr }),
+        if (addr as usize) < self.len {
+            *self.word_mut(addr as usize) = value;
+            Ok(())
+        } else {
+            Err(MemoryError::OutOfRange { addr })
         }
     }
 
@@ -178,13 +286,23 @@ impl Memory {
     /// Returns [`MemoryError::OutOfRange`] if the block does not fit.
     pub fn load_block(&mut self, addr: u32, data: &[u32]) -> Result<(), MemoryError> {
         let start = addr as usize;
-        let end = start
+        start
             .checked_add(data.len())
-            .filter(|&e| e <= self.words.len())
+            .filter(|&e| e <= self.len)
             .ok_or(MemoryError::OutOfRange {
                 addr: addr.saturating_add(data.len() as u32),
             })?;
-        self.words[start..end].copy_from_slice(data);
+        let mut pos = start;
+        let mut src = data;
+        while !src.is_empty() {
+            let off = pos & PAGE_MASK;
+            let n = (PAGE_WORDS - off).min(src.len());
+            let page = Arc::make_mut(&mut self.pages[pos >> PAGE_SHIFT]);
+            *page.digest.get_mut() = 0;
+            page.words[off..off + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            pos += n;
+        }
         Ok(())
     }
 
@@ -195,18 +313,32 @@ impl Memory {
     /// Returns [`MemoryError::OutOfRange`] if the block does not fit.
     pub fn read_block(&self, addr: u32, len: usize) -> Result<Vec<u32>, MemoryError> {
         let start = addr as usize;
-        let end = start
+        start
             .checked_add(len)
-            .filter(|&e| e <= self.words.len())
+            .filter(|&e| e <= self.len)
             .ok_or(MemoryError::OutOfRange {
                 addr: addr.saturating_add(len as u32),
             })?;
-        Ok(self.words[start..end].to_vec())
+        let mut out = Vec::with_capacity(len);
+        let mut pos = start;
+        while out.len() < len {
+            let off = pos & PAGE_MASK;
+            let n = (PAGE_WORDS - off).min(len - out.len());
+            out.extend_from_slice(&self.pages[pos >> PAGE_SHIFT].words[off..off + n]);
+            pos += n;
+        }
+        Ok(out)
     }
 
     /// Zeroes all of memory and forgets the code segment.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        // Re-point every slot at one shared zero page instead of writing
+        // zeros through — O(pages), and snapshots sharing the old pages
+        // are unaffected.
+        let zero: Arc<Page> = Arc::new(Page::zeroed());
+        for page in &mut self.pages {
+            *page = Arc::clone(&zero);
+        }
         self.code_words = 0;
     }
 }

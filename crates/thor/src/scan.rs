@@ -168,38 +168,35 @@ impl Cpu {
         } else {
             (&self.dcache, &self.chains.dcache)
         };
+        let tag_bits = cache.tag_bits();
+        let line_width = 1 + tag_bits + 32 + 1;
         let mut bits = BitVec::zeros(layout.total_bits());
-        let mut offset = 0;
         for i in 0..cache.line_count() {
-            let line_bits = cache.capture_line(i);
-            for (j, b) in line_bits.iter().enumerate() {
-                bits.set(offset + j, b);
-            }
-            offset += line_bits.len();
+            let line = cache.line(i);
+            let off = i * line_width;
+            bits.set(off, line.valid);
+            bits.write_range(off + 1, tag_bits, line.tag as u64);
+            bits.write_range(off + 1 + tag_bits, 32, line.data as u64);
+            bits.set(off + 1 + tag_bits + 32, line.parity);
         }
         bits
     }
 
     fn update_cache(&mut self, which: &str, bits: &BitVec) {
-        let line_width = {
-            let cache = if which == ICACHE {
-                &self.icache
-            } else {
-                &self.dcache
-            };
-            1 + cache.tag_bits() + 32 + 1
-        };
         let cache = if which == ICACHE {
             &mut self.icache
         } else {
             &mut self.dcache
         };
+        let tag_bits = cache.tag_bits();
+        let line_width = 1 + tag_bits + 32 + 1;
         for i in 0..cache.line_count() {
-            let mut line_bits = BitVec::zeros(line_width);
-            for j in 0..line_width {
-                line_bits.set(j, bits.get(i * line_width + j));
-            }
-            cache.update_line(i, &line_bits);
+            let off = i * line_width;
+            let line = cache.line_mut(i);
+            line.valid = bits.get(off);
+            line.tag = bits.read_range(off + 1, tag_bits) as u32;
+            line.data = bits.read_range(off + 1 + tag_bits, 32) as u32;
+            line.parity = bits.get(off + 1 + tag_bits + 32);
         }
     }
 

@@ -19,9 +19,11 @@ use goofi::core::fault::{FaultLocation, FaultSpec};
 use goofi::core::monitor::ProgressMonitor;
 use goofi::core::preinject::StepAccess;
 use goofi::core::trigger::Trigger;
-use goofi::core::{DetectionInfo, GoofiError, RunBudget, RunEvent, TargetAccess};
+use goofi::core::{
+    readout_restore, readout_snapshot, DetectionInfo, GoofiError, RunBudget, RunEvent, TargetAccess,
+};
 use goofi::envsim::NullEnvironment;
-use goofi::scanchain::{BitVec, ChainLayout};
+use goofi::scanchain::{BitVec, CellAccess, ChainLayout};
 
 /// A deliberately tiny target: an 8-bit accumulator machine with 256 words
 /// of memory and a single "illegal opcode" detection mechanism.
@@ -48,6 +50,20 @@ impl AccumulatorMachine {
             detected: false,
             instructions: 0,
         }
+    }
+
+    /// The machine's one boundary scan chain: every architectural register
+    /// as a read-write cell. Making all of them writable is what lets the
+    /// *generic* snapshot fallback ([`readout_snapshot`] /
+    /// [`readout_restore`]) control the full machine state without any
+    /// native snapshot support.
+    fn scan_layout() -> ChainLayout {
+        ChainLayout::builder("core")
+            .cell("ACC", 8, CellAccess::ReadWrite)
+            .cell("PC", 8, CellAccess::ReadWrite)
+            .cell("HALT", 1, CellAccess::ReadWrite)
+            .cell("DET", 1, CellAccess::ReadWrite)
+            .build()
     }
 
     fn step_once(&mut self) -> Option<RunEvent> {
@@ -85,9 +101,12 @@ impl AccumulatorMachine {
 }
 
 // The porting step: implement the building blocks the SWIFI algorithm
-// needs. Scan-chain methods stay "Write your code here!" (Unimplemented) —
-// this target has no test logic, so only SWIFI campaigns can run, exactly
-// like a real port that starts with one technique.
+// needs, plus one boundary scan chain over the architectural registers.
+// Methods the port does not need yet stay "Write your code here!"
+// (Unimplemented) — any algorithm touching them fails fast with the
+// missing method's name, exactly like the paper's workflow. Note there is
+// no native `snapshot`/`restore` override: the scan chain plus memory
+// access is already enough for the generic readout fallback (see main).
 impl TargetAccess for AccumulatorMachine {
     fn target_name(&self) -> &str {
         "accumulator-8"
@@ -158,15 +177,32 @@ impl TargetAccess for AccumulatorMachine {
     }
 
     fn chain_layouts(&self) -> Vec<ChainLayout> {
-        Vec::new() // no scan chains
+        vec![Self::scan_layout()]
     }
 
-    fn read_scan_chain(&mut self, _chain: &str) -> goofi::core::Result<BitVec> {
-        Err(GoofiError::Unimplemented("read_scan_chain")) // Write your code here!
+    fn read_scan_chain(&mut self, chain: &str) -> goofi::core::Result<BitVec> {
+        if chain != "core" {
+            return Err(GoofiError::Target(format!("unknown scan chain: {chain}")));
+        }
+        let layout = Self::scan_layout();
+        let mut bits = BitVec::zeros(layout.total_bits());
+        layout.write_cell(&mut bits, "ACC", u64::from(self.acc))?;
+        layout.write_cell(&mut bits, "PC", u64::from(self.pc))?;
+        layout.write_cell(&mut bits, "HALT", u64::from(self.halted))?;
+        layout.write_cell(&mut bits, "DET", u64::from(self.detected))?;
+        Ok(bits)
     }
 
-    fn write_scan_chain(&mut self, _chain: &str, _bits: &BitVec) -> goofi::core::Result<()> {
-        Err(GoofiError::Unimplemented("write_scan_chain")) // Write your code here!
+    fn write_scan_chain(&mut self, chain: &str, bits: &BitVec) -> goofi::core::Result<()> {
+        if chain != "core" {
+            return Err(GoofiError::Target(format!("unknown scan chain: {chain}")));
+        }
+        let layout = Self::scan_layout();
+        self.acc = layout.read_cell(bits, "ACC")? as u8;
+        self.pc = layout.read_cell(bits, "PC")? as u8;
+        self.halted = layout.read_cell(bits, "HALT")? != 0;
+        self.detected = layout.read_cell(bits, "DET")? != 0;
+        Ok(())
     }
 
     fn write_input_ports(&mut self, _inputs: &[u32]) -> goofi::core::Result<()> {
@@ -255,5 +291,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "reference output: {:?} (11+22+33+44 = 110)",
         result.reference.state.outputs
     );
+
+    // Second porting milestone: state capture without native snapshot
+    // support. `AccumulatorMachine` never implements `snapshot`/`restore`
+    // (a fresh port rarely can — on real hardware those need simulator or
+    // debug-unit cooperation). The generic scan-readout fallback only
+    // needs what the port already has: scan chains and memory access.
+    let mut target = AccumulatorMachine::new();
+    target.load_workload(&campaign.workload)?;
+    target.run_workload(RunBudget {
+        max_instructions: 3,
+    })?;
+    let captured = readout_snapshot(&mut target)?;
+
+    // Wreck the machine state, then roll it back through the chain.
+    target.flip_memory_bit(17, 4)?;
+    target.run_workload(RunBudget::default())?;
+    readout_restore(&mut target, &captured)?;
+
+    let resumed = target.run_workload(RunBudget::default())?;
+    assert!(matches!(resumed, RunEvent::Halted));
+    assert_eq!(target.read_memory(32, 1)?, vec![110]);
+    println!("readout snapshot/restore: rolled back mid-run state, re-ran to the correct sum");
     Ok(())
 }

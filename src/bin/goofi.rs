@@ -141,7 +141,8 @@ fn print_usage() {
             [--revalidate-every N] [--health-check-every N]\n  \
          goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n        \
             [--journal <file>] [--link-faults <spec>] [--verify-reads]\n        \
-            [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
+            [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n        \
+            [--no-snapshot]\n  \
          goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
             [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n        \
             [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
@@ -176,6 +177,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                     | "status"
                     | "shutdown"
                     | "repair"
+                    | "no-snapshot"
             );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
@@ -599,6 +601,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let (link, verify) = link_flags(&flags)?;
     let wedge = wedge_flag(&flags)?;
     let journal_path = flags.get("journal").cloned();
+    let snapshots = !flags.contains_key("no-snapshot");
     let started = std::time::Instant::now();
     let result = if workers <= 1 {
         let mut target = decorate_target(wedge, link, verify, &monitor, 0);
@@ -609,12 +612,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             None => None,
         };
-        algorithms::run_campaign_journaled(
+        // The golden cache lives next to the journal; a journal-less run
+        // has nowhere durable to keep it.
+        let cache = journal_path.as_ref().map(|p| {
+            goofi::core::golden::GoldenCache::new(
+                &goofi::core::vfs::RealFs,
+                Path::new(p.as_str()),
+                &campaign,
+                env.name(),
+            )
+        });
+        algorithms::run_campaign_journaled_opts(
             &mut target,
             &campaign,
             &monitor,
             env.as_mut(),
             journal.as_mut(),
+            cache.as_ref(),
+            snapshots,
         )
     } else {
         let env_kind2 = env_kind.clone();
@@ -626,7 +641,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         };
         let worker_seq = std::sync::atomic::AtomicU64::new(0);
         let make_monitor = monitor.clone();
-        runner::run_campaign_parallel_journaled(
+        runner::run_campaign_parallel_journaled_opts(
             move || {
                 let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 decorate_target(wedge, link, verify, &make_monitor, worker)
@@ -640,6 +655,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             &monitor,
             workers,
             journal.as_mut(),
+            snapshots,
         )
     };
     let result = result

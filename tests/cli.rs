@@ -109,6 +109,77 @@ fn full_campaign_workflow() {
     assert!(out.contains("26"), "reference + 25 experiments: {out}"); // 25 + reference
 }
 
+/// The experiment rows that define a run's essence, sorted for
+/// order-independent comparison.
+fn essence_rows(db: &str) -> Vec<String> {
+    let out = stdout(&goofi(&[
+        "sql",
+        db,
+        "SELECT experimentName, termination, stateVector, validity FROM LoggedSystemState",
+    ]));
+    let mut rows: Vec<String> = out.lines().map(str::to_string).collect();
+    rows.sort();
+    rows
+}
+
+/// The snapshot fast path must be invisible in the results, even with
+/// fault-model decorators stacked on the target: a flaky transport (with
+/// read verification) forwards snapshots cleanly, and a wedgeable target
+/// vetoes prefix reuse entirely — either way the logged essence must be
+/// bit-identical to a `--no-snapshot` run of the same campaign.
+#[test]
+fn snapshot_path_matches_slow_path_under_fault_stacks() {
+    let stacks: [(&str, &[&str]); 2] = [
+        (
+            "link",
+            &[
+                "--link-faults",
+                "seed=42,corrupt=0.01,drop=0.002,stall=0.001",
+                "--verify-reads",
+            ],
+        ),
+        ("wedge", &["--wedge", "seed=7,hang=0.05,recover=power"]),
+    ];
+    for (label, extra) in stacks {
+        let guard = tempdir::create(&format!("snapeq-{label}"));
+        let mut dbs = Vec::new();
+        for mode in ["fast", "slow"] {
+            let db = guard
+                .path
+                .join(format!("{mode}.gdb"))
+                .to_string_lossy()
+                .into_owned();
+            stdout(&goofi(&[
+                "new",
+                &db,
+                "--name",
+                "c1",
+                "--workload",
+                "crc32",
+                "--experiments",
+                "8",
+                "--seed",
+                "42",
+                "--max-instr",
+                "200000",
+                "--on-error",
+                "skip",
+            ]));
+            let mut args = vec!["run", &db, "--name", "c1"];
+            args.extend_from_slice(extra);
+            if mode == "slow" {
+                args.push("--no-snapshot");
+            }
+            stdout(&goofi(&args));
+            dbs.push(db);
+        }
+        let fast = essence_rows(&dbs[0]);
+        let slow = essence_rows(&dbs[1]);
+        assert!(!fast.is_empty(), "{label}: no rows logged");
+        assert_eq!(fast, slow, "{label}: snapshot path diverged from slow path");
+    }
+}
+
 #[test]
 fn swifi_campaign_via_cli() {
     let (_guard, db) = tmp_db("swifi");
@@ -201,7 +272,7 @@ fn report_timings_matches_golden_table() {
         .lines()
         .skip_while(|l| !l.starts_with("per-stage timings (from "))
         .skip(1)
-        .take(10)
+        .take(11)
         .map(normalize_timings)
         .collect::<Vec<_>>();
     let golden = [
@@ -215,6 +286,7 @@ fn report_timings_matches_golden_table() {
         "probe N N N N N",
         "recover N N N N N",
         "fsck N N N N N",
+        "snapshot-restore N N N N N",
     ];
     assert_eq!(section, golden, "full output:\n{out}");
 
