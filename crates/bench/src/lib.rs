@@ -15,8 +15,9 @@ use goofi_core::campaign::{
 };
 use goofi_core::fault::FaultSpace;
 use goofi_core::monitor::ProgressMonitor;
+use goofi_riscv::RiscvTarget;
 use goofi_thor::ThorTarget;
-use workloads::{OutputSpec, Workload};
+use workloads::{OutputSpec, RiscvWorkload, Workload};
 
 /// Converts a library workload into a campaign workload image.
 pub fn workload_image(w: &Workload) -> WorkloadImage {
@@ -52,6 +53,43 @@ pub fn campaign_for(name: &str, w: &Workload) -> CampaignBuilder {
 /// The Thor target-system description.
 pub fn thor_description() -> TargetSystemData {
     TargetSystemData::from_target(&ThorTarget::default(), "Thor-RD-like CPU simulator")
+}
+
+/// Converts an RV32I library workload into a campaign workload image.
+pub fn riscv_workload_image(w: &RiscvWorkload) -> WorkloadImage {
+    WorkloadImage {
+        name: w.name.clone(),
+        words: w.image.words.clone(),
+        code_words: w.image.code_words,
+        entry: w.image.entry,
+    }
+}
+
+/// The campaign output region matching an RV32I workload's output spec.
+pub fn riscv_output_region(w: &RiscvWorkload) -> OutputRegion {
+    match w.output {
+        OutputSpec::Memory { addr, len } => OutputRegion::Memory { addr, len },
+        OutputSpec::Ports => OutputRegion::Ports,
+    }
+}
+
+/// A campaign builder pre-configured for a workload on the RV32I target —
+/// the exact shape of [`campaign_for`] with the second CPU's system name.
+pub fn riscv_campaign_for(name: &str, w: &RiscvWorkload) -> CampaignBuilder {
+    Campaign::builder(name)
+        .target_system("rv32i")
+        .workload(riscv_workload_image(w))
+        .observe_chains(["internal"])
+        .output(riscv_output_region(w))
+        .termination(Termination {
+            max_instructions: 500_000,
+            max_iterations: None,
+        })
+}
+
+/// The RV32I target-system description.
+pub fn riscv_description() -> TargetSystemData {
+    TargetSystemData::from_target(&RiscvTarget::default(), "RV32I cycle-counting core")
 }
 
 /// The SCIFI fault space over the core's architectural state (the
@@ -97,6 +135,26 @@ pub fn full_scifi_space(data: &TargetSystemData, time_window: std::ops::Range<u6
 /// experiment definition.
 pub fn run(campaign: &Campaign) -> CampaignResult {
     run_opts(campaign, true)
+}
+
+/// Runs a campaign serially on a fresh RV32I target.
+///
+/// # Panics
+///
+/// Panics on campaign failure.
+pub fn riscv_run(campaign: &Campaign) -> CampaignResult {
+    let mut target = RiscvTarget::default();
+    let monitor = ProgressMonitor::new(campaign.experiment_count());
+    algorithms::run_campaign_journaled_opts(
+        &mut target,
+        campaign,
+        &monitor,
+        &mut envsim::NullEnvironment,
+        None,
+        None,
+        true,
+    )
+    .expect("campaign failed")
 }
 
 /// [`run`] with the snapshot/restore hot path made explicit —
@@ -152,6 +210,15 @@ pub fn stats(result: &CampaignResult) -> CampaignStats {
 /// size injection-time windows.
 pub fn reference_length(campaign: &Campaign) -> u64 {
     let mut target = ThorTarget::default();
+    algorithms::make_reference_run(&mut target, campaign, &mut envsim::NullEnvironment)
+        .expect("reference run failed")
+        .state
+        .instructions
+}
+
+/// [`reference_length`] against the RV32I core.
+pub fn riscv_reference_length(campaign: &Campaign) -> u64 {
+    let mut target = RiscvTarget::default();
     algorithms::make_reference_run(&mut target, campaign, &mut envsim::NullEnvironment)
         .expect("reference run failed")
         .state

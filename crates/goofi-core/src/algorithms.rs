@@ -1020,9 +1020,7 @@ fn run_experiment_inner<T: TargetAccess + ?Sized>(
                 // the next experiment restores here when its own trigger
                 // is at or past this instant.
                 if !detail && !at_trigger && exchanges == 0 {
-                    if let (Trigger::AfterInstructions(_), Some(s)) =
-                        (spec.trigger, session)
-                    {
+                    if let (Trigger::AfterInstructions(_), Some(s)) = (spec.trigger, session) {
                         if s.usable(&*target) {
                             let _sr = tel.stage_span(Stage::SnapshotRestore, exp_span.id());
                             if let Ok(snap) = target.snapshot() {

@@ -113,13 +113,14 @@ impl TargetAccess for NullTarget {
         Err(GoofiError::Unimplemented("step_traced")) // Write your code here!
     }
 
-    fn snapshot(&mut self) -> Result<TargetSnapshot> {
-        Err(GoofiError::Unimplemented("snapshot")) // Write your code here!
-    }
-
-    fn restore(&mut self, _snapshot: &TargetSnapshot) -> Result<()> {
-        Err(GoofiError::Unimplemented("restore")) // Write your code here!
-    }
+    // snapshot/restore deliberately NOT stubbed out here: the trait
+    // defaults already return Unimplemented and — crucially — report
+    // `supports_snapshot() == false`, so a fresh port honestly advertises
+    // "no snapshot support yet" and every experiment driver falls back to
+    // the correct (slow) reload-and-replay path. A port opts in later by
+    // overriding snapshot + restore + supports_snapshot together, or by
+    // wrapping itself in [`crate::conformance::ReadoutFallback`] for
+    // scan-readout snapshots with zero extra code.
 }
 
 /// A small, fully deterministic simulated target system.

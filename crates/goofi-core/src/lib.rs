@@ -34,6 +34,7 @@
 
 pub mod algorithms;
 pub mod campaign;
+pub mod conformance;
 pub mod dbio;
 mod error;
 pub mod fault;

@@ -431,6 +431,26 @@ impl Scheduler {
         campaign: &str,
         workers: usize,
     ) -> Result<String> {
+        self.submit_request_for_target(request_id, campaign, workers, None)
+    }
+
+    /// [`Scheduler::submit_request`] with an expected target system: the
+    /// submission is rejected when the stored campaign names a different
+    /// one, so a client's `--target` flag acts as a cross-check rather
+    /// than an override — the campaign, not the submitter, owns the
+    /// choice of CPU.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::submit_request`], plus [`GoofiError::Config`] on a
+    /// target-system mismatch.
+    pub fn submit_request_for_target(
+        &self,
+        request_id: Option<&str>,
+        campaign: &str,
+        workers: usize,
+        target: Option<&str>,
+    ) -> Result<String> {
         // Held across the whole submit so two racing retries of the same
         // request id cannot both miss the map and double-submit.
         let mut requests = self.shared.requests.lock();
@@ -448,7 +468,15 @@ impl Scheduler {
         let cfg = &self.shared.cfg;
         // Fail fast on bad submissions, before anything durable exists.
         let db = dbio::load_database(cfg.vfs.as_ref(), &cfg.db_path)?;
-        dbio::load_campaign(&db, campaign)?;
+        let stored = dbio::load_campaign(&db, campaign)?;
+        if let Some(want) = target {
+            if stored.target_system != want {
+                return Err(GoofiError::Config(format!(
+                    "campaign `{campaign}` targets `{}`, not `{want}`",
+                    stored.target_system
+                )));
+            }
+        }
         drop(db);
 
         let id = format!(
@@ -730,6 +758,7 @@ fn run_job(
                     match spawn_worker(
                         &sched.cfg,
                         campaign_name,
+                        &campaign.target_system,
                         shard,
                         &ranges[shard],
                         &journal_path(shard),
@@ -1003,6 +1032,7 @@ fn shard_journal_complete(
 fn spawn_worker(
     cfg: &ServiceConfig,
     campaign: &str,
+    target_system: &str,
     shard: usize,
     range: &std::ops::Range<usize>,
     journal: &Path,
@@ -1017,6 +1047,13 @@ fn spawn_worker(
         attempt,
         chaos: cfg.chaos,
         net_chaos: cfg.net_chaos.clone(),
+        // The campaign's stored target system rides the spawn line so a
+        // multi-target worker binary ports the job to the right CPU.
+        target: if target_system.is_empty() {
+            None
+        } else {
+            Some(target_system.to_string())
+        },
     };
     let mut child = Command::new(&cfg.worker_cmd.program)
         .args(&cfg.worker_cmd.args)

@@ -150,13 +150,19 @@ fn handle_connection(mut conn: Box<dyn Conn>, scheduler: &Scheduler, stop: &Atom
             campaign,
             workers,
             watch,
+            target,
         } => {
             let request_id = if id.is_empty() {
                 None
             } else {
                 Some(id.as_str())
             };
-            match scheduler.submit_request(request_id, &campaign, workers) {
+            let target = if target.is_empty() {
+                None
+            } else {
+                Some(target.as_str())
+            };
+            match scheduler.submit_request_for_target(request_id, &campaign, workers, target) {
                 Ok(job) => {
                     send(&mut conn, &Response::Accepted { job: job.clone() });
                     if watch {
@@ -602,6 +608,34 @@ pub fn submit_job_with(
     workers: usize,
     read_timeout: Duration,
 ) -> Result<String> {
+    submit_job_targeted(
+        transport,
+        addr,
+        request_id,
+        campaign,
+        workers,
+        None,
+        read_timeout,
+    )
+}
+
+/// [`submit_job_with`] carrying an expected target system: the daemon
+/// rejects the submission when the stored campaign targets a different
+/// CPU, so `goofi submit --target` fails loudly instead of running a
+/// campaign on the wrong core.
+///
+/// # Errors
+///
+/// See [`submit_job`].
+pub fn submit_job_targeted(
+    transport: &dyn Transport,
+    addr: &str,
+    request_id: &str,
+    campaign: &str,
+    workers: usize,
+    target: Option<&str>,
+    read_timeout: Duration,
+) -> Result<String> {
     let mut last = String::new();
     for attempt in 0..SESSION_RETRIES {
         if attempt > 0 {
@@ -620,6 +654,7 @@ pub fn submit_job_with(
             campaign: campaign.to_string(),
             workers,
             watch: false,
+            target: target.unwrap_or("").to_string(),
         }) {
             last = e.to_string();
             continue;

@@ -50,6 +50,12 @@ pub enum Request {
         workers: usize,
         /// Stream progress lines on this connection after `accepted`.
         watch: bool,
+        /// Expected target system of the campaign (empty = don't care).
+        /// The daemon rejects the submission when the stored campaign
+        /// targets a different CPU — a guard against driving a campaign
+        /// sampled for one chain layout into another core. Optional on
+        /// the wire for compatibility with older clients.
+        target: String,
     },
     /// Attach to an existing job and stream its progress.
     Watch {
@@ -78,6 +84,7 @@ impl Request {
                 campaign,
                 workers,
                 watch,
+                target,
             } => {
                 let mut out = String::from("{\"op\":\"submit\",\"campaign\":");
                 push_json_str(&mut out, campaign);
@@ -86,6 +93,10 @@ impl Request {
                 if !id.is_empty() {
                     out.push_str(",\"id\":");
                     push_json_str(&mut out, id);
+                }
+                if !target.is_empty() {
+                    out.push_str(",\"target\":");
+                    push_json_str(&mut out, target);
                 }
                 out.push('}');
                 out
@@ -118,6 +129,7 @@ impl Request {
                 campaign: fields.str("campaign")?.to_string(),
                 workers: fields.num("workers")?.max(1) as usize,
                 watch: fields.num_or("watch", 0) != 0,
+                target: fields.str_or("target", ""),
             }),
             "watch" => Ok(Request::Watch {
                 job: fields.str("job")?.to_string(),
@@ -513,12 +525,14 @@ mod tests {
                 campaign: "c one \"quoted\"".into(),
                 workers: 4,
                 watch: true,
+                target: String::new(),
             },
             Request::Submit {
                 id: "host-17-42".into(),
                 campaign: "c2".into(),
                 workers: 1,
                 watch: false,
+                target: "rv32i".into(),
             },
             Request::Watch {
                 job: "job-7".into(),

@@ -51,11 +51,16 @@ pub struct WorkerArgs {
     /// Seeded perturbation of our own event frames, when the daemon runs
     /// with `--net-chaos` — the worker-side half of the network drill.
     pub net_chaos: Option<NetFaultConfig>,
+    /// The campaign's `target_system` name, recorded by the spawning
+    /// daemon so a multi-target worker binary builds the right port
+    /// (`None` = the binary's default target). The framework never
+    /// interprets the string — only the binary's registry does.
+    pub target: Option<String>,
 }
 
 impl WorkerArgs {
     /// Parses `--db P --campaign C --shard K --range A:B --journal P
-    /// [--attempt N] [--chaos SPEC] [--net-chaos SPEC]`.
+    /// [--attempt N] [--chaos SPEC] [--net-chaos SPEC] [--target NAME]`.
     ///
     /// # Errors
     ///
@@ -71,6 +76,7 @@ impl WorkerArgs {
         let mut attempt: u32 = 1;
         let mut chaos = None;
         let mut net_chaos = None;
+        let mut target = None;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let value = it
@@ -119,6 +125,7 @@ impl WorkerArgs {
                             GoofiError::Config(format!("bad --net-chaos `{value}`"))
                         })?);
                 }
+                "--target" => target = Some(value.clone()),
                 other => return Err(GoofiError::Config(format!("unknown worker flag `{other}`"))),
             }
         }
@@ -132,6 +139,7 @@ impl WorkerArgs {
             attempt: attempt.max(1),
             chaos,
             net_chaos,
+            target,
         })
     }
 
@@ -159,6 +167,10 @@ impl WorkerArgs {
         if let Some(net_chaos) = &self.net_chaos {
             args.push("--net-chaos".into());
             args.push(net_chaos.encode());
+        }
+        if let Some(target) = &self.target {
+            args.push("--target".into());
+            args.push(target.clone());
         }
         args
     }
@@ -347,8 +359,29 @@ mod tests {
             attempt: 3,
             chaos: Some(ChaosConfig::decode("kill-after=3,seed=7").unwrap()),
             net_chaos: Some(NetFaultConfig::decode("drop=0.05,seed=7").unwrap()),
+            target: Some("rv32i".into()),
         };
         assert_eq!(WorkerArgs::parse(&args.to_args()).unwrap(), args);
+    }
+
+    #[test]
+    fn target_flag_is_optional() {
+        let args = parse(&[
+            "--db",
+            "d",
+            "--campaign",
+            "c",
+            "--shard",
+            "0",
+            "--range",
+            "0:4",
+            "--journal",
+            "j",
+        ])
+        .unwrap();
+        assert_eq!(args.target, None);
+        // A spawn line without `--target` stays parseable by old workers.
+        assert!(!args.to_args().contains(&"--target".to_string()));
     }
 
     #[test]

@@ -316,9 +316,13 @@ pub fn readout_snapshot<T: TargetAccess + ?Sized>(target: &mut T) -> Result<Read
     })
 }
 
-/// Writes a [`readout_snapshot`] capture back: every chain's writable
-/// cells, then all of memory. Read-only cells keep whatever the target
-/// holds — the same limitation any scan-based state control has.
+/// Writes a [`readout_snapshot`] capture back: all of memory, then every
+/// chain's writable cells. Memory goes first because memory writes may
+/// have architectural side effects (cache-coherence invalidation on a
+/// write-through port, for instance) that would clobber freshly scanned-in
+/// state; scanning in last leaves the chains exactly as captured.
+/// Read-only cells keep whatever the target holds — the same limitation
+/// any scan-based state control has.
 ///
 /// # Errors
 ///
@@ -327,10 +331,11 @@ pub fn readout_restore<T: TargetAccess + ?Sized>(
     target: &mut T,
     snapshot: &ReadoutSnapshot,
 ) -> Result<()> {
+    target.write_memory(0, &snapshot.memory)?;
     for (chain, bits) in &snapshot.chains {
         target.write_scan_chain(chain, bits)?;
     }
-    target.write_memory(0, &snapshot.memory)
+    Ok(())
 }
 
 /// Boxed targets are targets too, so callers can assemble decorator stacks

@@ -342,6 +342,7 @@ fn serve_and_client_speak_the_wire_protocol_end_to_end() {
             campaign: "svc-wire".into(),
             workers: 2,
             watch: true,
+            target: String::new(),
         })
         .unwrap();
     let job = match client.recv().unwrap() {

@@ -15,14 +15,17 @@ const NASTY: &str = "[a-zA-Z0-9 _.:,/{}\"\n\t\\\\-]{0,20}";
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         any::<u64>().prop_map(|version| Request::Hello { version }),
-        (NASTY, NASTY, 1usize..512, any::<bool>()).prop_map(|(id, campaign, workers, watch)| {
-            Request::Submit {
-                id,
-                campaign,
-                workers,
-                watch,
+        (NASTY, NASTY, 1usize..512, any::<bool>(), NASTY).prop_map(
+            |(id, campaign, workers, watch, target)| {
+                Request::Submit {
+                    id,
+                    campaign,
+                    workers,
+                    watch,
+                    target,
+                }
             }
-        }),
+        ),
         (NASTY, any::<u64>()).prop_map(|(job, after)| Request::Watch { job, after }),
         Just(Request::Status),
         Just(Request::Shutdown),

@@ -1,0 +1,401 @@
+//! Word-addressed main memory with code-segment write protection.
+//!
+//! Same contract as the `thor` crate's memory (the two targets share the
+//! GOOFI-side conventions): tool-side `*_raw` accessors bypass protection
+//! so pre-runtime SWIFI can corrupt the program area, while program stores
+//! into the code segment fault. Storage is copy-on-write pages so whole-CPU
+//! snapshots are reference-count bumps, with a per-page digest memo slot
+//! for the memoized `memory_digest` fast path.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default memory size in 32-bit words (64 Ki words = 256 KiB).
+pub const DEFAULT_WORDS: usize = 65_536;
+
+/// Words per copy-on-write page (4 KiB).
+pub const PAGE_WORDS: usize = 1024;
+const PAGE_SHIFT: u32 = PAGE_WORDS.trailing_zeros();
+const PAGE_MASK: usize = PAGE_WORDS - 1;
+
+/// One copy-on-write page, with a slot for a memoized content digest.
+///
+/// The digest slot is a pure cache: `0` means "not computed", any other
+/// value is the caller-defined digest of `words` as of the last
+/// [`Memory::cache_page_digest`]. Every mutation path resets it; it is
+/// excluded from equality.
+#[derive(Debug)]
+struct Page {
+    words: [u32; PAGE_WORDS],
+    digest: AtomicU64,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page {
+            words: [0; PAGE_WORDS],
+            digest: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        // The digest describes `words`, copied verbatim, so it stays valid.
+        Page {
+            words: self.words,
+            digest: AtomicU64::new(self.digest.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for Page {}
+
+/// Errors raised by program-initiated memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Address beyond the end of memory.
+    OutOfRange {
+        /// Offending word address.
+        addr: u32,
+    },
+    /// Write into the protected code segment.
+    WriteProtected {
+        /// Offending word address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfRange { addr } => write!(f, "address {addr:#x} out of range"),
+            MemoryError::WriteProtected { addr } => {
+                write!(f, "write to protected code segment at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+/// Main memory: word-addressed, stored as copy-on-write pages.
+///
+/// Cloning a `Memory` (and therefore a whole CPU, as a snapshot does) only
+/// bumps reference counts; the first write to a shared page pays for
+/// copying that one page. Words past `len` in the last page are
+/// invariantly zero, so derived equality over pages matches flat-array
+/// equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    pages: Vec<Arc<Page>>,
+    len: usize,
+    code_words: u32,
+    protect_code: bool,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new(DEFAULT_WORDS)
+    }
+}
+
+impl Memory {
+    /// Creates zeroed memory of `words` 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds `u32::MAX`.
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0 && words <= u32::MAX as usize, "bad memory size");
+        // Every slot starts as the same shared zero page; pages diverge
+        // lazily as they are written.
+        let zero: Arc<Page> = Arc::new(Page::zeroed());
+        Memory {
+            pages: (0..words.div_ceil(PAGE_WORDS))
+                .map(|_| Arc::clone(&zero))
+                .collect(),
+            len: words,
+            code_words: 0,
+            protect_code: true,
+        }
+    }
+
+    /// Size in words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the memory has zero words (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn word(&self, addr: usize) -> u32 {
+        self.pages[addr >> PAGE_SHIFT].words[addr & PAGE_MASK]
+    }
+
+    /// Mutable word at `addr` (bounds-checked by the caller), unsharing
+    /// the containing page if a snapshot still references it.
+    #[inline]
+    fn word_mut(&mut self, addr: usize) -> &mut u32 {
+        let page = Arc::make_mut(&mut self.pages[addr >> PAGE_SHIFT]);
+        *page.digest.get_mut() = 0;
+        &mut page.words[addr & PAGE_MASK]
+    }
+
+    /// Number of copy-on-write pages backing this memory.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The live words of page `index` (the last page may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn page_words(&self, index: usize) -> &[u32] {
+        let live = (self.len - index * PAGE_WORDS).min(PAGE_WORDS);
+        &self.pages[index].words[..live]
+    }
+
+    /// The memoized digest of page `index`, if one has been cached since
+    /// the page last changed.
+    pub fn cached_page_digest(&self, index: usize) -> Option<u64> {
+        match self.pages[index].digest.load(Ordering::Relaxed) {
+            0 => None,
+            d => Some(d),
+        }
+    }
+
+    /// Memoizes `digest` for the current contents of page `index`.
+    pub fn cache_page_digest(&self, index: usize, digest: u64) {
+        self.pages[index].digest.store(digest, Ordering::Relaxed);
+    }
+
+    /// Marks `[0, code_words)` as the (write-protected) code segment.
+    pub fn set_code_segment(&mut self, code_words: u32) {
+        self.code_words = code_words;
+    }
+
+    /// Size of the code segment in words.
+    pub fn code_segment(&self) -> u32 {
+        self.code_words
+    }
+
+    /// Enables or disables code-segment write protection.
+    pub fn set_protection(&mut self, on: bool) {
+        self.protect_code = on;
+    }
+
+    /// Whether code-segment write protection is enabled.
+    pub fn protection(&self) -> bool {
+        self.protect_code
+    }
+
+    /// Program-initiated read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    pub fn read(&self, addr: u32) -> Result<u32, MemoryError> {
+        if (addr as usize) < self.len {
+            Ok(self.word(addr as usize))
+        } else {
+            Err(MemoryError::OutOfRange { addr })
+        }
+    }
+
+    /// Program-initiated write, subject to code-segment protection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory and
+    /// [`MemoryError::WriteProtected`] for stores into a protected code
+    /// segment.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), MemoryError> {
+        if self.protect_code && addr < self.code_words {
+            return Err(MemoryError::WriteProtected { addr });
+        }
+        if (addr as usize) < self.len {
+            *self.word_mut(addr as usize) = value;
+            Ok(())
+        } else {
+            Err(MemoryError::OutOfRange { addr })
+        }
+    }
+
+    /// Tool-initiated read (`readMemory()` building block): no protection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    pub fn read_raw(&self, addr: u32) -> Result<u32, MemoryError> {
+        self.read(addr)
+    }
+
+    /// Tool-initiated write (`writeMemory()` building block): bypasses
+    /// protection, so pre-runtime SWIFI can corrupt the program area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    pub fn write_raw(&mut self, addr: u32, value: u32) -> Result<(), MemoryError> {
+        if (addr as usize) < self.len {
+            *self.word_mut(addr as usize) = value;
+            Ok(())
+        } else {
+            Err(MemoryError::OutOfRange { addr })
+        }
+    }
+
+    /// Flips one bit of one word — the SWIFI fault primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> Result<(), MemoryError> {
+        assert!(bit < 32, "bit index {bit} out of range");
+        let v = self.read_raw(addr)?;
+        self.write_raw(addr, v ^ (1 << bit))
+    }
+
+    /// Copies a block into memory starting at `addr` (workload download).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the block does not fit.
+    pub fn load_block(&mut self, addr: u32, data: &[u32]) -> Result<(), MemoryError> {
+        let start = addr as usize;
+        start
+            .checked_add(data.len())
+            .filter(|&e| e <= self.len)
+            .ok_or(MemoryError::OutOfRange {
+                addr: addr.saturating_add(data.len() as u32),
+            })?;
+        let mut pos = start;
+        let mut src = data;
+        while !src.is_empty() {
+            let off = pos & PAGE_MASK;
+            let n = (PAGE_WORDS - off).min(src.len());
+            let page = Arc::make_mut(&mut self.pages[pos >> PAGE_SHIFT]);
+            *page.digest.get_mut() = 0;
+            page.words[off..off + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a block of `len` words starting at `addr` (state logging).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] if the block does not fit.
+    pub fn read_block(&self, addr: u32, len: usize) -> Result<Vec<u32>, MemoryError> {
+        let start = addr as usize;
+        start
+            .checked_add(len)
+            .filter(|&e| e <= self.len)
+            .ok_or(MemoryError::OutOfRange {
+                addr: addr.saturating_add(len as u32),
+            })?;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = start;
+        while out.len() < len {
+            let off = pos & PAGE_MASK;
+            let n = (PAGE_WORDS - off).min(len - out.len());
+            out.extend_from_slice(&self.pages[pos >> PAGE_SHIFT].words[off..off + n]);
+            pos += n;
+        }
+        Ok(out)
+    }
+
+    /// Zeroes all of memory and forgets the code segment.
+    pub fn clear(&mut self) {
+        // Re-point every slot at one shared zero page instead of writing
+        // zeros through — O(pages), and snapshots sharing the old pages
+        // are unaffected.
+        let zero: Arc<Page> = Arc::new(Page::zeroed());
+        for page in &mut self.pages {
+            *page = Arc::clone(&zero);
+        }
+        self.code_words = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_and_bounds() {
+        let mut m = Memory::new(128);
+        m.write(100, 0xCAFE_BABE).unwrap();
+        assert_eq!(m.read(100).unwrap(), 0xCAFE_BABE);
+        assert_eq!(
+            m.read(128).unwrap_err(),
+            MemoryError::OutOfRange { addr: 128 }
+        );
+    }
+
+    #[test]
+    fn code_protection_blocks_program_writes_only() {
+        let mut m = Memory::new(64);
+        m.set_code_segment(8);
+        assert_eq!(
+            m.write(3, 1).unwrap_err(),
+            MemoryError::WriteProtected { addr: 3 }
+        );
+        m.write_raw(3, 7).unwrap();
+        assert_eq!(m.read(3).unwrap(), 7);
+        m.write(8, 9).unwrap();
+        m.set_protection(false);
+        m.write(3, 2).unwrap();
+    }
+
+    #[test]
+    fn flip_bit_and_blocks() {
+        let mut m = Memory::new(PAGE_WORDS * 2);
+        m.flip_bit(PAGE_WORDS as u32, 31).unwrap();
+        assert_eq!(m.read(PAGE_WORDS as u32).unwrap(), 1 << 31);
+        m.load_block(PAGE_WORDS as u32 - 1, &[1, 2, 3]).unwrap();
+        assert_eq!(
+            m.read_block(PAGE_WORDS as u32 - 1, 3).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn digest_memo_dropped_on_mutation() {
+        let mut m = Memory::new(PAGE_WORDS);
+        assert_eq!(m.cached_page_digest(0), None);
+        m.cache_page_digest(0, 99);
+        assert_eq!(m.cached_page_digest(0), Some(99));
+        m.write_raw(0, 1).unwrap();
+        assert_eq!(m.cached_page_digest(0), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = Memory::new(8);
+        m.set_code_segment(4);
+        m.write_raw(1, 5).unwrap();
+        m.clear();
+        assert_eq!(m.read(1).unwrap(), 0);
+        assert_eq!(m.code_segment(), 0);
+    }
+}

@@ -22,6 +22,11 @@
 //! controller with executable assertions on its input and output, closed
 //! over a plant from the `envsim` crate.
 //!
+//! The RV32I second target has its own machine-encoded library —
+//! `rv-fibonacci` and `rv-memcpy`, behind [`riscv_all`]/[`riscv_by_name`] —
+//! with golden-trace tests pinning exact retired-instruction and cycle
+//! counts (see `tests/riscv_golden.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -39,10 +44,15 @@
 #![warn(missing_docs)]
 
 mod programs;
+mod riscv_programs;
 
 pub use programs::{
     bubblesort, crc32, fibonacci, matmul, pi_control, pi_control_ber, primes, ASSERT_INPUT_RANGE,
     ASSERT_OUTPUT_RANGE, CONTROL_SETPOINT, CRC_LEN, FIB_N, MAT_N, PRIMES_LIMIT, SORT_LEN,
+};
+pub use riscv_programs::{
+    riscv_all, riscv_by_name, riscv_fibonacci, riscv_memcpy, RiscvWorkload, RISCV_FIB_N,
+    RISCV_FIB_OUT, RISCV_MEMCPY_DATA, RISCV_MEMCPY_DST, RISCV_MEMCPY_WORDS,
 };
 
 use thor::asm::Image;

@@ -1,0 +1,328 @@
+//! RV32I workload programs for the second target system.
+//!
+//! The Thor workloads in [`crate::programs`] are written in Thor assembly
+//! and assembled at build time; the RV32I core has no assembler, so these
+//! programs are machine-encoded directly through [`riscv::encode`]. That is
+//! deliberate: every word in the image is the canonical encoding of a typed
+//! [`riscv::Instr`], which the decoder proptests in the `riscv` crate prove
+//! round-trips exactly — the golden-trace tests over these workloads
+//! therefore pin the *executed* semantics, not an assembler's output.
+//!
+//! Two programs are provided, mirroring the genericity experiment of the
+//! paper (§5: the framework is proven generic by porting a second target):
+//!
+//! | name             | kind        | exercises                                |
+//! |------------------|-------------|------------------------------------------|
+//! | `rv-fibonacci`   | terminating | recursion, `jal`/`jalr`, stack traffic   |
+//! | `rv-memcpy`      | terminating | word copy loop, byte loads, checksums    |
+
+use crate::{OutputSpec, WorkloadKind};
+use riscv::{
+    encode, AluImmOp, AluOp, BranchCond, Cpu, Image, Instr, LoadWidth, MemoryError, Reg,
+    StoreWidth, ECALL_HALT, PORT_COUNT,
+};
+
+/// `rv-fibonacci` computes `fib(RISCV_FIB_N)` recursively.
+pub const RISCV_FIB_N: u32 = 10;
+
+/// Word address where `rv-fibonacci` stores its result.
+pub const RISCV_FIB_OUT: u32 = 64;
+
+/// Number of words `rv-memcpy` copies.
+pub const RISCV_MEMCPY_WORDS: u32 = 8;
+
+/// Word address of the `rv-memcpy` destination block.
+pub const RISCV_MEMCPY_DST: u32 = 64;
+
+/// Source data copied by `rv-memcpy` (also byte-checksummed).
+pub const RISCV_MEMCPY_DATA: [u32; RISCV_MEMCPY_WORDS as usize] = [
+    0x0000_0001,
+    0x0102_0304,
+    0xDEAD_BEEF,
+    0x8000_0000,
+    0x7FFF_FFFF,
+    0x0000_0000,
+    0x1234_5678,
+    0xCAFE_F00D,
+];
+
+/// A runnable RV32I workload: encoded image and result location.
+///
+/// The RV32I twin of [`crate::Workload`]. There is no `source` field —
+/// the program *is* its typed instruction list, rendered below in the
+/// builder functions.
+#[derive(Debug, Clone)]
+pub struct RiscvWorkload {
+    /// Workload name (campaign key). Prefixed `rv-` so a database holding
+    /// campaigns for both targets cannot confuse the two libraries.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Encoded image, ready for [`riscv::Cpu::load_image`].
+    pub image: Image,
+    /// Terminating or control loop.
+    pub kind: WorkloadKind,
+    /// Result location.
+    pub output: OutputSpec,
+}
+
+impl RiscvWorkload {
+    /// Reads the workload's output from a CPU that has run it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemoryError`] if the output region is out of range
+    /// (possible after an injected fault corrupts a pointer).
+    pub fn read_output(&self, cpu: &Cpu) -> Result<Vec<u32>, MemoryError> {
+        match self.output {
+            OutputSpec::Memory { addr, len } => cpu.memory().read_block(addr, len as usize),
+            OutputSpec::Ports => Ok((0..PORT_COUNT).map(|p| cpu.out_port(p)).collect()),
+        }
+    }
+}
+
+// Short typed-instruction builders so the programs below read like listings.
+fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+    Instr::AluImm {
+        op: AluImmOp::Addi,
+        rd,
+        rs1,
+        imm,
+    }
+}
+
+fn add(rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
+    Instr::Alu {
+        op: AluOp::Add,
+        rd,
+        rs1,
+        rs2,
+    }
+}
+
+fn lw(rd: Reg, rs1: Reg, offset: i32) -> Instr {
+    Instr::Load {
+        width: LoadWidth::W,
+        rd,
+        rs1,
+        offset,
+    }
+}
+
+fn lbu(rd: Reg, rs1: Reg, offset: i32) -> Instr {
+    Instr::Load {
+        width: LoadWidth::Bu,
+        rd,
+        rs1,
+        offset,
+    }
+}
+
+fn sw(rs1: Reg, rs2: Reg, offset: i32) -> Instr {
+    Instr::Store {
+        width: StoreWidth::W,
+        rs1,
+        rs2,
+        offset,
+    }
+}
+
+fn beq(rs1: Reg, rs2: Reg, offset: i32) -> Instr {
+    Instr::Branch {
+        cond: BranchCond::Eq,
+        rs1,
+        rs2,
+        offset,
+    }
+}
+
+fn blt(rs1: Reg, rs2: Reg, offset: i32) -> Instr {
+    Instr::Branch {
+        cond: BranchCond::Lt,
+        rs1,
+        rs2,
+        offset,
+    }
+}
+
+fn jal(rd: Reg, offset: i32) -> Instr {
+    Instr::Jal { rd, offset }
+}
+
+fn jalr(rd: Reg, rs1: Reg, offset: i32) -> Instr {
+    Instr::Jalr { rd, rs1, offset }
+}
+
+fn image(code: &[Instr], data: &[u32]) -> Image {
+    let mut words: Vec<u32> = code.iter().copied().map(encode).collect();
+    let code_words = words.len() as u32;
+    words.extend_from_slice(data);
+    Image {
+        words,
+        code_words,
+        entry: 0,
+    }
+}
+
+/// `rv-fibonacci`: recursive `fib(RISCV_FIB_N)`, result stored at word
+/// [`RISCV_FIB_OUT`]. Exercises `jal`/`jalr` call/return and stack traffic
+/// through `sp`, the RV32I counterpart of Thor's `fibonacci`.
+pub fn riscv_fibonacci() -> RiscvWorkload {
+    let t0 = Reg::new(5);
+    let s0 = Reg::new(8);
+    let out_byte = (RISCV_FIB_OUT * 4) as i32;
+    #[rustfmt::skip]
+    let code = [
+        // -- main ------------------------------------------------ word --
+        addi(Reg::A0, Reg::X0, RISCV_FIB_N as i32),             //  0
+        jal(Reg::RA, 16),                                       //  1  call fib (word 5)
+        sw(Reg::X0, Reg::A0, out_byte),                         //  2
+        addi(Reg::A7, Reg::X0, ECALL_HALT as i32),              //  3
+        Instr::Ecall,                                           //  4
+        // -- fib(n in a0) -----------------------------------------------
+        addi(t0, Reg::X0, 2),                                   //  5
+        blt(Reg::A0, t0, 60),                                   //  6  n < 2 -> ret (word 21)
+        addi(Reg::SP, Reg::SP, -12),                            //  7
+        sw(Reg::SP, Reg::RA, 0),                                //  8
+        sw(Reg::SP, s0, 4),                                     //  9
+        sw(Reg::SP, Reg::A0, 8),                                // 10
+        addi(Reg::A0, Reg::A0, -1),                             // 11
+        jal(Reg::RA, -28),                                      // 12  fib(n-1)
+        addi(s0, Reg::A0, 0),                                   // 13
+        lw(Reg::A0, Reg::SP, 8),                                // 14
+        addi(Reg::A0, Reg::A0, -2),                             // 15
+        jal(Reg::RA, -44),                                      // 16  fib(n-2)
+        add(Reg::A0, Reg::A0, s0),                              // 17
+        lw(Reg::RA, Reg::SP, 0),                                // 18
+        lw(s0, Reg::SP, 4),                                     // 19
+        addi(Reg::SP, Reg::SP, 12),                             // 20
+        jalr(Reg::X0, Reg::RA, 0),                              // 21  ret
+    ];
+    RiscvWorkload {
+        name: "rv-fibonacci".into(),
+        description: format!("recursive fib({RISCV_FIB_N}) on RV32I: call/ret, stack"),
+        image: image(&code, &[]),
+        kind: WorkloadKind::Terminating,
+        output: OutputSpec::Memory {
+            addr: RISCV_FIB_OUT,
+            len: 1,
+        },
+    }
+}
+
+/// `rv-memcpy`: copies [`RISCV_MEMCPY_DATA`] word-by-word to
+/// [`RISCV_MEMCPY_DST`], then byte-checksums the copy with `lbu` and stores
+/// the sum just past the destination block. Exercises the load/store unit
+/// at both widths plus data-dependent loop control.
+pub fn riscv_memcpy() -> RiscvWorkload {
+    let (t0, t1, t2, t3, t4) = (
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(28),
+        Reg::new(29),
+    );
+    let n = RISCV_MEMCPY_WORDS as i32;
+    let dst_byte = (RISCV_MEMCPY_DST * 4) as i32;
+    let sum_byte = ((RISCV_MEMCPY_DST + RISCV_MEMCPY_WORDS) * 4) as i32;
+    // The source block sits immediately after the 22 code words.
+    let src_byte = 22 * 4;
+    #[rustfmt::skip]
+    let code = [
+        // -- word copy ------------------------------------------- word --
+        addi(t0, Reg::X0, src_byte),                            //  0
+        addi(t1, Reg::X0, dst_byte),                            //  1
+        addi(t2, Reg::X0, n),                                   //  2
+        beq(t2, Reg::X0, 28),                                   //  3  done -> word 10
+        lw(t3, t0, 0),                                          //  4
+        sw(t1, t3, 0),                                          //  5
+        addi(t0, t0, 4),                                        //  6
+        addi(t1, t1, 4),                                        //  7
+        addi(t2, t2, -1),                                       //  8
+        jal(Reg::X0, -24),                                      //  9  -> word 3
+        // -- byte checksum of the copy ----------------------------------
+        addi(t0, Reg::X0, dst_byte),                            // 10
+        addi(t2, Reg::X0, n * 4),                               // 11
+        addi(t4, Reg::X0, 0),                                   // 12
+        beq(t2, Reg::X0, 24),                                   // 13  done -> word 19
+        lbu(t3, t0, 0),                                         // 14
+        add(t4, t4, t3),                                        // 15
+        addi(t0, t0, 1),                                        // 16
+        addi(t2, t2, -1),                                       // 17
+        jal(Reg::X0, -20),                                      // 18  -> word 13
+        sw(Reg::X0, t4, sum_byte),                              // 19
+        addi(Reg::A7, Reg::X0, ECALL_HALT as i32),              // 20
+        Instr::Ecall,                                           // 21
+    ];
+    debug_assert_eq!(code.len(), src_byte as usize / 4);
+    RiscvWorkload {
+        name: "rv-memcpy".into(),
+        description: format!("{RISCV_MEMCPY_WORDS}-word memcpy plus byte checksum on RV32I"),
+        image: image(&code, &RISCV_MEMCPY_DATA),
+        kind: WorkloadKind::Terminating,
+        output: OutputSpec::Memory {
+            addr: RISCV_MEMCPY_DST,
+            // The copied block plus the checksum word stored just past it.
+            len: RISCV_MEMCPY_WORDS + 1,
+        },
+    }
+}
+
+/// All RV32I workloads in the library.
+pub fn riscv_all() -> Vec<RiscvWorkload> {
+    vec![riscv_fibonacci(), riscv_memcpy()]
+}
+
+/// Looks an RV32I workload up by name.
+pub fn riscv_by_name(name: &str) -> Option<RiscvWorkload> {
+    riscv_all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv::{CpuConfig, StopReason};
+
+    fn run(w: &RiscvWorkload) -> Cpu {
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.load_image(&w.image).unwrap();
+        assert_eq!(cpu.run(1_000_000), StopReason::Halted, "{}", w.name);
+        cpu
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        let ws = riscv_all();
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert!(riscv_by_name(&w.name).is_some(), "{}", w.name);
+            assert!(w.image.code_words > 0, "{}", w.name);
+            assert!(
+                w.image.words.len() >= w.image.code_words as usize,
+                "{}",
+                w.name
+            );
+        }
+        assert!(riscv_by_name("rv-nope").is_none());
+    }
+
+    #[test]
+    fn fibonacci_computes_fib_n() {
+        let cpu = run(&riscv_fibonacci());
+        let out = riscv_fibonacci().read_output(&cpu).unwrap();
+        assert_eq!(out, vec![55]); // fib(10)
+    }
+
+    #[test]
+    fn memcpy_copies_and_checksums() {
+        let cpu = run(&riscv_memcpy());
+        let out = riscv_memcpy().read_output(&cpu).unwrap();
+        assert_eq!(&out[..8], &RISCV_MEMCPY_DATA);
+        let byte_sum: u32 = RISCV_MEMCPY_DATA
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .map(u32::from)
+            .sum();
+        assert_eq!(out[8], byte_sum);
+    }
+}

@@ -31,9 +31,11 @@ use goofi::core::telemetry::{JsonlSink, MetricsSnapshot, RingSink, Stage, Teleme
 use goofi::core::{dbio, runner};
 use goofi::core::{GoofiError, TargetAccess};
 use goofi::envsim::{DcMotor, Environment, JetEngine, NullEnvironment, WaterTank};
+use goofi::goofi_riscv::RiscvTarget;
 use goofi::goofi_thor::ThorTarget;
 use goofi::goofidb::Database;
 use goofi::scanchain::{LinkFaultConfig, WedgeConfig};
+use goofi::targets::TargetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -133,23 +135,26 @@ fn print_usage() {
          usage:\n  \
          goofi targets\n  \
          goofi workloads\n  \
-         goofi new <db> --name <campaign> --workload <name> [--experiments N]\n        \
+         goofi new <db> --name <campaign> --workload <name> [--target thor|riscv]\n        \
+            [--experiments N]\n        \
             [--seed S] [--technique scifi|swifi-pre|swifi-run|pin] [--time-window A:B]\n        \
             [--max-instr N] [--max-iterations N] [--detail] [--with-caches]\n        \
             [--on-error failfast|skip|retry-skip|retry-fail] [--retries N]\n        \
             [--backoff-ms A:B] [--watchdog-cycles N] [--watchdog-ms N]\n        \
             [--revalidate-every N] [--health-check-every N]\n  \
-         goofi run <db> --name <campaign> [--workers N] [--env none|motor|tank|jet]\n        \
+         goofi run <db> --name <campaign> [--target thor|riscv] [--workers N]\n        \
+            [--env none|motor|tank|jet]\n        \
             [--journal <file>] [--link-faults <spec>] [--verify-reads]\n        \
             [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n        \
             [--no-snapshot]\n  \
-         goofi resume <db> --name <campaign> --journal <file> [--workers N]\n        \
+         goofi resume <db> --name <campaign> --journal <file> [--target thor|riscv]\n        \
+            [--workers N]\n        \
             [--env none|motor|tank|jet] [--link-faults <spec>] [--verify-reads]\n        \
             [--health-check-every N] [--wedge <spec>] [--trace <file>] [--metrics]\n  \
          goofi serve <db> [--addr HOST:PORT] [--workers N] [--lease-ms N]\n        \
             [--poison-after N] [--chaos kill-after=N,seed=S[,kills=K][,mode=exit|stall]]\n        \
             [--net-chaos drop=P,corrupt=P,...,seed=S | at=N,kind=K,seed=S]\n  \
-         goofi submit <addr> --name <campaign> [--workers N] [--watch]\n  \
+         goofi submit <addr> --name <campaign> [--target thor|riscv] [--workers N] [--watch]\n  \
          goofi submit <addr> --job <id> --watch | --status | --shutdown\n  \
          goofi worker --db <db> --campaign <name> --shard K --range A:B --journal <file>\n        \
             [--attempt N] [--chaos <spec>] [--net-chaos <spec>]   (spawned by `goofi serve`)\n  \
@@ -332,19 +337,57 @@ fn dump_flight(
     }
 }
 
+/// Parses the optional `--target` flag against the target registry.
+fn target_flag(flags: &HashMap<String, String>) -> Result<Option<TargetKind>, String> {
+    match flags.get("target") {
+        Some(v) => TargetKind::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --target `{v}` (see `goofi targets`)")),
+        None => Ok(None),
+    }
+}
+
+/// Resolves the target system a loaded campaign runs on. The campaign's
+/// stored `target_system` owns the choice; an explicit `--target` flag is
+/// a cross-check that fails loudly on mismatch rather than an override,
+/// since the fault list was sampled against one chain layout.
+fn campaign_target(
+    campaign: &Campaign,
+    flags: &HashMap<String, String>,
+) -> Result<TargetKind, String> {
+    let stored = TargetKind::from_system_name(&campaign.target_system).ok_or_else(|| {
+        format!(
+            "campaign `{}` targets unknown system `{}`",
+            campaign.name, campaign.target_system,
+        )
+    })?;
+    if let Some(asked) = target_flag(flags)? {
+        if asked != stored {
+            return Err(format!(
+                "campaign `{}` targets `{}`, not `{}`",
+                campaign.name,
+                stored.flag(),
+                asked.flag(),
+            ));
+        }
+    }
+    Ok(stored)
+}
+
 /// Assembles the target decorator stack: an optional wedge-simulating
 /// [`WedgeableTarget`] closest to the hardware, an optional fault-injecting
 /// [`UnreliableTarget`] above it, and an optional [`VerifiedTarget`]
 /// recovery layer on top. `worker` offsets the wedge and link-fault seeds
 /// so parallel workers draw distinct (but still deterministic) streams.
 fn decorate_target(
+    kind: TargetKind,
     wedge: Option<WedgeConfig>,
     link: Option<LinkFaultConfig>,
     verify: bool,
     monitor: &ProgressMonitor,
     worker: u64,
 ) -> Box<dyn TargetAccess> {
-    let base = ThorTarget::default();
+    let base = kind.build();
     let wedged: Box<dyn TargetAccess> = match wedge {
         Some(mut cfg) => {
             cfg.seed = cfg.seed.wrapping_add(worker);
@@ -398,37 +441,58 @@ fn salvage_partial(db: &mut Database, db_path: &str, err: GoofiError) -> String 
 }
 
 fn cmd_targets() -> Result<(), String> {
-    let target = ThorTarget::default();
-    let data = TargetSystemData::from_target(&target, "Thor-RD-like CPU simulator");
-    println!("target system: {}", data.name);
-    println!("memory: {} words", data.memory_words);
-    let mut per_chain: HashMap<&str, (usize, usize)> = HashMap::new();
-    for (chain, _, width, rw) in &data.locations {
-        let entry = per_chain.entry(chain.as_str()).or_insert((0, 0));
-        entry.0 += width;
-        if *rw {
-            entry.1 += width;
+    for (i, kind) in TargetKind::ALL.into_iter().enumerate() {
+        if i > 0 {
+            println!();
         }
-    }
-    let mut chains: Vec<_> = per_chain.into_iter().collect();
-    chains.sort();
-    println!("\n{:<12} {:>10} {:>16}", "chain", "bits", "writable bits");
-    for (chain, (bits, writable)) in chains {
-        println!("{chain:<12} {bits:>10} {writable:>16}");
+        let target = kind.build();
+        let data = TargetSystemData::from_target(&*target, kind.description());
+        println!(
+            "target system: {} (--target {}): {}",
+            data.name,
+            kind.flag(),
+            kind.description(),
+        );
+        println!("memory: {} words", data.memory_words);
+        let mut per_chain: HashMap<&str, (usize, usize)> = HashMap::new();
+        for (chain, _, width, rw) in &data.locations {
+            let entry = per_chain.entry(chain.as_str()).or_insert((0, 0));
+            entry.0 += width;
+            if *rw {
+                entry.1 += width;
+            }
+        }
+        let mut chains: Vec<_> = per_chain.into_iter().collect();
+        chains.sort();
+        println!("\n{:<12} {:>10} {:>16}", "chain", "bits", "writable bits");
+        for (chain, (bits, writable)) in chains {
+            println!("{chain:<12} {bits:>10} {writable:>16}");
+        }
     }
     Ok(())
 }
 
 fn cmd_workloads() -> Result<(), String> {
-    println!("{:<12} {:<12} description", "name", "kind");
+    let kind_str = |kind: &workloads::WorkloadKind| match kind {
+        workloads::WorkloadKind::Terminating => "terminating",
+        workloads::WorkloadKind::ControlLoop => "control-loop",
+    };
+    println!("{:<14} {:<8} {:<12} description", "name", "target", "kind");
     for w in workloads::all() {
         println!(
-            "{:<12} {:<12} {}",
+            "{:<14} {:<8} {:<12} {}",
             w.name,
-            match w.kind {
-                workloads::WorkloadKind::Terminating => "terminating",
-                workloads::WorkloadKind::ControlLoop => "control-loop",
-            },
+            TargetKind::Thor.flag(),
+            kind_str(&w.kind),
+            w.description,
+        );
+    }
+    for w in workloads::riscv_all() {
+        println!(
+            "{:<14} {:<8} {:<12} {}",
+            w.name,
+            TargetKind::Riscv.flag(),
+            kind_str(&w.kind),
             w.description,
         );
     }
@@ -440,8 +504,38 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
     let db_path = positional.first().ok_or("new: missing <db> path")?;
     let name = flags.get("name").ok_or("new: --name is required")?;
     let workload_name = flags.get("workload").ok_or("new: --workload is required")?;
-    let wl = workloads::by_name(workload_name)
-        .ok_or_else(|| format!("unknown workload `{workload_name}` (see `goofi workloads`)"))?;
+    let kind = target_flag(&flags)?.unwrap_or_default();
+    // Unified view over the per-target workload libraries: everything the
+    // set-up phase needs is an image plus kind and output location.
+    struct PickedWorkload {
+        name: String,
+        words: Vec<u32>,
+        code_words: u32,
+        entry: u32,
+        kind: workloads::WorkloadKind,
+        output: workloads::OutputSpec,
+    }
+    let wl = match kind {
+        TargetKind::Thor => workloads::by_name(workload_name).map(|w| PickedWorkload {
+            name: w.name,
+            words: w.image.words,
+            code_words: w.image.code_words,
+            entry: w.image.entry,
+            kind: w.kind,
+            output: w.output,
+        }),
+        TargetKind::Riscv => workloads::riscv_by_name(workload_name).map(|w| PickedWorkload {
+            name: w.name,
+            words: w.image.words,
+            code_words: w.image.code_words,
+            entry: w.image.entry,
+            kind: w.kind,
+            output: w.output,
+        }),
+    }
+    .ok_or_else(|| {
+        format!("unknown workload `{workload_name}` for --target {kind} (see `goofi workloads`)")
+    })?;
     let experiments: usize = flags
         .get("experiments")
         .map_or(Ok(100), |v| v.parse().map_err(|_| "bad --experiments"))?;
@@ -466,8 +560,8 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
         },
     };
 
-    let target = ThorTarget::default();
-    let data = TargetSystemData::from_target(&target, "Thor-RD-like CPU simulator");
+    let target = kind.build();
+    let data = TargetSystemData::from_target(&*target, kind.description());
     let time_window = match flags.get("time-window") {
         Some(v) => {
             let (a, b) = v.split_once(':').ok_or("bad --time-window, use A:B")?;
@@ -501,7 +595,7 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
         Technique::SwifiRuntime => {
             let space = goofi::core::fault::FaultSpace {
                 scan_cells: vec![],
-                memory: Some(0..wl.image.words.len() as u32),
+                memory: Some(0..wl.words.len() as u32),
                 time_window,
             };
             space.sample_campaign(experiments, &mut rng)
@@ -509,7 +603,7 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
         Technique::SwifiPreRuntime => {
             let space = goofi::core::fault::FaultSpace {
                 scan_cells: vec![],
-                memory: Some(0..wl.image.words.len() as u32),
+                memory: Some(0..wl.words.len() as u32),
                 time_window: 0..1,
             };
             space
@@ -528,9 +622,9 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
         .technique(technique)
         .workload(goofi::core::campaign::WorkloadImage {
             name: wl.name.clone(),
-            words: wl.image.words.clone(),
-            code_words: wl.image.code_words,
-            entry: wl.image.entry,
+            words: wl.words.clone(),
+            code_words: wl.code_words,
+            entry: wl.entry,
         })
         .observe_chains(["internal"])
         .output(match wl.output {
@@ -556,9 +650,10 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
     dbio::store_campaign(&mut db, &campaign).map_err(|e| e.to_string())?;
     save_db(db_path, &db)?;
     println!(
-        "campaign `{name}`: {} experiments on `{}` stored in {db_path}",
+        "campaign `{name}`: {} experiments on `{}` (target {}) stored in {db_path}",
         campaign.experiment_count(),
         workload_name,
+        kind.flag(),
     );
     Ok(())
 }
@@ -586,12 +681,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
     apply_health_check_override(&mut campaign, &flags)?;
     let campaign = campaign;
+    let kind = campaign_target(&campaign, &flags)?;
     let tel = telemetry_from_flags(&flags)?;
     let monitor = ProgressMonitor::with_telemetry(campaign.experiment_count(), tel.clone());
     stop_on_signal(&monitor);
     println!(
-        "running campaign `{name}`: {} experiments ({}, {:?} logging)",
+        "running campaign `{name}`: {} experiments on {} ({}, {:?} logging)",
         campaign.experiment_count(),
+        kind.system_name(),
         campaign.technique.encode(),
         campaign.logging,
     );
@@ -604,7 +701,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let snapshots = !flags.contains_key("no-snapshot");
     let started = std::time::Instant::now();
     let result = if workers <= 1 {
-        let mut target = decorate_target(wedge, link, verify, &monitor, 0);
+        let mut target = decorate_target(kind, wedge, link, verify, &monitor, 0);
         let mut env = make_env(env_kind.as_deref())?;
         let mut journal = match &journal_path {
             Some(p) => {
@@ -644,7 +741,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         runner::run_campaign_parallel_journaled_opts(
             move || {
                 let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                decorate_target(wedge, link, verify, &make_monitor, worker)
+                decorate_target(kind, wedge, link, verify, &make_monitor, worker)
             },
             Some(move || {
                 // Validated before the workers started; a NullEnvironment
@@ -686,6 +783,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let mut campaign = dbio::load_campaign(&db, name).map_err(|e| e.to_string())?;
     apply_health_check_override(&mut campaign, &flags)?;
     let campaign = campaign;
+    let kind = campaign_target(&campaign, &flags)?;
     let tel = telemetry_from_flags(&flags)?;
     let monitor = ProgressMonitor::with_telemetry(campaign.experiment_count(), tel.clone());
     stop_on_signal(&monitor);
@@ -723,7 +821,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let result = runner::resume_campaign(
         move || {
             let worker = worker_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            decorate_target(wedge, link, verify, &make_monitor, worker)
+            decorate_target(kind, wedge, link, verify, &make_monitor, worker)
         },
         Some(move || make_env(env_kind.as_deref()).unwrap_or_else(|_| Box::new(NullEnvironment))),
         &campaign,
@@ -966,11 +1064,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// `goofi worker …`: one shard of a service job, spawned by the daemon —
-/// not normally invoked by hand. Runs its index range against the real
-/// Thor target under a private journal, streaming events on stdout.
+/// not normally invoked by hand. Runs its index range against the target
+/// system named on its spawn line (Thor when unspecified) under a private
+/// journal, streaming events on stdout.
 fn cmd_worker(args: &[String]) -> Result<(), String> {
     let parsed = WorkerArgs::parse(args).map_err(|e| e.to_string())?;
-    service::run_worker(&parsed, ThorTarget::default).map_err(|e| e.to_string())
+    let kind = match parsed.target.as_deref() {
+        None => TargetKind::Thor,
+        Some(name) => TargetKind::from_system_name(name)
+            .ok_or_else(|| format!("worker: unknown target system `{name}`"))?,
+    };
+    match kind {
+        TargetKind::Thor => service::run_worker(&parsed, ThorTarget::default),
+        TargetKind::Riscv => service::run_worker(&parsed, RiscvTarget::default),
+    }
+    .map_err(|e| e.to_string())
 }
 
 /// `goofi submit <addr>`: client side of the service — submit a campaign
@@ -1004,11 +1112,20 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         .get("workers")
         .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --workers"))?;
     let watch = flags.contains_key("watch");
+    let target = target_flag(&flags)?;
     // One request id for every retry: the daemon deduplicates, so a
     // submission whose acknowledgement was lost is not run twice.
     let request_id = service::new_request_id();
-    let job = service::submit_job(&RealNet, addr, &request_id, name, workers)
-        .map_err(|e| e.to_string())?;
+    let job = service::submit_job_targeted(
+        &RealNet,
+        addr,
+        &request_id,
+        name,
+        workers,
+        target.map(TargetKind::system_name),
+        std::time::Duration::from_secs(10),
+    )
+    .map_err(|e| e.to_string())?;
     println!("accepted as {job}");
     if watch {
         watch_job(addr, &job)
